@@ -1,0 +1,148 @@
+package microsampler_test
+
+import (
+	"testing"
+
+	"microsampler"
+)
+
+// TestAblationDataDepDivider is the variable-timing-arithmetic case
+// study (constant-time principle 3): branchless code whose divisor
+// width depends on a secret is clean on a fixed-latency divider and
+// leaks on an early-terminating one.
+func TestAblationDataDepDivider(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fixed := verify(t, "CT-DIV", microsampler.MegaBoom(), 4)
+	if fixed.AnyLeak() {
+		t.Fatalf("fixed-latency divider: %s", microsampler.RenderSummary(fixed))
+	}
+	cfg := microsampler.MegaBoom()
+	cfg.DataDepDivide = true
+	dd := verify(t, "CT-DIV", cfg, 4)
+	div, _ := dd.Unit(microsampler.EUUDIV)
+	if !div.Leaky() {
+		t.Fatal("early-out divider: EUU-DIV not flagged")
+	}
+	// The leak is pure timing: the timing-free view must be clean
+	// everywhere (the Fig. 9 diagnosis applied in reverse).
+	for _, u := range dd.Units {
+		if u.AssocNoTiming.Leaky() {
+			t.Errorf("%v: timing-free view flagged a pure-latency leak", u.Unit)
+		}
+	}
+}
+
+// TestAblationPrefetcher shows the tracked-unit coverage question of
+// Section VII-D (false negatives): with the next-line prefetcher
+// disabled, its class-distinguishing state disappears, while the other
+// address units still catch the ME-V1-MV leak.
+func TestAblationPrefetcher(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := microsampler.MegaBoom()
+	cfg.NextLinePrefetcher = false
+	rep := verify(t, "ME-V1-MV", cfg, 4)
+	nlp, _ := rep.Unit(microsampler.NLPADDR)
+	if nlp.Leaky() {
+		t.Error("NLP-ADDR flagged with the prefetcher disabled")
+	}
+	sq, _ := rep.Unit(microsampler.SQADDR)
+	cache, _ := rep.Unit(microsampler.CACHEADDR)
+	if !sq.Leaky() || !cache.Leaky() {
+		t.Error("address leak must still be caught without the prefetcher")
+	}
+}
+
+// TestAblationPValueGuard reproduces the false-positive discussion of
+// Section VII-D: a workload whose per-iteration state is unique (a
+// pointer-chasing stream at iteration-dependent addresses) yields raw
+// Cramér's V of 1 on address units, but the chi-squared p-value rejects
+// it and nothing is flagged.
+func TestAblationPValueGuard(t *testing.T) {
+	w := microsampler.Workload{
+		Name: "STREAM",
+		Source: `
+	.text
+_start:
+	la   s2, buf
+	la   t0, base_off     # per-run random offset (like heap ASLR):
+	ld   t0, 0(t0)        # every snapshot is globally unique
+	add  s2, s2, t0
+	li   s3, 16           # iterations
+	li   s4, 0
+	la   s5, bits
+	roi.begin
+loop:
+	add  t1, s5, s4
+	lbu  t1, 0(t1)        # per-run random class bit
+	iter.begin t1
+	slli t2, s4, 7        # iteration-unique address
+	add  t2, t2, s2
+	ld   t3, 0(t2)
+	sd   t3, 8(t2)
+	iter.end
+	addi s4, s4, 1
+	bltu s4, s3, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+	.data
+base_off: .dword 0
+bits:     .zero 16
+buf: .zero 65536
+`,
+		Setup: func(run int, m *microsampler.Machine, prog *microsampler.Program) error {
+			m.Memory().Write(prog.MustSymbol("base_off"), 8, uint64(run)*4096+128)
+			bits := prog.MustSymbol("bits")
+			for i := 0; i < 16; i++ {
+				// Deterministic pseudo-random class bits per run.
+				b := uint64((i*7+run*13)>>1) & 1
+				m.Memory().Write(bits+uint64(i), 1, b)
+			}
+			return nil
+		},
+	}
+	rep, err := microsampler.Verify(w, microsampler.Options{Runs: 2, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq, _ := rep.Unit(microsampler.LQADDR)
+	if lq.Assoc.V < 0.9 {
+		t.Errorf("expected near-1 raw V from all-unique snapshots, got %v", lq.Assoc)
+	}
+	if lq.Assoc.Significant() {
+		t.Errorf("all-unique snapshots must be insignificant: %v", lq.Assoc)
+	}
+	if rep.AnyLeak() {
+		t.Errorf("p-value guard failed: %s", microsampler.RenderSummary(rep))
+	}
+}
+
+// TestDetectionRobustAcrossConfigs runs the headline detections on
+// SmallBoom: the verdicts must not depend on the large configuration.
+func TestDetectionRobustAcrossConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	small := microsampler.SmallBoom()
+
+	safe := verify(t, "ME-V2-SAFE", small, 4)
+	if safe.AnyLeak() {
+		t.Errorf("SmallBoom: safe kernel flagged: %s", microsampler.RenderSummary(safe))
+	}
+	mv := verify(t, "ME-V1-MV", small, 4)
+	if sq, _ := mv.Unit(microsampler.SQADDR); !sq.Leaky() {
+		t.Error("SmallBoom: ME-V1-MV address leak missed")
+	}
+	if pc, _ := mv.Unit(microsampler.SQPC); pc.Leaky() {
+		t.Error("SmallBoom: ME-V1-MV SQ-PC wrongly flagged")
+	}
+	cv := verify(t, "ME-V1-CV", small, 4)
+	if n := len(cv.LeakyUnits()); n < 10 {
+		t.Errorf("SmallBoom: ME-V1-CV only flagged %d units", n)
+	}
+}

@@ -1,0 +1,141 @@
+package microsampler_test
+
+import (
+	"testing"
+
+	"microsampler"
+)
+
+// TestWindowedExponentiation exercises multi-class (4-valued secret)
+// analysis end-to-end: the secret-indexed power table leaks exactly
+// through the load-address and cache-request channels; the masked-scan
+// variant is clean.
+func TestWindowedExponentiation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	lkup := verify(t, "ME-WIN4-LKUP", microsampler.MegaBoom(), 5)
+	if classes := len(microsampler.MeanCyclesByClass(lkup.Iterations)); classes != 4 {
+		t.Fatalf("expected 4 secret classes, saw %d", classes)
+	}
+	leaks := leakySet(lkup)
+	if !leaks[microsampler.LQADDR] || !leaks[microsampler.CACHEADDR] {
+		t.Errorf("table lookup should leak through LQ-ADDR and Cache-ADDR: %s",
+			microsampler.RenderSummary(lkup))
+	}
+	for u := range leaks {
+		if u != microsampler.LQADDR && u != microsampler.CACHEADDR {
+			t.Errorf("unexpected leaky unit %v", u)
+		}
+	}
+	lq, _ := lkup.Unit(microsampler.LQADDR)
+	if lq.Assoc.Rows != 4 || lq.Assoc.Cols != 4 {
+		t.Errorf("expected a 4x4 contingency table, got %dx%d",
+			lq.Assoc.Rows, lq.Assoc.Cols)
+	}
+
+	safe := verify(t, "ME-WIN4-SAFE", microsampler.MegaBoom(), 5)
+	if safe.AnyLeak() {
+		t.Errorf("scan-select variant flagged: %s", microsampler.RenderSummary(safe))
+	}
+}
+
+// TestAESCaseStudies asserts the AES extension results: classic T-table
+// AES is distinguishable through every tracked unit under cache
+// pressure, while the table-preload countermeasure closes the residency
+// and timing channels but leaves the access-pattern channels open.
+func TestAESCaseStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+
+	t.Run("AES-TTABLE leaks broadly", func(t *testing.T) {
+		rep := verify(t, "AES-TTABLE", microsampler.MegaBoom(), 4)
+		if n := len(rep.LeakyUnits()); n < 12 {
+			t.Fatalf("T-table AES flagged only %d units: %s",
+				n, microsampler.RenderSummary(rep))
+		}
+		for _, must := range []microsampler.Unit{
+			microsampler.LQADDR, microsampler.CACHEADDR, microsampler.MSHRADDR,
+			microsampler.LFBADDR,
+		} {
+			u, _ := rep.Unit(must)
+			if !u.Leaky() {
+				t.Errorf("unit %v not flagged", must)
+			}
+		}
+	})
+
+	t.Run("AES-PRELOAD closes residency but not access pattern", func(t *testing.T) {
+		rep := verify(t, "AES-PRELOAD", microsampler.MegaBoom(), 4)
+		for _, stillLeaky := range []microsampler.Unit{
+			microsampler.LQADDR, microsampler.CACHEADDR, microsampler.TLBADDR,
+		} {
+			u, _ := rep.Unit(stillLeaky)
+			if !u.Leaky() {
+				t.Errorf("access-pattern unit %v should remain flagged", stillLeaky)
+			}
+		}
+		for _, closed := range []microsampler.Unit{
+			microsampler.MSHRADDR, microsampler.LFBADDR, microsampler.NLPADDR,
+			microsampler.SQADDR, microsampler.ROBPC, microsampler.EUUDIV,
+		} {
+			u, _ := rep.Unit(closed)
+			if u.Leaky() {
+				t.Errorf("residency/timing unit %v should be closed by preloading", closed)
+			}
+		}
+	})
+}
+
+// TestChaCha20Clean asserts the ARX cipher's clean verdict: the same
+// key-distinguishing experiment that separates AES's T-table kernel
+// finds nothing in ChaCha20.
+func TestChaCha20Clean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep := verify(t, "CHACHA20", microsampler.MegaBoom(), 4)
+	if rep.AnyLeak() {
+		t.Fatalf("ChaCha20 flagged: %s", microsampler.RenderSummary(rep))
+	}
+}
+
+// TestSpectrePHT asserts the transient-execution showcase: the
+// bounds-check-bypass victim is architecturally constant (the probe
+// always returns 0), yet the secret-indexed transient load separates
+// the classes through the memory-observation units, with the probe
+// array's two lines extracted as the unique features.
+func TestSpectrePHT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rep := verify(t, "SPECTRE-PHT", microsampler.MegaBoom(), 8)
+	leaks := leakySet(rep)
+	for _, must := range []microsampler.Unit{
+		microsampler.LQADDR, microsampler.CACHEADDR, microsampler.MSHRADDR,
+		microsampler.LFBADDR, microsampler.NLPADDR,
+	} {
+		if !leaks[must] {
+			t.Errorf("unit %v must catch the transient access", must)
+		}
+	}
+	for _, clean := range []microsampler.Unit{
+		microsampler.SQADDR, microsampler.SQPC, microsampler.EUUALU,
+		microsampler.EUUMUL, microsampler.ROBPC,
+	} {
+		if leaks[clean] {
+			t.Errorf("unit %v should be clean (no architectural divergence)", clean)
+		}
+	}
+	lq, _ := rep.Unit(microsampler.LQADDR)
+	if len(lq.UniqueFeatures[0]) != 1 || len(lq.UniqueFeatures[1]) != 1 {
+		t.Errorf("expected exactly one unique transient line per class: %v",
+			lq.UniqueFeatures)
+	}
+	// The unique features are the two probe-array lines, 64 bytes apart.
+	a, b := lq.UniqueFeatures[0][0], lq.UniqueFeatures[1][0]
+	if b-a != 64 && a-b != 64 {
+		t.Errorf("unique lines %#x/%#x are not adjacent probe lines", a, b)
+	}
+}

@@ -1,0 +1,153 @@
+// Command microsampler runs the MicroSampler leakage-detection pipeline
+// on a built-in case study or a user-supplied assembly program and
+// prints the per-unit verdicts, charts and root-cause reports.
+//
+// Usage:
+//
+//	microsampler -list
+//	microsampler -workload ME-V1-MV [-config mega|small] [-runs 8]
+//	microsampler -workload ME-V2-SAFE -fast-bypass -timing-chart
+//	microsampler -workload ME-V1-MV-6B -histogram
+//	microsampler -workload ME-V1-MV -features SQ-ADDR -contingency SQ-ADDR
+//	microsampler -src program.s -runs 4
+//	microsampler -workload AES-TTABLE -json > report.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microsampler"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "microsampler:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("microsampler", flag.ContinueOnError)
+	var (
+		list        = fs.Bool("list", false, "list built-in workloads and exit")
+		workload    = fs.String("workload", "", "built-in case-study name")
+		srcPath     = fs.String("src", "", "path to an RV64 assembly program to verify")
+		config      = fs.String("config", "mega", "core configuration: mega or small")
+		fastBypass  = fs.Bool("fast-bypass", false, "enable the fast-bypass optimisation (ME-V2-FB)")
+		runs        = fs.Int("runs", 8, "independent runs (distinct keys/inputs)")
+		warmup      = fs.Int("warmup", 4, "warmup iterations to drop per run")
+		chart       = fs.Bool("chart", true, "print the Cramér's V bar chart")
+		timingChart = fs.Bool("timing-chart", false, "print the with/without-timing chart (Fig. 9)")
+		histogram   = fs.Bool("histogram", false, "print per-class iteration timing histogram (Fig. 6)")
+		features    = fs.String("features", "", "print feature extraction for a unit (e.g. SQ-ADDR)")
+		contingency = fs.String("contingency", "", "print the contingency table for a unit")
+		stages      = fs.Bool("stages", false, "measure and print the stage-time breakdown (Table VI)")
+		parallel    = fs.Int("parallel", -1, "concurrent simulation runs (-1: one per CPU, 1: sequential)")
+		jsonOut     = fs.Bool("json", false, "emit the machine-readable JSON report instead of charts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range microsampler.WorkloadNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+
+	var w microsampler.Workload
+	switch {
+	case *workload != "":
+		var err error
+		w, err = microsampler.WorkloadByName(*workload)
+		if err != nil {
+			return err
+		}
+	case *srcPath != "":
+		src, err := os.ReadFile(*srcPath)
+		if err != nil {
+			return err
+		}
+		w = microsampler.Workload{Name: *srcPath, Source: string(src)}
+	default:
+		return fmt.Errorf("one of -workload or -src is required (see -list)")
+	}
+
+	cfg, err := configByName(*config)
+	if err != nil {
+		return err
+	}
+	cfg.FastBypass = *fastBypass
+
+	rep, err := microsampler.Verify(w, microsampler.Options{
+		Config:        cfg,
+		Runs:          *runs,
+		Warmup:        *warmup,
+		MeasureStages: *stages,
+		Parallel:      *parallel,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		data, err := microsampler.RenderJSON(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+
+	fmt.Print(microsampler.RenderSummary(rep))
+	if *chart {
+		fmt.Print(microsampler.RenderChart(rep))
+	}
+	if *timingChart {
+		fmt.Print(microsampler.RenderTimingChart(rep))
+	}
+	if *histogram {
+		fmt.Print(microsampler.RenderHistogram(rep.Workload, rep.Iterations))
+	}
+	if *features != "" {
+		u, err := unitByName(*features)
+		if err != nil {
+			return err
+		}
+		fmt.Print(microsampler.RenderFeatures(rep, u))
+	}
+	if *contingency != "" {
+		u, err := unitByName(*contingency)
+		if err != nil {
+			return err
+		}
+		fmt.Print(microsampler.RenderContingency(rep, u, 8))
+	}
+	if *stages {
+		fmt.Print(microsampler.RenderStages(rep))
+	}
+	return nil
+}
+
+func configByName(name string) (microsampler.Config, error) {
+	switch strings.ToLower(name) {
+	case "mega", "megaboom":
+		return microsampler.MegaBoom(), nil
+	case "small", "smallboom":
+		return microsampler.SmallBoom(), nil
+	}
+	return microsampler.Config{}, fmt.Errorf("unknown config %q (mega or small)", name)
+}
+
+func unitByName(name string) (microsampler.Unit, error) {
+	for _, u := range microsampler.AllUnits() {
+		if strings.EqualFold(u.String(), name) {
+			return u, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown unit %q", name)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microsampler"
+)
+
+func TestConfigByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"mega": "MegaBoom", "MEGA": "MegaBoom", "MegaBoom": "MegaBoom",
+		"small": "SmallBoom", "smallboom": "SmallBoom",
+	} {
+		cfg, err := configByName(name)
+		if err != nil || cfg.Name != want {
+			t.Errorf("configByName(%q) = %v, %v", name, cfg.Name, err)
+		}
+	}
+	if _, err := configByName("huge"); err == nil {
+		t.Error("unknown config should error")
+	}
+}
+
+func TestUnitByName(t *testing.T) {
+	u, err := unitByName("sq-addr")
+	if err != nil || u != microsampler.SQADDR {
+		t.Errorf("unitByName(sq-addr) = %v, %v", u, err)
+	}
+	if _, err := unitByName("bogus"); err == nil {
+		t.Error("unknown unit should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil ||
+		!strings.Contains(err.Error(), "-workload or -src") {
+		t.Errorf("missing workload: %v", err)
+	}
+	if err := run([]string{"-workload", "nope"}); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := run([]string{"-workload", "ME-NAIVE", "-config", "huge"}); err == nil {
+		t.Error("unknown config should error")
+	}
+	if err := run([]string{"-src", "/definitely/missing.s"}); err == nil {
+		t.Error("missing source file should error")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSourceFile(t *testing.T) {
+	src := `
+	.text
+_start:
+	li   s2, 8
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3
+	mul  t0, s2, s2
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+`
+	path := filepath.Join(t.TempDir(), "prog.s")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-src", path, "-runs", "2", "-warmup", "1",
+		"-config", "small", "-chart=false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run([]string{"-workload", "ME-NAIVE", "-runs", "2",
+		"-warmup", "2", "-config", "small", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+// Command msasm assembles RV64 source in the framework's dialect and
+// prints the resulting image as a hex dump or disassembly.
+//
+// Usage:
+//
+//	msasm program.s            # assemble, print segment summary
+//	msasm -d program.s         # assemble and disassemble the text
+//	msasm -hex program.s       # assemble and hex-dump the text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"microsampler/internal/asm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "msasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("msasm", flag.ContinueOnError)
+	disasm := fs.Bool("d", false, "disassemble the text segment")
+	hex := fs.Bool("hex", false, "hex-dump the text segment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: msasm [-d] [-hex] program.s")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("text: %d bytes at %#x, data: %d bytes at %#x, entry %#x\n",
+		len(prog.Text), prog.TextBase, len(prog.Data), prog.DataBase, prog.Entry)
+
+	switch {
+	case *disasm:
+		fmt.Print(asm.DisassembleText(prog))
+	case *hex:
+		for off := 0; off < len(prog.Text); off += 16 {
+			end := off + 16
+			if end > len(prog.Text) {
+				end = len(prog.Text)
+			}
+			fmt.Printf("%8x:  % x\n", prog.TextBase+uint64(off), prog.Text[off:end])
+		}
+	}
+	return nil
+}

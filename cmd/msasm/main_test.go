@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeProg(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.s")
+	src := "_start:\n\tli a0, 0\n\tli a7, 93\n\tecall\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModes(t *testing.T) {
+	path := writeProg(t)
+	for _, args := range [][]string{
+		{path},
+		{"-d", path},
+		{"-hex", path},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := run([]string{"/missing.s"}); err == nil {
+		t.Error("unreadable file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(bad, []byte("_start:\n\tfrobnicate\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("assembly error should propagate")
+	}
+}

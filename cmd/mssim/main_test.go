@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.s")
+	src := "_start:\n\tli a0, 0\n\tli a7, 93\n\tecall\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{path},
+		{"-config", "small", path},
+		{"-fast-bypass", path},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := run([]string{"-config", "huge", "/missing.s"}); err == nil {
+		t.Error("bad config should error")
+	}
+	path := filepath.Join(t.TempDir(), "loop.s")
+	if err := os.WriteFile(path, []byte("_start:\n\tj _start\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-max-cycles", "100", path}); err == nil {
+		t.Error("cycle budget exhaustion should propagate")
+	}
+}

@@ -1,0 +1,65 @@
+package microsampler_test
+
+import (
+	"fmt"
+	"log"
+
+	"microsampler"
+)
+
+// Example verifies a tiny hand-written kernel whose multiplier activity
+// depends on the secret bit, and prints the per-unit verdict for the
+// multiplier.
+func Example() {
+	w := microsampler.Workload{
+		Name: "demo",
+		Source: `
+	.text
+_start:
+	li   s2, 24
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3         # label the iteration with the secret bit
+	mul  t0, s2, s2
+	beqz s3, skip
+	mul  t0, t0, s2       # executed only when the bit is 1: a leak
+skip:
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+`,
+	}
+	rep, err := microsampler.Verify(w, microsampler.Options{Runs: 2, Warmup: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mul, _ := rep.Unit(microsampler.EUUMUL)
+	fmt.Printf("EUU-MUL leaky: %v\n", mul.Leaky())
+	fmt.Printf("any other finding kinds: unique features for class 1: %v\n",
+		len(mul.UniqueFeatures[1]) > 0)
+	// Output:
+	// EUU-MUL leaky: true
+	// any other finding kinds: unique features for class 1: true
+}
+
+// ExampleWorkloadByName runs a built-in case study.
+func ExampleWorkloadByName() {
+	w, err := microsampler.WorkloadByName("ME-V1-MV")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := microsampler.Verify(w, microsampler.Options{Runs: 3, Parallel: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sq, _ := rep.Unit(microsampler.SQADDR)
+	pc, _ := rep.Unit(microsampler.SQPC)
+	fmt.Printf("store addresses leak: %v; store PCs leak: %v\n", sq.Leaky(), pc.Leaky())
+	// Output:
+	// store addresses leak: true; store PCs leak: false
+}

@@ -1,0 +1,130 @@
+// Custom workload: verifying your own kernel with the public API.
+//
+// This example shows the full downstream-user workflow:
+//
+//  1. write the kernel in the framework's RV64 assembly dialect, with
+//     roi/iter markers around the security-critical region;
+//  2. provide a Setup function that writes per-run secrets and a
+//     reference result into the program's data symbols;
+//  3. run Verify and inspect per-unit statistics and root causes.
+//
+// The kernel under test is a deliberately subtle one: a constant-time
+// conditional negation that is computed branchlessly — but spills its
+// mask to a secret-indexed stack slot, an easy mistake to make when
+// hand-managing scratch space.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"microsampler"
+)
+
+const kernel = `
+	.text
+_start:
+	la   s2, values
+	la   s3, bits
+	la   s4, scratch
+	call sweep            # warmup
+	roi.begin
+	call sweep
+	roi.end
+	la   t0, expected
+	ld   t0, 0(t0)
+	sub  a0, a0, t0
+	snez a0, a0
+	li   a7, 93
+	ecall
+
+sweep:                    # returns checksum in a0
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   s5, 0
+	li   s6, 0
+sw_loop:
+	slli t0, s5, 3
+	add  t0, t0, s2
+	ld   t2, 0(t0)        # value
+	add  t0, s3, s5
+	lbu  t3, 0(t0)        # secret bit
+	iter.begin t3
+	neg  t4, t3           # mask = bit ? -1 : 0
+	# BUG under test: the scratch slot index depends on the secret.
+	slli t5, t3, 3
+	add  t5, t5, s4
+	sd   t4, 0(t5)
+	ld   t4, 0(t5)
+	xor  t2, t2, t4       # conditional negate (branchless)
+	sub  t2, t2, t4
+	iter.end
+	slli t0, s6, 1
+	srli t1, s6, 63
+	or   s6, t0, t1
+	xor  s6, s6, t2
+	addi s5, s5, 1
+	li   t0, 24
+	bltu s5, t0, sw_loop
+	mv   a0, s6
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+
+	.data
+expected: .dword 0
+values:   .zero 192
+bits:     .zero 24
+	.align 6
+scratch:  .zero 64
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	w := microsampler.Workload{
+		Name:   "COND-NEGATE",
+		Source: kernel,
+		Setup: func(runIdx int, m *microsampler.Machine, prog *microsampler.Program) error {
+			rng := rand.New(rand.NewSource(1000 + int64(runIdx)))
+			mem := m.Memory()
+			values := prog.MustSymbol("values")
+			bits := prog.MustSymbol("bits")
+			checksum := uint64(0)
+			for i := 0; i < 24; i++ {
+				v := rng.Uint64()
+				b := uint64(rng.Intn(2))
+				mem.Write(values+uint64(8*i), 8, v)
+				mem.Write(bits+uint64(i), 1, b)
+				r := v
+				if b == 1 {
+					r = -v
+				}
+				checksum = checksum<<1 | checksum>>63
+				checksum ^= r
+			}
+			mem.Write(prog.MustSymbol("expected"), 8, checksum)
+			return nil
+		},
+	}
+	rep, err := microsampler.Verify(w, microsampler.Options{
+		Runs:     6,
+		Warmup:   4,
+		Parallel: -1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(microsampler.RenderSummary(rep))
+	fmt.Print(microsampler.RenderChart(rep))
+	if u, ok := rep.Unit(microsampler.SQADDR); ok && u.Leaky() {
+		fmt.Print(microsampler.RenderFeatures(rep, microsampler.SQADDR))
+		fmt.Println("-> the secret-indexed scratch slot is the root cause")
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+// Microarchitectural vulnerability study (the paper's ME-V2-FB,
+// Section VII-B): a correct constant-time kernel is broken by a
+// seemingly benign hardware optimisation.
+//
+// The BearSSL conditional copy (ME-V2-Safe) is verified twice: on the
+// baseline MegaBoom core, where nothing correlates with the key bits,
+// and on the same core with the "fast bypass" optimisation enabled —
+// an AND whose available operand is zero is folded at rename time,
+// skipping the ALU. Because the copy's mask is zero exactly when the
+// key bit is zero, the fold fires per key bit and the kernel leaks.
+//
+// The with/without-timing chart shows the paper's diagnostic: the store
+// queue correlations disappear once timing is removed (pure timing
+// leakage), while EUU-ALU and ROB-PC remain — the folded AND itself.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microsampler"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	w, err := microsampler.WorkloadByName("ME-V2-SAFE")
+	if err != nil {
+		return err
+	}
+
+	baseline := microsampler.MegaBoom()
+	optimised := microsampler.MegaBoom()
+	optimised.FastBypass = true
+
+	for _, cfg := range []struct {
+		label  string
+		config microsampler.Config
+	}{
+		{"baseline MegaBoom", baseline},
+		{"MegaBoom + fast bypass (ME-V2-FB)", optimised},
+	} {
+		rep, err := microsampler.Verify(w, microsampler.Options{
+			Config: cfg.config,
+			Runs:   6,
+			Warmup: 4,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== %s\n", cfg.label)
+		fmt.Print(microsampler.RenderSummary(rep))
+		if rep.AnyLeak() {
+			fmt.Print(microsampler.RenderTimingChart(rep))
+			// Root cause: the AND instruction unique to key bit 1 (for
+			// bit 0 it is folded and never reaches an ALU).
+			fmt.Print(microsampler.RenderFeatures(rep, microsampler.EUUALU))
+		} else {
+			fmt.Print(microsampler.RenderChart(rep))
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+// Transient-only leakage (Spectre-PHT): the strongest demonstration of
+// why pre-silicon microarchitectural visibility matters.
+//
+// The victim is the canonical bounds-check-bypass gadget:
+//
+//	if (idx < len) y = table2[(table1[idx] & 1) * 64];
+//
+// Every probe calls it with an out-of-bounds index aimed at a secret
+// byte. Architecturally nothing ever depends on the secret — the bounds
+// check holds and the probe returns 0 — so no post-silicon address- or
+// time-based tool observing committed behaviour has anything to see.
+// But in the mispredicted window the core transiently loads the probe
+// array at a secret-selected cache line, and MicroSampler's per-cycle
+// view flags the load queue, cache requests, MSHRs, fill buffer and
+// prefetcher, then extracts the two transiently-touched lines as the
+// unique features, attributed to the victim function.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microsampler"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	w, err := microsampler.WorkloadByName("SPECTRE-PHT")
+	if err != nil {
+		return err
+	}
+	rep, err := microsampler.Verify(w, microsampler.Options{
+		Config:   microsampler.MegaBoom(),
+		Runs:     8,
+		Warmup:   4,
+		Parallel: -1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(microsampler.RenderSummary(rep))
+	fmt.Print(microsampler.RenderChart(rep))
+	fmt.Print(microsampler.RenderFeatures(rep, microsampler.LQADDR))
+	fmt.Print(microsampler.RenderFeatures(rep, microsampler.MSHRADDR))
+	return nil
+}

@@ -1,0 +1,3 @@
+module microsampler
+
+go 1.24

@@ -1,0 +1,512 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"microsampler/internal/isa"
+)
+
+// Option configures the assembler.
+type Option func(*assembler)
+
+// WithTextBase sets the base address of the text segment.
+func WithTextBase(addr uint64) Option { return func(a *assembler) { a.textBase = addr } }
+
+// WithDataBase sets the base address of the data segment.
+func WithDataBase(addr uint64) Option { return func(a *assembler) { a.dataBase = addr } }
+
+// WithStackTop sets the initial stack pointer of the program.
+func WithStackTop(addr uint64) Option { return func(a *assembler) { a.stackTop = addr } }
+
+// SyntaxError describes an assembly failure at a specific source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+type pending struct {
+	line     int
+	mnemonic string
+	operands []string
+	addr     uint64
+	size     int // bytes reserved in pass 1
+}
+
+type dataItem struct {
+	line  int
+	addr  uint64
+	kind  string   // directive name
+	exprs []string // operand expressions
+	size  int
+}
+
+type assembler struct {
+	textBase, dataBase, stackTop uint64
+
+	symbols map[string]uint64
+	text    []pending
+	data    []dataItem
+	textEnd uint64
+	dataEnd uint64
+}
+
+// Assemble translates source text into a Program.
+func Assemble(src string, opts ...Option) (*Program, error) {
+	a := &assembler{
+		textBase: DefaultTextBase,
+		dataBase: DefaultDataBase,
+		stackTop: DefaultStackTop,
+		symbols:  make(map[string]uint64),
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	return a.pass2()
+}
+
+func stripComment(line string) string {
+	inChar := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			inChar = !inChar
+		case '#':
+			if !inChar {
+				return line[:i]
+			}
+		case '/':
+			if !inChar && i+1 < len(line) && line[i+1] == '/' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func (a *assembler) pass1(src string) error {
+	sec := secText
+	tc, dc := a.textBase, a.dataBase
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		n := lineNo + 1
+		line := strings.TrimSpace(stripComment(raw))
+
+		// Peel off any leading labels.
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:idx])
+			if head == "" || strings.ContainsAny(head, " \t\"'()") {
+				break
+			}
+			if _, dup := a.symbols[head]; dup {
+				return &SyntaxError{n, fmt.Sprintf("duplicate symbol %q", head)}
+			}
+			if sec == secText {
+				a.symbols[head] = tc
+			} else {
+				a.symbols[head] = dc
+			}
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		operands := splitOperands(rest)
+
+		if strings.HasPrefix(mnemonic, ".") {
+			var err error
+			sec, tc, dc, err = a.directive1(n, sec, tc, dc, mnemonic, rest, operands)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+
+		if sec != secText {
+			return &SyntaxError{n, "instruction outside .text section"}
+		}
+		size, err := a.instSize(n, mnemonic, operands)
+		if err != nil {
+			return err
+		}
+		a.text = append(a.text, pending{
+			line: n, mnemonic: mnemonic, operands: operands, addr: tc, size: size,
+		})
+		tc += uint64(size)
+	}
+	a.textEnd, a.dataEnd = tc, dc
+	return nil
+}
+
+func align(v uint64, pow uint64) uint64 {
+	mask := (uint64(1) << pow) - 1
+	return (v + mask) &^ mask
+}
+
+func (a *assembler) directive1(n int, sec section, tc, dc uint64,
+	mnemonic, rest string, operands []string) (section, uint64, uint64, error) {
+	switch mnemonic {
+	case ".text":
+		return secText, tc, dc, nil
+	case ".data", ".bss", ".rodata":
+		return secData, tc, dc, nil
+	case ".section":
+		switch strings.TrimSpace(rest) {
+		case ".text":
+			return secText, tc, dc, nil
+		case ".data", ".bss", ".rodata":
+			return secData, tc, dc, nil
+		}
+		return sec, tc, dc, &SyntaxError{n, fmt.Sprintf("unknown section %q", rest)}
+	case ".globl", ".global", ".type", ".size", ".option", ".file", ".attribute":
+		return sec, tc, dc, nil
+	case ".equ", ".set":
+		if len(operands) != 2 {
+			return sec, tc, dc, &SyntaxError{n, ".equ needs name, value"}
+		}
+		v, err := a.eval(operands[1])
+		if err != nil {
+			return sec, tc, dc, &SyntaxError{n, err.Error()}
+		}
+		a.symbols[operands[0]] = uint64(v)
+		return sec, tc, dc, nil
+	case ".align", ".p2align":
+		if len(operands) < 1 {
+			return sec, tc, dc, &SyntaxError{n, ".align needs an argument"}
+		}
+		p, err := strconv.ParseUint(operands[0], 0, 6)
+		if err != nil {
+			return sec, tc, dc, &SyntaxError{n, "bad .align argument"}
+		}
+		if sec == secText {
+			// Text alignment is reserved with nops in pass 2.
+			newTC := align(tc, p)
+			if newTC != tc {
+				a.text = append(a.text, pending{line: n, mnemonic: ".pad",
+					addr: tc, size: int(newTC - tc)})
+			}
+			return sec, newTC, dc, nil
+		}
+		newDC := align(dc, p)
+		if newDC != dc {
+			a.data = append(a.data, dataItem{line: n, addr: dc, kind: ".zero",
+				exprs: []string{strconv.FormatUint(newDC-dc, 10)}, size: int(newDC - dc)})
+		}
+		return sec, tc, newDC, nil
+	case ".byte", ".half", ".word", ".dword", ".quad", ".zero", ".space",
+		".ascii", ".asciz", ".string":
+		if sec != secText {
+			size, err := dataSize(n, mnemonic, rest, operands)
+			if err != nil {
+				return sec, tc, dc, err
+			}
+			a.data = append(a.data, dataItem{line: n, addr: dc, kind: mnemonic,
+				exprs: operands, size: size})
+			if mnemonic == ".ascii" || mnemonic == ".asciz" || mnemonic == ".string" {
+				a.data[len(a.data)-1].exprs = []string{strings.TrimSpace(rest)}
+			}
+			return sec, tc, dc + uint64(size), nil
+		}
+		return sec, tc, dc, &SyntaxError{n, "data directive in .text"}
+	}
+	return sec, tc, dc, &SyntaxError{n, fmt.Sprintf("unknown directive %q", mnemonic)}
+}
+
+func dataSize(n int, kind, rest string, operands []string) (int, error) {
+	unit := 0
+	switch kind {
+	case ".byte":
+		unit = 1
+	case ".half":
+		unit = 2
+	case ".word":
+		unit = 4
+	case ".dword", ".quad":
+		unit = 8
+	case ".zero", ".space":
+		if len(operands) != 1 {
+			return 0, &SyntaxError{n, kind + " needs one argument"}
+		}
+		v, err := strconv.ParseUint(operands[0], 0, 32)
+		if err != nil {
+			return 0, &SyntaxError{n, "bad " + kind + " size"}
+		}
+		return int(v), nil
+	case ".ascii", ".asciz", ".string":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return 0, &SyntaxError{n, "bad string literal"}
+		}
+		if kind == ".ascii" {
+			return len(s), nil
+		}
+		return len(s) + 1, nil
+	}
+	return unit * len(operands), nil
+}
+
+// instSize returns the number of bytes an instruction (or pseudo) will
+// occupy. Pseudo-instruction expansions whose length depends on symbol
+// values not yet known are reserved at their worst case and padded.
+func (a *assembler) instSize(n int, mnemonic string, operands []string) (int, error) {
+	switch mnemonic {
+	case "li":
+		if len(operands) != 2 {
+			return 0, &SyntaxError{n, "li needs rd, imm"}
+		}
+		if v, err := a.eval(operands[1]); err == nil {
+			return 4 * len(liSequence(isa.T0, v)), nil
+		}
+		return 4 * 12, nil // worst case, padded in pass 2
+	case "la":
+		return 8, nil
+	case ".pad":
+		return 0, nil
+	}
+	return 4, nil
+}
+
+func (a *assembler) pass2() (*Program, error) {
+	p := &Program{
+		TextBase: a.textBase,
+		DataBase: a.dataBase,
+		StackTop: a.stackTop,
+		Symbols:  a.symbols,
+	}
+	if a.textEnd >= a.dataBase && len(a.data) > 0 {
+		return nil, fmt.Errorf("asm: text segment (%#x) overlaps data base (%#x)",
+			a.textEnd, a.dataBase)
+	}
+
+	text := make([]byte, 0, int(a.textEnd-a.textBase))
+	for _, pd := range a.text {
+		insts, err := a.expand(pd)
+		if err != nil {
+			return nil, err
+		}
+		for len(insts)*4 < pd.size {
+			insts = append(insts, isa.Inst{Op: isa.OpADDI}) // nop padding
+		}
+		if len(insts)*4 > pd.size {
+			return nil, &SyntaxError{pd.line, "internal: expansion exceeds reservation"}
+		}
+		for _, in := range insts {
+			w, err := isa.Encode(in)
+			if err != nil {
+				return nil, &SyntaxError{pd.line, err.Error()}
+			}
+			text = binary.LittleEndian.AppendUint32(text, w)
+		}
+	}
+	p.Text = text
+
+	data := make([]byte, 0, int(a.dataEnd-a.dataBase))
+	for _, d := range a.data {
+		chunk, err := a.emitData(d)
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, chunk...)
+	}
+	p.Data = data
+
+	if e, ok := a.symbols["_start"]; ok {
+		p.Entry = e
+	} else {
+		p.Entry = a.textBase
+	}
+	return p, nil
+}
+
+func (a *assembler) emitData(d dataItem) ([]byte, error) {
+	switch d.kind {
+	case ".zero", ".space":
+		return make([]byte, d.size), nil
+	case ".ascii", ".asciz", ".string":
+		s, err := strconv.Unquote(d.exprs[0])
+		if err != nil {
+			return nil, &SyntaxError{d.line, "bad string literal"}
+		}
+		b := []byte(s)
+		if d.kind != ".ascii" {
+			b = append(b, 0)
+		}
+		return b, nil
+	}
+	unit := map[string]int{".byte": 1, ".half": 2, ".word": 4, ".dword": 8, ".quad": 8}[d.kind]
+	out := make([]byte, 0, unit*len(d.exprs))
+	for _, e := range d.exprs {
+		v, err := a.eval(e)
+		if err != nil {
+			return nil, &SyntaxError{d.line, err.Error()}
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		out = append(out, buf[:unit]...)
+	}
+	return out, nil
+}
+
+// eval evaluates a constant expression: numbers, character literals,
+// symbols, joined with + and -.
+func (a *assembler) eval(expr string) (int64, error) {
+	s := strings.TrimSpace(expr)
+	if s == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	var total int64
+	sign := int64(1)
+	i := 0
+	for i < len(s) {
+		switch s[i] {
+		case '+':
+			sign = 1
+			i++
+			continue
+		case '-':
+			sign = -sign
+			i++
+			continue
+		case ' ', '\t':
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != '+' && s[j] != '-' && s[j] != ' ' {
+			if s[j] == '\'' { // char literal: consume to closing quote
+				k := strings.IndexByte(s[j+1:], '\'')
+				if k < 0 {
+					return 0, fmt.Errorf("unterminated char literal in %q", expr)
+				}
+				j += k + 2
+				continue
+			}
+			j++
+		}
+		tok := s[i:j]
+		v, err := a.evalAtom(tok)
+		if err != nil {
+			return 0, err
+		}
+		total += sign * v
+		sign = 1
+		i = j
+	}
+	return total, nil
+}
+
+func (a *assembler) evalAtom(tok string) (int64, error) {
+	if tok == "" {
+		return 0, fmt.Errorf("empty term")
+	}
+	if tok[0] == '\'' {
+		s, err := strconv.Unquote(tok)
+		if err != nil || len(s) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", tok)
+		}
+		return int64(s[0]), nil
+	}
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return v, nil
+	}
+	if v, err := strconv.ParseUint(tok, 0, 64); err == nil {
+		return int64(v), nil
+	}
+	if v, ok := a.symbols[tok]; ok {
+		return int64(v), nil
+	}
+	return 0, fmt.Errorf("undefined symbol %q", tok)
+}
+
+func (a *assembler) reg(n int, name string) (isa.Reg, error) {
+	r, ok := isa.RegByName(strings.TrimSpace(name))
+	if !ok {
+		return 0, &SyntaxError{n, fmt.Sprintf("bad register %q", name)}
+	}
+	return r, nil
+}
+
+// memOperand parses "off(reg)" or "(reg)".
+func (a *assembler) memOperand(n int, s string) (int64, isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	close := strings.LastIndexByte(s, ')')
+	if open < 0 || close < open {
+		return 0, 0, &SyntaxError{n, fmt.Sprintf("bad memory operand %q", s)}
+	}
+	r, err := a.reg(n, s[open+1:close])
+	if err != nil {
+		return 0, 0, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return 0, r, nil
+	}
+	off, err := a.eval(offStr)
+	if err != nil {
+		return 0, 0, &SyntaxError{n, err.Error()}
+	}
+	return off, r, nil
+}
+
+// liSequence computes the canonical instruction sequence loading v into rd.
+func liSequence(rd isa.Reg, v int64) []isa.Inst {
+	if v >= -2048 && v < 2048 {
+		return []isa.Inst{{Op: isa.OpADDI, Rd: rd, Rs1: isa.Zero, Imm: v}}
+	}
+	if v >= -(1<<31) && v < 1<<31 {
+		lo := v << 52 >> 52 // sign-extended low 12 bits
+		hi := (v - lo) >> 12 & 0xFFFFF
+		hiSigned := hi << 44 >> 44
+		out := []isa.Inst{{Op: isa.OpLUI, Rd: rd, Imm: hiSigned}}
+		if lo != 0 {
+			out = append(out, isa.Inst{Op: isa.OpADDIW, Rd: rd, Rs1: rd, Imm: lo})
+		} else {
+			out = append(out, isa.Inst{Op: isa.OpADDIW, Rd: rd, Rs1: rd, Imm: 0})
+		}
+		return out
+	}
+	// General 64-bit constant: build the upper part recursively, then
+	// shift in 12 bits at a time.
+	lo := v << 52 >> 52
+	hi := (v - lo) >> 12
+	out := liSequence(rd, hi)
+	out = append(out, isa.Inst{Op: isa.OpSLLI, Rd: rd, Rs1: rd, Imm: 12})
+	if lo != 0 {
+		out = append(out, isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: lo})
+	}
+	return out
+}

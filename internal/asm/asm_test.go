@@ -1,0 +1,344 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"microsampler/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string, opts ...Option) *Program {
+	t.Helper()
+	p, err := Assemble(src, opts...)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+	_start:
+		addi a0, zero, 5
+		addi a1, zero, 7
+		add  a2, a0, a1
+		ecall
+	`)
+	insts, err := p.Instructions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Inst{
+		{Op: isa.OpADDI, Rd: isa.A0, Imm: 5},
+		{Op: isa.OpADDI, Rd: isa.A1, Imm: 7},
+		{Op: isa.OpADD, Rd: isa.A2, Rs1: isa.A0, Rs2: isa.A1},
+		{Op: isa.OpECALL},
+	}
+	if len(insts) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(insts), len(want))
+	}
+	for i := range want {
+		if insts[i] != want[i] {
+			t.Errorf("inst %d: got %v want %v", i, insts[i], want[i])
+		}
+	}
+	if p.Entry != p.TextBase {
+		t.Errorf("entry = %#x want %#x", p.Entry, p.TextBase)
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	p := mustAssemble(t, `
+	_start:
+		li   t0, 3
+	loop:
+		addi t0, t0, -1
+		bnez t0, loop
+		beq  t0, zero, done
+		nop
+	done:
+		ecall
+	`)
+	insts, err := p.Instructions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// li 3 -> 1 inst; addi; bnez (beq t0!=0 back -4); beq forward +8; nop; ecall
+	var foundBack, foundFwd bool
+	for _, in := range insts {
+		if in.Op == isa.OpBNE && in.Imm == -4 {
+			foundBack = true
+		}
+		if in.Op == isa.OpBEQ && in.Imm == 8 {
+			foundFwd = true
+		}
+	}
+	if !foundBack || !foundFwd {
+		t.Errorf("branch offsets wrong: %v", insts)
+	}
+}
+
+func TestAssembleDataSection(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+	bytes:
+		.byte 1, 2, 0xFF
+		.align 3
+	words:
+		.dword 0x1122334455667788, -1
+	msg:
+		.asciz "hi"
+		.zero 4
+		.text
+	_start:
+		la a0, bytes
+		ld a1, 0(a0)
+		ecall
+	`)
+	if got := p.MustSymbol("bytes"); got != p.DataBase {
+		t.Errorf("bytes symbol = %#x want %#x", got, p.DataBase)
+	}
+	wordsAddr := p.MustSymbol("words")
+	if wordsAddr != p.DataBase+8 {
+		t.Errorf("words not aligned to 8: %#x", wordsAddr)
+	}
+	off := wordsAddr - p.DataBase
+	if p.Data[off] != 0x88 || p.Data[off+7] != 0x11 {
+		t.Errorf("dword little-endian layout wrong: % x", p.Data[off:off+8])
+	}
+	if p.Data[off+8] != 0xFF {
+		t.Errorf("-1 dword wrong: %x", p.Data[off+8])
+	}
+	msgOff := p.MustSymbol("msg") - p.DataBase
+	if string(p.Data[msgOff:msgOff+3]) != "hi\x00" {
+		t.Errorf("asciz wrong: %q", p.Data[msgOff:msgOff+3])
+	}
+	if p.Data[0] != 1 || p.Data[1] != 2 || p.Data[2] != 0xFF {
+		t.Errorf("bytes wrong: % x", p.Data[:3])
+	}
+}
+
+func TestAssembleLiRanges(t *testing.T) {
+	tests := []struct {
+		val  string
+		want int64
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"-1", -1},
+		{"2047", 2047},
+		{"-2048", -2048},
+		{"2048", 2048},
+		{"0x7FFFF000", 0x7FFFF000},
+		{"0x12345678", 0x12345678},
+		{"-2147483648", -2147483648},
+		{"0x123456789ABCDEF0", 0x123456789ABCDEF0},
+		{"-81985529216486896", -81985529216486896},
+		{"0x8000000000000000", -9223372036854775808},
+	}
+	for _, tt := range tests {
+		p := mustAssemble(t, "_start:\n li a0, "+tt.val+"\n ecall\n")
+		insts, err := p.Instructions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interpret the sequence to verify the loaded constant.
+		var regs [32]int64
+		for _, in := range insts {
+			switch in.Op {
+			case isa.OpADDI:
+				regs[in.Rd] = regs[in.Rs1] + in.Imm
+			case isa.OpADDIW:
+				regs[in.Rd] = int64(int32(regs[in.Rs1] + in.Imm))
+			case isa.OpLUI:
+				regs[in.Rd] = in.Imm << 12
+			case isa.OpSLLI:
+				regs[in.Rd] = regs[in.Rs1] << uint(in.Imm)
+			case isa.OpECALL:
+			default:
+				t.Fatalf("li %s: unexpected op %v", tt.val, in.Op)
+			}
+			regs[0] = 0
+		}
+		if regs[isa.A0] != tt.want {
+			t.Errorf("li %s: loaded %d (%#x), want %d", tt.val,
+				regs[isa.A0], regs[isa.A0], tt.want)
+		}
+	}
+}
+
+func TestAssemblePseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+	_start:
+		mv   a0, a1
+		not  a2, a3
+		neg  a4, a5
+		seqz t0, t1
+		snez t2, t3
+		sext.w s2, s3
+		j    next
+	next:
+		jr   ra
+		call _start
+		ret
+		roi.begin
+		iter.begin a0
+		iter.end
+		roi.end
+		cbo.flush (a0)
+		ecall
+	`)
+	insts, err := p.Instructions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[int]isa.Inst{
+		0: {Op: isa.OpADDI, Rd: isa.A0, Rs1: isa.A1},
+		1: {Op: isa.OpXORI, Rd: isa.A2, Rs1: isa.A3, Imm: -1},
+		2: {Op: isa.OpSUB, Rd: isa.A4, Rs1: isa.Zero, Rs2: isa.A5},
+		3: {Op: isa.OpSLTIU, Rd: isa.T0, Rs1: isa.T1, Imm: 1},
+		4: {Op: isa.OpSLTU, Rd: isa.T2, Rs1: isa.Zero, Rs2: isa.T3},
+		5: {Op: isa.OpADDIW, Rd: isa.S2, Rs1: isa.S3},
+		6: {Op: isa.OpJAL, Rd: isa.Zero, Imm: 4},
+		7: {Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA},
+	}
+	for i, want := range checks {
+		if insts[i] != want {
+			t.Errorf("inst %d: got %v want %v", i, insts[i], want)
+		}
+	}
+	if insts[8].Op != isa.OpJAL || insts[8].Rd != isa.RA {
+		t.Errorf("call wrong: %v", insts[8])
+	}
+	if insts[10] != (isa.Inst{Op: isa.OpMARK, Imm: int64(isa.MarkROIBegin)}) {
+		t.Errorf("roi.begin wrong: %v", insts[10])
+	}
+	if insts[11] != (isa.Inst{Op: isa.OpMARK, Rs1: isa.A0, Imm: int64(isa.MarkIterBegin)}) {
+		t.Errorf("iter.begin wrong: %v", insts[11])
+	}
+	if insts[14] != (isa.Inst{Op: isa.OpCBOFLUSH, Rs1: isa.A0}) {
+		t.Errorf("cbo.flush wrong: %v", insts[14])
+	}
+}
+
+func TestAssembleEqu(t *testing.T) {
+	p := mustAssemble(t, `
+		.equ BUFLEN, 32
+		.equ TWO_BUF, BUFLEN+BUFLEN
+	_start:
+		li a0, BUFLEN
+		li a1, TWO_BUF
+		addi a2, zero, BUFLEN-1
+		ecall
+	`)
+	insts, err := p.Instructions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[0].Imm != 32 || insts[1].Imm != 64 || insts[2].Imm != 31 {
+		t.Errorf("equ values wrong: %v %v %v", insts[0], insts[1], insts[2])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown mnemonic", "_start:\n frobnicate a0\n", "unknown mnemonic"},
+		{"bad register", "_start:\n add a0, q7, a1\n", "bad register"},
+		{"undefined symbol", "_start:\n beq a0, a1, nowhere\n", "undefined symbol"},
+		{"duplicate label", "x:\n nop\nx:\n nop\n", "duplicate symbol"},
+		{"operand count", "_start:\n add a0, a1\n", "expects 3 operands"},
+		{"data in text", ".text\n .word 5\n", "data directive in .text"},
+		{"inst in data", ".data\n add a0, a1, a2\n", "outside .text"},
+		{"bad directive", ".bogus 1\n", "unknown directive"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble(tt.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("error is not a *SyntaxError: %T", err)
+			}
+		})
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	p := mustAssemble(t, `
+	_start:
+		nop
+		nop
+	helper:
+		nop
+		ecall
+	`)
+	if got := p.SymbolAt(p.TextBase); got != "_start" {
+		t.Errorf("SymbolAt(base) = %q", got)
+	}
+	h := p.MustSymbol("helper")
+	if got := p.SymbolAt(h); got != "helper" {
+		t.Errorf("SymbolAt(helper) = %q", got)
+	}
+	if got := p.SymbolAt(h + 4); !strings.HasPrefix(got, "helper+") {
+		t.Errorf("SymbolAt(helper+4) = %q", got)
+	}
+}
+
+func TestBranchZeroAndSwapForms(t *testing.T) {
+	p := mustAssemble(t, `
+	_start:
+	top:
+		beqz a0, top
+		bnez a1, top
+		bltz a2, top
+		bgez a3, top
+		bgtz a4, top
+		blez a5, top
+		bgt  a0, a1, top
+		ble  a0, a1, top
+		bgtu a0, a1, top
+		bleu a0, a1, top
+		ecall
+	`)
+	insts, err := p.Instructions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []isa.Op{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE,
+		isa.OpBLT, isa.OpBGE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU}
+	for i, op := range wantOps {
+		if insts[i].Op != op {
+			t.Errorf("inst %d: op %v want %v", i, insts[i].Op, op)
+		}
+	}
+	// bgtz a4, top -> blt zero(rs1), a4(rs2)
+	if insts[4].Rs1 != isa.Zero || insts[4].Rs2 != isa.A4 {
+		t.Errorf("bgtz operands wrong: %v", insts[4])
+	}
+	// bgt a0, a1 -> blt a1, a0
+	if insts[6].Rs1 != isa.A1 || insts[6].Rs2 != isa.A0 {
+		t.Errorf("bgt operands wrong: %v", insts[6])
+	}
+}
+
+func TestCustomBases(t *testing.T) {
+	p := mustAssemble(t, "_start:\n ecall\n",
+		WithTextBase(0x8000), WithDataBase(0x20000), WithStackTop(0x40000))
+	if p.TextBase != 0x8000 || p.DataBase != 0x20000 || p.StackTop != 0x40000 {
+		t.Errorf("bases not applied: %+v", p)
+	}
+	if p.Entry != 0x8000 {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+}

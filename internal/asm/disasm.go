@@ -1,0 +1,52 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"microsampler/internal/isa"
+)
+
+// DisasmLine is one disassembled instruction.
+type DisasmLine struct {
+	Addr   uint64
+	Word   uint32
+	Inst   isa.Inst
+	Valid  bool
+	Symbol string // nearest preceding text symbol, with offset
+}
+
+// String renders the line in objdump-like form.
+func (l DisasmLine) String() string {
+	if !l.Valid {
+		return fmt.Sprintf("%8x:  %08x  <invalid>", l.Addr, l.Word)
+	}
+	return fmt.Sprintf("%8x:  %08x  %-30s %s", l.Addr, l.Word, l.Inst, l.Symbol)
+}
+
+// Disassemble decodes the program's text segment.
+func Disassemble(p *Program) []DisasmLine {
+	out := make([]DisasmLine, 0, len(p.Text)/4)
+	for off := 0; off+4 <= len(p.Text); off += 4 {
+		addr := p.TextBase + uint64(off)
+		word := binary.LittleEndian.Uint32(p.Text[off:])
+		line := DisasmLine{Addr: addr, Word: word, Symbol: p.SymbolAt(addr)}
+		if in, err := isa.Decode(word); err == nil {
+			line.Inst = in
+			line.Valid = true
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// DisassembleText renders the whole text segment as one string.
+func DisassembleText(p *Program) string {
+	var b strings.Builder
+	for _, l := range Disassemble(p) {
+		b.WriteString(l.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

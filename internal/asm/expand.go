@@ -1,0 +1,441 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"microsampler/internal/isa"
+)
+
+var rTypeOps = map[string]isa.Op{
+	"add": isa.OpADD, "sub": isa.OpSUB, "sll": isa.OpSLL, "slt": isa.OpSLT,
+	"sltu": isa.OpSLTU, "xor": isa.OpXOR, "srl": isa.OpSRL, "sra": isa.OpSRA,
+	"or": isa.OpOR, "and": isa.OpAND,
+	"addw": isa.OpADDW, "subw": isa.OpSUBW, "sllw": isa.OpSLLW,
+	"srlw": isa.OpSRLW, "sraw": isa.OpSRAW,
+	"mul": isa.OpMUL, "mulh": isa.OpMULH, "mulhsu": isa.OpMULHSU,
+	"mulhu": isa.OpMULHU, "div": isa.OpDIV, "divu": isa.OpDIVU,
+	"rem": isa.OpREM, "remu": isa.OpREMU,
+	"mulw": isa.OpMULW, "divw": isa.OpDIVW, "divuw": isa.OpDIVUW,
+	"remw": isa.OpREMW, "remuw": isa.OpREMUW,
+}
+
+var iTypeOps = map[string]isa.Op{
+	"addi": isa.OpADDI, "slti": isa.OpSLTI, "sltiu": isa.OpSLTIU,
+	"xori": isa.OpXORI, "ori": isa.OpORI, "andi": isa.OpANDI,
+	"slli": isa.OpSLLI, "srli": isa.OpSRLI, "srai": isa.OpSRAI,
+	"addiw": isa.OpADDIW, "slliw": isa.OpSLLIW, "srliw": isa.OpSRLIW,
+	"sraiw": isa.OpSRAIW,
+}
+
+var loadOps = map[string]isa.Op{
+	"lb": isa.OpLB, "lh": isa.OpLH, "lw": isa.OpLW, "ld": isa.OpLD,
+	"lbu": isa.OpLBU, "lhu": isa.OpLHU, "lwu": isa.OpLWU,
+}
+
+var storeOps = map[string]isa.Op{
+	"sb": isa.OpSB, "sh": isa.OpSH, "sw": isa.OpSW, "sd": isa.OpSD,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.OpBEQ, "bne": isa.OpBNE, "blt": isa.OpBLT,
+	"bge": isa.OpBGE, "bltu": isa.OpBLTU, "bgeu": isa.OpBGEU,
+}
+
+// branchSwapOps map pseudo comparisons onto swapped-operand branches.
+var branchSwapOps = map[string]isa.Op{
+	"bgt": isa.OpBLT, "ble": isa.OpBGE, "bgtu": isa.OpBLTU, "bleu": isa.OpBGEU,
+}
+
+// branchZeroOps compare a register against zero.
+var branchZeroOps = map[string]struct {
+	op      isa.Op
+	regLeft bool // register goes in rs1 (else rs2)
+}{
+	"beqz": {isa.OpBEQ, true},
+	"bnez": {isa.OpBNE, true},
+	"bltz": {isa.OpBLT, true},
+	"bgez": {isa.OpBGE, true},
+	"bgtz": {isa.OpBLT, false},
+	"blez": {isa.OpBGE, false},
+}
+
+func (a *assembler) expand(pd pending) ([]isa.Inst, error) {
+	n, ops := pd.line, pd.operands
+	need := func(k int) error {
+		if len(ops) != k {
+			return &SyntaxError{n, fmt.Sprintf("%s expects %d operands, got %d",
+				pd.mnemonic, k, len(ops))}
+		}
+		return nil
+	}
+
+	switch m := pd.mnemonic; m {
+	case ".pad":
+		return nil, nil
+
+	case "nop":
+		return []isa.Inst{{Op: isa.OpADDI}}, nil
+
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(ops[1])
+		if err != nil {
+			return nil, &SyntaxError{n, err.Error()}
+		}
+		return liSequence(rd, v), nil
+
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(ops[1])
+		if err != nil {
+			return nil, &SyntaxError{n, err.Error()}
+		}
+		if v < 0 || v >= 1<<31 {
+			return nil, &SyntaxError{n, fmt.Sprintf("la address %#x out of range", v)}
+		}
+		seq := liSequence(rd, v)
+		for len(seq) < 2 {
+			seq = append(seq, isa.Inst{Op: isa.OpADDI}) // keep la fixed at 8 bytes
+		}
+		return seq, nil
+
+	case "mv":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpADDI, Rd: rd, Rs1: rs}
+		})
+	case "not":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1}
+		})
+	case "neg":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSUB, Rd: rd, Rs1: isa.Zero, Rs2: rs}
+		})
+	case "negw":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSUBW, Rd: rd, Rs1: isa.Zero, Rs2: rs}
+		})
+	case "sext.w":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpADDIW, Rd: rd, Rs1: rs}
+		})
+	case "seqz":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSLTIU, Rd: rd, Rs1: rs, Imm: 1}
+		})
+	case "snez":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSLTU, Rd: rd, Rs1: isa.Zero, Rs2: rs}
+		})
+	case "sltz":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSLT, Rd: rd, Rs1: rs, Rs2: isa.Zero}
+		})
+	case "sgtz":
+		return a.twoReg(n, ops, func(rd, rs isa.Reg) isa.Inst {
+			return isa.Inst{Op: isa.OpSLT, Rd: rd, Rs1: isa.Zero, Rs2: rs}
+		})
+
+	case "j", "jal", "call", "tail":
+		return a.expandJump(pd)
+
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpJALR, Rd: isa.Zero, Rs1: rs}}, nil
+
+	case "jalr":
+		return a.expandJALR(pd)
+
+	case "ret":
+		return []isa.Inst{{Op: isa.OpJALR, Rd: isa.Zero, Rs1: isa.RA}}, nil
+
+	case "ecall":
+		return []isa.Inst{{Op: isa.OpECALL}}, nil
+	case "ebreak":
+		return []isa.Inst{{Op: isa.OpEBREAK}}, nil
+	case "fence":
+		return []isa.Inst{{Op: isa.OpFENCE}}, nil
+
+	case "cbo.flush":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		_, rs, err := a.memOperand(n, ops[0])
+		if err != nil {
+			rs, err = a.reg(n, ops[0])
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []isa.Inst{{Op: isa.OpCBOFLUSH, Rs1: rs}}, nil
+
+	case "roi.begin":
+		return []isa.Inst{{Op: isa.OpMARK, Imm: int64(isa.MarkROIBegin)}}, nil
+	case "roi.end":
+		return []isa.Inst{{Op: isa.OpMARK, Imm: int64(isa.MarkROIEnd)}}, nil
+	case "iter.begin":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpMARK, Rs1: rs, Imm: int64(isa.MarkIterBegin)}}, nil
+	case "iter.end":
+		return []isa.Inst{{Op: isa.OpMARK, Imm: int64(isa.MarkIterEnd)}}, nil
+
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.eval(ops[1])
+		if err != nil {
+			return nil, &SyntaxError{n, err.Error()}
+		}
+		op := isa.OpLUI
+		if m == "auipc" {
+			op = isa.OpAUIPC
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Imm: v}}, nil
+	}
+
+	if op, ok := rTypeOps[pd.mnemonic]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := a.reg(n, ops[0])
+		rs1, err2 := a.reg(n, ops[1])
+		rs2, err3 := a.reg(n, ops[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}}, nil
+	}
+
+	if op, ok := iTypeOps[pd.mnemonic]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := a.reg(n, ops[0])
+		rs1, err2 := a.reg(n, ops[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		imm, err := a.eval(ops[2])
+		if err != nil {
+			return nil, &SyntaxError{n, err.Error()}
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rs1: rs1, Imm: imm}}, nil
+	}
+
+	if op, ok := loadOps[pd.mnemonic]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := a.memOperand(n, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rs1: rs1, Imm: off}}, nil
+	}
+
+	if op, ok := storeOps[pd.mnemonic]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := a.memOperand(n, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}}, nil
+	}
+
+	if op, ok := branchOps[pd.mnemonic]; ok {
+		return a.expandBranch(pd, op, false)
+	}
+	if op, ok := branchSwapOps[pd.mnemonic]; ok {
+		return a.expandBranch(pd, op, true)
+	}
+	if bz, ok := branchZeroOps[pd.mnemonic]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.branchTarget(n, pd.addr, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		in := isa.Inst{Op: bz.op, Imm: off}
+		if bz.regLeft {
+			in.Rs1 = rs
+		} else {
+			in.Rs2 = rs
+		}
+		return []isa.Inst{in}, nil
+	}
+
+	return nil, &SyntaxError{n, fmt.Sprintf("unknown mnemonic %q", pd.mnemonic)}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func (a *assembler) twoReg(n int, ops []string,
+	build func(rd, rs isa.Reg) isa.Inst) ([]isa.Inst, error) {
+	if len(ops) != 2 {
+		return nil, &SyntaxError{n, "expected rd, rs"}
+	}
+	rd, err1 := a.reg(n, ops[0])
+	rs, err2 := a.reg(n, ops[1])
+	if err := firstErr(err1, err2); err != nil {
+		return nil, err
+	}
+	return []isa.Inst{build(rd, rs)}, nil
+}
+
+func (a *assembler) branchTarget(n int, addr uint64, expr string) (int64, error) {
+	v, err := a.eval(expr)
+	if err != nil {
+		return 0, &SyntaxError{n, err.Error()}
+	}
+	off := v - int64(addr)
+	return off, nil
+}
+
+func (a *assembler) expandBranch(pd pending, op isa.Op, swap bool) ([]isa.Inst, error) {
+	n, ops := pd.line, pd.operands
+	if len(ops) != 3 {
+		return nil, &SyntaxError{n, pd.mnemonic + " expects rs1, rs2, target"}
+	}
+	r1, err1 := a.reg(n, ops[0])
+	r2, err2 := a.reg(n, ops[1])
+	if err := firstErr(err1, err2); err != nil {
+		return nil, err
+	}
+	off, err := a.branchTarget(n, pd.addr, ops[2])
+	if err != nil {
+		return nil, err
+	}
+	if swap {
+		r1, r2 = r2, r1
+	}
+	return []isa.Inst{{Op: op, Rs1: r1, Rs2: r2, Imm: off}}, nil
+}
+
+func (a *assembler) expandJump(pd pending) ([]isa.Inst, error) {
+	n, ops := pd.line, pd.operands
+	rd := isa.Zero
+	target := ""
+	switch pd.mnemonic {
+	case "j", "tail":
+		if len(ops) != 1 {
+			return nil, &SyntaxError{n, pd.mnemonic + " expects a target"}
+		}
+		target = ops[0]
+	case "call":
+		if len(ops) != 1 {
+			return nil, &SyntaxError{n, "call expects a target"}
+		}
+		rd, target = isa.RA, ops[0]
+	case "jal":
+		switch len(ops) {
+		case 1:
+			rd, target = isa.RA, ops[0]
+		case 2:
+			r, err := a.reg(n, ops[0])
+			if err != nil {
+				return nil, err
+			}
+			rd, target = r, ops[1]
+		default:
+			return nil, &SyntaxError{n, "jal expects [rd,] target"}
+		}
+	}
+	off, err := a.branchTarget(n, pd.addr, target)
+	if err != nil {
+		return nil, err
+	}
+	return []isa.Inst{{Op: isa.OpJAL, Rd: rd, Imm: off}}, nil
+}
+
+func (a *assembler) expandJALR(pd pending) ([]isa.Inst, error) {
+	n, ops := pd.line, pd.operands
+	switch len(ops) {
+	case 1:
+		if strings.Contains(ops[0], "(") {
+			off, rs1, err := a.memOperand(n, ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Inst{{Op: isa.OpJALR, Rd: isa.RA, Rs1: rs1, Imm: off}}, nil
+		}
+		rs1, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpJALR, Rd: isa.RA, Rs1: rs1}}, nil
+	case 2:
+		rd, err := a.reg(n, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := a.memOperand(n, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpJALR, Rd: rd, Rs1: rs1, Imm: off}}, nil
+	case 3:
+		rd, err1 := a.reg(n, ops[0])
+		rs1, err2 := a.reg(n, ops[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		imm, err := a.eval(ops[2])
+		if err != nil {
+			return nil, &SyntaxError{n, err.Error()}
+		}
+		return []isa.Inst{{Op: isa.OpJALR, Rd: rd, Rs1: rs1, Imm: imm}}, nil
+	}
+	return nil, &SyntaxError{n, "jalr expects rd, off(rs1)"}
+}

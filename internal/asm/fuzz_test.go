@@ -1,0 +1,46 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble asserts the assembler never panics on arbitrary source
+// text, and that accepted programs decode cleanly.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"_start:\n\tnop\n",
+		"_start:\n\tli a0, 42\n\tecall\n",
+		".data\nx: .dword 1\n.text\n_start:\n\tla a0, x\n",
+		"loop:\n\tbeqz a0, loop\n",
+		".equ K, 5\n_start:\n\taddi a0, zero, K\n",
+		"_start:\n\tadd a0, a1\n",   // wrong arity
+		"_start:\n\tld a0, (sp\n",   // unbalanced paren
+		"x: .zero 99999999999999\n", // absurd size
+		"\x00\x01\x02",
+		strings.Repeat("a:", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if _, err := p.Instructions(); err != nil {
+			t.Fatalf("assembled program does not decode: %v", err)
+		}
+	})
+}
+
+// FuzzEval asserts the expression evaluator never panics.
+func FuzzEval(f *testing.F) {
+	for _, s := range []string{"1+2", "-3", "sym", "'a'", "0x10+sym-2", "''", "+", "1++2"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		a := &assembler{symbols: map[string]uint64{"sym": 7}}
+		_, _ = a.eval(expr)
+	})
+}

@@ -1,0 +1,105 @@
+// Package asm implements a two-pass assembler for the RV64IM subset
+// defined in internal/isa, including the usual RISC-V pseudo-instructions
+// and the MARK tracing extension. Case-study kernels throughout the
+// repository are written in this assembly dialect, mirroring the paper's
+// listings.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"microsampler/internal/isa"
+)
+
+// Default memory layout of assembled programs.
+const (
+	DefaultTextBase = 0x0000_1000
+	DefaultDataBase = 0x0004_0000
+	DefaultStackTop = 0x0010_0000
+)
+
+// Program is an assembled binary image plus metadata.
+type Program struct {
+	TextBase uint64
+	Text     []byte // encoded instructions
+	DataBase uint64
+	Data     []byte
+	Entry    uint64            // initial PC (symbol _start, else TextBase)
+	StackTop uint64            // initial SP
+	Symbols  map[string]uint64 // label/equ values
+}
+
+// Symbol returns the value of a defined symbol.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	v, ok := p.Symbols[name]
+	return v, ok
+}
+
+// MustSymbol returns the value of a symbol that is known to exist; it is
+// a convenience for test and harness code and panics on a missing name.
+func (p *Program) MustSymbol(name string) uint64 {
+	v, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: undefined symbol %q", name))
+	}
+	return v
+}
+
+// Instructions decodes the text segment back into instruction form.
+func (p *Program) Instructions() ([]isa.Inst, error) {
+	out := make([]isa.Inst, 0, len(p.Text)/4)
+	for off := 0; off+4 <= len(p.Text); off += 4 {
+		word := binary.LittleEndian.Uint32(p.Text[off:])
+		in, err := isa.Decode(word)
+		if err != nil {
+			return nil, fmt.Errorf("text+%#x: %w", off, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// SymbolAt reports the name of the symbol covering the address, for
+// diagnostics. It returns the closest preceding text symbol.
+func (p *Program) SymbolAt(addr uint64) string {
+	return p.symbolIn(addr, p.TextBase, p.TextBase+uint64(len(p.Text)))
+}
+
+// DataSymbolAt reports the closest preceding data symbol covering the
+// address (e.g. a leaked load address resolved to its buffer).
+func (p *Program) DataSymbolAt(addr uint64) string {
+	return p.symbolIn(addr, p.DataBase, p.DataBase+uint64(len(p.Data)))
+}
+
+// AnySymbolAt resolves an address in either segment.
+func (p *Program) AnySymbolAt(addr uint64) string {
+	if addr >= p.DataBase && addr < p.DataBase+uint64(len(p.Data)) {
+		return p.DataSymbolAt(addr)
+	}
+	return p.SymbolAt(addr)
+}
+
+func (p *Program) symbolIn(addr, lo, hi uint64) string {
+	best := ""
+	var bestAddr uint64
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := p.Symbols[n]
+		if v <= addr && v >= bestAddr && v >= lo && v < hi {
+			best, bestAddr = n, v
+		}
+	}
+	if best == "" {
+		return fmt.Sprintf("%#x", addr)
+	}
+	if addr == bestAddr {
+		return best
+	}
+	return fmt.Sprintf("%s+%#x", best, addr-bestAddr)
+}

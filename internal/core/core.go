@@ -1,0 +1,386 @@
+// Package core implements the MicroSampler verification pipeline — the
+// paper's primary contribution (Section V, Fig. 1):
+//
+//  1. run the code under test on the cycle-level BOOM simulator while
+//     tracing microarchitectural state every cycle,
+//  2. partition the trace into per-iteration snapshots labeled with the
+//     secret class values,
+//  3. build per-unit contingency tables of snapshot-hash frequencies and
+//     measure the class association with Cramér's V validated by the
+//     chi-squared p-value,
+//  4. for units with significant correlation, extract the features
+//     (addresses, PCs, activity) responsible via feature uniqueness and
+//     feature ordering.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/features"
+	"microsampler/internal/sim"
+	"microsampler/internal/snapshot"
+	"microsampler/internal/stats"
+	"microsampler/internal/trace"
+)
+
+// Workload is a program under verification plus its input generator.
+type Workload struct {
+	// Name identifies the case study (e.g. "ME-V1-CV").
+	Name string
+	// Source is the RV64 assembly of the program. It must delimit the
+	// security-critical region with roi.begin/roi.end and label each
+	// algorithmic iteration with iter.begin <class-reg> / iter.end.
+	Source string
+	// Setup initialises memory for one run (e.g. writes the key and
+	// operands at the program's data symbols). run is the 0-based run
+	// index. May be nil.
+	Setup func(run int, m *sim.Machine, prog *asm.Program) error
+}
+
+// Options configures a verification.
+type Options struct {
+	// Config is the core configuration (default MegaBoom).
+	Config sim.Config
+	// Units to track (default: all Table IV units).
+	Units []trace.Unit
+	// Runs is the number of independent simulations, each starting from
+	// reset state with fresh inputs (default 1).
+	Runs int
+	// Warmup drops the first n labeled iterations of each run (default 2).
+	Warmup int
+	// MaxCycles bounds each run (default 20M).
+	MaxCycles int64
+	// MeasureStages makes Verify execute each run twice — once without
+	// tracing — so that the Table VI stage breakdown can separate pure
+	// simulation time from trace parsing time.
+	MeasureStages bool
+	// Parallel runs up to this many simulations concurrently (each run
+	// is an independent machine). 0 or 1 means sequential; negative
+	// means one worker per CPU. Results are identical to a sequential
+	// run: merging happens in run order. MeasureStages forces
+	// sequential execution so the stage timings stay meaningful.
+	Parallel int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Config.Name == "" {
+		o.Config = sim.MegaBoom()
+	}
+	if len(o.Units) == 0 {
+		o.Units = trace.AllUnits()
+	}
+	if o.Runs == 0 {
+		o.Runs = 1
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 2
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 20_000_000
+	}
+	return o
+}
+
+// UnitResult is the verdict for one microarchitectural unit.
+type UnitResult struct {
+	Unit trace.Unit
+
+	// Assoc measures the class association of the full (timed)
+	// snapshots; AssocNoTiming of the consolidated (timing-free) ones.
+	Assoc         stats.Association
+	AssocNoTiming stats.Association
+
+	// Table is the contingency table behind Assoc.
+	Table *stats.Table
+
+	// Root-cause extraction, populated for units with a significant
+	// correlation (Section V-C3).
+	UniqueFeatures map[uint64][]uint64
+	Ordering       []features.OrderingMismatch
+
+	// Store holds the deduplicated snapshots for further inspection.
+	Store         *snapshot.Store
+	StoreNoTiming *snapshot.Store
+}
+
+// Leaky reports the paper's per-unit verdict.
+func (u UnitResult) Leaky() bool { return u.Assoc.Leaky() }
+
+// StageTimes is the Table VI breakdown.
+type StageTimes struct {
+	Simulate time.Duration // 1: RTL-equivalent simulation
+	Parse    time.Duration // 2: trace extraction and snapshot generation
+	Stats    time.Duration // 3: Cramér's V for all tracked structures
+	Extract  time.Duration // 4: feature extraction
+}
+
+// Total returns the end-to-end analysis time.
+func (s StageTimes) Total() time.Duration {
+	return s.Simulate + s.Parse + s.Stats + s.Extract
+}
+
+// Report is the complete verification outcome for a workload.
+type Report struct {
+	Workload   string
+	Config     string
+	Units      []UnitResult
+	Iterations []trace.IterSample
+	Runs       int
+	Stages     StageTimes
+	SimCycles  int64 // total simulated cycles across runs
+
+	// Program is the assembled image, kept for symbolising extracted
+	// features (PCs to functions, addresses to data symbols).
+	Program *asm.Program
+	// StoreWriters and LoadReaders attribute each memory address
+	// observed in the region of interest to the PCs that stored/loaded
+	// it — the paper's step of tracing leaked addresses back to the
+	// code that produced them.
+	StoreWriters map[uint64][]uint64
+	LoadReaders  map[uint64][]uint64
+}
+
+// LeakyUnits returns the units flagged as leaky, in Table IV order.
+func (r *Report) LeakyUnits() []UnitResult {
+	var out []UnitResult
+	for _, u := range r.Units {
+		if u.Leaky() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// AnyLeak reports whether any unit was flagged.
+func (r *Report) AnyLeak() bool { return len(r.LeakyUnits()) > 0 }
+
+// Unit returns the result for a specific unit.
+func (r *Report) Unit(u trace.Unit) (UnitResult, bool) {
+	for _, ur := range r.Units {
+		if ur.Unit == u {
+			return ur, true
+		}
+	}
+	return UnitResult{}, false
+}
+
+// ErrNoIterations is returned when a workload produced no labeled
+// iterations (missing or unreached MARK instructions).
+var ErrNoIterations = errors.New("core: workload produced no labeled iterations")
+
+// Verify runs the full MicroSampler pipeline on a workload.
+func Verify(w Workload, opts Options) (*Report, error) {
+	return VerifyContext(context.Background(), w, opts)
+}
+
+// VerifyContext is Verify with cancellation: a cancelled context aborts
+// between (not within) simulation runs.
+func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	prog, err := asm.Assemble(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("assemble %s: %w", w.Name, err)
+	}
+
+	rep := &Report{
+		Workload:     w.Name,
+		Config:       opts.Config.Name,
+		Runs:         opts.Runs,
+		Program:      prog,
+		StoreWriters: make(map[uint64][]uint64),
+		LoadReaders:  make(map[uint64][]uint64),
+	}
+
+	// Stages 1–2: simulate with tracing, accumulating snapshots.
+	full := make(map[trace.Unit]*snapshot.Store, len(opts.Units))
+	noT := make(map[trace.Unit]*snapshot.Store, len(opts.Units))
+	for _, u := range opts.Units {
+		full[u] = snapshot.NewStore()
+		noT[u] = snapshot.NewStore()
+	}
+
+	simStart := time.Now()
+	var plainTime time.Duration
+	runOne := func(run int) (*trace.Collector, sim.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, sim.Result{}, err
+		}
+		col := trace.NewCollector(
+			trace.WithUnits(opts.Units...),
+			trace.WithWarmupIterations(opts.Warmup),
+		)
+		res, err := execRun(w, opts, prog, run, col)
+		if err != nil {
+			return nil, res, fmt.Errorf("%s run %d: %w", w.Name, run, err)
+		}
+		return col, res, nil
+	}
+
+	workers := opts.Parallel
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if opts.MeasureStages || workers <= 1 {
+		workers = 1
+	}
+
+	type runOut struct {
+		col *trace.Collector
+		res sim.Result
+		err error
+	}
+	outs := make([]runOut, opts.Runs)
+	if workers == 1 {
+		for run := 0; run < opts.Runs; run++ {
+			if opts.MeasureStages {
+				t0 := time.Now()
+				if _, err := execRun(w, opts, prog, run, nil); err != nil {
+					return nil, fmt.Errorf("%s run %d (untraced): %w", w.Name, run, err)
+				}
+				plainTime += time.Since(t0)
+			}
+			outs[run].col, outs[run].res, outs[run].err = runOne(run)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for run := 0; run < opts.Runs; run++ {
+			wg.Add(1)
+			go func(run int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				outs[run].col, outs[run].res, outs[run].err = runOne(run)
+			}(run)
+		}
+		wg.Wait()
+	}
+	// Merge in run order so results are identical to a sequential run.
+	for run := 0; run < opts.Runs; run++ {
+		if err := outs[run].err; err != nil {
+			return nil, err
+		}
+		rep.SimCycles += outs[run].res.Cycles
+		for _, ut := range outs[run].col.Results() {
+			full[ut.Unit].Merge(ut.Full)
+			noT[ut.Unit].Merge(ut.NoTiming)
+		}
+		rep.Iterations = append(rep.Iterations, outs[run].col.Iterations()...)
+		writers, readers := outs[run].col.Attribution()
+		mergeAttribution(rep.StoreWriters, writers)
+		mergeAttribution(rep.LoadReaders, readers)
+	}
+	tracedTime := time.Since(simStart) - plainTime
+	if opts.MeasureStages {
+		rep.Stages.Simulate = plainTime
+		rep.Stages.Parse = tracedTime - plainTime
+		if rep.Stages.Parse < 0 {
+			rep.Stages.Parse = 0
+		}
+	} else {
+		rep.Stages.Simulate = tracedTime
+	}
+
+	if len(rep.Iterations) == 0 {
+		return nil, fmt.Errorf("%s: %w", w.Name, ErrNoIterations)
+	}
+
+	// Stage 3: statistical correlation analysis.
+	statsStart := time.Now()
+	for _, u := range opts.Units {
+		ur := UnitResult{
+			Unit:          u,
+			Table:         tableOf(full[u]),
+			Store:         full[u],
+			StoreNoTiming: noT[u],
+		}
+		ur.Assoc = ur.Table.Analyze()
+		ur.AssocNoTiming = tableOf(noT[u]).Analyze()
+		rep.Units = append(rep.Units, ur)
+	}
+	rep.Stages.Stats = time.Since(statsStart)
+
+	// Stage 4: feature extraction for correlated units only (the paper
+	// runs uniqueness/ordering only where correlation is observed).
+	extractStart := time.Now()
+	for i := range rep.Units {
+		ur := &rep.Units[i]
+		if !ur.Assoc.Significant() {
+			continue
+		}
+		ur.UniqueFeatures = features.Uniqueness(ur.Store)
+		ur.Ordering = features.Ordering(ur.StoreNoTiming)
+	}
+	rep.Stages.Extract = time.Since(extractStart)
+	return rep, nil
+}
+
+// execRun performs one simulation run from reset state.
+func execRun(w Workload, opts Options, prog *asm.Program, run int,
+	col *trace.Collector) (sim.Result, error) {
+	m, err := sim.New(opts.Config)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		return sim.Result{}, err
+	}
+	if w.Setup != nil {
+		if err := w.Setup(run, m, prog); err != nil {
+			return sim.Result{}, fmt.Errorf("setup: %w", err)
+		}
+	}
+	if col != nil {
+		m.SetTracer(col)
+	}
+	res, err := m.Run(opts.MaxCycles)
+	if err != nil {
+		return res, err
+	}
+	if res.ExitCode != 0 {
+		return res, fmt.Errorf("program exited with code %d", res.ExitCode)
+	}
+	return res, nil
+}
+
+// mergeAttribution unions sorted PC lists per address.
+func mergeAttribution(dst, src map[uint64][]uint64) {
+	for addr, pcs := range src {
+		have := dst[addr]
+		for _, pc := range pcs {
+			found := false
+			for _, h := range have {
+				if h == pc {
+					found = true
+					break
+				}
+			}
+			if !found {
+				have = append(have, pc)
+			}
+		}
+		for i := 1; i < len(have); i++ {
+			for j := i; j > 0 && have[j] < have[j-1]; j-- {
+				have[j], have[j-1] = have[j-1], have[j]
+			}
+		}
+		dst[addr] = have
+	}
+}
+
+// tableOf builds the contingency table of a snapshot store.
+func tableOf(s *snapshot.Store) *stats.Table {
+	t := stats.NewTable()
+	for _, e := range s.Entries() {
+		for class, n := range e.CountByClass {
+			t.Add(class, e.Hash, n)
+		}
+	}
+	return t
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/sim"
+	"microsampler/internal/trace"
+)
+
+// verifyNamed runs the pipeline on a named workload built by the
+// workloads package; to avoid an import cycle in tests, the assembly is
+// duplicated here only for the tiny smoke workload — full case-study
+// verdicts are tested in the root package. This file focuses on the
+// pipeline mechanics.
+
+const smokeWorkload = `
+	.text
+_start:
+	li   s2, 8            # iterations
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3
+	mul  t0, s2, s2
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li   a0, 0
+	li   a7, 93
+	ecall
+`
+
+// leakWorkload executes a secret-dependent extra instruction: iteration
+// class 1 performs an additional multiply.
+const leakWorkload = `
+	.text
+_start:
+	li   s2, 40
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3
+	mul  t0, s2, s2
+	beqz s3, skip
+	mul  t0, t0, s2
+skip:
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li   a0, 0
+	li   a7, 93
+	ecall
+`
+
+func TestVerifySmoke(t *testing.T) {
+	rep, err := Verify(Workload{Name: "smoke", Source: smokeWorkload},
+		Options{Runs: 2, Warmup: 1, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "smoke" || rep.Config != "SmallBoom" || rep.Runs != 2 {
+		t.Errorf("report metadata wrong: %+v", rep)
+	}
+	if len(rep.Units) != len(trace.AllUnits()) {
+		t.Errorf("got %d unit results, want %d", len(rep.Units), len(trace.AllUnits()))
+	}
+	// 8 iterations per run, 1 warmup dropped, 2 runs.
+	if len(rep.Iterations) != 14 {
+		t.Errorf("iterations = %d want 14", len(rep.Iterations))
+	}
+	if rep.SimCycles == 0 {
+		t.Error("no simulation cycles recorded")
+	}
+}
+
+func TestVerifyDetectsControlFlowLeak(t *testing.T) {
+	rep, err := Verify(Workload{Name: "leak", Source: leakWorkload},
+		Options{Runs: 3, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AnyLeak() {
+		t.Fatal("secret-dependent multiply not detected")
+	}
+	mul, ok := rep.Unit(trace.EUUMUL)
+	if !ok {
+		t.Fatal("EUU-MUL result missing")
+	}
+	if !mul.Leaky() {
+		t.Errorf("EUU-MUL not flagged: %v", mul.Assoc)
+	}
+	// The extra multiply's PC must surface as a unique feature of the
+	// class-1 iterations.
+	if mul.UniqueFeatures == nil {
+		t.Fatal("no feature extraction for leaky unit")
+	}
+	if len(mul.UniqueFeatures[1]) == 0 {
+		t.Errorf("class 1 should have unique MUL PCs, got %v", mul.UniqueFeatures)
+	}
+}
+
+func TestVerifyCleanWorkloadHasNoLeaks(t *testing.T) {
+	rep, err := Verify(Workload{Name: "smoke", Source: smokeWorkload},
+		Options{Runs: 3, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaks := rep.LeakyUnits(); len(leaks) != 0 {
+		names := make([]string, 0, len(leaks))
+		for _, l := range leaks {
+			names = append(names, l.Unit.String())
+		}
+		t.Errorf("clean workload flagged leaky: %v", names)
+	}
+}
+
+func TestVerifyUnitSubset(t *testing.T) {
+	rep, err := Verify(Workload{Name: "smoke", Source: smokeWorkload},
+		Options{Runs: 1, Warmup: 1, Units: []trace.Unit{trace.ROBPC, trace.EUUALU}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Units) != 2 {
+		t.Fatalf("unit subset not honoured: %d results", len(rep.Units))
+	}
+	if _, ok := rep.Unit(trace.SQADDR); ok {
+		t.Error("untracked unit present in report")
+	}
+}
+
+func TestVerifyMeasureStages(t *testing.T) {
+	rep, err := Verify(Workload{Name: "smoke", Source: smokeWorkload},
+		Options{Runs: 1, Warmup: 1, MeasureStages: true, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stages.Simulate <= 0 {
+		t.Error("simulate stage time missing")
+	}
+	if rep.Stages.Total() < rep.Stages.Simulate {
+		t.Error("total stage time inconsistent")
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	t.Run("assembly error", func(t *testing.T) {
+		_, err := Verify(Workload{Name: "bad", Source: "_start:\n bogus\n"},
+			Options{})
+		if err == nil || !strings.Contains(err.Error(), "unknown mnemonic") {
+			t.Errorf("want assembly error, got %v", err)
+		}
+	})
+	t.Run("no iterations", func(t *testing.T) {
+		_, err := Verify(Workload{Name: "empty", Source: `
+_start:
+	li a0, 0
+	li a7, 93
+	ecall
+`}, Options{Runs: 1, Warmup: 0})
+		if !errors.Is(err, ErrNoIterations) {
+			t.Errorf("want ErrNoIterations, got %v", err)
+		}
+	})
+	t.Run("nonzero exit", func(t *testing.T) {
+		_, err := Verify(Workload{Name: "fail", Source: `
+_start:
+	roi.begin
+	li  t0, 1
+	iter.begin t0
+	iter.end
+	roi.end
+	li a0, 7
+	li a7, 93
+	ecall
+`}, Options{Runs: 1, Warmup: 0})
+		if err == nil || !strings.Contains(err.Error(), "exited with code 7") {
+			t.Errorf("want exit-code error, got %v", err)
+		}
+	})
+	t.Run("setup error", func(t *testing.T) {
+		w := Workload{
+			Name:   "s",
+			Source: smokeWorkload,
+			Setup: func(int, *sim.Machine, *asm.Program) error {
+				return errors.New("boom")
+			},
+		}
+		_, err := Verify(w, Options{Runs: 1})
+		if err == nil || !strings.Contains(err.Error(), "setup: boom") {
+			t.Errorf("want setup error, got %v", err)
+		}
+	})
+}
+
+func TestVerifyDeterministic(t *testing.T) {
+	opts := Options{Runs: 2, Warmup: 1, Config: sim.SmallBoom()}
+	r1, err := Verify(Workload{Name: "leak", Source: leakWorkload}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Verify(Workload{Name: "leak", Source: leakWorkload}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SimCycles != r2.SimCycles {
+		t.Errorf("cycles differ: %d vs %d", r1.SimCycles, r2.SimCycles)
+	}
+	for i := range r1.Units {
+		if r1.Units[i].Assoc.V != r2.Units[i].Assoc.V ||
+			r1.Units[i].Assoc.P != r2.Units[i].Assoc.P {
+			t.Errorf("unit %v stats differ across identical runs", r1.Units[i].Unit)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := Verify(Workload{Name: "leak", Source: leakWorkload},
+		Options{Runs: 4, Warmup: 1, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Verify(Workload{Name: "leak", Source: leakWorkload},
+		Options{Runs: 4, Warmup: 1, Config: sim.SmallBoom(), Parallel: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.SimCycles != par.SimCycles {
+		t.Errorf("cycles differ: %d vs %d", seq.SimCycles, par.SimCycles)
+	}
+	if len(seq.Iterations) != len(par.Iterations) {
+		t.Fatalf("iteration counts differ")
+	}
+	for i := range seq.Iterations {
+		if seq.Iterations[i] != par.Iterations[i] {
+			t.Fatalf("iteration %d differs: %+v vs %+v",
+				i, seq.Iterations[i], par.Iterations[i])
+		}
+	}
+	for i := range seq.Units {
+		if seq.Units[i].Assoc != par.Units[i].Assoc {
+			t.Errorf("unit %v stats differ: %+v vs %+v",
+				seq.Units[i].Unit, seq.Units[i].Assoc, par.Units[i].Assoc)
+		}
+	}
+}
+
+func TestVerifyContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := VerifyContext(ctx, Workload{Name: "leak", Source: leakWorkload},
+		Options{Runs: 2, Config: sim.SmallBoom()})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestIterationClassesBalanced(t *testing.T) {
+	rep, err := Verify(Workload{Name: "leak", Source: leakWorkload},
+		Options{Runs: 1, Warmup: 2, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[uint64]int{}
+	for _, it := range rep.Iterations {
+		count[it.Class]++
+		if it.Cycles <= 0 {
+			t.Errorf("nonpositive iteration length: %+v", it)
+		}
+	}
+	if count[0] == 0 || count[1] == 0 {
+		t.Errorf("classes unbalanced: %v", count)
+	}
+}
+
+func TestMemoryAttribution(t *testing.T) {
+	src := `
+	.data
+buf: .zero 64
+	.text
+_start:
+	la   s2, buf
+	li   s3, 6
+	roi.begin
+loop:
+	andi s4, s3, 1
+	iter.begin s4
+	sd   s3, 0(s2)
+	ld   t0, 0(s2)
+	iter.end
+	addi s3, s3, -1
+	bnez s3, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+`
+	rep, err := Verify(Workload{Name: "attr", Source: src},
+		Options{Runs: 1, Warmup: 1, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Program == nil {
+		t.Fatal("program missing from report")
+	}
+	bufAddr := rep.Program.MustSymbol("buf")
+	writers := rep.StoreWriters[bufAddr]
+	readers := rep.LoadReaders[bufAddr]
+	if len(writers) == 0 {
+		t.Fatal("no writer PCs attributed to buf")
+	}
+	if len(readers) == 0 {
+		t.Fatal("no reader PCs attributed to buf")
+	}
+	if sym := rep.Program.SymbolAt(writers[0]); sym != "loop+0x8" {
+		t.Errorf("writer PC symbol = %q want loop+0x8", sym)
+	}
+	if sym := rep.Program.DataSymbolAt(bufAddr); sym != "buf" {
+		t.Errorf("data symbol = %q want buf", sym)
+	}
+}

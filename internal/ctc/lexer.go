@@ -1,0 +1,120 @@
+// Package ctc implements a miniature compiler for a C-like language,
+// targeting the RV64 assembly dialect of internal/asm. Its purpose is to
+// reproduce the paper's ME-V1-CV case study as a real compiler artefact:
+// the same conditional-copy source can be lowered either with the
+// constant-time branchless strategy or with the "argument preload"
+// optimisation that produces the unbalanced sequence of Listing 4, and
+// MicroSampler then distinguishes the two binaries.
+package ctc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNumber
+	tokPunct // operators and punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true,
+	"while": true, "return": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexError reports a tokenisation failure.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("ctc: line %d: %s", e.line, e.msg) }
+
+var multiCharOps = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (isAlnum(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			if _, err := strconv.ParseInt(text, 0, 64); err != nil {
+				if _, uerr := strconv.ParseUint(text, 0, 64); uerr != nil {
+					return nil, &lexError{line, "bad number " + text}
+				}
+			}
+			toks = append(toks, token{tokNumber, text, line})
+			i = j
+		case isAlpha(c):
+			j := i
+			for j < len(src) && isAlnum(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, text, line})
+			i = j
+		default:
+			matched := false
+			for _, op := range multiCharOps {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{tokPunct, op, line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.ContainsRune("+-*/%&|^~!<>=(){},;", rune(c)) {
+				toks = append(toks, token{tokPunct, string(c), line})
+				i++
+				continue
+			}
+			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isAlnum(c byte) bool { return isAlpha(c) || (c >= '0' && c <= '9') }

@@ -1,0 +1,438 @@
+package ctc
+
+import "fmt"
+
+// AST node types.
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Funcs []*FuncDef
+}
+
+// FuncDef is a function definition. All values are 64-bit unsigned
+// words, as in the constant-time kernels the language exists to express.
+type FuncDef struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmt() }
+
+// VarStmt declares and initialises a local.
+type VarStmt struct {
+	Name string
+	Init Expr
+}
+
+// AssignStmt assigns to a local or parameter.
+type AssignStmt struct {
+	Name  string
+	Value Expr
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is a loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// ReturnStmt returns an optional value.
+type ReturnStmt struct {
+	Value Expr // may be nil
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X Expr
+}
+
+func (*VarStmt) stmt()    {}
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ReturnStmt) stmt() {}
+func (*ExprStmt) stmt()   {}
+
+// Expr is an expression.
+type Expr interface{ expr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Value uint64
+}
+
+// IdentExpr references a local or parameter.
+type IdentExpr struct {
+	Name string
+}
+
+// CallExpr calls a function (user-defined or builtin load/store).
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnExpr is a unary operation.
+type UnExpr struct {
+	Op string
+	X  Expr
+}
+
+func (*NumExpr) expr()   {}
+func (*IdentExpr) expr() {}
+func (*CallExpr) expr()  {}
+func (*BinExpr) expr()   {}
+func (*UnExpr) expr()    {}
+
+// ParseError reports a syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("ctc: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		fn, err := p.funcDef()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	if len(prog.Funcs) == 0 {
+		return nil, &ParseError{1, "no functions"}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	return t, &ParseError{t.Line(), fmt.Sprintf("expected %q, got %q", text, t.text)}
+}
+
+// Line returns the source line of the token.
+func (t token) Line() int { return t.line }
+
+func (p *parser) funcDef() (*FuncDef, error) {
+	if _, err := p.expect(tokKeyword, "func"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, &ParseError{p.cur().line, "expected function name"}
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDef{Name: name.text}
+	for !p.at(tokPunct, ")") {
+		param, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, &ParseError{p.cur().line, "expected parameter name"}
+		}
+		fn.Params = append(fn.Params, param.text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	fn.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, &ParseError{p.cur().line, "unexpected end of file in block"}
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.next() // consume }
+	return out, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "var"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, &ParseError{p.cur().line, "expected variable name"}
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.text, Init: init}, nil
+
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept(tokKeyword, "else") {
+			st.Else, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.accept(tokKeyword, "return"):
+		st := &ReturnStmt{}
+		if !p.at(tokPunct, ";") {
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+
+	// Assignment or expression statement.
+	if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokPunct &&
+		p.toks[p.pos+1].text == "=" {
+		name := p.next()
+		p.next() // =
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.text, Value: v}, nil
+	}
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+// Binary operator precedence (higher binds tighter).
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expression() (Expr, error) { return p.binary(0) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := precedence[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: t.text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "~" || t.text == "!") {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.text, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokNumber:
+		v, err := parseUint(t.text)
+		if err != nil {
+			return nil, &ParseError{t.line, err.Error()}
+		}
+		return &NumExpr{Value: v}, nil
+	case t.kind == tokIdent:
+		if p.at(tokPunct, "(") {
+			p.next()
+			call := &CallExpr{Name: t.text}
+			for !p.at(tokPunct, ")") {
+				arg, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &IdentExpr{Name: t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, &ParseError{t.line, fmt.Sprintf("unexpected token %q", t.text)}
+}
+
+func parseUint(s string) (uint64, error) {
+	var v uint64
+	var err error
+	if len(s) > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		v, err = parseHex(s[2:])
+	} else {
+		for i := 0; i < len(s); i++ {
+			if s[i] < '0' || s[i] > '9' {
+				return 0, fmt.Errorf("bad number %q", s)
+			}
+			v = v*10 + uint64(s[i]-'0')
+		}
+	}
+	return v, err
+}
+
+func parseHex(s string) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad hex digit %q", c)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}

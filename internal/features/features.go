@@ -1,0 +1,178 @@
+// Package features implements the root-cause extraction of MicroSampler
+// (Section V-C3 of the paper): once a microarchitectural unit shows a
+// statistically significant correlation, feature uniqueness pinpoints
+// values (addresses, PCs, activity) that appear in only one secret
+// class, and feature ordering pinpoints values that appear in all
+// classes but in a consistently different chronological order.
+package features
+
+import (
+	"sort"
+
+	"microsampler/internal/snapshot"
+)
+
+// Uniqueness returns, per class, the sorted feature values (non-zero
+// matrix cells) that appear in that class's snapshots and in no other
+// class's.
+func Uniqueness(s *snapshot.Store) map[uint64][]uint64 {
+	valuesBy := valuesByClass(s)
+	out := make(map[uint64][]uint64, len(valuesBy))
+	for class, vals := range valuesBy {
+		var unique []uint64
+		for v := range vals {
+			inOther := false
+			for other, ovals := range valuesBy {
+				if other == class {
+					continue
+				}
+				if _, ok := ovals[v]; ok {
+					inOther = true
+					break
+				}
+			}
+			if !inOther {
+				unique = append(unique, v)
+			}
+		}
+		sort.Slice(unique, func(i, j int) bool { return unique[i] < unique[j] })
+		out[class] = unique
+	}
+	return out
+}
+
+// SharedValues returns the sorted feature values present in every class.
+func SharedValues(s *snapshot.Store) []uint64 {
+	valuesBy := valuesByClass(s)
+	if len(valuesBy) == 0 {
+		return nil
+	}
+	var shared []uint64
+	classes := classList(valuesBy)
+	for v := range valuesBy[classes[0]] {
+		all := true
+		for _, c := range classes[1:] {
+			if _, ok := valuesBy[c][v]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			shared = append(shared, v)
+		}
+	}
+	sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
+	return shared
+}
+
+// OrderingMismatch describes two classes whose shared features appear in
+// consistently different chronological order.
+type OrderingMismatch struct {
+	ClassA, ClassB uint64
+	OrderA, OrderB []uint64 // first-appearance sequences of shared values
+}
+
+// Ordering compares the chronological first-appearance order of shared
+// feature values between every pair of classes, using each class's
+// modal (most frequent) snapshot as the representative execution. It
+// returns the pairs whose orders differ.
+func Ordering(s *snapshot.Store) []OrderingMismatch {
+	shared := SharedValues(s)
+	if len(shared) < 2 {
+		return nil
+	}
+	sharedSet := make(map[uint64]struct{}, len(shared))
+	for _, v := range shared {
+		sharedSet[v] = struct{}{}
+	}
+	modal := s.ModalByClass()
+	classes := make([]uint64, 0, len(modal))
+	for c := range modal {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+
+	orders := make(map[uint64][]uint64, len(classes))
+	for _, c := range classes {
+		orders[c] = appearanceOrder(modal[c].Rep, sharedSet)
+	}
+
+	var out []OrderingMismatch
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			a, b := classes[i], classes[j]
+			if !seqEqual(orders[a], orders[b]) {
+				out = append(out, OrderingMismatch{
+					ClassA: a, ClassB: b,
+					OrderA: orders[a], OrderB: orders[b],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// appearanceOrder scans a matrix row-major and returns the values of
+// interest in first-appearance order.
+func appearanceOrder(rows [][]uint64, of map[uint64]struct{}) []uint64 {
+	seen := make(map[uint64]struct{}, len(of))
+	var out []uint64
+	for _, row := range rows {
+		for _, v := range row {
+			if v == 0 {
+				continue
+			}
+			if _, want := of[v]; !want {
+				continue
+			}
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func valuesByClass(s *snapshot.Store) map[uint64]map[uint64]struct{} {
+	out := make(map[uint64]map[uint64]struct{})
+	for _, e := range s.Entries() {
+		for class := range e.CountByClass {
+			set := out[class]
+			if set == nil {
+				set = make(map[uint64]struct{})
+				out[class] = set
+			}
+			for _, row := range e.Rep {
+				for _, v := range row {
+					if v != 0 {
+						set[v] = struct{}{}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func classList(m map[uint64]map[uint64]struct{}) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func seqEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

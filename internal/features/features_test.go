@@ -1,0 +1,123 @@
+package features
+
+import (
+	"testing"
+
+	"microsampler/internal/snapshot"
+)
+
+func observe(s *snapshot.Store, class uint64, m [][]uint64, n int) {
+	h := snapshot.HashMatrix(m)
+	for i := 0; i < n; i++ {
+		s.Observe(class, h, m)
+	}
+}
+
+func TestUniquenessDisjointAddresses(t *testing.T) {
+	// Class 0 stores to 0x1000, class 1 stores to 0x2000; 0x500 is
+	// touched by both. This is the Fig. 5 scenario.
+	s := snapshot.NewStore()
+	observe(s, 0, [][]uint64{{0x1000, 0x500}}, 10)
+	observe(s, 1, [][]uint64{{0x2000, 0x500}}, 10)
+	u := Uniqueness(s)
+	if len(u[0]) != 1 || u[0][0] != 0x1000 {
+		t.Errorf("class 0 unique = %v want [0x1000]", u[0])
+	}
+	if len(u[1]) != 1 || u[1][0] != 0x2000 {
+		t.Errorf("class 1 unique = %v want [0x2000]", u[1])
+	}
+	shared := SharedValues(s)
+	if len(shared) != 1 || shared[0] != 0x500 {
+		t.Errorf("shared = %v want [0x500]", shared)
+	}
+}
+
+func TestUniquenessIgnoresZeros(t *testing.T) {
+	s := snapshot.NewStore()
+	observe(s, 0, [][]uint64{{0, 7}}, 3)
+	observe(s, 1, [][]uint64{{0, 9}}, 3)
+	u := Uniqueness(s)
+	for class, vals := range u {
+		for _, v := range vals {
+			if v == 0 {
+				t.Errorf("class %d contains the empty-slot value 0", class)
+			}
+		}
+	}
+}
+
+func TestUniquenessIdenticalClasses(t *testing.T) {
+	s := snapshot.NewStore()
+	m := [][]uint64{{1, 2, 3}}
+	observe(s, 0, m, 5)
+	observe(s, 1, m, 5)
+	u := Uniqueness(s)
+	if len(u[0]) != 0 || len(u[1]) != 0 {
+		t.Errorf("identical snapshots should yield no unique features: %v", u)
+	}
+}
+
+func TestOrderingMismatchDetected(t *testing.T) {
+	// Same features, consistently different order: the ME-V2-FB ROB-PC
+	// scenario (Section VII-B2).
+	s := snapshot.NewStore()
+	observe(s, 0, [][]uint64{{0x10}, {0x20}, {0x30}}, 8)
+	observe(s, 1, [][]uint64{{0x20}, {0x10}, {0x30}}, 8)
+	mm := Ordering(s)
+	if len(mm) != 1 {
+		t.Fatalf("mismatches = %d want 1", len(mm))
+	}
+	m := mm[0]
+	if m.ClassA != 0 || m.ClassB != 1 {
+		t.Errorf("classes = %d,%d", m.ClassA, m.ClassB)
+	}
+	if len(m.OrderA) != 3 || m.OrderA[0] != 0x10 || m.OrderB[0] != 0x20 {
+		t.Errorf("orders = %v / %v", m.OrderA, m.OrderB)
+	}
+}
+
+func TestOrderingNoMismatchWhenSame(t *testing.T) {
+	s := snapshot.NewStore()
+	// Different timing (row counts) but same feature order.
+	observe(s, 0, [][]uint64{{0x10}, {0x10}, {0x20}}, 4)
+	observe(s, 1, [][]uint64{{0x10}, {0x20}, {0x20}}, 4)
+	if mm := Ordering(s); len(mm) != 0 {
+		t.Errorf("unexpected ordering mismatches: %+v", mm)
+	}
+}
+
+func TestOrderingUsesModalSnapshot(t *testing.T) {
+	s := snapshot.NewStore()
+	// Class 0's modal snapshot has order 10,20; a rare variant has the
+	// reverse but must not drive the verdict.
+	observe(s, 0, [][]uint64{{0x10}, {0x20}}, 9)
+	observe(s, 0, [][]uint64{{0x20}, {0x10}}, 1)
+	observe(s, 1, [][]uint64{{0x10}, {0x20}}, 10)
+	if mm := Ordering(s); len(mm) != 0 {
+		t.Errorf("modal snapshots agree; unexpected mismatch: %+v", mm)
+	}
+}
+
+func TestOrderingThreeClasses(t *testing.T) {
+	s := snapshot.NewStore()
+	observe(s, 0, [][]uint64{{1}, {2}}, 5)
+	observe(s, 1, [][]uint64{{1}, {2}}, 5)
+	observe(s, 2, [][]uint64{{2}, {1}}, 5)
+	mm := Ordering(s)
+	if len(mm) != 2 { // (0,2) and (1,2)
+		t.Errorf("mismatch pairs = %d want 2: %+v", len(mm), mm)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := snapshot.NewStore()
+	if u := Uniqueness(s); len(u) != 0 {
+		t.Errorf("Uniqueness(empty) = %v", u)
+	}
+	if sh := SharedValues(s); sh != nil {
+		t.Errorf("SharedValues(empty) = %v", sh)
+	}
+	if mm := Ordering(s); mm != nil {
+		t.Errorf("Ordering(empty) = %v", mm)
+	}
+}

@@ -1,0 +1,183 @@
+package formal
+
+// signals returns w state signals starting at bit base.
+func stateVec(b *Builder, base, w int) []Signal {
+	out := make([]Signal, w)
+	for i := range out {
+		out[i] = b.State(base + i)
+	}
+	return out
+}
+
+func secretVec(b *Builder, w int) []Signal {
+	out := make([]Signal, w)
+	for i := range out {
+		out[i] = b.Secret(i)
+	}
+	return out
+}
+
+// ALUDesign builds the small data-oblivious ALU used as the 1x design of
+// Table VII (standing in for the XCRYPTO ALU verified by XENON). State:
+// a 4-bit accumulator and a 2-bit latched mode. Each cycle the secret
+// operand is combined into the accumulator according to the public mode;
+// the observable "done" line asserts every cycle regardless of data.
+func ALUDesign() *Netlist {
+	b := NewBuilder("ALU", 6, 2, 2)
+	acc := stateVec(b, 0, 4)
+	sec := secretVec(b, 2)
+	sec = append(sec, b.Const(false), b.Const(false)) // widen to 4 bits
+
+	xorRes := make([]Signal, 4)
+	andRes := make([]Signal, 4)
+	orRes := make([]Signal, 4)
+	for i := 0; i < 4; i++ {
+		xorRes[i] = b.Xor(acc[i], sec[i])
+		andRes[i] = b.And(acc[i], sec[i])
+		orRes[i] = b.Or(acc[i], sec[i])
+	}
+	addRes := b.Adder(acc, sec)
+
+	m0, m1 := b.Input(0), b.Input(1)
+	for i := 0; i < 4; i++ {
+		lo := b.Mux(m0, andRes[i], xorRes[i]) // 01 and, 00 xor
+		hi := b.Mux(m0, addRes[i], orRes[i])  // 11 add, 10 or
+		b.SetNext(i, b.Mux(m1, hi, lo))
+	}
+	// Latch the mode (state bits 4,5).
+	b.SetNext(4, m0)
+	b.SetNext(5, m1)
+
+	// Constant-time completion strobe: one cycle per op, always.
+	b.Observe(b.Const(true))
+	return b.Build()
+}
+
+// ALUDesignLeaky is the ALU with a data-dependent early-out: the done
+// line asserts early when the secret operand is zero (the classic
+// operand-dependent optimisation). The checker must find this.
+func ALUDesignLeaky() *Netlist {
+	b := NewBuilder("ALU-leaky", 6, 2, 2)
+	acc := stateVec(b, 0, 4)
+	sec := secretVec(b, 2)
+	sec = append(sec, b.Const(false), b.Const(false))
+
+	addRes := b.Adder(acc, sec)
+	for i := 0; i < 4; i++ {
+		b.SetNext(i, b.Mux(b.Input(0), addRes[i], b.Xor(acc[i], sec[i])))
+	}
+	b.SetNext(4, b.Input(0))
+	b.SetNext(5, b.Input(1))
+
+	// Early done when the operand is zero: secret-dependent timing.
+	anyBit := b.Or(b.Secret(0), b.Secret(1))
+	b.Observe(b.Not(anyBit))
+	return b.Build()
+}
+
+// SCARVDesign builds the 8x design of Table VII: a toy in-order
+// scalar core in the spirit of the SCARV RISC-V CPU. State (48 bits,
+// 8x the ALU's 6): a 4-bit PC, four 8-bit registers (r0–r2, acc), a
+// 4-bit flag latch and an 8-bit cycle counter. The public input selects
+// the operation; secrets enter through r0 on loads. All observable
+// behaviour (the stall strobe) follows the public schedule only, so the
+// design is data-oblivious and the two-safety property holds — the cost
+// of proving it is what the scalability experiment measures.
+func SCARVDesign() *Netlist {
+	const (
+		pcBase   = 0
+		r0Base   = 4
+		r1Base   = 12
+		r2Base   = 20
+		accBase  = 28
+		flagBase = 36
+		ctrBase  = 40
+		bits     = 48
+	)
+	b := NewBuilder("SCARV", bits, 2, 5)
+	pc := stateVec(b, pcBase, 4)
+	r0 := stateVec(b, r0Base, 8)
+	r1 := stateVec(b, r1Base, 8)
+	r2 := stateVec(b, r2Base, 8)
+	acc := stateVec(b, accBase, 8)
+	ctr := stateVec(b, ctrBase, 8)
+
+	op0, op1 := b.Input(0), b.Input(1)
+	sec := secretVec(b, 5)
+	for len(sec) < 8 {
+		sec = append(sec, b.Const(false))
+	}
+
+	// Datapath candidates.
+	xorAcc := make([]Signal, 8)
+	for i := range xorAcc {
+		xorAcc[i] = b.Xor(acc[i], r0[i])
+	}
+	addAcc := b.Adder(acc, r1)
+	rotR2 := make([]Signal, 8)
+	for i := range rotR2 {
+		rotR2[i] = r2[(i+1)%8]
+	}
+
+	// op 00: acc ^= r0 | op 01: acc += r1 | op 10: r0 = secret
+	// op 11: r2 = rot(r2) ^ acc; r1 = acc.
+	for i := 0; i < 8; i++ {
+		aluLo := b.Mux(op0, addAcc[i], xorAcc[i])
+		accNext := b.Mux(op1, acc[i], aluLo)
+		b.SetNext(accBase+i, accNext)
+
+		r0Next := b.Mux(b.And(op1, b.Not(op0)), sec[i], r0[i])
+		b.SetNext(r0Base+i, r0Next)
+
+		r1Next := b.Mux(b.And(op1, op0), acc[i], r1[i])
+		b.SetNext(r1Base+i, r1Next)
+
+		r2Next := b.Mux(b.And(op1, op0), b.Xor(rotR2[i], acc[i]), r2[i])
+		b.SetNext(r2Base+i, r2Next)
+	}
+
+	// PC and cycle counter advance unconditionally (in-order, no
+	// data-dependent stalls).
+	one4 := []Signal{b.Const(true), b.Const(false), b.Const(false), b.Const(false)}
+	pcNext := b.Adder(pc, one4)
+	for i := 0; i < 4; i++ {
+		b.SetNext(pcBase+i, pcNext[i])
+	}
+	one8 := make([]Signal, 8)
+	for i := range one8 {
+		one8[i] = b.Const(i == 0)
+	}
+	ctrNext := b.Adder(ctr, one8)
+	for i := 0; i < 8; i++ {
+		b.SetNext(ctrBase+i, ctrNext[i])
+	}
+
+	// Internal flags: zero detect on acc (not observable).
+	zero := b.Not(b.Or(b.Or(b.Or(acc[0], acc[1]), b.Or(acc[2], acc[3])),
+		b.Or(b.Or(acc[4], acc[5]), b.Or(acc[6], acc[7]))))
+	b.SetNext(flagBase, zero)
+	b.SetNext(flagBase+1, b.Xor(acc[0], acc[7]))
+	b.SetNext(flagBase+2, op0)
+	b.SetNext(flagBase+3, op1)
+
+	// Observable stall strobe: a function of the public op and the
+	// cycle counter's low bits only.
+	b.Observe(b.And(op0, ctr[0]))
+	b.Observe(b.Xor(op1, ctr[1]))
+	return b.Build()
+}
+
+// SCARVDesignLeaky plants a data-dependent stall into the SCARV core:
+// the stall strobe additionally asserts when the loaded operand register
+// is zero, an operand-dependent "fast path" like the paper's fast
+// bypass.
+func SCARVDesignLeaky() *Netlist {
+	n := SCARVDesign()
+	n.Name = "SCARV-leaky"
+	b := &Builder{n: n}
+	r0 := stateVec(b, 4, 8)
+	zero := b.Not(b.Or(b.Or(b.Or(r0[0], r0[1]), b.Or(r0[2], r0[3])),
+		b.Or(b.Or(r0[4], r0[5]), b.Or(r0[6], r0[7]))))
+	b.Observe(zero)
+	return b.Build()
+}

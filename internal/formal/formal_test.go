@@ -1,0 +1,147 @@
+package formal
+
+import (
+	"testing"
+	"time"
+)
+
+func TestALUDesignHolds(t *testing.T) {
+	res, err := Check(ALUDesign(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds() {
+		t.Fatalf("constant-time ALU reported a violation: %v", res.Violation)
+	}
+	if res.ProductStates == 0 || res.Transitions == 0 {
+		t.Errorf("no exploration happened: %+v", res)
+	}
+}
+
+func TestALULeakyDetected(t *testing.T) {
+	res, err := Check(ALUDesignLeaky(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds() {
+		t.Fatal("data-dependent early-out not detected")
+	}
+	v := res.Violation
+	if v.ObsA == v.ObsB {
+		t.Errorf("violation with equal observables: %+v", v)
+	}
+	if v.SecretA == v.SecretB {
+		t.Errorf("violation must involve differing secrets: %+v", v)
+	}
+	if v.Error() == "" {
+		t.Error("violation should describe itself")
+	}
+}
+
+func TestSCARVDesignHoldsBounded(t *testing.T) {
+	res, err := Check(SCARVDesign(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds() {
+		t.Fatalf("data-oblivious core reported a violation: %v", res.Violation)
+	}
+	if res.StateBits != 48 {
+		t.Errorf("SCARV state bits = %d want 48", res.StateBits)
+	}
+}
+
+func TestSCARVLeakyDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("product-state exploration of the 48-bit design is slow")
+	}
+	res, err := Check(SCARVDesignLeaky(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds() {
+		t.Fatal("data-dependent stall not detected in leaky core")
+	}
+}
+
+func TestScalabilityShape(t *testing.T) {
+	// The Table VII contrast: the 8x-larger design must cost far more
+	// than 8x the verification time, even at a shallower bound.
+	aluRes, err := Check(ALUDesign(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scarvRes, err := Check(SCARVDesign(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeRatio := float64(scarvRes.StateBits) / float64(aluRes.StateBits)
+	if sizeRatio != 8 {
+		t.Errorf("size ratio = %v want 8", sizeRatio)
+	}
+	if scarvRes.Transitions < 30*aluRes.Transitions {
+		t.Errorf("expected superlinear blow-up: ALU %d vs SCARV %d transitions",
+			aluRes.Transitions, scarvRes.Transitions)
+	}
+}
+
+func TestCheckRejectsOversizedDesigns(t *testing.T) {
+	b := NewBuilder("huge", 63, 2, 2)
+	b.Observe(b.Const(true))
+	if _, err := Check(b.Build(), 1); err == nil {
+		t.Error("expected width-validation error")
+	}
+}
+
+func TestNetlistDeterminism(t *testing.T) {
+	r1, err := Check(ALUDesign(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Check(ALUDesign(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ProductStates != r2.ProductStates || r1.Transitions != r2.Transitions {
+		t.Errorf("exploration not deterministic: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestBuilderGateSemantics(t *testing.T) {
+	b := NewBuilder("gates", 4, 2, 1)
+	x, y := b.Input(0), b.Input(1)
+	s := b.Secret(0)
+	b.SetNext(0, b.And(x, y))
+	b.SetNext(1, b.Or(x, s))
+	b.SetNext(2, b.Xor(x, y))
+	b.SetNext(3, b.Mux(x, y, s))
+	b.Observe(b.Const(true))
+	n := b.Build()
+	scratch := make([]bool, len(n.gates))
+	tests := []struct {
+		pub, sec uint64
+		want     uint64
+	}{
+		{0b11, 0, 0b1011}, // and=1 or=1 xor=0 mux(sel=1)=y=1
+		{0b01, 1, 0b0110}, // and=0 or=1 xor=1 mux(sel=1)=y=0
+		{0b00, 1, 0b1010}, // and=0 or=1 xor=0 mux(sel=0)=sec=1
+		{0b10, 0, 0b0100}, // and=0 or=0 xor=1 mux(sel=0)=sec=0
+	}
+	for _, tt := range tests {
+		next, _ := n.eval(0, tt.pub, tt.sec, scratch)
+		if next != tt.want {
+			t.Errorf("eval(pub=%b, sec=%b) = %04b want %04b",
+				tt.pub, tt.sec, next, tt.want)
+		}
+	}
+}
+
+func TestCheckTimes(t *testing.T) {
+	res, err := Check(ALUDesign(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Elapsed > time.Minute {
+		t.Errorf("implausible elapsed time %v", res.Elapsed)
+	}
+}

@@ -1,0 +1,129 @@
+package isa
+
+import "fmt"
+
+func signExtend(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// Decode parses a 32-bit RISC-V machine word into an instruction.
+func Decode(word uint32) (Inst, error) {
+	opc := word & 0x7F
+	rd := Reg(word >> 7 & 0x1F)
+	f3 := word >> 12 & 0x7
+	rs1 := Reg(word >> 15 & 0x1F)
+	rs2 := Reg(word >> 20 & 0x1F)
+	f7 := word >> 25 & 0x7F
+	immI := signExtend(word>>20, 12)
+
+	switch opc {
+	case opcLUI, opcAUIPC:
+		op := OpLUI
+		if opc == opcAUIPC {
+			op = OpAUIPC
+		}
+		return Inst{Op: op, Rd: rd, Imm: signExtend(word>>12, 20)}, nil
+
+	case opcJAL:
+		u := word
+		imm := (u>>31&1)<<20 | (u>>21&0x3FF)<<1 | (u>>20&1)<<11 | (u >> 12 & 0xFF << 12)
+		return Inst{Op: OpJAL, Rd: rd, Imm: signExtend(imm, 21)}, nil
+
+	case opcJALR:
+		return Inst{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: immI}, nil
+
+	case opcBRANCH:
+		u := word
+		imm := (u>>31&1)<<12 | (u>>25&0x3F)<<5 | (u>>8&0xF)<<1 | (u>>7&1)<<11
+		for op, enc := range branchEnc {
+			if enc == f3 {
+				return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExtend(imm, 13)}, nil
+			}
+		}
+
+	case opcLOAD:
+		for op, enc := range loadEnc {
+			if enc == f3 {
+				return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI}, nil
+			}
+		}
+
+	case opcSTORE:
+		imm := (word>>25&0x7F)<<5 | word>>7&0x1F
+		for op, enc := range storeEnc {
+			if enc == f3 {
+				return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExtend(imm, 12)}, nil
+			}
+		}
+
+	case opcOPIMM:
+		switch f3 {
+		case 1:
+			return Inst{Op: OpSLLI, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x3F)}, nil
+		case 5:
+			op := OpSRLI
+			if f7>>1 == 0x10 {
+				op = OpSRAI
+			}
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x3F)}, nil
+		}
+		for op, enc := range iArithEnc {
+			if enc == f3 {
+				return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI}, nil
+			}
+		}
+
+	case opcOPIMM32:
+		switch f3 {
+		case 0:
+			return Inst{Op: OpADDIW, Rd: rd, Rs1: rs1, Imm: immI}, nil
+		case 1:
+			return Inst{Op: OpSLLIW, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x1F)}, nil
+		case 5:
+			op := OpSRLIW
+			if f7 == 0x20 {
+				op = OpSRAIW
+			}
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int64(word >> 20 & 0x1F)}, nil
+		}
+
+	case opcOP:
+		for op, enc := range rTypeEnc {
+			if enc.funct3 == f3 && enc.funct7 == f7 {
+				return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+		}
+
+	case opcOP32:
+		for op, enc := range r32TypeEnc {
+			if enc.funct3 == f3 && enc.funct7 == f7 {
+				return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+		}
+
+	case opcSYSTEM:
+		switch word {
+		case 0x00000073:
+			return Inst{Op: OpECALL}, nil
+		case 0x00100073:
+			return Inst{Op: OpEBREAK}, nil
+		}
+
+	case opcMISCMEM:
+		switch f3 {
+		case 0:
+			return Inst{Op: OpFENCE}, nil
+		case 2:
+			if word>>20&0xFFF == 2 {
+				return Inst{Op: OpCBOFLUSH, Rs1: rs1}, nil
+			}
+		}
+
+	case opcCUSTOM0:
+		if f3 >= 1 && f3 <= 4 {
+			return Inst{Op: OpMARK, Rs1: rs1, Imm: int64(f3)}, nil
+		}
+	}
+	return Inst{}, fmt.Errorf("decode: unsupported word %#08x", word)
+}

@@ -1,0 +1,168 @@
+package isa
+
+import "fmt"
+
+// Binary opcode fields (bits [6:0]) of the standard RISC-V encoding.
+const (
+	opcLOAD    = 0x03
+	opcMISCMEM = 0x0F
+	opcOPIMM   = 0x13
+	opcAUIPC   = 0x17
+	opcOPIMM32 = 0x1B
+	opcSTORE   = 0x23
+	opcOP      = 0x33
+	opcLUI     = 0x37
+	opcOP32    = 0x3B
+	opcBRANCH  = 0x63
+	opcJALR    = 0x67
+	opcJAL     = 0x6F
+	opcSYSTEM  = 0x73
+	opcCUSTOM0 = 0x0B // MARK tracing extension
+)
+
+type rEnc struct{ funct7, funct3 uint32 }
+
+var rTypeEnc = map[Op]rEnc{
+	OpADD: {0x00, 0}, OpSUB: {0x20, 0}, OpSLL: {0x00, 1}, OpSLT: {0x00, 2},
+	OpSLTU: {0x00, 3}, OpXOR: {0x00, 4}, OpSRL: {0x00, 5}, OpSRA: {0x20, 5},
+	OpOR: {0x00, 6}, OpAND: {0x00, 7},
+	OpMUL: {0x01, 0}, OpMULH: {0x01, 1}, OpMULHSU: {0x01, 2}, OpMULHU: {0x01, 3},
+	OpDIV: {0x01, 4}, OpDIVU: {0x01, 5}, OpREM: {0x01, 6}, OpREMU: {0x01, 7},
+}
+
+var r32TypeEnc = map[Op]rEnc{
+	OpADDW: {0x00, 0}, OpSUBW: {0x20, 0}, OpSLLW: {0x00, 1},
+	OpSRLW: {0x00, 5}, OpSRAW: {0x20, 5},
+	OpMULW: {0x01, 0}, OpDIVW: {0x01, 4}, OpDIVUW: {0x01, 5},
+	OpREMW: {0x01, 6}, OpREMUW: {0x01, 7},
+}
+
+var iArithEnc = map[Op]uint32{
+	OpADDI: 0, OpSLTI: 2, OpSLTIU: 3, OpXORI: 4, OpORI: 6, OpANDI: 7,
+}
+
+var loadEnc = map[Op]uint32{
+	OpLB: 0, OpLH: 1, OpLW: 2, OpLD: 3, OpLBU: 4, OpLHU: 5, OpLWU: 6,
+}
+
+var storeEnc = map[Op]uint32{OpSB: 0, OpSH: 1, OpSW: 2, OpSD: 3}
+
+var branchEnc = map[Op]uint32{
+	OpBEQ: 0, OpBNE: 1, OpBLT: 4, OpBGE: 5, OpBLTU: 6, OpBGEU: 7,
+}
+
+// Encode serializes the instruction into a 32-bit RISC-V machine word.
+func Encode(in Inst) (uint32, error) {
+	rd, rs1, rs2 := uint32(in.Rd), uint32(in.Rs1), uint32(in.Rs2)
+	switch {
+	case in.Op == OpLUI || in.Op == OpAUIPC:
+		if in.Imm < -(1<<19) || in.Imm >= 1<<19 {
+			return 0, fmt.Errorf("encode %v: U-immediate %d out of range", in.Op, in.Imm)
+		}
+		opc := uint32(opcLUI)
+		if in.Op == OpAUIPC {
+			opc = opcAUIPC
+		}
+		return (uint32(in.Imm)&0xFFFFF)<<12 | rd<<7 | opc, nil
+
+	case in.Op == OpJAL:
+		imm := in.Imm
+		if imm < -(1<<20) || imm >= 1<<20 || imm&1 != 0 {
+			return 0, fmt.Errorf("encode jal: offset %d out of range", imm)
+		}
+		u := uint32(imm)
+		w := (u>>20&1)<<31 | (u>>1&0x3FF)<<21 | (u>>11&1)<<20 | (u >> 12 & 0xFF << 12)
+		return w | rd<<7 | opcJAL, nil
+
+	case in.Op == OpJALR:
+		return encI(uint32(in.Imm), rs1, 0, rd, opcJALR, in.Imm)
+
+	case in.IsCondBranch():
+		imm := in.Imm
+		if imm < -(1<<12) || imm >= 1<<12 || imm&1 != 0 {
+			return 0, fmt.Errorf("encode %v: branch offset %d out of range", in.Op, imm)
+		}
+		u := uint32(imm)
+		w := (u>>12&1)<<31 | (u>>5&0x3F)<<25 | (u>>1&0xF)<<8 | (u>>11&1)<<7
+		return w | rs2<<20 | rs1<<15 | branchEnc[in.Op]<<12 | opcBRANCH, nil
+
+	case in.IsLoad():
+		return encI(uint32(in.Imm), rs1, loadEnc[in.Op], rd, opcLOAD, in.Imm)
+
+	case in.IsStore():
+		imm := in.Imm
+		if imm < -(1<<11) || imm >= 1<<11 {
+			return 0, fmt.Errorf("encode %v: store offset %d out of range", in.Op, imm)
+		}
+		u := uint32(imm)
+		return (u>>5&0x7F)<<25 | rs2<<20 | rs1<<15 | storeEnc[in.Op]<<12 |
+			(u&0x1F)<<7 | opcSTORE, nil
+
+	case in.Op == OpECALL:
+		return 0x00000073, nil
+	case in.Op == OpEBREAK:
+		return 0x00100073, nil
+	case in.Op == OpFENCE:
+		return 0x0000000F, nil
+
+	case in.Op == OpCBOFLUSH:
+		// Zicbom CBO.FLUSH: imm12=2, funct3=2, opcode MISC-MEM.
+		return 2<<20 | rs1<<15 | 2<<12 | opcMISCMEM, nil
+
+	case in.Op == OpMARK:
+		kind := uint32(in.Imm)
+		if kind == 0 || kind > 4 {
+			return 0, fmt.Errorf("encode mark: bad kind %d", in.Imm)
+		}
+		return rs1<<15 | kind<<12 | opcCUSTOM0, nil
+
+	case in.Op == OpSLLI || in.Op == OpSRLI || in.Op == OpSRAI:
+		if in.Imm < 0 || in.Imm > 63 {
+			return 0, fmt.Errorf("encode %v: shamt %d out of range", in.Op, in.Imm)
+		}
+		f6 := uint32(0)
+		f3 := uint32(1)
+		if in.Op != OpSLLI {
+			f3 = 5
+		}
+		if in.Op == OpSRAI {
+			f6 = 0x10
+		}
+		return f6<<26 | uint32(in.Imm)<<20 | rs1<<15 | f3<<12 | rd<<7 | opcOPIMM, nil
+
+	case in.Op == OpSLLIW || in.Op == OpSRLIW || in.Op == OpSRAIW:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("encode %v: shamt %d out of range", in.Op, in.Imm)
+		}
+		f7 := uint32(0)
+		f3 := uint32(1)
+		if in.Op != OpSLLIW {
+			f3 = 5
+		}
+		if in.Op == OpSRAIW {
+			f7 = 0x20
+		}
+		return f7<<25 | uint32(in.Imm)<<20 | rs1<<15 | f3<<12 | rd<<7 | opcOPIMM32, nil
+
+	case in.Op == OpADDIW:
+		return encI(uint32(in.Imm), rs1, 0, rd, opcOPIMM32, in.Imm)
+	}
+
+	if f3, ok := iArithEnc[in.Op]; ok {
+		return encI(uint32(in.Imm), rs1, f3, rd, opcOPIMM, in.Imm)
+	}
+	if e, ok := rTypeEnc[in.Op]; ok {
+		return e.funct7<<25 | rs2<<20 | rs1<<15 | e.funct3<<12 | rd<<7 | opcOP, nil
+	}
+	if e, ok := r32TypeEnc[in.Op]; ok {
+		return e.funct7<<25 | rs2<<20 | rs1<<15 | e.funct3<<12 | rd<<7 | opcOP32, nil
+	}
+	return 0, fmt.Errorf("encode: unsupported op %v", in.Op)
+}
+
+func encI(imm, rs1, f3, rd, opc uint32, raw int64) (uint32, error) {
+	if raw < -(1<<11) || raw >= 1<<11 {
+		return 0, fmt.Errorf("encode: I-immediate %d out of range", raw)
+	}
+	return (imm&0xFFF)<<20 | rs1<<15 | f3<<12 | rd<<7 | opc, nil
+}

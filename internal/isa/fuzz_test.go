@@ -1,0 +1,31 @@
+package isa
+
+import "testing"
+
+// FuzzDecode asserts the decoder never panics on arbitrary words, and
+// that anything it accepts survives an encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	seeds := []uint32{
+		0x00000000, 0xFFFFFFFF, 0x00000073, 0x00100073, 0x0000000F,
+		0x00A00913, 0x0000100B, 0x02A383B3, 0xFE0918E3, 0x0080006F,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, word uint32) {
+		in, err := Decode(word)
+		if err != nil {
+			return
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %v but cannot re-encode: %v", word, in, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil || in2 != in {
+			t.Fatalf("round trip unstable: %#08x -> %v -> %#08x -> %v (%v)",
+				word, in, w2, in2, err)
+		}
+		_ = in.String() // must not panic
+	})
+}

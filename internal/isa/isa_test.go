@@ -1,0 +1,257 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegByName(t *testing.T) {
+	tests := []struct {
+		name string
+		want Reg
+		ok   bool
+	}{
+		{"zero", Zero, true},
+		{"ra", RA, true},
+		{"sp", SP, true},
+		{"a0", A0, true},
+		{"a7", A7, true},
+		{"t6", T6, true},
+		{"s11", S11, true},
+		{"fp", S0, true},
+		{"x0", Zero, true},
+		{"x31", T6, true},
+		{"x15", A5, true},
+		{"x32", 0, false},
+		{"bogus", 0, false},
+		{"", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := RegByName(tt.name)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("RegByName(%q) = %v,%v want %v,%v", tt.name, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if A0.String() != "a0" || Zero.String() != "zero" || T6.String() != "t6" {
+		t.Errorf("unexpected register names: %v %v %v", A0, Zero, T6)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []Inst{
+		{Op: OpADD, Rd: A0, Rs1: A1, Rs2: A2},
+		{Op: OpSUB, Rd: T0, Rs1: T1, Rs2: T2},
+		{Op: OpAND, Rd: S2, Rs1: S3, Rs2: S4},
+		{Op: OpXOR, Rd: A5, Rs1: A5, Rs2: A4},
+		{Op: OpMUL, Rd: A0, Rs1: A1, Rs2: A2},
+		{Op: OpDIVU, Rd: A0, Rs1: A1, Rs2: A2},
+		{Op: OpREMU, Rd: T3, Rs1: T4, Rs2: T5},
+		{Op: OpADDW, Rd: A0, Rs1: A1, Rs2: A2},
+		{Op: OpSUBW, Rd: A0, Rs1: A1, Rs2: A2},
+		{Op: OpMULW, Rd: A3, Rs1: A4, Rs2: A5},
+		{Op: OpADDI, Rd: A0, Rs1: A1, Imm: -42},
+		{Op: OpADDI, Rd: A0, Rs1: A1, Imm: 2047},
+		{Op: OpADDI, Rd: A0, Rs1: A1, Imm: -2048},
+		{Op: OpANDI, Rd: A0, Rs1: A1, Imm: 255},
+		{Op: OpXORI, Rd: A0, Rs1: A1, Imm: -1},
+		{Op: OpSLTIU, Rd: A0, Rs1: A1, Imm: 1},
+		{Op: OpSLLI, Rd: A0, Rs1: A1, Imm: 63},
+		{Op: OpSRLI, Rd: A0, Rs1: A1, Imm: 1},
+		{Op: OpSRAI, Rd: A0, Rs1: A1, Imm: 32},
+		{Op: OpADDIW, Rd: A0, Rs1: A1, Imm: -7},
+		{Op: OpSLLIW, Rd: A0, Rs1: A1, Imm: 31},
+		{Op: OpSRAIW, Rd: A0, Rs1: A1, Imm: 3},
+		{Op: OpLUI, Rd: A0, Imm: 0x12345},
+		{Op: OpLUI, Rd: A0, Imm: -1},
+		{Op: OpAUIPC, Rd: A0, Imm: 1},
+		{Op: OpJAL, Rd: RA, Imm: 2048},
+		{Op: OpJAL, Rd: Zero, Imm: -4},
+		{Op: OpJALR, Rd: Zero, Rs1: RA, Imm: 0},
+		{Op: OpJALR, Rd: RA, Rs1: A0, Imm: 16},
+		{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: 64},
+		{Op: OpBNE, Rs1: A0, Rs2: Zero, Imm: -64},
+		{Op: OpBLT, Rs1: T0, Rs2: T1, Imm: 4094},
+		{Op: OpBGEU, Rs1: T0, Rs2: T1, Imm: -4096},
+		{Op: OpLD, Rd: A0, Rs1: SP, Imm: 8},
+		{Op: OpLB, Rd: A0, Rs1: A1, Imm: -1},
+		{Op: OpLBU, Rd: A0, Rs1: A1, Imm: 2047},
+		{Op: OpLWU, Rd: A0, Rs1: A1, Imm: 4},
+		{Op: OpSD, Rs1: SP, Rs2: A0, Imm: -8},
+		{Op: OpSB, Rs1: A0, Rs2: A1, Imm: 0},
+		{Op: OpSW, Rs1: A0, Rs2: A1, Imm: 100},
+		{Op: OpECALL},
+		{Op: OpEBREAK},
+		{Op: OpFENCE},
+		{Op: OpCBOFLUSH, Rs1: A0},
+		{Op: OpMARK, Imm: int64(MarkROIBegin)},
+		{Op: OpMARK, Imm: int64(MarkROIEnd)},
+		{Op: OpMARK, Rs1: A0, Imm: int64(MarkIterBegin)},
+		{Op: OpMARK, Imm: int64(MarkIterEnd)},
+	}
+	for _, in := range tests {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)=%#x): %v", in, w, err)
+		}
+		if out != in {
+			t.Errorf("round-trip %v: got %v (word %#08x)", in, out, w)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: OpADDI, Rd: A0, Rs1: A1, Imm: 2048},
+		{Op: OpADDI, Rd: A0, Rs1: A1, Imm: -2049},
+		{Op: OpSLLI, Rd: A0, Rs1: A1, Imm: 64},
+		{Op: OpSLLIW, Rd: A0, Rs1: A1, Imm: 32},
+		{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: 4096},
+		{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: 3}, // misaligned
+		{Op: OpJAL, Rd: RA, Imm: 1 << 20},
+		{Op: OpSD, Rs1: A0, Rs2: A1, Imm: 5000},
+		{Op: OpLUI, Rd: A0, Imm: 1 << 19},
+		{Op: OpMARK, Imm: 9},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v): expected error, got none", in)
+		}
+	}
+}
+
+// TestEncodeDecodeQuick drives randomized instructions through the
+// encoder/decoder pair and checks the round-trip property.
+func TestEncodeDecodeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rops := []Op{OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR,
+		OpAND, OpADDW, OpSUBW, OpMUL, OpMULH, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU}
+	iops := []Op{OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpADDIW}
+
+	f := func() bool {
+		var in Inst
+		switch rng.Intn(3) {
+		case 0:
+			in = Inst{Op: rops[rng.Intn(len(rops))],
+				Rd: Reg(rng.Intn(32)), Rs1: Reg(rng.Intn(32)), Rs2: Reg(rng.Intn(32))}
+		case 1:
+			in = Inst{Op: iops[rng.Intn(len(iops))],
+				Rd: Reg(rng.Intn(32)), Rs1: Reg(rng.Intn(32)),
+				Imm: int64(rng.Intn(4096) - 2048)}
+		default:
+			in = Inst{Op: OpBEQ, Rs1: Reg(rng.Intn(32)), Rs2: Reg(rng.Intn(32)),
+				Imm: int64(rng.Intn(2048)-1024) * 2}
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	for _, w := range []uint32{0x00000000, 0xFFFFFFFF, 0x0000007F, 0x00005073} {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x): expected error", w)
+		}
+	}
+}
+
+func TestInstClassification(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		cls  Class
+		load bool
+		st   bool
+		br   bool
+	}{
+		{Inst{Op: OpADD}, ClassALU, false, false, false},
+		{Inst{Op: OpMUL}, ClassMul, false, false, false},
+		{Inst{Op: OpDIVU}, ClassDiv, false, false, false},
+		{Inst{Op: OpREM}, ClassDiv, false, false, false},
+		{Inst{Op: OpLD}, ClassLoad, true, false, false},
+		{Inst{Op: OpSB}, ClassStore, false, true, false},
+		{Inst{Op: OpBEQ}, ClassBranch, false, false, true},
+		{Inst{Op: OpJAL}, ClassBranch, false, false, false},
+		{Inst{Op: OpECALL}, ClassSystem, false, false, false},
+		{Inst{Op: OpMARK}, ClassSystem, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.in.Class(); got != tt.cls {
+			t.Errorf("%v.Class() = %v want %v", tt.in.Op, got, tt.cls)
+		}
+		if tt.in.IsLoad() != tt.load || tt.in.IsStore() != tt.st ||
+			tt.in.IsCondBranch() != tt.br {
+			t.Errorf("%v: load/store/branch flags wrong", tt.in.Op)
+		}
+	}
+}
+
+func TestOperandUsage(t *testing.T) {
+	if (Inst{Op: OpLUI}).ReadsRs1() {
+		t.Error("lui should not read rs1")
+	}
+	if !(Inst{Op: OpADDI}).ReadsRs1() {
+		t.Error("addi should read rs1")
+	}
+	if (Inst{Op: OpADDI}).ReadsRs2() {
+		t.Error("addi should not read rs2")
+	}
+	if !(Inst{Op: OpSD}).ReadsRs2() {
+		t.Error("sd should read rs2 (data)")
+	}
+	if !(Inst{Op: OpBEQ}).ReadsRs2() {
+		t.Error("beq should read rs2")
+	}
+	if (Inst{Op: OpJAL}).ReadsRs1() {
+		t.Error("jal should not read rs1")
+	}
+	if !(Inst{Op: OpJAL, Rd: RA}).WritesRd() {
+		t.Error("jal should write rd")
+	}
+	if (Inst{Op: OpSD}).WritesRd() {
+		t.Error("sd should not write rd")
+	}
+	if (Inst{Op: OpBEQ}).WritesRd() {
+		t.Error("beq should not write rd")
+	}
+	if !(Inst{Op: OpMARK, Rs1: A0, Imm: int64(MarkIterBegin)}).ReadsRs1() {
+		t.Error("iter.begin should read rs1 (class value)")
+	}
+	if (Inst{Op: OpMARK, Imm: int64(MarkROIBegin)}).ReadsRs1() {
+		t.Error("roi.begin should not read rs1")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADD, Rd: A0, Rs1: A1, Rs2: A2}, "add a0, a1, a2"},
+		{Inst{Op: OpADDI, Rd: A0, Rs1: A1, Imm: -4}, "addi a0, a1, -4"},
+		{Inst{Op: OpLD, Rd: A0, Rs1: SP, Imm: 8}, "ld a0, 8(sp)"},
+		{Inst{Op: OpSD, Rs1: SP, Rs2: A0, Imm: -8}, "sd a0, -8(sp)"},
+		{Inst{Op: OpBEQ, Rs1: A0, Rs2: A1, Imm: 16}, "beq a0, a1, 16"},
+		{Inst{Op: OpECALL}, "ecall"},
+		{Inst{Op: OpMARK, Rs1: A3, Imm: int64(MarkIterBegin)}, "iter.begin a3"},
+		{Inst{Op: OpMARK, Imm: int64(MarkROIEnd)}, "roi.end"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q want %q", got, tt.want)
+		}
+	}
+}

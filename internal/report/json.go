@@ -1,0 +1,116 @@
+package report
+
+import (
+	"encoding/json"
+
+	"microsampler/internal/core"
+	"microsampler/internal/stats"
+)
+
+// jsonReport is the stable machine-readable schema of a verification.
+type jsonReport struct {
+	Workload   string           `json:"workload"`
+	Config     string           `json:"config"`
+	Runs       int              `json:"runs"`
+	Iterations int              `json:"iterations"`
+	SimCycles  int64            `json:"simCycles"`
+	Leaky      bool             `json:"leaky"`
+	Units      []jsonUnitResult `json:"units"`
+	Stages     jsonStages       `json:"stagesMillis"`
+}
+
+type jsonUnitResult struct {
+	Unit   string     `json:"unit"`
+	Leaky  bool       `json:"leaky"`
+	Assoc  jsonAssoc  `json:"assoc"`
+	NoTime jsonAssoc  `json:"assocNoTiming"`
+	Unique []jsonUniq `json:"uniqueFeatures,omitempty"`
+}
+
+type jsonAssoc struct {
+	V           float64 `json:"cramersV"`
+	VCorrected  float64 `json:"cramersVCorrected"`
+	P           float64 `json:"pValue"`
+	MI          float64 `json:"mutualInformationBits"`
+	Chi2        float64 `json:"chiSquared"`
+	DF          int     `json:"degreesOfFreedom"`
+	N           int     `json:"observations"`
+	UniqueSnaps int     `json:"uniqueSnapshots"`
+	Classes     int     `json:"classes"`
+}
+
+type jsonUniq struct {
+	Class  uint64   `json:"class"`
+	Values []uint64 `json:"values"`
+}
+
+type jsonStages struct {
+	Simulate int64 `json:"simulate"`
+	Parse    int64 `json:"parse"`
+	Stats    int64 `json:"stats"`
+	Extract  int64 `json:"extract"`
+}
+
+// JSON renders the report in the stable machine-readable schema.
+func JSON(rep *core.Report) ([]byte, error) {
+	out := jsonReport{
+		Workload:   rep.Workload,
+		Config:     rep.Config,
+		Runs:       rep.Runs,
+		Iterations: len(rep.Iterations),
+		SimCycles:  rep.SimCycles,
+		Leaky:      rep.AnyLeak(),
+		Stages: jsonStages{
+			Simulate: rep.Stages.Simulate.Milliseconds(),
+			Parse:    rep.Stages.Parse.Milliseconds(),
+			Stats:    rep.Stages.Stats.Milliseconds(),
+			Extract:  rep.Stages.Extract.Milliseconds(),
+		},
+	}
+	for _, u := range rep.Units {
+		ju := jsonUnitResult{
+			Unit:   u.Unit.String(),
+			Leaky:  u.Leaky(),
+			Assoc:  jsonAssocOf(u.Assoc),
+			NoTime: jsonAssocOf(u.AssocNoTiming),
+		}
+		classes := make([]uint64, 0, len(u.UniqueFeatures))
+		for c := range u.UniqueFeatures {
+			classes = append(classes, c)
+		}
+		sortUint64(classes)
+		for _, c := range classes {
+			if len(u.UniqueFeatures[c]) == 0 {
+				continue
+			}
+			ju.Unique = append(ju.Unique, jsonUniq{
+				Class:  c,
+				Values: u.UniqueFeatures[c],
+			})
+		}
+		out.Units = append(out.Units, ju)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func jsonAssocOf(a stats.Association) jsonAssoc {
+	return jsonAssoc{
+		V:           a.V,
+		VCorrected:  a.VCorrected,
+		P:           a.P,
+		MI:          a.MI,
+		Chi2:        a.Chi2,
+		DF:          a.DF,
+		N:           a.N,
+		UniqueSnaps: a.Cols,
+		Classes:     a.Rows,
+	}
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+	"microsampler/internal/trace"
+)
+
+// sampleReport builds a small real report by verifying a leaky loop.
+func sampleReport(t *testing.T) *core.Report {
+	t.Helper()
+	rep, err := core.Verify(core.Workload{Name: "sample", Source: `
+	.text
+_start:
+	li   s2, 20
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3
+	mul  t0, s2, s2
+	beqz s3, skip
+	mul  t0, t0, s2
+skip:
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+`}, core.Options{Runs: 2, Warmup: 2, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCramersVChart(t *testing.T) {
+	rep := sampleReport(t)
+	out := CramersVChart(rep)
+	for _, u := range trace.AllUnits() {
+		if !strings.Contains(out, u.String()) {
+			t.Errorf("chart missing unit %v", u)
+		}
+	}
+	if !strings.Contains(out, "sample") || !strings.Contains(out, "SmallBoom") {
+		t.Error("chart missing metadata")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("chart should mark leaky units")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0); strings.Contains(got, "#") {
+		t.Errorf("bar(0) = %q", got)
+	}
+	if got := bar(1); strings.Contains(got, ".") {
+		t.Errorf("bar(1) = %q", got)
+	}
+	if got := bar(0.5); strings.Count(got, "#") != barWidth/2 {
+		t.Errorf("bar(0.5) = %q", got)
+	}
+	if len(bar(-1)) != barWidth || len(bar(2)) != barWidth {
+		t.Error("bar must clamp out-of-range values")
+	}
+}
+
+func TestTimingChart(t *testing.T) {
+	rep := sampleReport(t)
+	out := CramersVTimingChart(rep)
+	if strings.Count(out, "EUU-MUL") != 1 {
+		t.Error("timing chart should list each unit once")
+	}
+	if strings.Count(out, "=|") < len(trace.AllUnits()) ||
+		strings.Count(out, "-|") < len(trace.AllUnits()) {
+		t.Error("timing chart needs paired rows")
+	}
+}
+
+func TestTimingHistogramAndMeans(t *testing.T) {
+	iters := []trace.IterSample{
+		{Class: 0, Cycles: 10}, {Class: 0, Cycles: 10}, {Class: 0, Cycles: 12},
+		{Class: 1, Cycles: 20}, {Class: 1, Cycles: 22},
+	}
+	out := TimingHistogram("demo", iters)
+	for _, want := range []string{"class 0", "class 1", "10 cycles", "22 cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+	means := MeanCycles(iters)
+	if means[0] != 32.0/3 || means[1] != 21 {
+		t.Errorf("means = %v", means)
+	}
+}
+
+func TestContingencyAndFeatures(t *testing.T) {
+	rep := sampleReport(t)
+	ct := ContingencyTable(rep, trace.EUUMUL, 4)
+	if !strings.Contains(ct, "EUU-MUL") || !strings.Contains(ct, "V=") {
+		t.Errorf("contingency table malformed:\n%s", ct)
+	}
+	if !strings.Contains(ContingencyTable(rep, trace.Unit(99), 4), "not tracked") {
+		t.Error("unknown unit should be reported")
+	}
+	ft := Features(rep, trace.EUUMUL)
+	if !strings.Contains(ft, "unique feature") {
+		t.Errorf("features malformed:\n%s", ft)
+	}
+	if !strings.Contains(Features(rep, trace.Unit(99)), "not tracked") {
+		t.Error("unknown unit should be reported")
+	}
+}
+
+func TestFeaturesNotExtracted(t *testing.T) {
+	// A clean workload has no extraction for insignificant units.
+	rep, err := core.Verify(core.Workload{Name: "clean", Source: `
+	.text
+_start:
+	li   s2, 6
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3
+	mul  t0, s2, s2
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+`}, core.Options{Runs: 2, Warmup: 2, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Features(rep, trace.EUUMUL)
+	if !strings.Contains(out, "extraction not performed") {
+		t.Errorf("expected no-extraction notice:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rep := sampleReport(t)
+	s := Summary(rep)
+	if !strings.Contains(s, "LEAKAGE") {
+		t.Errorf("summary should report leakage: %q", s)
+	}
+}
+
+func TestStageBreakdown(t *testing.T) {
+	rep := sampleReport(t)
+	out := StageBreakdown(rep)
+	for _, want := range []string{"execute program", "parse traces", "Cramér", "feature extraction", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stage breakdown missing %q", want)
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	rep := sampleReport(t)
+	data, err := JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["workload"] != "sample" || decoded["leaky"] != true {
+		t.Errorf("metadata wrong: %v %v", decoded["workload"], decoded["leaky"])
+	}
+	units, ok := decoded["units"].([]interface{})
+	if !ok || len(units) != 16 {
+		t.Fatalf("units = %v", decoded["units"])
+	}
+	u0, ok := units[0].(map[string]interface{})
+	if !ok {
+		t.Fatal("unit entry malformed")
+	}
+	assoc, ok := u0["assoc"].(map[string]interface{})
+	if !ok {
+		t.Fatal("assoc missing")
+	}
+	for _, key := range []string{"cramersV", "cramersVCorrected", "pValue",
+		"mutualInformationBits", "uniqueSnapshots", "classes"} {
+		if _, present := assoc[key]; !present {
+			t.Errorf("assoc missing key %q", key)
+		}
+	}
+	// A leaky unit must carry its unique features.
+	foundUnique := false
+	for _, raw := range units {
+		u := raw.(map[string]interface{})
+		if u["leaky"] == true {
+			if _, present := u["uniqueFeatures"]; present {
+				foundUnique = true
+			}
+		}
+	}
+	if !foundUnique {
+		t.Error("no leaky unit exported unique features")
+	}
+}

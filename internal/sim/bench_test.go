@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/isa"
+)
+
+// benchProgram is a mixed integer/memory/branch workload.
+const benchProgram = `
+	.data
+buf: .zero 8192
+	.text
+_start:
+	la   s2, buf
+	li   s3, 2000
+	li   s4, 0
+loop:
+	andi t0, s3, 127
+	slli t0, t0, 6
+	add  t0, t0, s2
+	sd   s3, 0(t0)
+	ld   t1, 0(t0)
+	mul  t2, t1, t1
+	add  s4, s4, t2
+	andi t3, s3, 3
+	beqz t3, skip
+	xor  s4, s4, t1
+skip:
+	addi s3, s3, -1
+	bnez s3, loop
+	li   a0, 0
+	li   a7, 93
+	ecall
+`
+
+func benchConfig(b *testing.B, cfg Config) {
+	b.Helper()
+	prog, err := asm.Assemble(benchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run(50_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkSimMegaBoom measures raw simulation throughput on the large
+// configuration (no tracing).
+func BenchmarkSimMegaBoom(b *testing.B) { benchConfig(b, MegaBoom()) }
+
+// BenchmarkSimSmallBoom measures raw simulation throughput on the small
+// configuration.
+func BenchmarkSimSmallBoom(b *testing.B) { benchConfig(b, SmallBoom()) }
+
+// BenchmarkSimTraced measures throughput with a per-cycle tracer
+// attached (the dominant cost of the verification pipeline).
+func BenchmarkSimTraced(b *testing.B) {
+	prog, err := asm.Assemble(benchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(MegaBoom())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		m.SetTracer(countingTracer{})
+		if _, err := m.Run(50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingTracer struct{}
+
+func (countingTracer) OnCycle(p *Probe) {
+	_ = p.StoreQueue()
+	_ = p.LoadQueue()
+	_ = p.ROB()
+	_ = p.ALUBusy()
+	_ = p.CacheRequests()
+	_ = p.TLBPages()
+	_ = p.MSHRAddrs()
+	_ = p.LFB()
+	_ = p.PrefetchAddrs()
+}
+
+func (countingTracer) OnMark(int64, isa.MarkKind, uint64) {}

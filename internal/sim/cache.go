@@ -1,0 +1,374 @@
+package sim
+
+// cacheLine is one way of a set.
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	lastUse int64
+}
+
+// cache is a set-associative, LRU-replacement cache model. It tracks tags
+// only; data always comes from the functional Memory.
+type cache struct {
+	sets      [][]cacheLine
+	setMask   uint64
+	lineShift uint
+}
+
+func newCache(sets, ways, lineBytes int) *cache {
+	c := &cache{
+		sets:    make([][]cacheLine, sets),
+		setMask: uint64(sets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, ways)
+	}
+	for ls := lineBytes; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+func (c *cache) setOf(lineAddr uint64) []cacheLine { return c.sets[lineAddr&c.setMask] }
+
+// lookup probes for a line (identified by addr>>lineShift) and refreshes
+// its LRU stamp on a hit.
+func (c *cache) lookup(lineAddr uint64, now int64) bool {
+	set := c.setOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lastUse = now
+			return true
+		}
+	}
+	return false
+}
+
+// present probes without updating replacement state.
+func (c *cache) present(lineAddr uint64) bool {
+	set := c.setOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// insert fills a line, evicting the LRU way if needed.
+func (c *cache) insert(lineAddr uint64, now int64) {
+	set := c.setOf(lineAddr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{tag: lineAddr, valid: true, lastUse: now}
+}
+
+// invalidate removes a line if present.
+func (c *cache) invalidate(lineAddr uint64) {
+	set := c.setOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].valid = false
+		}
+	}
+}
+
+// tlbEntry is one data-TLB mapping (identity translation; the entry
+// models timing and replacement state only).
+type tlbEntry struct {
+	page    uint64
+	valid   bool
+	lastUse int64
+}
+
+type tlb struct {
+	entries []tlbEntry
+}
+
+func newTLB(n int) *tlb { return &tlb{entries: make([]tlbEntry, n)} }
+
+func (t *tlb) lookup(page uint64, now int64) bool {
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].page == page {
+			t.entries[i].lastUse = now
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tlb) insert(page uint64, now int64) {
+	victim := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			victim = i
+			break
+		}
+		if t.entries[i].lastUse < t.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	t.entries[victim] = tlbEntry{page: page, valid: true, lastUse: now}
+}
+
+// recencyOrdered returns the valid pages most-recently-used first. This
+// is the TLB-ADDR feature row: it exposes the replacement (LRU stack)
+// state, which is genuine RTL state of the translation unit.
+func (t *tlb) recencyOrdered() []tlbEntry {
+	out := make([]tlbEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		if e.valid {
+			out = append(out, e)
+		}
+	}
+	// Insertion sort by lastUse descending; the TLB is small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].lastUse > out[j-1].lastUse; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// mshr is a miss-status holding register: one outstanding cache miss.
+type mshr struct {
+	valid    bool
+	lineAddr uint64
+	fillAt   int64
+	prefetch bool
+}
+
+// lfbEntry is a load-fill-buffer slot holding an in-flight or freshly
+// filled line.
+type lfbEntry struct {
+	valid    bool
+	lineAddr uint64
+	data     uint64 // first doubleword of the line
+	fillAt   int64
+	freeAt   int64
+}
+
+// dcache bundles the L1D tag array, MSHRs, load-fill buffer, next-line
+// prefetcher and data TLB, and provides the timing interface used by the
+// load/store machinery.
+type dcache struct {
+	cfg   Config
+	cache *cache
+	tlb   *tlb
+	mem   *Memory
+
+	mshrs []mshr
+	lfb   []lfbEntry
+
+	// Outstanding next-line prefetches.
+	nlp []mshr
+
+	// Demand request addresses observed this cycle (Cache-ADDR feature).
+	reqThisCycle []reqEvent
+
+	// Statistics.
+	hits, misses, tlbMisses, prefetches uint64
+}
+
+type reqEvent struct {
+	addr uint64
+	pc   uint64
+}
+
+func newDCache(cfg Config, mem *Memory) *dcache {
+	return &dcache{
+		cfg:   cfg,
+		cache: newCache(cfg.DCacheSets, cfg.DCacheWays, cfg.LineBytes),
+		tlb:   newTLB(cfg.TLBEntries),
+		mem:   mem,
+		mshrs: make([]mshr, cfg.MSHREntries),
+		lfb:   make([]lfbEntry, cfg.LFBEntries),
+		nlp:   make([]mshr, 2),
+	}
+}
+
+func (d *dcache) lineOf(addr uint64) uint64 { return addr >> d.cache.lineShift }
+
+// tick retires completed fills and expires fill-buffer entries.
+func (d *dcache) tick(now int64) {
+	d.reqThisCycle = d.reqThisCycle[:0]
+	for i := range d.mshrs {
+		if d.mshrs[i].valid && d.mshrs[i].fillAt <= now {
+			d.cache.insert(d.mshrs[i].lineAddr, now)
+			d.mshrs[i].valid = false
+		}
+	}
+	for i := range d.nlp {
+		if d.nlp[i].valid && d.nlp[i].fillAt <= now {
+			d.cache.insert(d.nlp[i].lineAddr, now)
+			d.nlp[i].valid = false
+		}
+	}
+	for i := range d.lfb {
+		if d.lfb[i].valid && d.lfb[i].freeAt <= now {
+			d.lfb[i].valid = false
+		}
+	}
+}
+
+func (d *dcache) mshrFor(line uint64) *mshr {
+	for i := range d.mshrs {
+		if d.mshrs[i].valid && d.mshrs[i].lineAddr == line {
+			return &d.mshrs[i]
+		}
+	}
+	return nil
+}
+
+func (d *dcache) freeMSHR() *mshr {
+	for i := range d.mshrs {
+		if !d.mshrs[i].valid {
+			return &d.mshrs[i]
+		}
+	}
+	return nil
+}
+
+func (d *dcache) freeLFB() *lfbEntry {
+	for i := range d.lfb {
+		if !d.lfb[i].valid {
+			return &d.lfb[i]
+		}
+	}
+	return nil
+}
+
+// access models a demand load or store reaching the L1D. It returns the
+// cycle at which the data is available (load) or the write is accepted
+// (store), and ok=false when the request must be retried because all
+// MSHRs or fill-buffer slots are busy.
+func (d *dcache) access(now int64, addr, pc uint64) (done int64, ok bool) {
+	d.reqThisCycle = append(d.reqThisCycle, reqEvent{addr: addr, pc: pc})
+
+	penalty := int64(0)
+	page := addr / pageBytes
+	if !d.tlb.lookup(page, now) {
+		penalty = int64(d.cfg.TLBMissLat)
+		d.tlb.insert(page, now)
+		d.tlbMisses++
+	}
+
+	line := d.lineOf(addr)
+	d.maybePrefetch(now, line)
+
+	if d.cache.lookup(line, now) {
+		d.hits++
+		return now + penalty + int64(d.cfg.DCacheHitLat), true
+	}
+	d.misses++
+	if m := d.mshrFor(line); m != nil {
+		return m.fillAt + 1 + penalty, true
+	}
+	// Check in-flight prefetches: promote to a demand hit on the fill.
+	for i := range d.nlp {
+		if d.nlp[i].valid && d.nlp[i].lineAddr == line {
+			return d.nlp[i].fillAt + 1 + penalty, true
+		}
+	}
+	m := d.freeMSHR()
+	f := d.freeLFB()
+	if m == nil || f == nil {
+		return 0, false
+	}
+	fill := now + penalty + int64(d.cfg.MissLat)
+	*m = mshr{valid: true, lineAddr: line, fillAt: fill}
+	lineBase := line << d.cache.lineShift
+	*f = lfbEntry{
+		valid:    true,
+		lineAddr: line,
+		data:     d.mem.Read(lineBase, 8),
+		fillAt:   fill,
+		freeAt:   fill + 3,
+	}
+	return fill + 1, true
+}
+
+// maybePrefetch lets the next-line prefetcher probe line+1 on every
+// demand access and fetch it when absent. A prefetch occupies a next-line
+// tracker slot, an MSHR and a fill-buffer entry, as in real designs, but
+// never delays demand traffic (demand requests that need the last MSHR
+// simply retry the next cycle).
+func (d *dcache) maybePrefetch(now int64, line uint64) {
+	if !d.cfg.NextLinePrefetcher {
+		return
+	}
+	next := line + 1
+	if d.cache.present(next) || d.mshrFor(next) != nil {
+		return
+	}
+	for i := range d.nlp {
+		if d.nlp[i].valid && d.nlp[i].lineAddr == next {
+			return
+		}
+	}
+	f := d.freeLFB()
+	if f == nil {
+		return
+	}
+	for i := range d.nlp {
+		if !d.nlp[i].valid {
+			fill := now + int64(d.cfg.MissLat)
+			d.prefetches++
+			d.nlp[i] = mshr{valid: true, lineAddr: next, fillAt: fill, prefetch: true}
+			lineBase := next << d.cache.lineShift
+			*f = lfbEntry{
+				valid:    true,
+				lineAddr: next,
+				data:     d.mem.Read(lineBase, 8),
+				fillAt:   fill,
+				freeAt:   fill + 3,
+			}
+			return
+		}
+	}
+}
+
+// flush invalidates the line containing addr (CBO.FLUSH).
+func (d *dcache) flush(addr uint64) {
+	d.cache.invalidate(d.lineOf(addr))
+}
+
+// icache is the instruction-side cache: a plain tag array with a fill
+// delay; the front end stalls on misses.
+type icache struct {
+	cache   *cache
+	hitLat  int
+	missLat int
+}
+
+func newICache(cfg Config) *icache {
+	return &icache{
+		cache:   newCache(cfg.ICacheSets, cfg.ICacheWays, cfg.LineBytes),
+		hitLat:  cfg.ICacheHitLat,
+		missLat: cfg.MissLat,
+	}
+}
+
+// fetchReady returns the cycle at which the line containing pc can
+// deliver instructions, filling it on a miss.
+func (ic *icache) fetchReady(now int64, pc uint64) int64 {
+	line := pc >> ic.cache.lineShift
+	if ic.cache.lookup(line, now) {
+		return now + int64(ic.hitLat) - 1
+	}
+	ic.cache.insert(line, now)
+	return now + int64(ic.missLat)
+}
+
+// flush invalidates the line containing addr.
+func (ic *icache) flush(addr uint64) {
+	ic.cache.invalidate(addr >> ic.cache.lineShift)
+}

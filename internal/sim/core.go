@@ -1,0 +1,731 @@
+package sim
+
+import (
+	"fmt"
+
+	"microsampler/internal/isa"
+)
+
+// fuSlot tracks occupancy of one functional-unit instance for the
+// execution-unit-utilisation (EUU) features.
+type fuSlot struct {
+	busyUntil int64
+	pc        uint64
+	seq       uint64
+}
+
+// Core is the out-of-order pipeline.
+type Core struct {
+	cfg Config
+	mem *Memory
+	dc  *dcache
+	ic  *icache
+	bp  *gshare
+
+	cycle int64
+	seq   uint64
+
+	// Front end.
+	fetchPC      uint64
+	fetchReadyAt int64
+	fetchBuf     []*uop
+	fetchTrapped bool
+
+	// Rename state.
+	rat      [32]int16
+	prfVal   []uint64
+	prfReady []int64 // cycle at which the register becomes readable
+	freeList []int16
+
+	// Windows.
+	rob []*uop
+	iq  []*uop
+	ldq []*uop
+	stq []*uop
+
+	// Committed stores being drained to the D-cache; entries stay in the
+	// STQ until the drain completes.
+	drainBusyUntil int64
+
+	// Sequence number of an in-flight serializing op (FENCE/CBO.FLUSH);
+	// dispatch stalls until it commits. Zero when none is in flight.
+	serializeSeq uint64
+
+	// Functional units.
+	alus, muls, divs, agus, brus []fuSlot
+
+	// Architectural state at commit.
+	archRegs [32]uint64
+
+	// Run status.
+	halted      bool
+	exitCode    uint64
+	runErr      error
+	output      []byte
+	retired     uint64
+	lastCommit  int64
+	mispredicts uint64
+	branches    uint64
+
+	tracer Tracer
+}
+
+// Tracer observes per-cycle microarchitectural state and commit-time
+// region/iteration markers. It is the analogue of the paper's Chisel
+// printf instrumentation.
+type Tracer interface {
+	// OnCycle is invoked at the end of every simulated cycle.
+	OnCycle(p *Probe)
+	// OnMark is invoked when a MARK instruction commits.
+	OnMark(cycle int64, kind isa.MarkKind, class uint64)
+}
+
+func newCore(cfg Config, mem *Memory) *Core {
+	c := &Core{
+		cfg:        cfg,
+		mem:        mem,
+		dc:         newDCache(cfg, mem),
+		ic:         newICache(cfg),
+		bp:         newGshare(cfg.BranchPredEnts, cfg.BTBEntries),
+		prfVal:     make([]uint64, cfg.IntPRF),
+		prfReady:   make([]int64, cfg.IntPRF),
+		alus:       make([]fuSlot, cfg.NumALU),
+		muls:       make([]fuSlot, cfg.NumMul),
+		divs:       make([]fuSlot, cfg.NumDiv),
+		agus:       make([]fuSlot, cfg.NumAGU),
+		brus:       make([]fuSlot, cfg.IssueWidth),
+		lastCommit: 0,
+	}
+	for i := 0; i < 32; i++ {
+		c.rat[i] = int16(i)
+	}
+	c.freeList = make([]int16, 0, cfg.IntPRF)
+	for i := cfg.IntPRF - 1; i >= 32; i-- {
+		c.freeList = append(c.freeList, int16(i))
+	}
+	return c
+}
+
+// step advances the pipeline by one cycle.
+func (c *Core) step() {
+	c.cycle++
+	c.dc.tick(c.cycle)
+
+	c.commit()
+	c.drainStores()
+	c.complete()
+	c.issueMemory()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+
+	if c.tracer != nil {
+		c.tracer.OnCycle(&Probe{c: c})
+	}
+	if !c.halted && c.cycle-c.lastCommit > 100000 {
+		c.fail(fmt.Errorf("sim: pipeline made no progress for 100000 cycles (pc≈%#x)", c.fetchPC))
+	}
+}
+
+func (c *Core) fail(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+	}
+	c.halted = true
+}
+
+// ---------------------------------------------------------------------
+// Commit.
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.RetireWidth && len(c.rob) > 0; n++ {
+		u := c.rob[0]
+		if !u.completed {
+			return
+		}
+		// FENCE and iteration-end markers retire only once all older
+		// stores have drained to the D-cache: FENCE for memory-ordering
+		// semantics, iter.end so each measured iteration is charged its
+		// own memory traffic (the paper's long iterations absorb their
+		// drains naturally; scaled-down ones need the barrier).
+		drainBarrier := u.inst.Op == isa.OpFENCE ||
+			(u.inst.Op == isa.OpMARK && isa.MarkKind(u.inst.Imm) == isa.MarkIterEnd)
+		if drainBarrier {
+			olderStore := len(c.stq) > 0 && c.stq[0].seq < u.seq
+			if olderStore || c.cycle < c.drainBusyUntil {
+				return
+			}
+		}
+		if u.trap {
+			c.fail(fmt.Errorf("sim: illegal instruction at pc %#x", u.pc))
+			return
+		}
+		switch {
+		case u.inst.IsStore():
+			// The architectural write happens at commit; the D-cache
+			// drain (timing) follows. The STQ entry is released once
+			// the drain completes.
+			c.mem.Write(u.memAddr, u.memSize, u.storeData)
+		case u.inst.Op == isa.OpECALL:
+			c.syscall()
+			if c.halted {
+				c.popROBHead(u)
+				return
+			}
+		case u.inst.Op == isa.OpMARK:
+			if c.tracer != nil {
+				c.tracer.OnMark(c.cycle, isa.MarkKind(u.inst.Imm), u.result)
+			}
+		case u.inst.Op == isa.OpCBOFLUSH:
+			c.dc.flush(u.result)
+			c.ic.flush(u.result)
+		}
+		if u.seq == c.serializeSeq {
+			c.serializeSeq = 0
+		}
+		if u.pdst >= 0 && u.inst.Rd != isa.Zero {
+			c.archRegs[u.inst.Rd] = u.result
+			if u.stale >= 32 {
+				c.freeList = append(c.freeList, u.stale)
+			}
+		}
+		c.popROBHead(u)
+	}
+}
+
+func (c *Core) popROBHead(u *uop) {
+	c.rob = c.rob[1:]
+	c.retired++
+	c.lastCommit = c.cycle
+	if u.inst.IsLoad() && len(c.ldq) > 0 && c.ldq[0] == u {
+		c.ldq = c.ldq[1:]
+	}
+	// Store uops leave the STQ when their drain completes (drainStores).
+}
+
+func (c *Core) syscall() {
+	switch c.archRegs[isa.A7] {
+	case 93: // exit
+		c.exitCode = c.archRegs[isa.A0]
+		c.halted = true
+	case 64: // write
+		addr, n := c.archRegs[isa.A1], c.archRegs[isa.A2]
+		if n > 1<<20 {
+			c.fail(fmt.Errorf("sim: write syscall length %d too large", n))
+			return
+		}
+		c.output = append(c.output, c.mem.ReadBytes(addr, int(n))...)
+		c.archRegs[isa.A0] = n
+	default:
+		c.fail(fmt.Errorf("sim: unsupported syscall %d", c.archRegs[isa.A7]))
+	}
+}
+
+// drainStores sends committed stores to the D-cache, one at a time; a
+// missing line blocks the drain until its fill completes, which is what
+// creates the cache-residency timing channel of case study ME-V1-MV.
+func (c *Core) drainStores() {
+	if c.cycle < c.drainBusyUntil {
+		return
+	}
+	// The head of the STQ is the oldest store. It drains only after its
+	// uop has committed (it is no longer in the ROB).
+	if len(c.stq) == 0 {
+		return
+	}
+	u := c.stq[0]
+	if !c.isCommitted(u) {
+		return
+	}
+	done, ok := c.dc.access(c.cycle, u.memAddr, u.pc)
+	if !ok {
+		return
+	}
+	c.drainBusyUntil = done
+	c.stq = c.stq[1:]
+}
+
+func (c *Core) isCommitted(u *uop) bool {
+	return len(c.rob) == 0 || u.seq < c.rob[0].seq
+}
+
+// ---------------------------------------------------------------------
+// Completion and branch resolution.
+
+func (c *Core) complete() {
+	for _, u := range c.rob {
+		if u.completed || u.doneAt > c.cycle {
+			continue
+		}
+		u.completed = true
+		if u.inst.Class() == isa.ClassBranch && !u.resolved {
+			if c.resolveBranch(u) {
+				return // squash performed; younger state is gone
+			}
+		}
+	}
+}
+
+// resolveBranch trains the predictor and squashes on a misprediction.
+// It reports whether a squash happened.
+func (c *Core) resolveBranch(u *uop) bool {
+	u.resolved = true
+	c.branches++
+	if u.inst.IsCondBranch() {
+		c.bp.train(u.phtIdx, u.taken)
+	}
+	if u.inst.Op == isa.OpJALR {
+		c.bp.btbUpdate(u.pc, u.target)
+	}
+	mispredicted := u.taken != u.predTaken || (u.taken && u.target != u.predTarget)
+	if !mispredicted {
+		return false
+	}
+	c.mispredicts++
+	c.squashAfter(u)
+	if u.inst.IsCondBranch() {
+		c.bp.restoreHistory(u.histChk, u.taken)
+	}
+	redirect := u.target
+	if !u.taken {
+		redirect = u.pc + 4
+	}
+	c.fetchPC = redirect
+	c.fetchReadyAt = c.cycle + 2 // redirect penalty
+	c.fetchTrapped = false
+	c.fetchBuf = c.fetchBuf[:0]
+	return true
+}
+
+// squashAfter removes every uop younger than u from the pipeline and
+// restores the rename state to u's checkpoint.
+func (c *Core) squashAfter(u *uop) {
+	if u.ratChk != nil {
+		c.rat = *u.ratChk
+	}
+	squashSeq := u.seq
+	// Free destination registers of squashed uops, youngest first, so
+	// the free list returns to its pre-allocation order.
+	for i := len(c.rob) - 1; i >= 0; i-- {
+		v := c.rob[i]
+		if v.seq <= squashSeq {
+			break
+		}
+		if v.pdst >= 32 {
+			c.freeList = append(c.freeList, v.pdst)
+		}
+	}
+	if c.serializeSeq > squashSeq {
+		c.serializeSeq = 0
+	}
+	c.rob = truncAfter(c.rob, squashSeq)
+	c.iq = truncAfter(c.iq, squashSeq)
+	c.ldq = truncAfter(c.ldq, squashSeq)
+	c.stq = truncAfter(c.stq, squashSeq)
+	for _, pool := range [][]fuSlot{c.alus, c.muls, c.divs, c.agus, c.brus} {
+		for i := range pool {
+			if pool[i].busyUntil > c.cycle && pool[i].seq > squashSeq {
+				pool[i] = fuSlot{}
+			}
+		}
+	}
+}
+
+func truncAfter(q []*uop, seq uint64) []*uop {
+	for len(q) > 0 && q[len(q)-1].seq > seq {
+		q = q[:len(q)-1]
+	}
+	return q
+}
+
+// ---------------------------------------------------------------------
+// Memory issue (loads accessing the D-cache, with STQ forwarding).
+
+func (c *Core) issueMemory() {
+	for _, ld := range c.ldq {
+		if !ld.addrReady || ld.memIssued {
+			continue
+		}
+		st, blocked := c.olderStoreConflict(ld)
+		if blocked {
+			continue
+		}
+		if st != nil {
+			// Store-to-load forwarding.
+			shift := (ld.memAddr - st.memAddr) * 8
+			raw := st.storeData >> shift
+			ld.result = loadExtend(ld.inst.Op, raw)
+			ld.memIssued = true
+			ld.doneAt = c.cycle + 1
+			if ld.pdst >= 0 {
+				c.prfVal[ld.pdst] = ld.result
+				c.prfReady[ld.pdst] = ld.doneAt
+			}
+			continue
+		}
+		done, ok := c.dc.access(c.cycle, ld.memAddr, ld.pc)
+		if !ok {
+			continue
+		}
+		raw := c.mem.Read(ld.memAddr, ld.memSize)
+		ld.result = loadExtend(ld.inst.Op, raw)
+		ld.memIssued = true
+		ld.doneAt = done
+		if ld.pdst >= 0 {
+			c.prfVal[ld.pdst] = ld.result
+			c.prfReady[ld.pdst] = done
+		}
+	}
+}
+
+// olderStoreConflict scans older stores. It returns a forwarding source
+// when the youngest older overlapping store fully covers the load, or
+// blocked=true when the load must wait (unknown address, partial
+// overlap, or covering store whose data is not yet available).
+func (c *Core) olderStoreConflict(ld *uop) (fwd *uop, blocked bool) {
+	for i := len(c.stq) - 1; i >= 0; i-- {
+		st := c.stq[i]
+		if st.seq > ld.seq {
+			continue
+		}
+		if !st.addrReady {
+			return nil, true
+		}
+		if st.memAddr+uint64(st.memSize) <= ld.memAddr ||
+			ld.memAddr+uint64(ld.memSize) <= st.memAddr {
+			continue // disjoint
+		}
+		covers := st.memAddr <= ld.memAddr &&
+			ld.memAddr+uint64(ld.memSize) <= st.memAddr+uint64(st.memSize)
+		if covers && st.completed {
+			return st, false
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------
+// Issue and execute.
+
+func (c *Core) srcReady(p int16) bool {
+	return p < 0 || c.prfReady[p] <= c.cycle
+}
+
+func (c *Core) srcVal(p int16) uint64 {
+	if p < 0 {
+		return 0
+	}
+	return c.prfVal[p]
+}
+
+func acquireFU(pool []fuSlot, now int64) *fuSlot {
+	for i := range pool {
+		if pool[i].busyUntil <= now {
+			return &pool[i]
+		}
+	}
+	return nil
+}
+
+func (c *Core) issue() {
+	issued := 0
+	kept := c.iq[:0]
+	for qi, u := range c.iq {
+		if issued >= c.cfg.IssueWidth {
+			kept = append(kept, c.iq[qi:]...)
+			break
+		}
+		if !c.srcReady(u.ps1) || !c.srcReady(u.ps2) {
+			kept = append(kept, u)
+			continue
+		}
+		if !c.tryIssue(u) {
+			kept = append(kept, u)
+			continue
+		}
+		issued++
+	}
+	c.iq = kept
+}
+
+// tryIssue executes u functionally if a functional unit is available.
+func (c *Core) tryIssue(u *uop) bool {
+	v1 := c.srcVal(u.ps1)
+	v2 := c.srcVal(u.ps2)
+	now := c.cycle
+
+	switch u.inst.Class() {
+	case isa.ClassALU:
+		// Fast bypass, late check (Section VII-B1 step 2.2): an AND
+		// whose operand arrived as zero via the bypass network is
+		// folded at issue — it never occupies an ALU and its dependents
+		// wake immediately.
+		if c.cfg.FastBypass && u.inst.Op == isa.OpAND && (v1 == 0 || v2 == 0) {
+			u.folded = true
+			u.result = 0
+			u.doneAt = now
+			break
+		}
+		fu := acquireFU(c.alus, now)
+		if fu == nil {
+			return false
+		}
+		*fu = fuSlot{busyUntil: now + 1, pc: u.pc, seq: u.seq}
+		u.result = execALU(u.inst, v1, v2, u.pc)
+		u.doneAt = now + 1
+
+	case isa.ClassMul:
+		fu := acquireFU(c.muls, now)
+		if fu == nil {
+			return false
+		}
+		lat := int64(c.cfg.MulLat)
+		*fu = fuSlot{busyUntil: now + lat, pc: u.pc, seq: u.seq}
+		u.result = execALU(u.inst, v1, v2, u.pc)
+		u.doneAt = now + lat
+
+	case isa.ClassDiv:
+		fu := acquireFU(c.divs, now)
+		if fu == nil {
+			return false
+		}
+		lat := divLatency(c.cfg, v1, v2)
+		*fu = fuSlot{busyUntil: now + lat, pc: u.pc, seq: u.seq}
+		u.result = execALU(u.inst, v1, v2, u.pc)
+		u.doneAt = now + lat
+
+	case isa.ClassBranch:
+		fu := acquireFU(c.brus, now)
+		if fu == nil {
+			return false
+		}
+		*fu = fuSlot{busyUntil: now + 1, pc: u.pc, seq: u.seq}
+		u.taken, u.target = branchOutcome(u.inst, v1, v2, u.pc)
+		u.result = execALU(u.inst, v1, v2, u.pc) // link value for jal/jalr
+		u.doneAt = now + 1
+
+	case isa.ClassLoad:
+		fu := acquireFU(c.agus, now)
+		if fu == nil {
+			return false
+		}
+		*fu = fuSlot{busyUntil: now + 1, pc: u.pc, seq: u.seq}
+		u.memAddr = v1 + uint64(u.inst.Imm)
+		u.memSize = memAccessSize(u.inst.Op)
+		u.addrReady = true
+		// doneAt is set by issueMemory once the access completes.
+		u.issued = true
+		return true
+
+	case isa.ClassStore:
+		fu := acquireFU(c.agus, now)
+		if fu == nil {
+			return false
+		}
+		*fu = fuSlot{busyUntil: now + 1, pc: u.pc, seq: u.seq}
+		u.memAddr = v1 + uint64(u.inst.Imm)
+		u.memSize = memAccessSize(u.inst.Op)
+		u.storeData = v2
+		u.addrReady = true
+		u.doneAt = now + 1
+
+	case isa.ClassSystem:
+		// System ops need no functional unit; MARK and CBO carry their
+		// rs1 value as the result.
+		u.result = v1
+		u.doneAt = now + 1
+	}
+
+	u.issued = true
+	if u.pdst >= 0 && u.inst.Class() != isa.ClassLoad {
+		c.prfVal[u.pdst] = u.result
+		c.prfReady[u.pdst] = u.doneAt
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (rename + allocate).
+
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchBuf) > 0; n++ {
+		if c.serializeSeq != 0 {
+			return
+		}
+		u := c.fetchBuf[0]
+		if len(c.rob) >= c.cfg.ROBEntries {
+			return
+		}
+		if u.inst.IsLoad() && len(c.ldq) >= c.cfg.LDQEntries {
+			return
+		}
+		if u.inst.IsStore() && len(c.stq) >= c.cfg.STQEntries {
+			return
+		}
+		needsPdst := u.inst.WritesRd() && u.inst.Rd != isa.Zero && !u.trap
+		if needsPdst && len(c.freeList) == 0 {
+			return
+		}
+
+		// Rename sources.
+		if !u.trap {
+			if u.inst.ReadsRs1() {
+				u.ps1 = c.rat[u.inst.Rs1]
+			}
+			if u.inst.ReadsRs2() {
+				u.ps2 = c.rat[u.inst.Rs2]
+			}
+		}
+		if needsPdst {
+			p := c.freeList[len(c.freeList)-1]
+			c.freeList = c.freeList[:len(c.freeList)-1]
+			u.pdst = p
+			u.stale = c.rat[u.inst.Rd]
+			c.rat[u.inst.Rd] = p
+			c.prfReady[p] = never
+		}
+		if u.inst.Class() == isa.ClassBranch {
+			chk := c.rat
+			u.ratChk = &chk
+		}
+
+		if u.trap {
+			u.completed = true
+			u.doneAt = c.cycle
+			c.rob = append(c.rob, u)
+			c.fetchBuf = c.fetchBuf[1:]
+			continue
+		}
+
+		if c.cfg.FastBypass && c.tryFastBypass(u) {
+			c.rob = append(c.rob, u)
+			c.fetchBuf = c.fetchBuf[1:]
+			continue
+		}
+
+		c.rob = append(c.rob, u)
+		switch u.inst.Class() {
+		case isa.ClassLoad:
+			c.ldq = append(c.ldq, u)
+		case isa.ClassStore:
+			c.stq = append(c.stq, u)
+		}
+		if u.inst.Op == isa.OpFENCE || u.inst.Op == isa.OpCBOFLUSH {
+			c.serializeSeq = u.seq
+		}
+		c.iq = append(c.iq, u)
+		c.fetchBuf = c.fetchBuf[1:]
+	}
+}
+
+// tryFastBypass implements the paper's AND-elision optimisation
+// (Section VII-B): at rename, if the instruction is an AND and one of
+// its operands is already available — from the register file or the
+// bypass network — with value zero, the result is written immediately,
+// dependents are woken, and the op is folded into the neighbouring ROB
+// entry instead of executing on an ALU.
+func (c *Core) tryFastBypass(u *uop) bool {
+	if u.inst.Op != isa.OpAND {
+		return false
+	}
+	zero := (c.srcReady(u.ps1) && c.srcVal(u.ps1) == 0) ||
+		(c.srcReady(u.ps2) && c.srcVal(u.ps2) == 0)
+	if !zero {
+		return false
+	}
+	u.folded = true
+	u.result = 0
+	u.completed = true
+	u.doneAt = c.cycle
+	if u.pdst >= 0 {
+		c.prfVal[u.pdst] = 0
+		c.prfReady[u.pdst] = c.cycle
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Fetch.
+
+func (c *Core) fetch() {
+	if c.halted || c.fetchTrapped || c.cycle < c.fetchReadyAt {
+		return
+	}
+	room := c.cfg.FetchBufferSize - len(c.fetchBuf)
+	if room <= 0 {
+		return
+	}
+	ready := c.ic.fetchReady(c.cycle, c.fetchPC)
+	if ready > c.cycle {
+		c.fetchReadyAt = ready
+		return
+	}
+	n := c.cfg.FetchWidth
+	if n > room {
+		n = room
+	}
+	blockMask := ^uint64(c.cfg.ICacheFetchBytes - 1)
+	block := c.fetchPC & blockMask
+	pc := c.fetchPC
+
+	for i := 0; i < n; i++ {
+		if pc&blockMask != block {
+			break // stay within one aligned fetch block per cycle
+		}
+		word := uint32(c.mem.Read(pc, 4))
+		inst, err := isa.Decode(word)
+		c.seq++
+		u := newUop(c.seq, pc, inst)
+		if err != nil {
+			u.trap = true
+			c.fetchBuf = append(c.fetchBuf, u)
+			c.fetchTrapped = true
+			return
+		}
+
+		redirected := false
+		switch {
+		case inst.IsCondBranch():
+			taken, idx := c.bp.predict(pc)
+			u.phtIdx = idx
+			u.histChk = c.bp.shiftHistory(taken)
+			u.predTaken = taken
+			u.predTarget = pc + uint64(inst.Imm)
+			if taken {
+				pc = u.predTarget
+				redirected = true
+			}
+		case inst.Op == isa.OpJAL:
+			u.predTaken = true
+			u.predTarget = pc + uint64(inst.Imm)
+			if inst.Rd == isa.RA {
+				c.bp.rasPush(pc + 4) // call: remember the return address
+			}
+			pc = u.predTarget
+			redirected = true
+		case inst.Op == isa.OpJALR:
+			u.predTaken = true
+			isRet := inst.Rd == isa.Zero && inst.Rs1 == isa.RA
+			if t, ok := c.bp.rasPop(); isRet && ok {
+				u.predTarget = t
+			} else if t, ok := c.bp.btbLookup(pc); ok {
+				u.predTarget = t
+			} else {
+				u.predTarget = pc + 4
+			}
+			if inst.Rd == isa.RA {
+				c.bp.rasPush(pc + 4) // indirect call
+			}
+			pc = u.predTarget
+			redirected = true
+		}
+		c.fetchBuf = append(c.fetchBuf, u)
+		if redirected {
+			c.fetchPC = pc
+			return
+		}
+		pc += 4
+	}
+	c.fetchPC = pc
+}

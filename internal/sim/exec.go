@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math/bits"
+
+	"microsampler/internal/isa"
+)
+
+// execALU computes the functional result of a non-memory instruction.
+// v1 and v2 are the source operand values; pc is the instruction address.
+func execALU(in isa.Inst, v1, v2, pc uint64) uint64 {
+	s1, s2 := int64(v1), int64(v2)
+	imm := in.Imm
+	switch in.Op {
+	case isa.OpADD:
+		return v1 + v2
+	case isa.OpSUB:
+		return v1 - v2
+	case isa.OpSLL:
+		return v1 << (v2 & 63)
+	case isa.OpSLT:
+		return b2u(s1 < s2)
+	case isa.OpSLTU:
+		return b2u(v1 < v2)
+	case isa.OpXOR:
+		return v1 ^ v2
+	case isa.OpSRL:
+		return v1 >> (v2 & 63)
+	case isa.OpSRA:
+		return uint64(s1 >> (v2 & 63))
+	case isa.OpOR:
+		return v1 | v2
+	case isa.OpAND:
+		return v1 & v2
+	case isa.OpADDW:
+		return sext32(uint32(v1 + v2))
+	case isa.OpSUBW:
+		return sext32(uint32(v1 - v2))
+	case isa.OpSLLW:
+		return sext32(uint32(v1) << (v2 & 31))
+	case isa.OpSRLW:
+		return sext32(uint32(v1) >> (v2 & 31))
+	case isa.OpSRAW:
+		return sext32(uint32(int32(uint32(v1)) >> (v2 & 31)))
+
+	case isa.OpADDI:
+		return v1 + uint64(imm)
+	case isa.OpSLTI:
+		return b2u(s1 < imm)
+	case isa.OpSLTIU:
+		return b2u(v1 < uint64(imm))
+	case isa.OpXORI:
+		return v1 ^ uint64(imm)
+	case isa.OpORI:
+		return v1 | uint64(imm)
+	case isa.OpANDI:
+		return v1 & uint64(imm)
+	case isa.OpSLLI:
+		return v1 << (uint64(imm) & 63)
+	case isa.OpSRLI:
+		return v1 >> (uint64(imm) & 63)
+	case isa.OpSRAI:
+		return uint64(s1 >> (uint64(imm) & 63))
+	case isa.OpADDIW:
+		return sext32(uint32(v1 + uint64(imm)))
+	case isa.OpSLLIW:
+		return sext32(uint32(v1) << (uint64(imm) & 31))
+	case isa.OpSRLIW:
+		return sext32(uint32(v1) >> (uint64(imm) & 31))
+	case isa.OpSRAIW:
+		return sext32(uint32(int32(uint32(v1)) >> (uint64(imm) & 31)))
+
+	case isa.OpLUI:
+		return uint64(imm << 12)
+	case isa.OpAUIPC:
+		return pc + uint64(imm<<12)
+
+	case isa.OpMUL:
+		return v1 * v2
+	case isa.OpMULH:
+		h, _ := bits.Mul64(v1, v2)
+		if s1 < 0 {
+			h -= v2
+		}
+		if s2 < 0 {
+			h -= v1
+		}
+		return h
+	case isa.OpMULHU:
+		h, _ := bits.Mul64(v1, v2)
+		return h
+	case isa.OpMULHSU:
+		h, _ := bits.Mul64(v1, v2)
+		if s1 < 0 {
+			h -= v2
+		}
+		return h
+	case isa.OpMULW:
+		return sext32(uint32(v1) * uint32(v2))
+
+	case isa.OpDIV:
+		if s2 == 0 {
+			return ^uint64(0)
+		}
+		if s1 == -1<<63 && s2 == -1 {
+			return v1
+		}
+		return uint64(s1 / s2)
+	case isa.OpDIVU:
+		if v2 == 0 {
+			return ^uint64(0)
+		}
+		return v1 / v2
+	case isa.OpREM:
+		if s2 == 0 {
+			return v1
+		}
+		if s1 == -1<<63 && s2 == -1 {
+			return 0
+		}
+		return uint64(s1 % s2)
+	case isa.OpREMU:
+		if v2 == 0 {
+			return v1
+		}
+		return v1 % v2
+	case isa.OpDIVW:
+		a, b := int32(uint32(v1)), int32(uint32(v2))
+		if b == 0 {
+			return ^uint64(0)
+		}
+		if a == -1<<31 && b == -1 {
+			return sext32(uint32(a))
+		}
+		return sext32(uint32(a / b))
+	case isa.OpDIVUW:
+		a, b := uint32(v1), uint32(v2)
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return sext32(a / b)
+	case isa.OpREMW:
+		a, b := int32(uint32(v1)), int32(uint32(v2))
+		if b == 0 {
+			return sext32(uint32(a))
+		}
+		if a == -1<<31 && b == -1 {
+			return 0
+		}
+		return sext32(uint32(a % b))
+	case isa.OpREMUW:
+		a, b := uint32(v1), uint32(v2)
+		if b == 0 {
+			return sext32(a)
+		}
+		return sext32(a % b)
+
+	case isa.OpJAL, isa.OpJALR:
+		return pc + 4
+	}
+	return 0
+}
+
+// branchOutcome evaluates a control-flow instruction.
+func branchOutcome(in isa.Inst, v1, v2, pc uint64) (taken bool, target uint64) {
+	s1, s2 := int64(v1), int64(v2)
+	switch in.Op {
+	case isa.OpJAL:
+		return true, pc + uint64(in.Imm)
+	case isa.OpJALR:
+		return true, (v1 + uint64(in.Imm)) &^ 1
+	case isa.OpBEQ:
+		taken = v1 == v2
+	case isa.OpBNE:
+		taken = v1 != v2
+	case isa.OpBLT:
+		taken = s1 < s2
+	case isa.OpBGE:
+		taken = s1 >= s2
+	case isa.OpBLTU:
+		taken = v1 < v2
+	case isa.OpBGEU:
+		taken = v1 >= v2
+	}
+	if taken {
+		return true, pc + uint64(in.Imm)
+	}
+	return false, pc + 4
+}
+
+// loadExtend applies the load's sign/zero extension to raw bytes.
+func loadExtend(op isa.Op, raw uint64) uint64 {
+	switch op {
+	case isa.OpLB:
+		return uint64(int64(int8(raw)))
+	case isa.OpLBU:
+		return raw & 0xFF
+	case isa.OpLH:
+		return uint64(int64(int16(raw)))
+	case isa.OpLHU:
+		return raw & 0xFFFF
+	case isa.OpLW:
+		return sext32(uint32(raw))
+	case isa.OpLWU:
+		return raw & 0xFFFFFFFF
+	default:
+		return raw
+	}
+}
+
+// divLatency models the iterative divider. With DataDepDivide the
+// latency follows an early-terminating radix-2 divider: proportional to
+// the number of quotient bits.
+func divLatency(cfg Config, v1, v2 uint64) int64 {
+	if !cfg.DataDepDivide {
+		return int64(cfg.DivLat)
+	}
+	q := bits.Len64(v1) - bits.Len64(v2)
+	if q < 0 {
+		q = 0
+	}
+	return int64(2 + q/2)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sext32(v uint32) uint64 { return uint64(int64(int32(v))) }

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/isa"
+)
+
+// Machine couples a core with memory and a loaded program; it is the
+// top-level entry point of the simulator.
+type Machine struct {
+	cfg  Config
+	mem  *Memory
+	core *Core
+}
+
+// ErrMaxCycles is returned when a run exceeds its cycle budget.
+var ErrMaxCycles = errors.New("sim: exceeded maximum cycle budget")
+
+// New creates a machine with the given configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mem := NewMemory()
+	return &Machine{cfg: cfg, mem: mem, core: newCore(cfg, mem)}, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Memory returns the machine's physical memory, for harnesses that need
+// to initialise inputs or inspect outputs.
+func (m *Machine) Memory() *Memory { return m.mem }
+
+// SetTracer attaches a per-cycle tracer (may be nil).
+func (m *Machine) SetTracer(t Tracer) { m.core.tracer = t }
+
+// LoadProgram installs an assembled program image and resets the PC and
+// stack pointer. Microarchitectural state (caches, predictors) is left
+// as-is, so a fresh Machine starts from the paper's "reset state".
+func (m *Machine) LoadProgram(p *asm.Program) error {
+	if len(p.Text) == 0 {
+		return errors.New("sim: empty text segment")
+	}
+	m.mem.WriteBytes(p.TextBase, p.Text)
+	if len(p.Data) > 0 {
+		m.mem.WriteBytes(p.DataBase, p.Data)
+	}
+	m.core.fetchPC = p.Entry
+	m.setReg(isa.SP, p.StackTop)
+	return nil
+}
+
+// setReg writes an architectural register in both the renamed and
+// committed state; only valid before execution starts.
+func (m *Machine) setReg(r isa.Reg, v uint64) {
+	p := m.core.rat[r]
+	m.core.prfVal[p] = v
+	m.core.prfReady[p] = 0
+	m.core.archRegs[r] = v
+}
+
+// Result summarises a completed run.
+type Result struct {
+	Cycles       int64
+	Instructions uint64
+	ExitCode     uint64
+	Output       []byte
+	Branches     uint64
+	Mispredicts  uint64
+	DCacheHits   uint64
+	DCacheMisses uint64
+	TLBMisses    uint64
+	Prefetches   uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Run executes until the program exits or maxCycles elapse.
+func (m *Machine) Run(maxCycles int64) (Result, error) {
+	c := m.core
+	for !c.halted {
+		if c.cycle >= maxCycles {
+			return m.result(), fmt.Errorf("%w (%d cycles)", ErrMaxCycles, maxCycles)
+		}
+		c.step()
+	}
+	return m.result(), c.runErr
+}
+
+// Step advances the machine a single cycle; used by fine-grained tests.
+func (m *Machine) Step() { m.core.step() }
+
+// Halted reports whether the program has exited.
+func (m *Machine) Halted() bool { return m.core.halted }
+
+// Cycle returns the current cycle count.
+func (m *Machine) Cycle() int64 { return m.core.cycle }
+
+// ArchReg returns the committed architectural value of a register.
+func (m *Machine) ArchReg(r isa.Reg) uint64 { return m.core.archRegs[r] }
+
+func (m *Machine) result() Result {
+	return Result{
+		Cycles:       m.core.cycle,
+		Instructions: m.core.retired,
+		ExitCode:     m.core.exitCode,
+		Output:       m.core.output,
+		Branches:     m.core.branches,
+		Mispredicts:  m.core.mispredicts,
+		DCacheHits:   m.core.dc.hits,
+		DCacheMisses: m.core.dc.misses,
+		TLBMisses:    m.core.dc.tlbMisses,
+		Prefetches:   m.core.dc.prefetches,
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+import "encoding/binary"
+
+const pageBytes = 4096
+
+// Memory is a sparse, page-granular physical memory. Reads from unmapped
+// pages return zeroes; writes allocate pages on demand. It is the
+// functional backing store; all timing is modeled by the caches.
+type Memory struct {
+	pages map[uint64]*[pageBytes]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageBytes]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageBytes]byte {
+	pn := addr / pageBytes
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageBytes]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr%pageBytes]
+}
+
+// StoreByte stores a byte at addr.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	m.page(addr, true)[addr%pageBytes] = v
+}
+
+// Read returns size bytes starting at addr as a little-endian integer.
+// size must be 1, 2, 4 or 8.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	// Fast path: within one page.
+	off := addr % pageBytes
+	if off+uint64(size) <= pageBytes {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	off := addr % pageBytes
+	if off+uint64(size) <= pageBytes {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		off := addr % pageBytes
+		n := copy(m.page(addr, true)[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint64(i))
+	}
+	return out
+}

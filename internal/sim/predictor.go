@@ -1,0 +1,113 @@
+package sim
+
+// gshare is a global-history XOR-indexed pattern history table of 2-bit
+// saturating counters, plus a direct-mapped BTB for indirect targets.
+type gshare struct {
+	pht     []uint8 // 2-bit counters, initialised weakly not-taken
+	mask    uint64
+	history uint64 // global history, youngest bit is LSB
+	histLen uint
+
+	btbTags    []uint64
+	btbTargets []uint64
+	btbMask    uint64
+
+	// Return-address stack (speculatively updated at fetch, no
+	// checkpointing — wrong-path pushes/pops corrupt it occasionally,
+	// as in simple hardware RAS implementations).
+	ras    []uint64
+	rasTop int
+}
+
+const rasEntries = 8
+
+func newGshare(phtEntries, btbEntries int) *gshare {
+	g := &gshare{
+		pht:        make([]uint8, phtEntries),
+		mask:       uint64(phtEntries - 1),
+		histLen:    12,
+		btbTags:    make([]uint64, btbEntries),
+		btbTargets: make([]uint64, btbEntries),
+		btbMask:    uint64(btbEntries - 1),
+	}
+	for i := range g.pht {
+		g.pht[i] = 1 // weakly not-taken
+	}
+	g.ras = make([]uint64, rasEntries)
+	return g
+}
+
+// rasPush records a call's return address.
+func (g *gshare) rasPush(retAddr uint64) {
+	g.rasTop = (g.rasTop + 1) % rasEntries
+	g.ras[g.rasTop] = retAddr
+}
+
+// rasPop predicts a return target.
+func (g *gshare) rasPop() (uint64, bool) {
+	t := g.ras[g.rasTop]
+	if t == 0 {
+		return 0, false
+	}
+	g.ras[g.rasTop] = 0
+	g.rasTop = (g.rasTop - 1 + rasEntries) % rasEntries
+	return t, true
+}
+
+func (g *gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// predict returns the predicted direction for the conditional branch at
+// pc and the PHT index used (so the resolver can train the same entry).
+func (g *gshare) predict(pc uint64) (taken bool, idx uint64) {
+	idx = g.index(pc)
+	return g.pht[idx] >= 2, idx
+}
+
+// shiftHistory speculatively pushes a predicted direction into the
+// global history; it returns the previous history for checkpointing.
+func (g *gshare) shiftHistory(taken bool) uint64 {
+	prev := g.history
+	g.history = (g.history << 1) & ((1 << g.histLen) - 1)
+	if taken {
+		g.history |= 1
+	}
+	return prev
+}
+
+// restoreHistory rewinds the global history to a checkpoint (taken on a
+// mispredicted branch) and then pushes the actual outcome.
+func (g *gshare) restoreHistory(checkpoint uint64, actual bool) {
+	g.history = checkpoint
+	g.shiftHistory(actual)
+}
+
+// train updates the 2-bit counter that produced a prediction.
+func (g *gshare) train(idx uint64, taken bool) {
+	c := g.pht[idx]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	g.pht[idx] = c
+}
+
+// btbLookup returns the last observed target for an indirect branch.
+func (g *gshare) btbLookup(pc uint64) (uint64, bool) {
+	i := (pc >> 2) & g.btbMask
+	if g.btbTags[i] == pc {
+		return g.btbTargets[i], true
+	}
+	return 0, false
+}
+
+// btbUpdate records the actual target of an indirect branch.
+func (g *gshare) btbUpdate(pc, target uint64) {
+	i := (pc >> 2) & g.btbMask
+	g.btbTags[i] = pc
+	g.btbTargets[i] = target
+}

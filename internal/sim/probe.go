@@ -1,0 +1,163 @@
+package sim
+
+// Probe exposes the per-cycle microarchitectural state that MicroSampler
+// tracks (Table IV of the paper). A Probe is only valid during the
+// Tracer.OnCycle call that delivered it.
+type Probe struct {
+	c *Core
+}
+
+// Cycle returns the current simulation cycle.
+func (p *Probe) Cycle() int64 { return p.c.cycle }
+
+// LSQEntry is one load- or store-queue slot view.
+type LSQEntry struct {
+	Addr  uint64
+	PC    uint64
+	Valid bool // address has been computed
+}
+
+// StoreQueue returns the store-queue contents in age order, including
+// committed stores that have not yet drained to the D-cache.
+func (p *Probe) StoreQueue() []LSQEntry {
+	out := make([]LSQEntry, 0, len(p.c.stq))
+	for _, u := range p.c.stq {
+		out = append(out, LSQEntry{Addr: u.memAddr, PC: u.pc, Valid: u.addrReady})
+	}
+	return out
+}
+
+// LoadQueue returns the load-queue contents in age order.
+func (p *Probe) LoadQueue() []LSQEntry {
+	out := make([]LSQEntry, 0, len(p.c.ldq))
+	for _, u := range p.c.ldq {
+		out = append(out, LSQEntry{Addr: u.memAddr, PC: u.pc, Valid: u.addrReady})
+	}
+	return out
+}
+
+// ROBEntry is one reorder-buffer slot view.
+type ROBEntry struct {
+	PC     uint64
+	Folded bool // fast-bypassed op sharing its neighbour's slot
+}
+
+// ROB returns the reorder-buffer contents in age order.
+func (p *Probe) ROB() []ROBEntry {
+	out := make([]ROBEntry, 0, len(p.c.rob))
+	for _, u := range p.c.rob {
+		out = append(out, ROBEntry{PC: u.pc, Folded: u.folded})
+	}
+	return out
+}
+
+// ROBOccupancy returns the number of occupied (non-folded) ROB slots.
+func (p *Probe) ROBOccupancy() int {
+	n := 0
+	for _, u := range p.c.rob {
+		if !u.folded {
+			n++
+		}
+	}
+	return n
+}
+
+// LFBEntryView is one load-fill-buffer slot view.
+type LFBEntryView struct {
+	Addr   uint64 // line base address
+	Data   uint64 // first doubleword of the line (valid once filled)
+	Filled bool
+}
+
+// LFB returns the valid load-fill-buffer entries.
+func (p *Probe) LFB() []LFBEntryView {
+	out := make([]LFBEntryView, 0, 4)
+	for _, e := range p.c.dc.lfb {
+		if !e.valid {
+			continue
+		}
+		v := LFBEntryView{
+			Addr:   e.lineAddr << p.c.dc.cache.lineShift,
+			Filled: e.fillAt <= p.c.cycle,
+		}
+		if v.Filled {
+			v.Data = e.data
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func busyPCs(pool []fuSlot, now int64) []uint64 {
+	out := make([]uint64, len(pool))
+	for i, s := range pool {
+		if s.busyUntil > now {
+			out[i] = s.pc
+		}
+	}
+	return out
+}
+
+// ALUBusy returns, per ALU instance, the PC of the op executing this
+// cycle (0 when idle). EUU-ALU feature.
+func (p *Probe) ALUBusy() []uint64 { return busyPCs(p.c.alus, p.c.cycle) }
+
+// MulBusy returns the multiplier occupancy. EUU-MUL feature.
+func (p *Probe) MulBusy() []uint64 { return busyPCs(p.c.muls, p.c.cycle) }
+
+// DivBusy returns the divider occupancy. EUU-DIV feature.
+func (p *Probe) DivBusy() []uint64 { return busyPCs(p.c.divs, p.c.cycle) }
+
+// AGUBusy returns the address-generation unit occupancy. EUU-ADDRGEN.
+func (p *Probe) AGUBusy() []uint64 { return busyPCs(p.c.agus, p.c.cycle) }
+
+// PrefetchAddrs returns the line addresses of outstanding next-line
+// prefetches. NLP-ADDR feature.
+func (p *Probe) PrefetchAddrs() []uint64 {
+	out := make([]uint64, 0, 2)
+	for _, m := range p.c.dc.nlp {
+		if m.valid {
+			out = append(out, m.lineAddr<<p.c.dc.cache.lineShift)
+		}
+	}
+	return out
+}
+
+// CacheRequests returns the demand addresses presented to the D-cache
+// this cycle. Cache-ADDR feature.
+func (p *Probe) CacheRequests() []uint64 {
+	out := make([]uint64, 0, len(p.c.dc.reqThisCycle))
+	for _, r := range p.c.dc.reqThisCycle {
+		out = append(out, r.addr)
+	}
+	return out
+}
+
+// TLBPages returns the valid data-TLB page numbers, most recently used
+// first — this exposes the translation unit's replacement state, which
+// is RTL state. TLB-ADDR feature.
+func (p *Probe) TLBPages() []uint64 {
+	ents := p.c.dc.tlb.recencyOrdered()
+	out := make([]uint64, 0, len(ents))
+	for _, e := range ents {
+		out = append(out, e.page)
+	}
+	return out
+}
+
+// MSHRAddrs returns the line addresses of outstanding misses — demand
+// MSHRs plus the prefetcher's dedicated miss trackers. MSHR-ADDR feature.
+func (p *Probe) MSHRAddrs() []uint64 {
+	out := make([]uint64, 0, 2)
+	for _, m := range p.c.dc.mshrs {
+		if m.valid {
+			out = append(out, m.lineAddr<<p.c.dc.cache.lineShift)
+		}
+	}
+	for _, m := range p.c.dc.nlp {
+		if m.valid {
+			out = append(out, m.lineAddr<<p.c.dc.cache.lineShift)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math"
+
+	"microsampler/internal/isa"
+)
+
+const never = math.MaxInt64
+
+// uop is a micro-op in flight: one decoded instruction plus all of its
+// renaming, prediction and execution state.
+type uop struct {
+	seq  uint64
+	pc   uint64
+	inst isa.Inst
+
+	// Decode trap (illegal instruction on this path).
+	trap bool
+
+	// Branch prediction state captured at fetch.
+	predTaken  bool
+	predTarget uint64
+	phtIdx     uint64
+	histChk    uint64
+
+	// Rename state.
+	pdst   int16 // physical destination (-1: none)
+	ps1    int16
+	ps2    int16
+	stale  int16      // previous mapping of rd, freed at commit
+	ratChk *[32]int16 // RAT checkpoint (branches only)
+
+	// Execution state.
+	inIQ      bool
+	issued    bool
+	resolved  bool // branches: outcome processed
+	completed bool
+	doneAt    int64
+	result    uint64
+
+	// Memory state.
+	addrReady bool
+	memIssued bool
+	memAddr   uint64
+	memSize   int
+	storeData uint64
+
+	// Fast-bypass folding (shares a ROB slot with its neighbour).
+	folded bool
+
+	// Branch outcome.
+	taken  bool
+	target uint64
+}
+
+func newUop(seq uint64, pc uint64, inst isa.Inst) *uop {
+	return &uop{
+		seq:    seq,
+		pc:     pc,
+		inst:   inst,
+		pdst:   -1,
+		ps1:    -1,
+		ps2:    -1,
+		stale:  -1,
+		doneAt: never,
+	}
+}
+
+// memAccessSize returns the access width in bytes for a load or store.
+func memAccessSize(op isa.Op) int {
+	switch op {
+	case isa.OpLB, isa.OpLBU, isa.OpSB:
+		return 1
+	case isa.OpLH, isa.OpLHU, isa.OpSH:
+		return 2
+	case isa.OpLW, isa.OpLWU, isa.OpSW:
+		return 4
+	default:
+		return 8
+	}
+}

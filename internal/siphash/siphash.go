@@ -1,0 +1,131 @@
+// Package siphash implements SipHash-2-4 producing 64-bit digests. The
+// paper hashes every microarchitectural iteration snapshot with Python's
+// default SipHash; this package is the equivalent primitive, guaranteeing
+// that identical state matrices collapse to identical hashes while
+// distinct matrices collide with probability ~2^-64.
+package siphash
+
+import "math/bits"
+
+// Key is a 128-bit SipHash key.
+type Key struct {
+	K0, K1 uint64
+}
+
+// DefaultKey is the fixed key used for snapshot hashing. The analysis
+// needs hashes to be stable across runs, not secret, so a published
+// constant is appropriate.
+var DefaultKey = Key{K0: 0x0706050403020100, K1: 0x0f0e0d0c0b0a0908}
+
+// Hash computes the SipHash-2-4 digest of data under the key.
+func Hash(k Key, data []byte) uint64 {
+	h := New(k)
+	h.Write(data)
+	return h.Sum64()
+}
+
+// Hasher is an incremental SipHash-2-4 state. The zero value is not
+// usable; construct with New.
+type Hasher struct {
+	v0, v1, v2, v3 uint64
+	buf            [8]byte
+	bufLen         int
+	length         uint64
+}
+
+// New returns a Hasher initialised with the key.
+func New(k Key) *Hasher {
+	return &Hasher{
+		v0: k.K0 ^ 0x736f6d6570736575,
+		v1: k.K1 ^ 0x646f72616e646f6d,
+		v2: k.K0 ^ 0x6c7967656e657261,
+		v3: k.K1 ^ 0x7465646279746573,
+	}
+}
+
+func (h *Hasher) round() {
+	h.v0 += h.v1
+	h.v1 = bits.RotateLeft64(h.v1, 13)
+	h.v1 ^= h.v0
+	h.v0 = bits.RotateLeft64(h.v0, 32)
+	h.v2 += h.v3
+	h.v3 = bits.RotateLeft64(h.v3, 16)
+	h.v3 ^= h.v2
+	h.v0 += h.v3
+	h.v3 = bits.RotateLeft64(h.v3, 21)
+	h.v3 ^= h.v0
+	h.v2 += h.v1
+	h.v1 = bits.RotateLeft64(h.v1, 17)
+	h.v1 ^= h.v2
+	h.v2 = bits.RotateLeft64(h.v2, 32)
+}
+
+func (h *Hasher) block(m uint64) {
+	h.v3 ^= m
+	h.round()
+	h.round()
+	h.v0 ^= m
+}
+
+// Write absorbs data into the hash state. It never fails.
+func (h *Hasher) Write(data []byte) (int, error) {
+	n := len(data)
+	h.length += uint64(n)
+	if h.bufLen > 0 {
+		for len(data) > 0 && h.bufLen < 8 {
+			h.buf[h.bufLen] = data[0]
+			h.bufLen++
+			data = data[1:]
+		}
+		if h.bufLen == 8 {
+			h.block(le64(h.buf[:]))
+			h.bufLen = 0
+		}
+	}
+	for len(data) >= 8 {
+		h.block(le64(data))
+		data = data[8:]
+	}
+	for _, b := range data {
+		h.buf[h.bufLen] = b
+		h.bufLen++
+	}
+	return n, nil
+}
+
+// WriteUint64 absorbs one little-endian 64-bit word; it is the hot path
+// for snapshot matrices.
+func (h *Hasher) WriteUint64(v uint64) {
+	if h.bufLen == 0 {
+		h.length += 8
+		h.block(v)
+		return
+	}
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:]) //nolint:errcheck // cannot fail
+}
+
+// Sum64 finalises and returns the digest. The Hasher must not be used
+// after Sum64.
+func (h *Hasher) Sum64() uint64 {
+	var last uint64
+	for i := 0; i < h.bufLen; i++ {
+		last |= uint64(h.buf[i]) << (8 * i)
+	}
+	last |= (h.length & 0xFF) << 56
+	h.block(last)
+	h.v2 ^= 0xFF
+	h.round()
+	h.round()
+	h.round()
+	h.round()
+	return h.v0 ^ h.v1 ^ h.v2 ^ h.v3
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

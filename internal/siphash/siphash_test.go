@@ -1,0 +1,107 @@
+package siphash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors from the SipHash paper / reference implementation:
+// key = 000102...0f, message = first n bytes of 00,01,02,...
+var refVectors = []uint64{
+	0x726fdb47dd0e0e31,
+	0x74f839c593dc67fd,
+	0x0d6c8009d9a94f5a,
+	0x85676696d7fb7e2d,
+	0xcf2794e0277187b7,
+	0x18765564cd99a68d,
+	0xcbc9466e58fee3ce,
+	0xab0200f58b01d137,
+	0x93f5f5799a932462,
+	0x9e0082df0ba9e4b0,
+	0x7a5dbbc594ddb9f3,
+	0xf4b32f46226bada7,
+	0x751e8fbc860ee5fb,
+	0x14ea5627c0843d90,
+	0xf723ca908e7af2ee,
+	0xa129ca6149be45e5,
+}
+
+func TestReferenceVectors(t *testing.T) {
+	msg := make([]byte, len(refVectors))
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	for n, want := range refVectors {
+		got := Hash(DefaultKey, msg[:n])
+		if got != want {
+			t.Errorf("len %d: got %#016x want %#016x", n, got, want)
+		}
+	}
+}
+
+func TestIncrementalMatchesOneShot(t *testing.T) {
+	f := func(data []byte, split uint8) bool {
+		s := int(split) % (len(data) + 1)
+		h := New(DefaultKey)
+		h.Write(data[:s]) //nolint:errcheck
+		h.Write(data[s:]) //nolint:errcheck
+		return h.Sum64() == Hash(DefaultKey, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteUint64MatchesBytes(t *testing.T) {
+	f := func(words []uint64) bool {
+		h1 := New(DefaultKey)
+		for _, w := range words {
+			h1.WriteUint64(w)
+		}
+		h2 := New(DefaultKey)
+		buf := make([]byte, 0, 8*len(words))
+		for _, w := range words {
+			for i := 0; i < 8; i++ {
+				buf = append(buf, byte(w>>(8*i)))
+			}
+		}
+		h2.Write(buf) //nolint:errcheck
+		return h1.Sum64() == h2.Sum64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	data := []byte("microsampler snapshot")
+	a := Hash(DefaultKey, data)
+	b := Hash(Key{K0: 1, K1: 2}, data)
+	if a == b {
+		t.Error("different keys produced identical hashes")
+	}
+}
+
+func TestDistinctInputsDiffer(t *testing.T) {
+	seen := make(map[uint64][]byte)
+	buf := make([]byte, 4)
+	for i := 0; i < 100000; i++ {
+		buf[0], buf[1], buf[2], buf[3] = byte(i), byte(i>>8), byte(i>>16), 0
+		h := Hash(DefaultKey, buf)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision between % x and % x", prev, buf)
+		}
+		seen[h] = append([]byte(nil), buf...)
+	}
+}
+
+func BenchmarkHash1K(b *testing.B) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Hash(DefaultKey, data)
+	}
+}

@@ -1,0 +1,225 @@
+// Package snapshot implements microarchitectural iteration snapshots
+// (Section V-B of the paper): 2D matrices of per-cycle unit state, their
+// 64-bit hashing, the timing-removal transform used in the fast-bypass
+// case study, and a store that deduplicates matrices by hash while
+// counting occurrences per secret class.
+package snapshot
+
+import (
+	"microsampler/internal/siphash"
+)
+
+// HashMatrix hashes a snapshot matrix. Row boundaries are included so
+// that matrices with the same flattened contents but different shapes
+// hash differently.
+func HashMatrix(rows [][]uint64) uint64 {
+	h := siphash.New(siphash.DefaultKey)
+	for _, row := range rows {
+		h.WriteUint64(uint64(len(row)) | 1<<63)
+		for _, v := range row {
+			h.WriteUint64(v)
+		}
+	}
+	return h.Sum64()
+}
+
+// Consolidate removes consecutive duplicate rows, discarding the timing
+// information of the snapshot (Section VII-B2: "consolidating
+// consecutive occurrences of the same values to a single value"). The
+// result shares no storage with the input.
+func Consolidate(rows [][]uint64) [][]uint64 {
+	out := make([][]uint64, 0, len(rows))
+	for i, row := range rows {
+		if i > 0 && rowsEqual(row, rows[i-1]) {
+			continue
+		}
+		cp := make([]uint64, len(row))
+		copy(cp, row)
+		out = append(out, cp)
+	}
+	return out
+}
+
+func rowsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Recorder accumulates the rows of one iteration snapshot for a single
+// microarchitectural unit. It hashes incrementally (both the full and
+// the timing-free variant) and keeps the raw rows so that a newly seen
+// snapshot can be retained as the representative matrix.
+type Recorder struct {
+	rows     [][]uint64
+	full     *siphash.Hasher
+	noTiming *siphash.Hasher
+	lastRow  []uint64
+	hasLast  bool
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	r := &Recorder{}
+	r.Reset()
+	return r
+}
+
+// Reset clears the recorder for the next iteration.
+func (r *Recorder) Reset() {
+	r.rows = r.rows[:0]
+	r.full = siphash.New(siphash.DefaultKey)
+	r.noTiming = siphash.New(siphash.DefaultKey)
+	r.lastRow = nil
+	r.hasLast = false
+}
+
+// AddRow appends one cycle's state row. The row is copied.
+func (r *Recorder) AddRow(row []uint64) {
+	cp := make([]uint64, len(row))
+	copy(cp, row)
+	r.rows = append(r.rows, cp)
+
+	r.full.WriteUint64(uint64(len(cp)) | 1<<63)
+	for _, v := range cp {
+		r.full.WriteUint64(v)
+	}
+	if !r.hasLast || !rowsEqual(cp, r.lastRow) {
+		r.noTiming.WriteUint64(uint64(len(cp)) | 1<<63)
+		for _, v := range cp {
+			r.noTiming.WriteUint64(v)
+		}
+		r.lastRow = cp
+		r.hasLast = true
+	}
+}
+
+// Cycles returns the number of rows recorded so far.
+func (r *Recorder) Cycles() int { return len(r.rows) }
+
+// Finish returns the full and timing-free hashes plus the recorded rows.
+// The returned rows alias the recorder's buffer and are only valid until
+// the next Reset; callers that keep them must copy (Store does).
+func (r *Recorder) Finish() (full, noTiming uint64, rows [][]uint64) {
+	return r.full.Sum64(), r.noTiming.Sum64(), r.rows
+}
+
+// Entry is one unique snapshot with its per-class observation counts
+// and a retained representative matrix.
+type Entry struct {
+	Hash         uint64
+	CountByClass map[uint64]int
+	Rep          [][]uint64 // representative matrix (first occurrence)
+	Cycles       int
+}
+
+// Total returns the entry's total observation count.
+func (e *Entry) Total() int {
+	n := 0
+	for _, c := range e.CountByClass {
+		n += c
+	}
+	return n
+}
+
+// Store deduplicates iteration snapshots of one unit by hash.
+type Store struct {
+	byHash map[uint64]*Entry
+	order  []uint64 // insertion order for deterministic iteration
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store {
+	return &Store{byHash: make(map[uint64]*Entry)}
+}
+
+// Observe records one snapshot occurrence. The rows are copied only when
+// the hash has not been seen before.
+func (s *Store) Observe(class, hash uint64, rows [][]uint64) {
+	e := s.byHash[hash]
+	if e == nil {
+		rep := make([][]uint64, len(rows))
+		for i, row := range rows {
+			rep[i] = make([]uint64, len(row))
+			copy(rep[i], row)
+		}
+		e = &Entry{
+			Hash:         hash,
+			CountByClass: make(map[uint64]int, 2),
+			Rep:          rep,
+			Cycles:       len(rows),
+		}
+		s.byHash[hash] = e
+		s.order = append(s.order, hash)
+	}
+	e.CountByClass[class]++
+}
+
+// ObserveLazy records one snapshot occurrence like Observe, but only
+// materialises the rows (via the callback) when the hash is new. It
+// avoids building transformed matrices for already-seen snapshots.
+func (s *Store) ObserveLazy(class, hash uint64, rows func() [][]uint64) {
+	if e := s.byHash[hash]; e != nil {
+		e.CountByClass[class]++
+		return
+	}
+	s.Observe(class, hash, rows())
+}
+
+// Merge folds another store's observations into s. Representative
+// matrices of hashes new to s are shared, not copied; the source store
+// must not be mutated afterwards.
+func (s *Store) Merge(o *Store) {
+	for _, h := range o.order {
+		oe := o.byHash[h]
+		e := s.byHash[h]
+		if e == nil {
+			e = &Entry{
+				Hash:         oe.Hash,
+				CountByClass: make(map[uint64]int, len(oe.CountByClass)),
+				Rep:          oe.Rep,
+				Cycles:       oe.Cycles,
+			}
+			s.byHash[h] = e
+			s.order = append(s.order, h)
+		}
+		for class, n := range oe.CountByClass {
+			e.CountByClass[class] += n
+		}
+	}
+}
+
+// Entries returns the unique snapshots in first-seen order.
+func (s *Store) Entries() []*Entry {
+	out := make([]*Entry, 0, len(s.order))
+	for _, h := range s.order {
+		out = append(out, s.byHash[h])
+	}
+	return out
+}
+
+// Unique returns the number of distinct snapshots.
+func (s *Store) Unique() int { return len(s.byHash) }
+
+// ModalByClass returns, per class, the most frequently observed entry
+// (ties broken by first-seen order).
+func (s *Store) ModalByClass() map[uint64]*Entry {
+	out := make(map[uint64]*Entry)
+	best := make(map[uint64]int)
+	for _, h := range s.order {
+		e := s.byHash[h]
+		for class, n := range e.CountByClass {
+			if n > best[class] {
+				best[class] = n
+				out[class] = e
+			}
+		}
+	}
+	return out
+}

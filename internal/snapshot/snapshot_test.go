@@ -1,0 +1,213 @@
+package snapshot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMatrixDeterministic(t *testing.T) {
+	m := [][]uint64{{1, 2, 3}, {4, 5, 6}}
+	if HashMatrix(m) != HashMatrix(m) {
+		t.Error("hash not deterministic")
+	}
+}
+
+func TestHashMatrixShapeSensitive(t *testing.T) {
+	a := [][]uint64{{1, 2}, {3}}
+	b := [][]uint64{{1}, {2, 3}}
+	c := [][]uint64{{1, 2, 3}}
+	if HashMatrix(a) == HashMatrix(b) || HashMatrix(a) == HashMatrix(c) {
+		t.Error("matrices with different shapes must hash differently")
+	}
+}
+
+func TestHashMatrixValueSensitive(t *testing.T) {
+	f := func(vals []uint64, idx uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		m1 := [][]uint64{append([]uint64(nil), vals...)}
+		m2 := [][]uint64{append([]uint64(nil), vals...)}
+		i := int(idx) % len(vals)
+		m2[0][i] ^= 1
+		return HashMatrix(m1) != HashMatrix(m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsolidate(t *testing.T) {
+	in := [][]uint64{{1, 2}, {1, 2}, {1, 2}, {3}, {3}, {1, 2}}
+	out := Consolidate(in)
+	want := [][]uint64{{1, 2}, {3}, {1, 2}}
+	if len(out) != len(want) {
+		t.Fatalf("consolidated to %d rows, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if !rowsEqual(out[i], want[i]) {
+			t.Errorf("row %d = %v want %v", i, out[i], want[i])
+		}
+	}
+	// Must not alias the input.
+	out[0][0] = 99
+	if in[0][0] == 99 {
+		t.Error("Consolidate aliases input storage")
+	}
+}
+
+func TestConsolidateEmpty(t *testing.T) {
+	if got := Consolidate(nil); len(got) != 0 {
+		t.Errorf("Consolidate(nil) = %v", got)
+	}
+}
+
+func TestRecorderMatchesHashMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		rows := make([][]uint64, rng.Intn(20))
+		for i := range rows {
+			row := make([]uint64, rng.Intn(5)+1)
+			for j := range row {
+				row[j] = uint64(rng.Intn(4)) // small domain: duplicates likely
+			}
+			rows[i] = row
+		}
+		r := NewRecorder()
+		for _, row := range rows {
+			r.AddRow(row)
+		}
+		full, noTiming, kept := r.Finish()
+		if full != HashMatrix(rows) {
+			t.Fatalf("trial %d: incremental full hash mismatch", trial)
+		}
+		if noTiming != HashMatrix(Consolidate(rows)) {
+			t.Fatalf("trial %d: incremental no-timing hash mismatch", trial)
+		}
+		if len(kept) != len(rows) {
+			t.Fatalf("trial %d: kept %d rows want %d", trial, len(kept), len(rows))
+		}
+	}
+}
+
+func TestRecorderTimingInvariance(t *testing.T) {
+	// Two recordings that differ only in how long each state persists
+	// must agree on the no-timing hash and disagree on the full hash.
+	r1, r2 := NewRecorder(), NewRecorder()
+	for i := 0; i < 3; i++ {
+		r1.AddRow([]uint64{7})
+	}
+	r1.AddRow([]uint64{9})
+	r2.AddRow([]uint64{7})
+	for i := 0; i < 5; i++ {
+		r2.AddRow([]uint64{9})
+	}
+	f1, n1, _ := r1.Finish()
+	f2, n2, _ := r2.Finish()
+	if n1 != n2 {
+		t.Error("no-timing hashes should match")
+	}
+	if f1 == f2 {
+		t.Error("full hashes should differ")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	r.AddRow([]uint64{1})
+	r.Reset()
+	if r.Cycles() != 0 {
+		t.Error("reset did not clear rows")
+	}
+	r.AddRow([]uint64{2})
+	full, _, _ := r.Finish()
+	if full != HashMatrix([][]uint64{{2}}) {
+		t.Error("reset recorder hash wrong")
+	}
+}
+
+func TestStoreCountsAndDedup(t *testing.T) {
+	s := NewStore()
+	mA := [][]uint64{{1, 2}}
+	mB := [][]uint64{{3, 4}}
+	hA, hB := HashMatrix(mA), HashMatrix(mB)
+	for i := 0; i < 5; i++ {
+		s.Observe(0, hA, mA)
+	}
+	for i := 0; i < 3; i++ {
+		s.Observe(1, hB, mB)
+	}
+	s.Observe(1, hA, mA)
+	if s.Unique() != 2 {
+		t.Fatalf("unique = %d want 2", s.Unique())
+	}
+	ents := s.Entries()
+	if ents[0].Hash != hA || ents[1].Hash != hB {
+		t.Error("entries not in first-seen order")
+	}
+	if ents[0].CountByClass[0] != 5 || ents[0].CountByClass[1] != 1 {
+		t.Errorf("counts wrong: %v", ents[0].CountByClass)
+	}
+	if ents[0].Total() != 6 || ents[1].Total() != 3 {
+		t.Error("totals wrong")
+	}
+	modal := s.ModalByClass()
+	if modal[0].Hash != hA || modal[1].Hash != hB {
+		t.Error("modal entries wrong")
+	}
+}
+
+func TestStoreRepIsCopied(t *testing.T) {
+	s := NewStore()
+	m := [][]uint64{{42}}
+	s.Observe(0, HashMatrix(m), m)
+	m[0][0] = 0
+	if s.Entries()[0].Rep[0][0] != 42 {
+		t.Error("store representative aliases caller rows")
+	}
+}
+
+func TestStoreMerge(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	m1 := [][]uint64{{1}}
+	m2 := [][]uint64{{2}}
+	m3 := [][]uint64{{3}}
+	h1, h2, h3 := HashMatrix(m1), HashMatrix(m2), HashMatrix(m3)
+	a.Observe(0, h1, m1)
+	a.Observe(1, h2, m2)
+	b.Observe(0, h1, m1) // overlaps with a
+	b.Observe(1, h3, m3) // new to a
+	b.Observe(1, h3, m3)
+	a.Merge(b)
+	if a.Unique() != 3 {
+		t.Fatalf("unique after merge = %d want 3", a.Unique())
+	}
+	ents := a.Entries()
+	if ents[0].Hash != h1 || ents[0].CountByClass[0] != 2 {
+		t.Errorf("merged counts wrong: %+v", ents[0].CountByClass)
+	}
+	if ents[2].Hash != h3 || ents[2].CountByClass[1] != 2 {
+		t.Errorf("new entry wrong: %+v", ents[2])
+	}
+	if ents[2].Rep[0][0] != 3 {
+		t.Error("representative not carried over")
+	}
+}
+
+func TestObserveLazy(t *testing.T) {
+	s := NewStore()
+	m := [][]uint64{{9}}
+	h := HashMatrix(m)
+	calls := 0
+	gen := func() [][]uint64 { calls++; return m }
+	s.ObserveLazy(0, h, gen)
+	s.ObserveLazy(0, h, gen)
+	s.ObserveLazy(1, h, gen)
+	if calls != 1 {
+		t.Errorf("rows materialised %d times, want 1", calls)
+	}
+	if s.Entries()[0].Total() != 3 {
+		t.Errorf("counts = %d want 3", s.Entries()[0].Total())
+	}
+}

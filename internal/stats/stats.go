@@ -1,0 +1,375 @@
+// Package stats implements the statistical machinery of MicroSampler's
+// correlation analysis (Section V-C of the paper): contingency tables of
+// snapshot-hash frequencies per secret class, Pearson's chi-squared
+// statistic, Cramér's V association strength, and the chi-squared
+// p-value used to validate statistical significance.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Default thresholds from the paper: Cramér's V above 0.5 is a strong
+// association (Cohen), and p below 0.05 makes it statistically
+// significant.
+const (
+	DefaultVThreshold = 0.5
+	DefaultPThreshold = 0.05
+)
+
+// Table is a contingency table: rows are secret classes, columns are
+// unique snapshot hashes, and cells count how often each hash was
+// observed for each class.
+type Table struct {
+	classIdx map[uint64]int
+	hashIdx  map[uint64]int
+	classes  []uint64
+	hashes   []uint64
+	counts   [][]int
+	total    int
+}
+
+// NewTable returns an empty contingency table.
+func NewTable() *Table {
+	return &Table{
+		classIdx: make(map[uint64]int),
+		hashIdx:  make(map[uint64]int),
+	}
+}
+
+// Add records n observations of hash under class.
+func (t *Table) Add(class, hash uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	ri, ok := t.classIdx[class]
+	if !ok {
+		ri = len(t.classes)
+		t.classIdx[class] = ri
+		t.classes = append(t.classes, class)
+		row := make([]int, len(t.hashes))
+		t.counts = append(t.counts, row)
+	}
+	ci, ok := t.hashIdx[hash]
+	if !ok {
+		ci = len(t.hashes)
+		t.hashIdx[hash] = ci
+		t.hashes = append(t.hashes, hash)
+		for i := range t.counts {
+			t.counts[i] = append(t.counts[i], 0)
+		}
+	}
+	t.counts[ri][ci] += n
+	t.total += n
+}
+
+// Rows returns the number of classes.
+func (t *Table) Rows() int { return len(t.classes) }
+
+// Cols returns the number of unique hashes.
+func (t *Table) Cols() int { return len(t.hashes) }
+
+// N returns the total number of observations.
+func (t *Table) N() int { return t.total }
+
+// Classes returns the class labels in insertion order.
+func (t *Table) Classes() []uint64 {
+	out := make([]uint64, len(t.classes))
+	copy(out, t.classes)
+	return out
+}
+
+// Count returns the cell count for (class, hash).
+func (t *Table) Count(class, hash uint64) int {
+	ri, ok1 := t.classIdx[class]
+	ci, ok2 := t.hashIdx[hash]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return t.counts[ri][ci]
+}
+
+// ChiSquared computes Pearson's chi-squared statistic (Eq. 3/4 of the
+// paper) and its degrees of freedom.
+func (t *Table) ChiSquared() (chi2 float64, df int) {
+	r, k := t.Rows(), t.Cols()
+	if r < 2 || k < 2 || t.total == 0 {
+		return 0, 0
+	}
+	rowSum := make([]float64, r)
+	colSum := make([]float64, k)
+	for i := 0; i < r; i++ {
+		for j := 0; j < k; j++ {
+			rowSum[i] += float64(t.counts[i][j])
+			colSum[j] += float64(t.counts[i][j])
+		}
+	}
+	n := float64(t.total)
+	for i := 0; i < r; i++ {
+		for j := 0; j < k; j++ {
+			expected := rowSum[i] * colSum[j] / n
+			if expected == 0 {
+				continue
+			}
+			d := float64(t.counts[i][j]) - expected
+			chi2 += d * d / expected
+		}
+	}
+	return chi2, (r - 1) * (k - 1)
+}
+
+// CramersV computes Cramér's V (Eq. 2 of the paper): the association
+// strength between class and snapshot hash, in [0, 1].
+func (t *Table) CramersV() float64 {
+	r, k := t.Rows(), t.Cols()
+	if r < 2 || k < 2 || t.total == 0 {
+		return 0
+	}
+	chi2, _ := t.ChiSquared()
+	m := float64(min(r, k) - 1)
+	v := math.Sqrt(chi2 / (float64(t.total) * m))
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// CramersVCorrected computes the bias-corrected Cramér's V of Bergsma
+// (2013), which compensates the upward bias of the plain estimator for
+// tables with many cells relative to the sample size.
+func (t *Table) CramersVCorrected() float64 {
+	r, k := t.Rows(), t.Cols()
+	if r < 2 || k < 2 || t.total == 0 {
+		return 0
+	}
+	chi2, _ := t.ChiSquared()
+	n := float64(t.total)
+	phi2 := chi2 / n
+	rf, kf := float64(r), float64(k)
+	phi2c := phi2 - (rf-1)*(kf-1)/(n-1)
+	if phi2c < 0 {
+		phi2c = 0
+	}
+	rc := rf - (rf-1)*(rf-1)/(n-1)
+	kc := kf - (kf-1)*(kf-1)/(n-1)
+	m := math.Min(rc, kc) - 1
+	if m <= 0 {
+		return 0
+	}
+	v := math.Sqrt(phi2c / m)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// MutualInformation computes the empirical mutual information (in bits)
+// between class and snapshot hash — the leakage metric used by
+// MicroWalk [56], included for cross-tool comparison. It is bounded by
+// min(H(class), H(hash)).
+func (t *Table) MutualInformation() float64 {
+	if t.total == 0 {
+		return 0
+	}
+	n := float64(t.total)
+	r, k := t.Rows(), t.Cols()
+	rowSum := make([]float64, r)
+	colSum := make([]float64, k)
+	for i := 0; i < r; i++ {
+		for j := 0; j < k; j++ {
+			rowSum[i] += float64(t.counts[i][j])
+			colSum[j] += float64(t.counts[i][j])
+		}
+	}
+	mi := 0.0
+	for i := 0; i < r; i++ {
+		for j := 0; j < k; j++ {
+			c := float64(t.counts[i][j])
+			if c == 0 {
+				continue
+			}
+			pxy := c / n
+			mi += pxy * math.Log2(pxy*n*n/(rowSum[i]*colSum[j]))
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// Association is the complete statistical verdict for one
+// microarchitectural unit.
+type Association struct {
+	V          float64 // Cramér's V
+	VCorrected float64 // bias-corrected Cramér's V (Bergsma)
+	P          float64 // chi-squared p-value
+	MI         float64 // mutual information in bits (MicroWalk's metric)
+	Chi2       float64
+	DF         int
+	N          int // observations
+	Rows       int // classes
+	Cols       int // unique hashes
+}
+
+// Analyze computes the full association summary of the table.
+func (t *Table) Analyze() Association {
+	chi2, df := t.ChiSquared()
+	return Association{
+		V:          t.CramersV(),
+		VCorrected: t.CramersVCorrected(),
+		P:          PValue(chi2, df),
+		MI:         t.MutualInformation(),
+		Chi2:       chi2,
+		DF:         df,
+		N:          t.total,
+		Rows:       t.Rows(),
+		Cols:       t.Cols(),
+	}
+}
+
+// Leaky applies the paper's verdict rule: a strong association (V above
+// the threshold) that is statistically significant (p below threshold).
+func (a Association) Leaky() bool {
+	return a.V > DefaultVThreshold && a.P < DefaultPThreshold
+}
+
+// Significant reports whether the association is statistically
+// significant at the default level.
+func (a Association) Significant() bool { return a.P < DefaultPThreshold }
+
+// MaskedV returns Cramér's V masked by significance: the value plotted
+// in the paper-style bar charts (insignificant correlations plot as 0).
+func (a Association) MaskedV() float64 {
+	if !a.Significant() {
+		return 0
+	}
+	return a.V
+}
+
+func (a Association) String() string {
+	return fmt.Sprintf("V=%.3f p=%.3g (chi2=%.2f df=%d n=%d)", a.V, a.P, a.Chi2, a.DF, a.N)
+}
+
+// PValue returns the probability of observing a chi-squared statistic at
+// least as large under the null hypothesis of independence: the upper
+// regularised incomplete gamma function Q(df/2, chi2/2).
+func PValue(chi2 float64, df int) float64 {
+	if df <= 0 || chi2 <= 0 {
+		return 1
+	}
+	return gammaQ(float64(df)/2, chi2/2)
+}
+
+// gammaQ computes the upper regularised incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a), following the series/continued-fraction split
+// of Numerical Recipes.
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return 1
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinued(a, x)
+}
+
+// gammaPSeries evaluates P(a, x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinued evaluates Q(a, x) by the Lentz continued fraction.
+func gammaQContinued(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Render formats the table for human inspection, columns sorted by
+// total frequency (most common hash first), capped at maxCols.
+func (t *Table) Render(maxCols int) string {
+	if t.total == 0 {
+		return "(empty contingency table)\n"
+	}
+	type col struct {
+		hash  uint64
+		total int
+		idx   int
+	}
+	cols := make([]col, t.Cols())
+	for j := range cols {
+		sum := 0
+		for i := range t.counts {
+			sum += t.counts[i][j]
+		}
+		cols[j] = col{hash: t.hashes[j], total: sum, idx: j}
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		if cols[i].total != cols[j].total {
+			return cols[i].total > cols[j].total
+		}
+		return cols[i].hash < cols[j].hash
+	})
+	if maxCols > 0 && len(cols) > maxCols {
+		cols = cols[:maxCols]
+	}
+	var b []byte
+	b = append(b, fmt.Sprintf("%-12s", "class")...)
+	for _, cl := range cols {
+		b = append(b, fmt.Sprintf(" %16s", fmt.Sprintf("hash-%04x", cl.hash&0xFFFF))...)
+	}
+	b = append(b, '\n')
+	order := make([]int, t.Rows())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return t.classes[order[i]] < t.classes[order[j]] })
+	for _, ri := range order {
+		b = append(b, fmt.Sprintf("%-12d", t.classes[ri])...)
+		for _, cl := range cols {
+			b = append(b, fmt.Sprintf(" %16d", t.counts[ri][cl.idx])...)
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

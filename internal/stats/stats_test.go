@@ -1,0 +1,341 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectAssociation(t *testing.T) {
+	tb := NewTable()
+	tb.Add(0, 0xAAAA, 100)
+	tb.Add(1, 0xBBBB, 100)
+	a := tb.Analyze()
+	if math.Abs(a.V-1) > 1e-9 {
+		t.Errorf("V = %v want 1", a.V)
+	}
+	if a.P > 1e-10 {
+		t.Errorf("p = %v want ~0", a.P)
+	}
+	if !a.Leaky() || !a.Significant() {
+		t.Error("perfect association should be leaky and significant")
+	}
+	if a.MaskedV() != a.V {
+		t.Error("MaskedV should pass through significant V")
+	}
+}
+
+func TestNoAssociationSingleColumn(t *testing.T) {
+	tb := NewTable()
+	tb.Add(0, 0xAAAA, 100)
+	tb.Add(1, 0xAAAA, 100)
+	a := tb.Analyze()
+	if a.V != 0 {
+		t.Errorf("V = %v want 0", a.V)
+	}
+	if a.P != 1 {
+		t.Errorf("p = %v want 1", a.P)
+	}
+	if a.Leaky() {
+		t.Error("identical snapshots must not be leaky")
+	}
+}
+
+func TestIndependentDistribution(t *testing.T) {
+	// Both classes draw hashes from the same distribution: V near 0.
+	tb := NewTable()
+	rng := rand.New(rand.NewSource(42))
+	hashes := []uint64{1, 2, 3, 4}
+	for i := 0; i < 4000; i++ {
+		tb.Add(uint64(i%2), hashes[rng.Intn(len(hashes))], 1)
+	}
+	a := tb.Analyze()
+	if a.V > 0.1 {
+		t.Errorf("independent data: V = %v too high", a.V)
+	}
+	if a.Leaky() {
+		t.Error("independent data flagged leaky")
+	}
+}
+
+func TestAllUniqueHashesInsignificant(t *testing.T) {
+	// The paper's false-positive scenario: every snapshot hashes
+	// uniquely, V computes to 1 but the p-value must reject it.
+	tb := NewTable()
+	for i := 0; i < 200; i++ {
+		tb.Add(uint64(i%2), uint64(0x1000+i), 1)
+	}
+	a := tb.Analyze()
+	if a.V < 0.99 {
+		t.Errorf("V = %v want ~1", a.V)
+	}
+	if a.Significant() {
+		t.Errorf("all-unique hashes must be insignificant, p = %v", a.P)
+	}
+	if a.Leaky() {
+		t.Error("must not be flagged leaky")
+	}
+	if a.MaskedV() != 0 {
+		t.Errorf("MaskedV = %v want 0", a.MaskedV())
+	}
+}
+
+func TestPartialAssociation(t *testing.T) {
+	// Skewed but overlapping distributions: 0 < V < 1 and significant
+	// with enough samples.
+	tb := NewTable()
+	tb.Add(0, 1, 80)
+	tb.Add(0, 2, 20)
+	tb.Add(1, 1, 20)
+	tb.Add(1, 2, 80)
+	a := tb.Analyze()
+	if a.V <= 0.3 || a.V >= 0.9 {
+		t.Errorf("V = %v want mid-range", a.V)
+	}
+	if !a.Significant() {
+		t.Errorf("p = %v should be significant", a.P)
+	}
+}
+
+func TestChiSquaredKnownValue(t *testing.T) {
+	// Hand-computed 2x2 example: [[10, 20], [20, 10]].
+	tb := NewTable()
+	tb.Add(0, 1, 10)
+	tb.Add(0, 2, 20)
+	tb.Add(1, 1, 20)
+	tb.Add(1, 2, 10)
+	chi2, df := tb.ChiSquared()
+	// Expected cells are all 15; chi2 = 4 * (5^2/15) = 6.6667.
+	if math.Abs(chi2-20.0/3.0) > 1e-9 {
+		t.Errorf("chi2 = %v want %v", chi2, 20.0/3.0)
+	}
+	if df != 1 {
+		t.Errorf("df = %d want 1", df)
+	}
+	v := tb.CramersV()
+	want := math.Sqrt(20.0 / 3.0 / 60.0)
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("V = %v want %v", v, want)
+	}
+}
+
+func TestPValueReferencePoints(t *testing.T) {
+	// Reference quantiles of the chi-squared distribution.
+	tests := []struct {
+		chi2 float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{3.841, 1, 0.05, 0.001},
+		{6.635, 1, 0.01, 0.001},
+		{5.991, 2, 0.05, 0.001},
+		{18.307, 10, 0.05, 0.001},
+		{0, 1, 1, 0},
+		{1000, 1, 0, 1e-9},
+	}
+	for _, tt := range tests {
+		got := PValue(tt.chi2, tt.df)
+		if math.Abs(got-tt.want) > tt.tol {
+			t.Errorf("PValue(%v, %d) = %v want %v", tt.chi2, tt.df, got, tt.want)
+		}
+	}
+}
+
+func TestPValueMonotonic(t *testing.T) {
+	f := func(raw uint16, dfRaw uint8) bool {
+		chi2 := float64(raw) / 100
+		df := int(dfRaw)%20 + 1
+		p1 := PValue(chi2, df)
+		p2 := PValue(chi2+1, df)
+		return p2 <= p1+1e-12 && p1 >= 0 && p1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaQAgainstErfc(t *testing.T) {
+	// For df=1, the chi-squared survival function equals erfc(sqrt(x/2)).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 3.84, 5, 10, 20} {
+		got := PValue(x, 1)
+		want := math.Erfc(math.Sqrt(x / 2))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("PValue(%v,1) = %v want erfc %v", x, got, want)
+		}
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tb := NewTable()
+	tb.Add(7, 100, 3)
+	tb.Add(9, 100, 2)
+	tb.Add(7, 200, 1)
+	tb.Add(7, 100, 0)  // no-op
+	tb.Add(7, 100, -5) // no-op
+	if tb.Rows() != 2 || tb.Cols() != 2 || tb.N() != 6 {
+		t.Errorf("dims wrong: %dx%d n=%d", tb.Rows(), tb.Cols(), tb.N())
+	}
+	if tb.Count(7, 100) != 3 || tb.Count(9, 200) != 0 || tb.Count(1, 1) != 0 {
+		t.Error("counts wrong")
+	}
+	cls := tb.Classes()
+	if len(cls) != 2 || cls[0] != 7 || cls[1] != 9 {
+		t.Errorf("classes = %v", cls)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tb := NewTable()
+	tb.Add(0, 0xAB, 234)
+	tb.Add(1, 0xAB, 256)
+	tb.Add(0, 0xCD, 131)
+	tb.Add(1, 0xCD, 115)
+	out := tb.Render(10)
+	if !strings.Contains(out, "234") || !strings.Contains(out, "256") {
+		t.Errorf("render missing counts:\n%s", out)
+	}
+	if NewTable().Render(5) == "" {
+		t.Error("empty table should render a placeholder")
+	}
+}
+
+func TestMutualInformation(t *testing.T) {
+	// Perfect association between two balanced classes: MI = 1 bit.
+	tb := NewTable()
+	tb.Add(0, 1, 100)
+	tb.Add(1, 2, 100)
+	if mi := tb.MutualInformation(); math.Abs(mi-1) > 1e-9 {
+		t.Errorf("perfect 2-class MI = %v want 1 bit", mi)
+	}
+	// Independence: MI = 0.
+	tb2 := NewTable()
+	tb2.Add(0, 1, 50)
+	tb2.Add(0, 2, 50)
+	tb2.Add(1, 1, 50)
+	tb2.Add(1, 2, 50)
+	if mi := tb2.MutualInformation(); math.Abs(mi) > 1e-9 {
+		t.Errorf("independent MI = %v want 0", mi)
+	}
+	// Four balanced classes, perfectly separated: 2 bits.
+	tb4 := NewTable()
+	for c := uint64(0); c < 4; c++ {
+		tb4.Add(c, 100+c, 25)
+	}
+	if mi := tb4.MutualInformation(); math.Abs(mi-2) > 1e-9 {
+		t.Errorf("4-class MI = %v want 2 bits", mi)
+	}
+	if NewTable().MutualInformation() != 0 {
+		t.Error("empty table MI should be 0")
+	}
+}
+
+func TestCramersVCorrected(t *testing.T) {
+	// Perfect association with ample samples: correction barely moves V.
+	tb := NewTable()
+	tb.Add(0, 1, 500)
+	tb.Add(1, 2, 500)
+	if vc := tb.CramersVCorrected(); vc < 0.99 {
+		t.Errorf("corrected V = %v want ~1", vc)
+	}
+	// The all-unique false-positive scenario: plain V is 1 but the
+	// corrected estimator collapses toward 0.
+	uniq := NewTable()
+	for i := 0; i < 100; i++ {
+		uniq.Add(uint64(i%2), uint64(1000+i), 1)
+	}
+	if v := uniq.CramersV(); v < 0.99 {
+		t.Fatalf("plain V = %v want ~1", v)
+	}
+	if vc := uniq.CramersVCorrected(); vc > 0.35 {
+		t.Errorf("corrected V = %v should collapse for all-unique hashes", vc)
+	}
+	if NewTable().CramersVCorrected() != 0 {
+		t.Error("empty table corrected V should be 0")
+	}
+}
+
+func TestAnalyzeIncludesAllMetrics(t *testing.T) {
+	tb := NewTable()
+	tb.Add(0, 1, 80)
+	tb.Add(0, 2, 20)
+	tb.Add(1, 1, 20)
+	tb.Add(1, 2, 80)
+	a := tb.Analyze()
+	if a.MI <= 0 || a.MI > 1 {
+		t.Errorf("MI = %v out of range", a.MI)
+	}
+	if a.VCorrected <= 0 || a.VCorrected > a.V+1e-9 {
+		t.Errorf("VCorrected = %v vs V = %v", a.VCorrected, a.V)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	a := NewTable().Analyze()
+	if a.V != 0 || a.P != 1 || a.Leaky() {
+		t.Errorf("empty table: %+v", a)
+	}
+}
+
+// TestInvarianceProperties checks structural invariants of the
+// statistics with randomized tables: V and p are invariant under class
+// relabeling and under permuting the order in which cells are added.
+func TestInvarianceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		r := rng.Intn(3) + 2
+		k := rng.Intn(5) + 2
+		type cell struct {
+			class, hash uint64
+			n           int
+		}
+		var cells []cell
+		for i := 0; i < r; i++ {
+			for j := 0; j < k; j++ {
+				if n := rng.Intn(20); n > 0 {
+					cells = append(cells, cell{uint64(i), uint64(100 + j), n})
+				}
+			}
+		}
+		if len(cells) == 0 {
+			continue
+		}
+		build := func(relabel func(uint64) uint64, order []int) Association {
+			tb := NewTable()
+			for _, idx := range order {
+				c := cells[idx]
+				tb.Add(relabel(c.class), c.hash, c.n)
+			}
+			return tb.Analyze()
+		}
+		identity := make([]int, len(cells))
+		for i := range identity {
+			identity[i] = i
+		}
+		base := build(func(c uint64) uint64 { return c }, identity)
+
+		// Class relabeling.
+		relabeled := build(func(c uint64) uint64 { return c + 77 }, identity)
+		if math.Abs(base.V-relabeled.V) > 1e-12 || math.Abs(base.P-relabeled.P) > 1e-12 {
+			t.Fatalf("trial %d: relabeling changed stats: %+v vs %+v",
+				trial, base, relabeled)
+		}
+
+		// Insertion-order permutation.
+		perm := rng.Perm(len(cells))
+		permuted := build(func(c uint64) uint64 { return c }, perm)
+		if math.Abs(base.V-permuted.V) > 1e-12 || math.Abs(base.Chi2-permuted.Chi2) > 1e-9 {
+			t.Fatalf("trial %d: insertion order changed stats", trial)
+		}
+
+		// Range invariants.
+		if base.V < 0 || base.V > 1 || base.P < 0 || base.P > 1 {
+			t.Fatalf("trial %d: out-of-range stats %+v", trial, base)
+		}
+		if base.MI < 0 {
+			t.Fatalf("trial %d: negative MI", trial)
+		}
+	}
+}

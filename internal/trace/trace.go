@@ -1,0 +1,369 @@
+// Package trace implements the microarchitectural state sampler: the
+// bridge between the cycle-level simulator and the snapshot/statistics
+// pipeline. It is the equivalent of the paper's Chisel printf
+// instrumentation plus the MicroSampler Parser (steps 1–2 of Fig. 1):
+// each cycle inside the security-critical region it captures one state
+// row per tracked unit (Table IV), groups rows into per-iteration
+// snapshot matrices, and deduplicates them by hash, labeled with the
+// iteration's secret class.
+package trace
+
+import (
+	"sort"
+
+	"microsampler/internal/isa"
+	"microsampler/internal/sim"
+	"microsampler/internal/snapshot"
+)
+
+// Unit identifies one tracked microarchitectural feature (Table IV).
+type Unit int
+
+// Tracked features.
+const (
+	SQADDR     Unit = iota + 1 // store queue: store addresses
+	SQPC                       // store queue: program counters
+	LQADDR                     // load queue: load addresses
+	LQPC                       // load queue: program counters
+	ROBOCPNCY                  // reorder buffer occupancy
+	ROBPC                      // reorder buffer program counters
+	LFBDATA                    // load-fill buffer contents
+	LFBADDR                    // load-fill buffer addresses
+	EUUALU                     // ALU busy with PC
+	EUUADDRGEN                 // address-generation unit busy with PC
+	EUUDIV                     // divider busy with PC
+	EUUMUL                     // multiplier busy with PC
+	NLPADDR                    // next-line prefetcher addresses
+	CACHEADDR                  // D-cache request addresses
+	TLBADDR                    // TLB entries
+	MSHRADDR                   // cache miss (MSHR) addresses
+
+	numUnits = iota
+)
+
+var unitNames = map[Unit]string{
+	SQADDR: "SQ-ADDR", SQPC: "SQ-PC", LQADDR: "LQ-ADDR", LQPC: "LQ-PC",
+	ROBOCPNCY: "ROB-OCPNCY", ROBPC: "ROB-PC",
+	LFBDATA: "LFB-Data", LFBADDR: "LFB-ADDR",
+	EUUALU: "EUU-ALU", EUUADDRGEN: "EUU-ADDRGEN",
+	EUUDIV: "EUU-DIV", EUUMUL: "EUU-MUL",
+	NLPADDR: "NLP-ADDR", CACHEADDR: "Cache-ADDR",
+	TLBADDR: "TLB-ADDR", MSHRADDR: "MSHR-ADDR",
+}
+
+// String returns the paper's feature identifier.
+func (u Unit) String() string {
+	if n, ok := unitNames[u]; ok {
+		return n
+	}
+	return "UNIT?"
+}
+
+// AllUnits returns every tracked unit in Table IV order.
+func AllUnits() []Unit {
+	return []Unit{
+		SQADDR, SQPC, LQADDR, LQPC, ROBOCPNCY, ROBPC, LFBDATA, LFBADDR,
+		EUUALU, EUUADDRGEN, EUUDIV, EUUMUL, NLPADDR, CACHEADDR, TLBADDR,
+		MSHRADDR,
+	}
+}
+
+// IterSample summarises one labeled iteration.
+type IterSample struct {
+	Class  uint64
+	Cycles int64
+}
+
+// UnitTrace is the collected snapshot evidence for one unit.
+type UnitTrace struct {
+	Unit Unit
+	// Full holds the per-cycle snapshot matrices, timing included.
+	Full *snapshot.Store
+	// NoTiming holds the timing-free event view: the chronological
+	// sequence of values newly appearing in the unit, with per-cycle
+	// duration information discarded (the paper's "timing information
+	// removed" transform of Section VII-B2).
+	NoTiming *snapshot.Store
+}
+
+// Collector implements sim.Tracer. It samples the tracked units every
+// cycle while inside a region of interest and a labeled iteration.
+type Collector struct {
+	units   []Unit
+	recs    map[Unit]*snapshot.Recorder
+	evRecs  map[Unit]*snapshot.Recorder
+	prevRow map[Unit][]uint64
+	full    map[Unit]*snapshot.Store
+	noT     map[Unit]*snapshot.Store
+
+	roi       bool
+	inIter    bool
+	class     uint64
+	iterStart int64
+	iterIdx   int
+	dropFirst int
+
+	iters []IterSample
+	row   []uint64 // scratch
+	ev    []uint64 // scratch for event rows
+
+	// Memory-access attribution inside the region of interest: which
+	// store/load PCs produced each address. This is the paper's
+	// root-cause step of resolving leaked addresses back to the
+	// instructions (and thus functions) that issued them.
+	writers map[uint64]map[uint64]struct{}
+	readers map[uint64]map[uint64]struct{}
+}
+
+var _ sim.Tracer = (*Collector)(nil)
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithUnits restricts tracking to the given units (default: all).
+func WithUnits(units ...Unit) Option {
+	return func(c *Collector) { c.units = units }
+}
+
+// WithWarmupIterations drops the first n labeled iterations from the
+// analysis, discarding cold-start effects (cold caches and untrained
+// predictors produce one-off snapshots that are not secret-dependent).
+func WithWarmupIterations(n int) Option {
+	return func(c *Collector) { c.dropFirst = n }
+}
+
+// NewCollector returns a Collector tracking all Table IV units.
+func NewCollector(opts ...Option) *Collector {
+	c := &Collector{
+		units:   AllUnits(),
+		recs:    make(map[Unit]*snapshot.Recorder, numUnits),
+		evRecs:  make(map[Unit]*snapshot.Recorder, numUnits),
+		prevRow: make(map[Unit][]uint64, numUnits),
+		full:    make(map[Unit]*snapshot.Store, numUnits),
+		noT:     make(map[Unit]*snapshot.Store, numUnits),
+		row:     make([]uint64, 0, 128),
+		ev:      make([]uint64, 0, 128),
+		writers: make(map[uint64]map[uint64]struct{}),
+		readers: make(map[uint64]map[uint64]struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	for _, u := range c.units {
+		c.recs[u] = snapshot.NewRecorder()
+		c.evRecs[u] = snapshot.NewRecorder()
+		c.full[u] = snapshot.NewStore()
+		c.noT[u] = snapshot.NewStore()
+	}
+	return c
+}
+
+// OnMark handles commit-time region and iteration markers.
+func (c *Collector) OnMark(cycle int64, kind isa.MarkKind, class uint64) {
+	switch kind {
+	case isa.MarkROIBegin:
+		c.roi = true
+	case isa.MarkROIEnd:
+		c.roi = false
+		c.inIter = false
+	case isa.MarkIterBegin:
+		if !c.roi {
+			return
+		}
+		c.inIter = true
+		c.class = class
+		c.iterStart = cycle
+		for _, u := range c.units {
+			c.recs[u].Reset()
+			c.evRecs[u].Reset()
+			c.prevRow[u] = nil
+		}
+	case isa.MarkIterEnd:
+		if !c.roi || !c.inIter {
+			return
+		}
+		c.inIter = false
+		keep := c.iterIdx >= c.dropFirst
+		c.iterIdx++
+		if keep {
+			c.iters = append(c.iters, IterSample{
+				Class:  c.class,
+				Cycles: cycle - c.iterStart,
+			})
+		}
+		if !keep {
+			return
+		}
+		for _, u := range c.units {
+			fullH, _, rows := c.recs[u].Finish()
+			c.full[u].Observe(c.class, fullH, rows)
+			evH, _, evRows := c.evRecs[u].Finish()
+			c.noT[u].Observe(c.class, evH, evRows)
+		}
+	}
+}
+
+// OnCycle samples one state row per unit and derives its timing-free
+// event row: the values present this cycle that were absent the cycle
+// before (newly arrived entries, changed states, issued requests).
+func (c *Collector) OnCycle(p *sim.Probe) {
+	if !c.roi || !c.inIter {
+		return
+	}
+	for _, u := range c.units {
+		row := c.sample(u, p)
+		// Each event becomes its own single-value row so that the event
+		// stream carries no per-cycle grouping (which would smuggle
+		// timing back into the "timing removed" view).
+		for _, v := range c.eventRow(u, row) {
+			c.evRecs[u].AddRow([]uint64{v})
+		}
+		c.recs[u].AddRow(row)
+		prev := c.prevRow[u]
+		c.prevRow[u] = append(prev[:0], row...)
+	}
+	for _, e := range p.StoreQueue() {
+		if e.Valid {
+			attribute(c.writers, e.Addr, e.PC)
+		}
+	}
+	for _, e := range p.LoadQueue() {
+		if e.Valid {
+			attribute(c.readers, e.Addr, e.PC)
+		}
+	}
+}
+
+func attribute(m map[uint64]map[uint64]struct{}, addr, pc uint64) {
+	set := m[addr]
+	if set == nil {
+		set = make(map[uint64]struct{}, 1)
+		m[addr] = set
+	}
+	set[pc] = struct{}{}
+}
+
+// eventRow returns the non-zero values of row that do not appear in the
+// previous cycle's row, in row (age) order.
+func (c *Collector) eventRow(u Unit, row []uint64) []uint64 {
+	prev := c.prevRow[u]
+	ev := c.ev[:0]
+	for _, v := range row {
+		if v == 0 {
+			continue
+		}
+		seen := false
+		for _, pv := range prev {
+			if pv == v {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ev = append(ev, v)
+		}
+	}
+	c.ev = ev[:0]
+	return ev
+}
+
+// sample builds the state row of one unit for the current cycle.
+func (c *Collector) sample(u Unit, p *sim.Probe) []uint64 {
+	row := c.row[:0]
+	switch u {
+	case SQADDR:
+		for _, e := range p.StoreQueue() {
+			if e.Valid {
+				row = append(row, e.Addr)
+			} else {
+				row = append(row, 0)
+			}
+		}
+	case SQPC:
+		for _, e := range p.StoreQueue() {
+			row = append(row, e.PC)
+		}
+	case LQADDR:
+		for _, e := range p.LoadQueue() {
+			if e.Valid {
+				row = append(row, e.Addr)
+			} else {
+				row = append(row, 0)
+			}
+		}
+	case LQPC:
+		for _, e := range p.LoadQueue() {
+			row = append(row, e.PC)
+		}
+	case ROBOCPNCY:
+		row = append(row, uint64(p.ROBOccupancy()))
+	case ROBPC:
+		for _, e := range p.ROB() {
+			if !e.Folded {
+				row = append(row, e.PC)
+			}
+		}
+	case LFBDATA:
+		for _, e := range p.LFB() {
+			row = append(row, e.Data)
+		}
+	case LFBADDR:
+		for _, e := range p.LFB() {
+			row = append(row, e.Addr)
+		}
+	case EUUALU:
+		row = append(row, p.ALUBusy()...)
+	case EUUADDRGEN:
+		row = append(row, p.AGUBusy()...)
+	case EUUDIV:
+		row = append(row, p.DivBusy()...)
+	case EUUMUL:
+		row = append(row, p.MulBusy()...)
+	case NLPADDR:
+		row = append(row, p.PrefetchAddrs()...)
+	case CACHEADDR:
+		row = append(row, p.CacheRequests()...)
+	case TLBADDR:
+		row = append(row, p.TLBPages()...)
+	case MSHRADDR:
+		row = append(row, p.MSHRAddrs()...)
+	}
+	c.row = row[:0]
+	return row
+}
+
+// Results returns the per-unit snapshot evidence in Table IV order.
+func (c *Collector) Results() []UnitTrace {
+	out := make([]UnitTrace, 0, len(c.units))
+	for _, u := range c.units {
+		out = append(out, UnitTrace{Unit: u, Full: c.full[u], NoTiming: c.noT[u]})
+	}
+	return out
+}
+
+// Iterations returns the kept iteration samples in execution order.
+func (c *Collector) Iterations() []IterSample {
+	out := make([]IterSample, len(c.iters))
+	copy(out, c.iters)
+	return out
+}
+
+// Attribution returns the memory-access attribution gathered inside the
+// region of interest: per address, the sorted PCs of the stores
+// (writers) and loads (readers) that produced it.
+func (c *Collector) Attribution() (writers, readers map[uint64][]uint64) {
+	return flattenAttribution(c.writers), flattenAttribution(c.readers)
+}
+
+func flattenAttribution(m map[uint64]map[uint64]struct{}) map[uint64][]uint64 {
+	out := make(map[uint64][]uint64, len(m))
+	for addr, pcs := range m {
+		list := make([]uint64, 0, len(pcs))
+		for pc := range pcs {
+			list = append(list, pc)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		out[addr] = list
+	}
+	return out
+}

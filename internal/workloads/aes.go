@@ -1,0 +1,300 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// The AES case studies extend the paper's crypto-primitive portfolio
+// with the canonical cache side-channel target:
+//
+//   - AES-TTABLE: classic T-table AES-128. The table indices are
+//     functions of key and plaintext bytes, so load addresses, cache
+//     requests and (under cache pressure) miss-handling state all
+//     separate the two candidate keys.
+//   - AES-PRELOAD: the same kernel hardened with the well-known
+//     countermeasure of touching every Te0 line before the rounds.
+//     The residency channel (MSHR/LFB/prefetcher state) closes — but
+//     MicroSampler still flags the load addresses themselves, showing
+//     that preloading does not make table lookups data-oblivious.
+//
+// Each run fixes a random plaintext and two candidate keys differing in
+// one byte; iterations alternate between the keys (the class label), a
+// key-distinguishing experiment in the style of the paper's per-key-bit
+// labeling. Every encryption is checked against a Go reference that is
+// itself validated against crypto/aes.
+const aesIters = 32
+
+// aesWordAsm emits the T-table combination for one output word:
+// dst = Te0[x>>24] ^ Te1[y>>16&ff] ^ Te2[z>>8&ff] ^ Te3[w&ff] ^ rk[rkOff]
+// Sources are registers among t3..t6; dst among a2..a5; t0/t1 scratch;
+// a0 is the current round-key pointer.
+func aesWordAsm(dst, x, y, z, w string, rkOff int) string {
+	return fmt.Sprintf(`	srli t0, %[2]s, 24
+	slli t0, t0, 2
+	add  t0, s2, t0
+	lwu  %[1]s, 0(t0)
+	srli t0, %[3]s, 16
+	andi t0, t0, 0xFF
+	slli t0, t0, 2
+	add  t0, s3, t0
+	lwu  t1, 0(t0)
+	xor  %[1]s, %[1]s, t1
+	srli t0, %[4]s, 8
+	andi t0, t0, 0xFF
+	slli t0, t0, 2
+	add  t0, s4, t0
+	lwu  t1, 0(t0)
+	xor  %[1]s, %[1]s, t1
+	andi t0, %[5]s, 0xFF
+	slli t0, t0, 2
+	add  t0, s5, t0
+	lwu  t1, 0(t0)
+	xor  %[1]s, %[1]s, t1
+	lwu  t1, %[6]d(a0)
+	xor  %[1]s, %[1]s, t1
+`, dst, x, y, z, w, rkOff)
+}
+
+// aesFinalWordAsm emits one final-round word via S-box lookups.
+func aesFinalWordAsm(dst, x, y, z, w string, rkOff int) string {
+	return fmt.Sprintf(`	srli t0, %[2]s, 24
+	add  t0, s6, t0
+	lbu  %[1]s, 0(t0)
+	slli %[1]s, %[1]s, 24
+	srli t0, %[3]s, 16
+	andi t0, t0, 0xFF
+	add  t0, s6, t0
+	lbu  t1, 0(t0)
+	slli t1, t1, 16
+	or   %[1]s, %[1]s, t1
+	srli t0, %[4]s, 8
+	andi t0, t0, 0xFF
+	add  t0, s6, t0
+	lbu  t1, 0(t0)
+	slli t1, t1, 8
+	or   %[1]s, %[1]s, t1
+	andi t0, %[5]s, 0xFF
+	add  t0, s6, t0
+	lbu  t1, 0(t0)
+	or   %[1]s, %[1]s, t1
+	lwu  t1, %[6]d(a0)
+	xor  %[1]s, %[1]s, t1
+`, dst, x, y, z, w, rkOff)
+}
+
+// aesEncryptAsm emits the aes_encrypt function. With preload set, every
+// Te0 cache line is touched before the rounds (the countermeasure).
+// Register contract: s2..s5 = Te0..Te3 bases, s6 = sbox base,
+// s7 = plaintext words; a0 = round-key pointer; clobbers t0-t6, a1-a5.
+func aesEncryptAsm(preload bool) string {
+	var b strings.Builder
+	b.WriteString("aes_encrypt:\n")
+	if preload {
+		b.WriteString(`	mv   t0, s2          # preload all Te0 lines
+	li   t1, 16
+ae_preload:
+	lwu  t2, 0(t0)
+	addi t0, t0, 64
+	addi t1, t1, -1
+	bnez t1, ae_preload
+`)
+	}
+	b.WriteString(`	lwu  t3, 0(s7)       # state = plaintext ^ rk[0..3]
+	lwu  t4, 4(s7)
+	lwu  t5, 8(s7)
+	lwu  t6, 12(s7)
+	lwu  t0, 0(a0)
+	xor  t3, t3, t0
+	lwu  t0, 4(a0)
+	xor  t4, t4, t0
+	lwu  t0, 8(a0)
+	xor  t5, t5, t0
+	lwu  t0, 12(a0)
+	xor  t6, t6, t0
+	addi a0, a0, 16
+	li   a1, 9
+ae_round:
+`)
+	b.WriteString(aesWordAsm("a2", "t3", "t4", "t5", "t6", 0))
+	b.WriteString(aesWordAsm("a3", "t4", "t5", "t6", "t3", 4))
+	b.WriteString(aesWordAsm("a4", "t5", "t6", "t3", "t4", 8))
+	b.WriteString(aesWordAsm("a5", "t6", "t3", "t4", "t5", 12))
+	b.WriteString(`	mv   t3, a2
+	mv   t4, a3
+	mv   t5, a4
+	mv   t6, a5
+	addi a0, a0, 16
+	addi a1, a1, -1
+	bnez a1, ae_round
+`)
+	b.WriteString(aesFinalWordAsm("a2", "t3", "t4", "t5", "t6", 0))
+	b.WriteString(aesFinalWordAsm("a3", "t4", "t5", "t6", "t3", 4))
+	b.WriteString(aesFinalWordAsm("a4", "t5", "t6", "t3", "t4", 8))
+	b.WriteString(aesFinalWordAsm("a5", "t6", "t3", "t4", "t5", 12))
+	b.WriteString(`	slli a3, a3, 32
+	or   a0, a2, a3      # pack ct words
+	slli a5, a5, 32
+	or   a1, a4, a5
+	ret
+`)
+	return b.String()
+}
+
+// aesDriver emits the whole program.
+func aesDriver(preload bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\t.equ N, %d\n\t.text\n", aesIters)
+	b.WriteString(`_start:
+	la   s2, te0
+	la   s3, te1
+	la   s4, te2
+	la   s5, te3
+	la   s6, sbox
+	la   s7, pt_words
+	call sweep            # warmup pass
+	roi.begin
+	call sweep
+	roi.end
+	la   t0, expected
+	ld   t0, 0(t0)
+	sub  a0, a0, t0
+	snez a0, a0
+	j    do_exit
+
+sweep:                    # returns checksum in a0
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   s8, 0
+	li   s9, 0
+sw_loop:
+	# Ambient cache pressure: evict all Te0 lines between encryptions,
+	# so residency-dependent state stays live (same role as the flushes
+	# in the modexp studies; see DESIGN.md).
+	mv   t2, s2
+	li   t3, 16
+sw_flush:
+	cbo.flush (t2)
+	addi t2, t2, 64
+	addi t3, t3, -1
+	bnez t3, sw_flush
+	andi t0, s8, 1        # class: which candidate key
+	li   t1, 176
+	mul  t1, t0, t1
+	la   t2, rks
+	add  t2, t2, t1
+	iter.begin t0
+	mv   a0, t2
+	call aes_encrypt
+	iter.end
+	slli t0, s9, 1
+	srli t1, s9, 63
+	or   s9, t0, t1
+	xor  s9, s9, a0       # checksum
+	slli t0, s9, 1
+	srli t1, s9, 63
+	or   s9, t0, t1
+	xor  s9, s9, a1
+	addi s8, s8, 1
+	li   t0, N
+	bltu s8, t0, sw_loop
+	mv   a0, s9
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+`)
+	b.WriteString(aesEncryptAsm(preload))
+	b.WriteString(exitSequence)
+	b.WriteString("\n\t.data\nexpected: .dword 0\npt_words: .zero 16\nrks: .zero 352\n")
+	for t := 0; t < 4; t++ {
+		fmt.Fprintf(&b, "\t.align 6\nte%d:\n", t)
+		for i := 0; i < 256; i += 8 {
+			b.WriteString("\t.word ")
+			for j := 0; j < 8; j++ {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%d", int64(aesTe[t][i+j]))
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("\t.align 6\nsbox:\n")
+	for i := 0; i < 256; i += 16 {
+		b.WriteString("\t.byte ")
+		for j := 0; j < 16; j++ {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", aesSbox[i+j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// aesSetup writes the per-run plaintext, the two candidate keys' round
+// keys and the reference checksum.
+func aesSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0xAE5_0000 + int64(run)))
+	mem := m.Memory()
+
+	var pt, keyA [16]byte
+	rng.Read(pt[:])
+	rng.Read(keyA[:])
+	keyB := keyA
+	keyB[0] ^= 0x40 // flip an index bit that selects a different Te line
+
+	ptWords := wordsFromBlock(pt)
+	base, ok := prog.Symbol("pt_words")
+	if !ok {
+		return fmt.Errorf("aes: symbol pt_words missing")
+	}
+	for i, w := range ptWords {
+		mem.Write(base+uint64(4*i), 4, uint64(w))
+	}
+
+	rks := [2][44]uint32{aesKeyExpand(keyA), aesKeyExpand(keyB)}
+	rkBase := prog.MustSymbol("rks")
+	for k := 0; k < 2; k++ {
+		for i, w := range rks[k] {
+			mem.Write(rkBase+uint64(176*k+4*i), 4, uint64(w))
+		}
+	}
+
+	checksum := uint64(0)
+	for i := 0; i < aesIters; i++ {
+		ct := aesEncryptRef(&rks[i&1], ptWords)
+		lo := uint64(ct[0]) | uint64(ct[1])<<32
+		hi := uint64(ct[2]) | uint64(ct[3])<<32
+		checksum = checksum<<1 | checksum>>63
+		checksum ^= lo
+		checksum = checksum<<1 | checksum>>63
+		checksum ^= hi
+	}
+	mem.Write(prog.MustSymbol("expected"), 8, checksum)
+	return nil
+}
+
+func aesWorkload(name string, preload bool) (core.Workload, error) {
+	w := core.Workload{
+		Name:   name,
+		Source: aesDriver(preload),
+		Setup:  aesSetup,
+	}
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return w, nil
+}
+
+// AESTTable is the classic T-table AES-128 key-distinguishing study.
+func AESTTable() (core.Workload, error) { return aesWorkload("AES-TTABLE", false) }
+
+// AESPreload is the same kernel with the table-preload countermeasure.
+func AESPreload() (core.Workload, error) { return aesWorkload("AES-PRELOAD", true) }

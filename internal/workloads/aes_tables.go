@@ -1,0 +1,151 @@
+package workloads
+
+// AES-128 building blocks: S-box construction, T-tables and key
+// expansion, plus a table-based reference encryption that mirrors the
+// assembly kernels word for word. The reference is validated against
+// crypto/aes in the tests, so the simulated kernels are transitively
+// checked against the standard.
+
+// aesSbox is computed from the AES definition (multiplicative inverse
+// in GF(2^8) followed by the affine transform) rather than pasted, so
+// the construction itself is under test.
+var aesSbox = buildSbox()
+
+// aesTe holds the four encryption T-tables.
+var aesTe = buildTe()
+
+func gfMul(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 == 1 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 in GF(2^8) via square-and-multiply.
+	result := byte(1)
+	base := a
+	for e := 254; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = gfMul(result, base)
+		}
+		base = gfMul(base, base)
+	}
+	return result
+}
+
+func buildSbox() [256]byte {
+	var sb [256]byte
+	for i := 0; i < 256; i++ {
+		x := gfInv(byte(i))
+		// Affine transform: x ^ rotl(x,1) ^ rotl(x,2) ^ rotl(x,3) ^
+		// rotl(x,4) ^ 0x63.
+		y := x
+		for r := 1; r <= 4; r++ {
+			y ^= x<<r | x>>(8-r)
+		}
+		sb[i] = y ^ 0x63
+	}
+	return sb
+}
+
+func buildTe() [4][256]uint32 {
+	var te [4][256]uint32
+	for i := 0; i < 256; i++ {
+		s := aesSbox[i]
+		s2 := gfMul(s, 2)
+		s3 := gfMul(s, 3)
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te[0][i] = w
+		te[1][i] = w>>8 | w<<24
+		te[2][i] = w>>16 | w<<16
+		te[3][i] = w>>24 | w<<8
+	}
+	return te
+}
+
+// aesKeyExpand expands a 16-byte key into the 44 round-key words.
+func aesKeyExpand(key [16]byte) [44]uint32 {
+	var rk [44]uint32
+	for i := 0; i < 4; i++ {
+		rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1)
+	for i := 4; i < 44; i++ {
+		t := rk[i-1]
+		if i%4 == 0 {
+			t = t<<8 | t>>24 // RotWord
+			t = uint32(aesSbox[t>>24])<<24 | uint32(aesSbox[t>>16&0xFF])<<16 |
+				uint32(aesSbox[t>>8&0xFF])<<8 | uint32(aesSbox[t&0xFF])
+			t ^= rcon << 24
+			rcon = uint32(gfMul(byte(rcon), 2))
+		}
+		rk[i] = rk[i-4] ^ t
+	}
+	return rk
+}
+
+// aesEncryptRef encrypts one block with the T-table formulation the
+// assembly kernels use; s holds the four big-endian state words.
+func aesEncryptRef(rk *[44]uint32, s [4]uint32) [4]uint32 {
+	s0 := s[0] ^ rk[0]
+	s1 := s[1] ^ rk[1]
+	s2 := s[2] ^ rk[2]
+	s3 := s[3] ^ rk[3]
+	for r := 1; r <= 9; r++ {
+		t0 := aesTe[0][s0>>24] ^ aesTe[1][s1>>16&0xFF] ^
+			aesTe[2][s2>>8&0xFF] ^ aesTe[3][s3&0xFF] ^ rk[4*r]
+		t1 := aesTe[0][s1>>24] ^ aesTe[1][s2>>16&0xFF] ^
+			aesTe[2][s3>>8&0xFF] ^ aesTe[3][s0&0xFF] ^ rk[4*r+1]
+		t2 := aesTe[0][s2>>24] ^ aesTe[1][s3>>16&0xFF] ^
+			aesTe[2][s0>>8&0xFF] ^ aesTe[3][s1&0xFF] ^ rk[4*r+2]
+		t3 := aesTe[0][s3>>24] ^ aesTe[1][s0>>16&0xFF] ^
+			aesTe[2][s1>>8&0xFF] ^ aesTe[3][s2&0xFF] ^ rk[4*r+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+	sub := func(a, b, c, d uint32) uint32 {
+		return uint32(aesSbox[a>>24])<<24 | uint32(aesSbox[b>>16&0xFF])<<16 |
+			uint32(aesSbox[c>>8&0xFF])<<8 | uint32(aesSbox[d&0xFF])
+	}
+	return [4]uint32{
+		sub(s0, s1, s2, s3) ^ rk[40],
+		sub(s1, s2, s3, s0) ^ rk[41],
+		sub(s2, s3, s0, s1) ^ rk[42],
+		sub(s3, s0, s1, s2) ^ rk[43],
+	}
+}
+
+// wordsFromBlock packs 16 bytes into four big-endian state words.
+func wordsFromBlock(b [16]byte) [4]uint32 {
+	var s [4]uint32
+	for i := 0; i < 4; i++ {
+		s[i] = uint32(b[4*i])<<24 | uint32(b[4*i+1])<<16 |
+			uint32(b[4*i+2])<<8 | uint32(b[4*i+3])
+	}
+	return s
+}
+
+// blockFromWords unpacks four big-endian state words into 16 bytes.
+func blockFromWords(s [4]uint32) [16]byte {
+	var b [16]byte
+	for i := 0; i < 4; i++ {
+		b[4*i] = byte(s[i] >> 24)
+		b[4*i+1] = byte(s[i] >> 16)
+		b[4*i+2] = byte(s[i] >> 8)
+		b[4*i+3] = byte(s[i])
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"bytes"
+	"crypto/aes"
+	"math/rand"
+	"testing"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/sim"
+)
+
+// TestSboxMatchesKnownValues checks the constructed S-box against the
+// published corner values of FIPS-197.
+func TestSboxMatchesKnownValues(t *testing.T) {
+	known := map[int]byte{
+		0x00: 0x63, 0x01: 0x7C, 0x10: 0xCA, 0x53: 0xED,
+		0x7F: 0xD2, 0x80: 0xCD, 0xFF: 0x16, 0xAA: 0xAC,
+	}
+	for in, want := range known {
+		if got := aesSbox[in]; got != want {
+			t.Errorf("sbox[%#x] = %#x want %#x", in, got, want)
+		}
+	}
+}
+
+// TestAESRefMatchesStdlib validates the T-table reference encryption
+// against crypto/aes over random keys and plaintexts, which transitively
+// validates the table construction and key expansion.
+func TestAESRefMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		var key, pt [16]byte
+		rng.Read(key[:])
+		rng.Read(pt[:])
+
+		block, err := aes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 16)
+		block.Encrypt(want, pt[:])
+
+		rk := aesKeyExpand(key)
+		got := blockFromWords(aesEncryptRef(&rk, wordsFromBlock(pt)))
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("trial %d: ref AES mismatch\nkey %x\npt  %x\ngot %x\nwant %x",
+				trial, key, pt, got, want)
+		}
+	}
+}
+
+// TestFIPS197Vector checks the FIPS-197 appendix example.
+func TestFIPS197Vector(t *testing.T) {
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := [16]byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	want := [16]byte{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+		0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32}
+	rk := aesKeyExpand(key)
+	got := blockFromWords(aesEncryptRef(&rk, wordsFromBlock(pt)))
+	if got != want {
+		t.Fatalf("FIPS-197: got %x want %x", got, want)
+	}
+}
+
+func TestGFMul(t *testing.T) {
+	tests := []struct{ a, b, want byte }{
+		{0x57, 0x83, 0xc1},
+		{0x57, 0x13, 0xfe},
+		{0x02, 0x80, 0x1b},
+		{0x01, 0xab, 0xab},
+		{0x00, 0x55, 0x00},
+	}
+	for _, tt := range tests {
+		if got := gfMul(tt.a, tt.b); got != tt.want {
+			t.Errorf("gfMul(%#x, %#x) = %#x want %#x", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestGFInv(t *testing.T) {
+	for i := 1; i < 256; i++ {
+		if gfMul(byte(i), gfInv(byte(i))) != 1 {
+			t.Fatalf("gfInv(%#x) is not an inverse", i)
+		}
+	}
+	if gfInv(0) != 0 {
+		t.Error("gfInv(0) must be 0 by AES convention")
+	}
+}
+
+// TestAESKernelsComputeCorrectly runs both AES variants on the core;
+// their embedded checksum check compares against the Go reference.
+func TestAESKernelsComputeCorrectly(t *testing.T) {
+	for _, name := range []string{"AES-TTABLE", "AES-PRELOAD"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runOnce(t, w, sim.MegaBoom())
+		})
+	}
+}
+
+func TestAESSetupKeysDiffer(t *testing.T) {
+	w, err := AESTTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sim.New(sim.SmallBoom())
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(0, m, prog); err != nil {
+		t.Fatal(err)
+	}
+	rk := prog.MustSymbol("rks")
+	a := m.Memory().Read(rk, 4)
+	b := m.Memory().Read(rk+176, 4)
+	if a == b {
+		t.Error("candidate keys' first round-key words must differ")
+	}
+	if a>>24^b>>24 != 0x40 && a^b != 0x40<<24 {
+		t.Logf("first words differ: %#x vs %#x", a, b)
+	}
+}
+
+// TestChaChaRefRFC8439 checks the reference block function against the
+// RFC 8439 section 2.3.2 test vector.
+func TestChaChaRefRFC8439(t *testing.T) {
+	var key [8]uint32
+	for i := range key {
+		key[i] = uint32(4*i) | uint32(4*i+1)<<8 | uint32(4*i+2)<<16 | uint32(4*i+3)<<24
+	}
+	nonce := [3]uint32{0x09000000, 0x4a000000, 0x00000000}
+	state := chachaState(key, 1, nonce)
+	out := chachaRef(state)
+	want := [16]uint32{
+		0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3,
+		0xc7f4d1c7, 0x0368c033, 0x9aaa2204, 0x4e6cd4c3,
+		0x466482d2, 0x09aa9f07, 0x05d7c214, 0xa2028bd9,
+		0xd19c12b5, 0xb94e16de, 0xe883d0cb, 0x4e3c50a2,
+	}
+	if out != want {
+		t.Fatalf("RFC 8439 vector mismatch:\ngot  %08x\nwant %08x", out, want)
+	}
+}
+
+func TestChaChaKernelComputesCorrectly(t *testing.T) {
+	w, err := ChaCha20()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce(t, w, sim.MegaBoom())
+	runOnce(t, w, sim.SmallBoom())
+}

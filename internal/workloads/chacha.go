@@ -1,0 +1,253 @@
+package workloads
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// CHACHA20 is the positive counterpart to the AES study: an ARX cipher
+// (add/rotate/xor, no tables, no secret-dependent control flow) that is
+// constant-time by construction. Run as the same two-candidate-key
+// distinguishing experiment as AES-TTABLE, no microarchitectural unit
+// should separate the keys.
+const chachaIters = 24
+
+// chachaQR emits one ChaCha quarter round on the four named registers.
+// Upper register bits may hold garbage: every operation reads only the
+// low 32 bits (addw/slliw/srliw), and xor preserves the low half, so the
+// working words stay correct modulo 2^32 throughout.
+func chachaQR(a, b, c, d string) string {
+	rot := func(r string, n int) string {
+		return fmt.Sprintf(`	slliw t0, %[1]s, %[2]d
+	srliw t1, %[1]s, %[3]d
+	or   %[1]s, t0, t1
+`, r, n, 32-n)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\taddw %s, %s, %s\n\txor  %s, %s, %s\n", a, a, b, d, d, a)
+	sb.WriteString(rot(d, 16))
+	fmt.Fprintf(&sb, "\taddw %s, %s, %s\n\txor  %s, %s, %s\n", c, c, d, b, b, c)
+	sb.WriteString(rot(b, 12))
+	fmt.Fprintf(&sb, "\taddw %s, %s, %s\n\txor  %s, %s, %s\n", a, a, b, d, d, a)
+	sb.WriteString(rot(d, 8))
+	fmt.Fprintf(&sb, "\taddw %s, %s, %s\n\txor  %s, %s, %s\n", c, c, d, b, b, c)
+	sb.WriteString(rot(b, 7))
+	return sb.String()
+}
+
+// chachaRegs maps ChaCha state words 0..15 onto registers.
+var chachaRegs = []string{
+	"s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9",
+	"s10", "s11", "a2", "a3", "a4", "a5", "a6", "a7",
+}
+
+// chachaBlockAsm emits chacha_block(a0 = 16-word input state,
+// a1 = 16-word output): 20 rounds plus the feed-forward addition.
+func chachaBlockAsm() string {
+	var b strings.Builder
+	b.WriteString("chacha_block:\n")
+	for i, r := range chachaRegs {
+		fmt.Fprintf(&b, "\tlwu  %s, %d(a0)\n", r, 4*i)
+	}
+	b.WriteString("\tli   t3, 10\ncb_round:\n")
+	qr := func(a, bb, c, d int) {
+		b.WriteString(chachaQR(chachaRegs[a], chachaRegs[bb], chachaRegs[c], chachaRegs[d]))
+	}
+	// Column round.
+	qr(0, 4, 8, 12)
+	qr(1, 5, 9, 13)
+	qr(2, 6, 10, 14)
+	qr(3, 7, 11, 15)
+	// Diagonal round.
+	qr(0, 5, 10, 15)
+	qr(1, 6, 11, 12)
+	qr(2, 7, 8, 13)
+	qr(3, 4, 9, 14)
+	b.WriteString("\taddi t3, t3, -1\n\tbnez t3, cb_round\n")
+	for i, r := range chachaRegs {
+		fmt.Fprintf(&b, "\tlwu  t0, %d(a0)\n\taddw %s, %s, t0\n\tsw   %s, %d(a1)\n",
+			4*i, r, r, r, 4*i)
+	}
+	b.WriteString("\tret\n")
+	return b.String()
+}
+
+// chachaDriver builds the distinguishing-experiment program.
+func chachaDriver() string {
+	return fmt.Sprintf(`	.equ N, %d
+	.text
+_start:
+	call sweep            # warmup
+	roi.begin
+	call sweep
+	roi.end
+	la   t0, expected
+	ld   t0, 0(t0)
+	sub  a0, a0, t0
+	snez a0, a0
+	j    do_exit
+
+sweep:                    # returns checksum in a0
+	addi sp, sp, -32
+	sd   ra, 24(sp)
+	sd   s0, 16(sp)
+	li   s0, 0            # i
+	li   t4, 0            # checksum lives in memory across calls
+	la   t0, cksum
+	sd   t4, 0(t0)
+sw_loop:
+	andi t0, s0, 1        # class: which candidate key state
+	li   t1, 64
+	mul  t1, t0, t1
+	la   t2, states
+	add  t2, t2, t1
+	la   t5, curstate     # stage into the fixed working buffer, so the
+	li   t6, 8            # input address is class-independent
+cp_loop:
+	ld   t1, 0(t2)
+	sd   t1, 0(t5)
+	addi t2, t2, 8
+	addi t5, t5, 8
+	addi t6, t6, -1
+	bnez t6, cp_loop
+	fence
+	la   a0, curstate
+	la   a1, outblk
+	iter.begin t0
+	call chacha_block
+	iter.end
+	fence                 # stop the next pair's staging loads from
+	                      # dispatching before this window closes
+	la   t0, cksum
+	ld   t4, 0(t0)
+	la   a1, outblk
+	li   t5, 8
+ck_loop:
+	ld   t6, 0(a1)
+	slli t1, t4, 1
+	srli t2, t4, 63
+	or   t4, t1, t2
+	xor  t4, t4, t6
+	addi a1, a1, 8
+	addi t5, t5, -1
+	bnez t5, ck_loop
+	la   t0, cksum
+	sd   t4, 0(t0)
+	addi s0, s0, 1
+	li   t0, N
+	bltu s0, t0, sw_loop
+	la   t0, cksum
+	ld   a0, 0(t0)
+	ld   s0, 16(sp)
+	ld   ra, 24(sp)
+	addi sp, sp, 32
+	ret
+%s%s
+	.data
+expected: .dword 0
+cksum:    .dword 0
+	.align 6
+states:   .zero 128
+	.align 6
+curstate: .zero 64
+	.align 6
+outblk:   .zero 64
+`, chachaIters, chachaBlockAsm(), exitSequence)
+}
+
+// chachaRef computes one ChaCha20 block from a 16-word state.
+func chachaRef(state [16]uint32) [16]uint32 {
+	w := state
+	qr := func(a, b, c, d int) {
+		w[a] += w[b]
+		w[d] = bits.RotateLeft32(w[d]^w[a], 16)
+		w[c] += w[d]
+		w[b] = bits.RotateLeft32(w[b]^w[c], 12)
+		w[a] += w[b]
+		w[d] = bits.RotateLeft32(w[d]^w[a], 8)
+		w[c] += w[d]
+		w[b] = bits.RotateLeft32(w[b]^w[c], 7)
+	}
+	for r := 0; r < 10; r++ {
+		qr(0, 4, 8, 12)
+		qr(1, 5, 9, 13)
+		qr(2, 6, 10, 14)
+		qr(3, 7, 11, 15)
+		qr(0, 5, 10, 15)
+		qr(1, 6, 11, 12)
+		qr(2, 7, 8, 13)
+		qr(3, 4, 9, 14)
+	}
+	for i := range w {
+		w[i] += state[i]
+	}
+	return w
+}
+
+// chachaState builds the RFC 8439 initial state.
+func chachaState(key [8]uint32, counter uint32, nonce [3]uint32) [16]uint32 {
+	return [16]uint32{
+		0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+		key[0], key[1], key[2], key[3], key[4], key[5], key[6], key[7],
+		counter, nonce[0], nonce[1], nonce[2],
+	}
+}
+
+func chachaSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0xC4AC4A + int64(run)))
+	mem := m.Memory()
+	var keyA, keyB [8]uint32
+	for i := range keyA {
+		keyA[i] = rng.Uint32()
+		keyB[i] = keyA[i]
+	}
+	keyB[0] ^= 0x40 // the same single-byte key difference as AES
+	var nonce [3]uint32
+	for i := range nonce {
+		nonce[i] = rng.Uint32()
+	}
+	states := [2][16]uint32{
+		chachaState(keyA, 1, nonce),
+		chachaState(keyB, 1, nonce),
+	}
+	base, ok := prog.Symbol("states")
+	if !ok {
+		return fmt.Errorf("chacha: symbol states missing")
+	}
+	for k := 0; k < 2; k++ {
+		for i, w := range states[k] {
+			mem.Write(base+uint64(64*k+4*i), 4, uint64(w))
+		}
+	}
+	checksum := uint64(0)
+	for i := 0; i < chachaIters; i++ {
+		out := chachaRef(states[i&1])
+		for j := 0; j < 8; j++ {
+			dw := uint64(out[2*j]) | uint64(out[2*j+1])<<32
+			checksum = checksum<<1 | checksum>>63
+			checksum ^= dw
+		}
+	}
+	mem.Write(prog.MustSymbol("expected"), 8, checksum)
+	return nil
+}
+
+// ChaCha20 is the ARX distinguishing experiment: constant-time by
+// construction, expected clean on every unit.
+func ChaCha20() (core.Workload, error) {
+	w := core.Workload{
+		Name:   "CHACHA20",
+		Source: chachaDriver(),
+		Setup:  chachaSetup,
+	}
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("CHACHA20: %w", err)
+	}
+	return w, nil
+}

@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+const divIters = 32
+
+// divLeakSource violates the third constant-time principle ("no secrets
+// computed with variable-timing arithmetic"): the divisor of a divide
+// is derived — branchlessly, with constant addresses — from the secret
+// bit. On a fixed-latency divider the code is leak-free; on a divider
+// with operand-dependent early termination (sim.Config.DataDepDivide)
+// the quotient width, and therefore the divide latency, reveals the bit.
+const divLeakSource = `
+	.equ N, 32
+	.text
+_start:
+	la   s2, bits
+	call sweep            # warmup
+	roi.begin
+	call sweep
+	roi.end
+	la   t0, expected
+	ld   t0, 0(t0)
+	sub  a0, a0, t0
+	snez a0, a0
+	j    do_exit
+
+sweep:                    # returns checksum in a0
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   s5, 0
+	li   s6, 0
+	li   s7, 0x7FFFFFFFFFFFFFFF    # fixed dividend
+	li   s8, 3                     # small divisor -> long divide
+	li   s9, 0x10000000000         # large divisor -> short divide
+sw_loop:
+	add  t0, s2, s5
+	lbu  s10, 0(t0)       # secret bit
+	iter.begin s10
+	neg  t1, s10          # mask
+	xor  t2, s8, s9
+	and  t2, t2, t1
+	xor  t2, t2, s9       # divisor = bit ? small : large (branchless)
+	divu t3, s7, t2       # variable-latency on an early-out divider
+	iter.end
+	slli t0, s6, 1
+	srli t1, s6, 63
+	or   s6, t0, t1
+	xor  s6, s6, t3       # checksum
+	addi s5, s5, 1
+	li   t0, N
+	bltu s5, t0, sw_loop
+	mv   a0, s6
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+` + exitSequence + `
+	.data
+expected: .dword 0
+bits:     .zero 32
+`
+
+// divLeakSetup writes a random-but-balanced bit sequence and the
+// checksum reference.
+func divLeakSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0xD1_0000 + int64(run)))
+	mem := m.Memory()
+	const (
+		dividend = uint64(0x7FFFFFFFFFFFFFFF)
+		small    = uint64(3)
+		large    = uint64(0x10000000000)
+	)
+	checksum := uint64(0)
+	bitsAddr, ok := prog.Symbol("bits")
+	if !ok {
+		return fmt.Errorf("divleak: symbol bits missing")
+	}
+	for i := 0; i < divIters; i++ {
+		bit := uint64(rng.Intn(2))
+		mem.Write(bitsAddr+uint64(i), 1, bit)
+		d := large
+		if bit == 1 {
+			d = small
+		}
+		checksum = checksum<<1 | checksum>>63
+		checksum ^= dividend / d
+	}
+	mem.Write(prog.MustSymbol("expected"), 8, checksum)
+	return nil
+}
+
+// DivLeak is the variable-timing-arithmetic case study: branchless code
+// whose only secret dependence is the width of a divide.
+func DivLeak() (core.Workload, error) {
+	w := core.Workload{
+		Name:   "CT-DIV",
+		Source: divLeakSource,
+		Setup:  divLeakSetup,
+	}
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("CT-DIV: %w", err)
+	}
+	return w, nil
+}

@@ -1,0 +1,207 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// Number and size of input pairs for the CRYPTO_memcmp study (the paper
+// generates 32 32-byte inputs with varying distributions of (in)equal
+// bytes).
+const (
+	memcmpPairs   = 32
+	memcmpBufLen  = 32
+	memcmpPairGap = 128 // bytes between consecutive pair slots
+)
+
+// memcmpSource is the CT-MEM-CMP program: OpenSSL's constant-time
+// CRYPTO_memcmp (Listing 7) driven by a caller whose control flow
+// depends on the return value (Listing 8). Each iteration compares one
+// input pair; the class label (equal=1/inequal=0) is precomputed by
+// Setup. The iteration window closes immediately after the dependent
+// branch, so the divergent call targets are in flight — visible in the
+// reorder buffer — but architecturally past the sampled region, exactly
+// the transient-execution signature of Section VII-C1.
+func memcmpSource() string {
+	return fmt.Sprintf(`
+	.equ PAIRS,   %d
+	.equ BUFLEN,  %d
+	.equ PAIRGAP, %d
+	.text
+_start:
+	la   s2, a_bufs
+	la   s3, b_bufs
+	la   s4, classes
+	call sweep            # warmup pass outside the region of interest
+	roi.begin
+	call sweep
+	roi.end
+	mv   a0, zero
+	j    do_exit
+
+sweep:
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   s5, 0            # pair index
+sw_loop:
+	add  t0, s4, s5
+	lbu  s6, 0(t0)        # class: 1 if pair equal
+	li   t0, PAIRGAP
+	mul  t1, s5, t0
+	add  s7, s2, t1       # pair's a storage
+	add  s8, s3, t1       # pair's b storage
+	# Stage the pair into the fixed comparison buffers (the victim's
+	# working buffers); this happens outside the sampled window.
+	la   s9, buf_a
+	la   s10, buf_b
+	li   t2, BUFLEN
+cp_loop:
+	lbu  t3, 0(s7)
+	sb   t3, 0(s9)
+	lbu  t3, 0(s8)
+	sb   t3, 0(s10)
+	addi s7, s7, 1
+	addi s8, s8, 1
+	addi s9, s9, 1
+	addi s10, s10, 1
+	addi t2, t2, -1
+	bnez t2, cp_loop
+	fence                 # quiesce stores before the measured window
+	iter.begin s6
+	la   a0, buf_a
+	la   a1, buf_b
+	li   a2, BUFLEN
+	call crypto_memcmp
+	bnez a0, sw_neq
+	j    sw_eq            # both outcomes redirect once: path shapes match
+sw_eq:
+	iter.end              # equal path
+	call equal
+	j    sw_join
+sw_neq:
+	iter.end              # inequal path
+	call inequal
+	j    sw_join
+sw_join:
+	fence                 # wrong-path barrier: speculative dispatch of
+	                      # the next pair's accesses stops here
+	addi s5, s5, 1
+	li   t0, PAIRS
+	bltu s5, t0, sw_loop
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+
+# OpenSSL constant-time memory compare (Listing 7). The loop-closing
+# branch at cm_loop's end is the one whose misprediction produces a
+# premature speculative return.
+crypto_memcmp:          # a0=a, a1=b, a2=len -> 0 iff equal
+	li   t0, 0
+	beqz a2, cm_done
+cm_loop:
+	lbu  t1, 0(a0)
+	lbu  t2, 0(a1)
+	addi a0, a0, 1
+	addi a1, a1, 1
+	addi a2, a2, -1
+	xor  t1, t1, t2
+	or   t0, t0, t1
+	bgtz a2, cm_loop
+cm_done:
+	mv   a0, t0
+	ret
+
+	.align 6
+equal:
+	ret
+	.align 6
+inequal:
+	ret
+`+exitSequence+fmt.Sprintf(`
+	.data
+classes: .zero %d
+	.align 6
+buf_a:   .zero 64
+	.align 6
+buf_b:   .zero 64
+	.align 6
+a_bufs:  .zero %d
+	.align 6
+b_bufs:  .zero %d
+`, memcmpPairs, memcmpPairs*memcmpPairGap, memcmpPairs*memcmpPairGap),
+		memcmpPairs, memcmpBufLen, memcmpPairGap)
+}
+
+// memcmpClassPattern is the fixed sequence of equal(1)/inequal(0) pairs.
+// Keeping the sequence fixed across runs means the branch-predictor
+// trajectory — and therefore the transient behaviour — repeats per
+// pair position, while the byte contents vary per run.
+func memcmpClassPattern() []byte {
+	pattern := make([]byte, memcmpPairs)
+	for i := range pattern {
+		// Long runs of equal and inequal pairs with a few transitions:
+		// the transitions mistrain the caller's branch (exercising the
+		// transient path) while the runs keep it predictable so that
+		// driver-side misprediction timing stays rare.
+		switch {
+		case i < 12, i >= 22 && i < 26:
+			pattern[i] = 1
+		default:
+			pattern[i] = 0
+		}
+	}
+	return pattern
+}
+
+// memcmpSetup writes the input pairs: equal pairs are identical random
+// buffers; inequal pairs differ first at a position that varies per pair
+// (covering early and late divergence, per the paper's input design).
+func memcmpSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0xC0DE_0000 + int64(run)))
+	mem := m.Memory()
+	classes := memcmpClassPattern()
+	aBase, ok := prog.Symbol("a_bufs")
+	if !ok {
+		return fmt.Errorf("memcmp: symbol a_bufs missing")
+	}
+	bBase := prog.MustSymbol("b_bufs")
+	mem.WriteBytes(prog.MustSymbol("classes"), classes)
+
+	for i := 0; i < memcmpPairs; i++ {
+		a := make([]byte, memcmpBufLen)
+		rng.Read(a)
+		b := make([]byte, memcmpBufLen)
+		copy(b, a)
+		if classes[i] == 0 {
+			// First difference at a pair-dependent position.
+			pos := (i * 7) % memcmpBufLen
+			b[pos] ^= byte(rng.Intn(255) + 1)
+			for j := pos + 1; j < memcmpBufLen; j++ {
+				if rng.Intn(2) == 0 {
+					b[j] = byte(rng.Intn(256))
+				}
+			}
+		}
+		mem.WriteBytes(aBase+uint64(i*memcmpPairGap), a)
+		mem.WriteBytes(bBase+uint64(i*memcmpPairGap), b)
+	}
+	return nil
+}
+
+// MemcmpCT is case study CT-MEM-CMP (Section VII-C1): the OpenSSL
+// CRYPTO_memcmp primitive with a return-value-dependent branch.
+func MemcmpCT() (core.Workload, error) {
+	w := core.Workload{
+		Name:   "CT-MEM-CMP",
+		Source: memcmpSource(),
+		Setup:  memcmpSetup,
+	}
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("CT-MEM-CMP: %w", err)
+	}
+	return w, nil
+}

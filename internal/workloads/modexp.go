@@ -1,0 +1,348 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// modexpData is the shared data segment of the modular-exponentiation
+// case studies. The three copy buffers sit on distinct pages (distinct
+// TLB entries) and distinct cache lines; their +64 neighbour lines give
+// the next-line prefetcher a class-distinguishing target.
+const modexpData = `
+	.data
+a_val:     .dword 0
+mod_val:   .dword 0
+expected:  .dword 0
+exp_bytes: .zero 4
+	.align 12
+r_buf:     .zero 128
+	.align 12
+dummy_buf: .zero 128
+	.align 12
+t_buf:     .zero 128
+`
+
+// modexpDriver builds the common square-and-multiply driver around a
+// variant-specific per-iteration prologue (prep, e.g. attacker flushes)
+// and conditional-copy call (ccopy). The driver runs one unmarked warmup
+// pass and one marked pass inside the region of interest, then verifies
+// the result against the reference value.
+//
+// Register allocation: s2=a, s3=mod, s4=&r_buf, s5=&dummy_buf,
+// s6=&t_buf, s7=&exp_bytes, s8=i, s9=j, s10=exp[i], s1=current bit.
+func modexpDriver(prep, ccopy, funcs string) string {
+	return `
+	.text
+_start:
+	la   s4, r_buf
+	la   s5, dummy_buf
+	la   s6, t_buf
+	la   s7, exp_bytes
+	la   t0, a_val
+	ld   s2, 0(t0)
+	la   t0, mod_val
+	ld   s3, 0(t0)
+	call modexp_run       # warmup pass: outside the region of interest
+	roi.begin
+	call modexp_run
+	roi.end
+	ld   t0, 0(s4)        # result r
+	la   t1, expected
+	ld   t1, 0(t1)
+	sub  a0, t0, t1
+	snez a0, a0           # exit 0 iff result matches reference
+	j    do_exit
+
+modexp_run:
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   t0, 1
+	sd   t0, 0(s4)        # r = 1
+	li   s8, 3
+mr_outer:
+	add  t0, s7, s8
+	lbu  s10, 0(t0)       # exp[i]
+	li   s9, 7
+mr_inner:
+` + prep + `
+	srl  t1, s10, s9
+	andi t1, t1, 1        # current key bit
+	# The final bit's iteration is left unmarked so that the function
+	# epilogue never falls inside a sampled window (its loop-position
+	# test uses only public loop counters).
+	or   t6, s8, s9
+	beqz t6, mr_skip_begin
+	iter.begin t1
+mr_skip_begin:
+	mv   s1, t1
+	ld   t2, 0(s4)        # r
+	mul  t3, t2, t2
+	remu t3, t3, s3       # r = r*r mod m
+	sd   t3, 0(s4)
+	mul  t4, s2, t3
+	remu t4, t4, s3       # t = a*r mod m
+	sd   t4, 0(s6)
+` + ccopy + `
+	or   t6, s8, s9
+	beqz t6, mr_skip_end
+	iter.end
+mr_skip_end:
+	addi s9, s9, -1
+	bgez s9, mr_inner
+	addi s8, s8, -1
+	bgez s8, mr_outer
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+` + funcs + exitSequence + modexpData
+}
+
+// flushNeighbours evicts the lines adjacent to the copy destinations
+// each iteration. The accesses themselves are secret-independent; they
+// merely recreate the recurring-miss condition that the paper's
+// 1024-bit working set produced naturally, so that prefetcher, MSHR and
+// fill-buffer state stays live during the verified region.
+const flushNeighbours = `
+	addi t5, s4, 64
+	cbo.flush (t5)
+	addi t5, s5, 64
+	cbo.flush (t5)
+`
+
+// flushDummy models capacity pressure on the write-only dummy region
+// (paper Section VII-A2: dst stays warm because it is read every
+// iteration, while dummy is evicted between its uses).
+const flushDummy = `
+	cbo.flush (s5)
+`
+
+// ccopyCVCall invokes the libgcrypt-style conditional copy of Listing 4.
+const ccopyCVCall = `
+	mv   a0, s1
+	mv   a1, s4
+	mv   a2, s5
+	mv   a3, s6
+	li   a4, 64
+	call ccopy_cv
+`
+
+// ccopyCVAsm mirrors Listing 4: the compiler preloads dst as memmove's
+// first argument before checking ctl; the ctl==0 path executes two extra
+// instructions (a mv and a jump) to patch in the dummy destination.
+const ccopyCVAsm = `
+ccopy_cv:               # a0=ctl a1=dst a2=dummy a3=src a4=len
+	mv   a6, a0
+	mv   a5, a2
+	mv   a0, a1         # preload dst
+	mv   a1, a3
+	mv   a2, a4
+	beqz a6, cv_fix
+cv_go:
+	j    memmove        # tail call; returns to ccopy's caller
+cv_fix:
+	mv   a0, a5         # patch: dummy destination
+	j    cv_go
+`
+
+// ccopyMVCall invokes the branchless pointer-select copy of Listing 5.
+const ccopyMVCall = `
+	mv   a0, s1
+	mv   a1, s4
+	mv   a2, s5
+	mv   a3, s6
+	li   a4, 64
+	call ccopy_mv
+`
+
+// ccopyMVAsm is the branchless variant: the destination pointer is
+// selected with mask arithmetic, so control flow and instruction timing
+// are secret-independent — but the store addresses are not.
+const ccopyMVAsm = `
+ccopy_mv:               # a0=ctl a1=dst a2=dummy a3=src a4=len
+	snez a0, a0
+	neg  a0, a0         # mask = ctl ? -1 : 0
+	xor  t0, a1, a2
+	and  t0, t0, a0
+	xor  t0, t0, a2     # ptr = ctl ? dst : dummy
+	mv   a0, t0
+	mv   a1, a3
+	mv   a2, a4
+	j    memmove
+`
+
+// ccopySafeCall invokes the BearSSL conditional copy of Listing 6.
+const ccopySafeCall = `
+	mv   a0, s1
+	mv   a1, s4
+	mv   a2, s6
+	li   a3, 64
+	call ccopy_safe
+`
+
+// ccopySafeAsm mirrors Listing 6 (BearSSL CCOPY): every byte of dst is
+// rewritten with mask-selected content; addresses, control flow and
+// instruction mix are all secret-independent.
+const ccopySafeAsm = `
+ccopy_safe:             # a0=ctl a1=dst a2=src a3=len
+	snez a0, a0
+	negw a0, a0         # mask
+	add  a3, a3, a2     # src end
+cs_loop:
+	bne  a2, a3, cs_body
+	ret
+cs_body:
+	lbu  a4, 0(a1)
+	lbu  a5, 0(a2)
+	addi a2, a2, 1
+	addi a1, a1, 1
+	xor  a5, a5, a4
+	and  a5, a5, a0
+	xor  a5, a5, a4
+	sb   a5, -1(a1)
+	j    cs_loop
+`
+
+// naiveBody is the classic square-and-multiply of Listing 1: the
+// multiply and the result update only execute when the key bit is 1 —
+// a textbook secret-dependent control flow.
+const naiveBody = `
+	beqz s1, nv_skip
+	mul  t5, s2, t3       # recompute t = a*r only when the bit is set
+	remu t5, t5, s3
+	sd   t5, 0(s4)
+nv_skip:
+`
+
+// modexpRef computes the reference result with the same scan order as
+// the kernels (exp[3] first, MSB to LSB within each byte).
+func modexpRef(a, mod uint64, exp [4]byte) uint64 {
+	r := uint64(1)
+	for i := 3; i >= 0; i-- {
+		for j := 7; j >= 0; j-- {
+			r = r * r % mod
+			t := a * r % mod
+			if exp[i]>>uint(j)&1 == 1 {
+				r = t
+			}
+		}
+	}
+	return r
+}
+
+// modexpSetup writes per-run operands: a random odd 31-bit modulus, a
+// random base below it, a random 32-bit exponent, and the reference
+// result for the program's self-check.
+func modexpSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0x5EED_0000 + int64(run)))
+	mod := uint64(rng.Int31())>>1 | 1<<29 | 1 // odd, comfortably 30-bit
+	a := uint64(rng.Int63()) % (mod - 2)
+	a += 2
+	var exp [4]byte
+	rng.Read(exp[:])
+
+	mem := m.Memory()
+	for _, sym := range []string{"a_val", "mod_val", "expected", "exp_bytes"} {
+		if _, ok := prog.Symbol(sym); !ok {
+			return fmt.Errorf("modexp: symbol %q missing", sym)
+		}
+	}
+	mem.Write(prog.MustSymbol("a_val"), 8, a)
+	mem.Write(prog.MustSymbol("mod_val"), 8, mod)
+	mem.WriteBytes(prog.MustSymbol("exp_bytes"), exp[:])
+	mem.Write(prog.MustSymbol("expected"), 8, modexpRef(a, mod, exp))
+	return nil
+}
+
+func modexpWorkload(name, prep, ccopyCall, funcs string) (core.Workload, error) {
+	w := core.Workload{
+		Name:   name,
+		Source: modexpDriver(prep, ccopyCall, funcs),
+		Setup:  modexpSetup,
+	}
+	// Validate the assembly eagerly so constructors fail fast.
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return w, nil
+}
+
+// ModexpV1CV is case study ME-V1-CV: constant-time modular
+// exponentiation whose conditional copy was compiled into the unbalanced
+// branch sequence of Listing 4 (Section VII-A1).
+func ModexpV1CV() (core.Workload, error) {
+	return modexpWorkload("ME-V1-CV", flushNeighbours, ccopyCVCall,
+		ccopyCVAsm+memmoveAsm)
+}
+
+// ModexpV1MV is case study ME-V1-MV: the branchless conditional copy of
+// Listing 5, leaking only through secret-dependent store addresses
+// (Section VII-A2).
+func ModexpV1MV() (core.Workload, error) {
+	return modexpWorkload("ME-V1-MV", flushNeighbours, ccopyMVCall,
+		ccopyMVAsm+memmoveAsm)
+}
+
+// ModexpV1MVFig6A is the Fig. 6a timing experiment: ME-V1-MV with no
+// cache pressure — both copy destinations stay resident, so iteration
+// timing is indistinguishable across key-bit classes.
+func ModexpV1MVFig6A() (core.Workload, error) {
+	return modexpWorkload("ME-V1-MV-6A", "", ccopyMVCall,
+		ccopyMVAsm+memmoveAsm)
+}
+
+// ModexpV1MVFig6B is the Fig. 6b timing experiment: the dst region is
+// kept resident (it is read every iteration) while the dummy region is
+// evicted between uses, so key-bit-0 iterations pay a store miss.
+func ModexpV1MVFig6B() (core.Workload, error) {
+	return modexpWorkload("ME-V1-MV-6B", flushDummy, ccopyMVCall,
+		ccopyMVAsm+memmoveAsm)
+}
+
+// iterFence quiesces the pipeline between iterations so that each
+// iteration's snapshot reflects only its own key bit (without it, the
+// out-of-order front end runs far enough ahead that the next
+// iteration's instructions execute inside the current window).
+const iterFence = `
+	fence
+`
+
+// ModexpV2Safe is case study ME-V2-Safe: the BearSSL branchless
+// conditional copy (Section VII-A3). On the baseline core no unit shows
+// a statistically significant correlation; on a core with FastBypass it
+// becomes case study ME-V2-FB (Section VII-B2).
+func ModexpV2Safe() (core.Workload, error) {
+	return modexpWorkload("ME-V2-SAFE", iterFence, ccopySafeCall, ccopySafeAsm)
+}
+
+// ccopyGenericCall invokes a user-supplied conditional copy with the
+// libgcrypt-style signature ccopy(ctl, dst, dummy, src, len).
+const ccopyGenericCall = `
+	mv   a0, s1
+	mv   a1, s4
+	mv   a2, s5
+	mv   a3, s6
+	li   a4, 64
+	call ccopy
+`
+
+// ModexpWithConditionalCopy builds a modular-exponentiation workload
+// around an externally supplied conditional-copy implementation: the
+// funcs assembly must define a function `ccopy` with the signature
+// ccopy(ctl, dst, dummy, src, len) plus anything it calls. It is the
+// hook that lets the miniature constant-time compiler's output (or any
+// hand-written variant) be verified inside the full case-study driver.
+func ModexpWithConditionalCopy(name, funcs string) (core.Workload, error) {
+	return modexpWorkload(name, flushNeighbours, ccopyGenericCall, funcs)
+}
+
+// ModexpNaive is the classic square-and-multiply of Listing 1, whose
+// multiply is guarded by the key bit: a textbook timing leak used as the
+// framework walkthrough (Fig. 1).
+func ModexpNaive() (core.Workload, error) {
+	return modexpWorkload("ME-NAIVE", "", naiveBody, "")
+}

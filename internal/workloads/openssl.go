@@ -1,0 +1,806 @@
+package workloads
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// opensslIters is the number of labeled iterations per run of a
+// primitive sweep.
+const opensslIters = 32
+
+// lookupTable is the fixed 16-entry table of constant_time_lookup; the
+// entries are arbitrary published constants so the Go reference and the
+// program agree without a side channel for test data.
+var lookupTable = func() [16]uint64 {
+	var t [16]uint64
+	for i := range t {
+		t[i] = 0x9E3779B97F4A7C15 * uint64(i+1)
+	}
+	return t
+}()
+
+// primitive describes one OpenSSL constant_time_* kernel.
+type primitive struct {
+	name string
+	// body is the assembly of `prim:` — a0=x, a1=y, result in a0. It
+	// may use t-registers freely and p_-prefixed labels.
+	body string
+	// ref computes the expected result for the checksum self-check.
+	ref func(x, y uint64) uint64
+	// class computes the secret class bit for the iteration.
+	class func(x, y uint64) uint64
+	// inputs generates the operands for iteration i (class balance is
+	// the generator's responsibility).
+	inputs func(rng *rand.Rand) (x, y uint64)
+	// data is extra data-section text (fixed buffers, tables).
+	data string
+}
+
+func msbMask(v uint64) uint64 { return uint64(int64(v) >> 63) }
+
+func isZeroMask(v uint64) uint64 { return msbMask(^v & (v - 1)) }
+
+func ltMask(a, b uint64) uint64 {
+	if a < b {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+func ltMaskS(a, b uint64) uint64 {
+	if int64(a) < int64(b) {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+func b2m(b bool) uint64 {
+	if b {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+func sext8(v uint64) uint64   { return uint64(int64(int8(v))) }
+func sext32w(v uint64) uint64 { return uint64(int64(int32(v))) }
+
+// eqOrRandom yields pairs that are equal about half the time.
+func eqOrRandom(rng *rand.Rand) (uint64, uint64) {
+	x := rng.Uint64()
+	if rng.Intn(2) == 0 {
+		return x, x
+	}
+	return x, rng.Uint64()
+}
+
+// zeroOrRandom yields x == 0 about half the time.
+func zeroOrRandom(rng *rand.Rand) (uint64, uint64) {
+	if rng.Intn(2) == 0 {
+		return 0, rng.Uint64()
+	}
+	// Ensure nonzero in all widths so the class is unambiguous.
+	return uint64(rng.Intn(200) + 1), rng.Uint64()
+}
+
+func randomPair(rng *rand.Rand) (uint64, uint64) {
+	return rng.Uint64(), rng.Uint64()
+}
+
+// eqByteOrRandom yields byte-equal pairs about half the time (for the
+// 8-bit equality variants, whole-word equality would be too rare).
+func eqByteOrRandom(rng *rand.Rand) (uint64, uint64) {
+	x, y := rng.Uint64(), rng.Uint64()
+	if rng.Intn(2) == 0 {
+		y = y&^uint64(0xFF) | x&0xFF
+	}
+	return x, y
+}
+
+// eq32OrRandom yields 32-bit-equal pairs about half the time.
+func eq32OrRandom(rng *rand.Rand) (uint64, uint64) {
+	x, y := rng.Uint64(), rng.Uint64()
+	if rng.Intn(2) == 0 {
+		y = y&^uint64(0xFFFFFFFF) | x&0xFFFFFFFF
+	}
+	return x, y
+}
+
+// The assembly bodies. All are branchless (except the fixed-trip-count
+// limb loops of the _bn variants, whose control flow is length- but not
+// data-dependent).
+const (
+	asmIsZero = `
+prim:                   # is_zero(x): all-ones iff x == 0
+	not  t0, a0
+	addi t1, a0, -1
+	and  t0, t0, t1
+	srai a0, t0, 63
+	ret
+`
+	asmIsZero8 = `
+prim:                   # is_zero_8
+	andi a0, a0, 0xFF
+	not  t0, a0
+	addi t1, a0, -1
+	and  t0, t0, t1
+	srai a0, t0, 63
+	andi a0, a0, 0xFF
+	ret
+`
+	asmIsZero32 = `
+prim:                   # is_zero_32
+	slli a0, a0, 32
+	srli a0, a0, 32
+	not  t0, a0
+	addi t1, a0, -1
+	and  t0, t0, t1
+	srai a0, t0, 63
+	sext.w a0, a0
+	ret
+`
+	asmEq = `
+prim:                   # eq(x, y)
+	xor  a0, a0, a1
+	not  t0, a0
+	addi t1, a0, -1
+	and  t0, t0, t1
+	srai a0, t0, 63
+	ret
+`
+	asmEq8 = `
+prim:                   # eq_8
+	xor  a0, a0, a1
+	andi a0, a0, 0xFF
+	not  t0, a0
+	addi t1, a0, -1
+	and  t0, t0, t1
+	srai a0, t0, 63
+	andi a0, a0, 0xFF
+	ret
+`
+	asmEqInt = `
+prim:                   # eq_int (32-bit signed operands)
+	sext.w a0, a0
+	sext.w a1, a1
+	xor  a0, a0, a1
+	not  t0, a0
+	addi t1, a0, -1
+	and  t0, t0, t1
+	srai a0, t0, 63
+	ret
+`
+	asmEqInt8 = `
+prim:                   # eq_int_8
+	sext.w a0, a0
+	sext.w a1, a1
+	xor  a0, a0, a1
+	not  t0, a0
+	addi t1, a0, -1
+	and  t0, t0, t1
+	srai a0, t0, 63
+	andi a0, a0, 0xFF
+	ret
+`
+	asmLt = `
+prim:                   # lt(x, y) unsigned
+	sltu t0, a0, a1
+	neg  a0, t0
+	ret
+`
+	asmLtS = `
+prim:                   # lt_s(x, y) signed
+	slt  t0, a0, a1
+	neg  a0, t0
+	ret
+`
+	asmLt32 = `
+prim:                   # lt_32: on 32-bit truncations
+	slli a0, a0, 32
+	srli a0, a0, 32
+	slli a1, a1, 32
+	srli a1, a1, 32
+	sltu t0, a0, a1
+	neg  a0, t0
+	ret
+`
+	asmGe = `
+prim:                   # ge(x, y) unsigned
+	sltu t0, a0, a1
+	addi a0, t0, -1     # 0 -> all ones, 1 -> 0
+	ret
+`
+	asmGeS = `
+prim:                   # ge_s(x, y) signed
+	slt  t0, a0, a1
+	addi a0, t0, -1
+	ret
+`
+	asmGe8S = `
+prim:                   # ge_8_s: on sign-extended bytes
+	slli a0, a0, 56
+	srai a0, a0, 56
+	slli a1, a1, 56
+	srai a1, a1, 56
+	slt  t0, a0, a1
+	addi a0, t0, -1
+	ret
+`
+	asmSelect = `
+prim:                   # select(bit(x), y, x>>1)
+	andi t0, a0, 1
+	neg  t0, t0         # mask
+	srli a0, a0, 1
+	and  t1, a1, t0
+	not  t2, t0
+	and  a0, a0, t2
+	or   a0, a0, t1
+	ret
+`
+	asmSelect8 = `
+prim:                   # select_8
+	andi t0, a0, 1
+	neg  t0, t0
+	srli a0, a0, 1
+	and  t1, a1, t0
+	not  t2, t0
+	and  a0, a0, t2
+	or   a0, a0, t1
+	andi a0, a0, 0xFF
+	ret
+`
+	asmSelect32 = `
+prim:                   # select_32
+	andi t0, a0, 1
+	neg  t0, t0
+	srli a0, a0, 1
+	and  t1, a1, t0
+	not  t2, t0
+	and  a0, a0, t2
+	or   a0, a0, t1
+	sext.w a0, a0
+	ret
+`
+	asmCondSwap = `
+prim:                   # cond_swap(bit(x), x>>1, y)
+	andi t0, a0, 1
+	neg  t0, t0         # mask
+	srli a0, a0, 1      # a
+	xor  t1, a0, a1     # a ^ b
+	and  t1, t1, t0
+	xor  a0, a0, t1     # a'
+	xor  a1, a1, t1     # b'
+	slli t2, a1, 1
+	srli t3, a1, 63
+	or   t2, t2, t3     # rotl(b', 1)
+	xor  a0, a0, t2
+	ret
+`
+	asmCondSwap32 = `
+prim:                   # cond_swap_32
+	andi t0, a0, 1
+	negw t0, t0         # 32-bit mask, sign-extended
+	srliw t4, a0, 1     # a = uint32(x) >> 1
+	sext.w a1, a1       # b = sext32(y)
+	xor  t1, t4, a1
+	and  t1, t1, t0
+	xor  t4, t4, t1     # a'
+	xor  a1, a1, t1     # b'
+	slliw t2, a1, 1
+	srliw t3, a1, 31
+	or   t2, t2, t3     # rotl32(b')
+	xor  a0, t4, t2
+	sext.w a0, a0
+	ret
+`
+)
+
+// asmEqBn compares two 4-limb big numbers derived from x and y; the
+// limbs live in fixed buffers so the store/load addresses are
+// secret-independent.
+const asmEqBn = `
+prim:                   # eq_bn: 4-limb equality
+	la   t0, bn_a
+	la   t1, bn_b
+	sd   a0, 0(t0)      # limbs a = {x, x+1, x*2, x^7}
+	addi t2, a0, 1
+	sd   t2, 8(t0)
+	slli t2, a0, 1
+	sd   t2, 16(t0)
+	xori t2, a0, 7
+	sd   t2, 24(t0)
+	sd   a1, 0(t1)      # limbs b likewise from y
+	addi t2, a1, 1
+	sd   t2, 8(t1)
+	slli t2, a1, 1
+	sd   t2, 16(t1)
+	xori t2, a1, 7
+	sd   t2, 24(t1)
+	li   t3, 0          # xor accumulator
+	li   t4, 4
+p_loop:
+	ld   t5, 0(t0)
+	ld   t6, 0(t1)
+	xor  t5, t5, t6
+	or   t3, t3, t5
+	addi t0, t0, 8
+	addi t1, t1, 8
+	addi t4, t4, -1
+	bnez t4, p_loop
+	not  t0, t3
+	addi t1, t3, -1
+	and  t0, t0, t1
+	srai a0, t0, 63
+	ret
+`
+
+const bnData = `
+	.align 6
+bn_a: .zero 32
+	.align 6
+bn_b: .zero 32
+`
+
+// asmLtBn compares two 4-limb big numbers (most significant limb first)
+// with a branchless borrow chain.
+const asmLtBn = `
+prim:                   # lt_bn: 4-limb unsigned less-than
+	la   t0, bn_a
+	la   t1, bn_b
+	sd   a0, 0(t0)
+	srli t2, a0, 7
+	sd   t2, 8(t0)
+	slli t2, a0, 3
+	sd   t2, 16(t0)
+	xori t2, a0, 29
+	sd   t2, 24(t0)
+	sd   a1, 0(t1)
+	srli t2, a1, 7
+	sd   t2, 8(t1)
+	slli t2, a1, 3
+	sd   t2, 16(t1)
+	xori t2, a1, 29
+	sd   t2, 24(t1)
+	li   t3, 0          # result mask
+	li   t4, 0          # decided mask
+	li   t5, 4
+p_loop:
+	ld   t6, 0(t0)
+	ld   a2, 0(t1)
+	sltu a3, t6, a2     # this limb less?
+	neg  a3, a3
+	xor  a4, t6, a2     # limbs differ?
+	snez a4, a4
+	neg  a4, a4
+	not  a5, t4
+	and  a6, a3, a5
+	or   t3, t3, a6     # adopt verdict if undecided
+	and  a6, a4, a5
+	or   t4, t4, a6     # decided once limbs differ
+	addi t0, t0, 8
+	addi t1, t1, 8
+	addi t5, t5, -1
+	bnez t5, p_loop
+	mv   a0, t3
+	ret
+`
+
+// asmCondSwapBuff swaps two 32-byte buffers under a mask, byte by byte.
+const asmCondSwapBuff = `
+prim:                   # cond_swap_buff(bit(x), bufs from x and y)
+	la   t0, bn_a
+	la   t1, bn_b
+	sd   a0, 0(t0)      # fill buffers from the operands
+	sd   a1, 8(t0)
+	xor  t2, a0, a1
+	sd   t2, 16(t0)
+	add  t2, a0, a1
+	sd   t2, 24(t0)
+	sd   a1, 0(t1)
+	sd   a0, 8(t1)
+	not  t2, a0
+	sd   t2, 16(t1)
+	sub  t2, a1, a0
+	sd   t2, 24(t1)
+	andi t2, a0, 1
+	neg  t2, t2         # mask
+	li   t3, 32
+p_loop:
+	lbu  t4, 0(t0)
+	lbu  t5, 0(t1)
+	xor  t6, t4, t5
+	and  t6, t6, t2
+	xor  t4, t4, t6
+	xor  t5, t5, t6
+	sb   t4, 0(t0)
+	sb   t5, 0(t1)
+	addi t0, t0, 1
+	addi t1, t1, 1
+	addi t3, t3, -1
+	bnez t3, p_loop
+	la   t0, bn_a
+	la   t1, bn_b
+	ld   t2, 0(t0)
+	ld   t3, 24(t1)
+	xor  a0, t2, t3
+	ret
+`
+
+// asmLookup scans the whole fixed table and mask-selects entry x&15.
+const asmLookup = `
+prim:                   # lookup(idx = x & 15)
+	andi a0, a0, 15
+	la   t0, lut
+	li   t1, 0          # i
+	li   t2, 0          # acc
+	li   t3, 16
+p_loop:
+	xor  t4, t1, a0     # eq(i, idx) mask
+	not  t5, t4
+	addi t6, t4, -1
+	and  t5, t5, t6
+	srai t5, t5, 63
+	ld   t6, 0(t0)
+	and  t6, t6, t5
+	or   t2, t2, t6
+	addi t0, t0, 8
+	addi t1, t1, 1
+	bne  t1, t3, p_loop
+	mv   a0, t2
+	ret
+`
+
+func lutData() string {
+	s := "\tlut:\n"
+	for _, v := range lookupTable {
+		s += fmt.Sprintf("\t.dword %d\n", int64(v))
+	}
+	return "\t.align 6\n" + s
+}
+
+// primitives returns the full Table V catalogue (27 branchless kernels;
+// CRYPTO_memcmp is the 28th, implemented in memcmp.go).
+func primitives() []primitive {
+	refEqBn := func(x, y uint64) uint64 {
+		la := [4]uint64{x, x + 1, x << 1, x ^ 7}
+		lb := [4]uint64{y, y + 1, y << 1, y ^ 7}
+		acc := uint64(0)
+		for i := range la {
+			acc |= la[i] ^ lb[i]
+		}
+		return isZeroMask(acc)
+	}
+	refLtBn := func(x, y uint64) uint64 {
+		la := [4]uint64{x, x >> 7, x << 3, x ^ 29}
+		lb := [4]uint64{y, y >> 7, y << 3, y ^ 29}
+		for i := range la {
+			if la[i] != lb[i] {
+				return b2m(la[i] < lb[i])
+			}
+		}
+		return 0
+	}
+	refSwapBuff := func(x, y uint64) uint64 {
+		a := [4]uint64{x, y, x ^ y, x + y}
+		b := [4]uint64{y, x, ^x, y - x}
+		if x&1 == 1 {
+			a, b = b, a
+		}
+		return a[0] ^ b[3]
+	}
+	refLookup := func(x, _ uint64) uint64 { return lookupTable[x&15] }
+	refSelect := func(x, y uint64) uint64 {
+		m := uint64(0)
+		if x&1 == 1 {
+			m = ^uint64(0)
+		}
+		return y&m | (x>>1)&^m
+	}
+	refCondSwap := func(x, y uint64) uint64 {
+		a, b := x>>1, y
+		if x&1 == 1 {
+			a, b = b, a
+		}
+		return a ^ bits.RotateLeft64(b, 1)
+	}
+	classBit := func(x, _ uint64) uint64 { return x & 1 }
+
+	return []primitive{
+		{
+			name: "constant_time_eq", body: asmEq,
+			ref:    func(x, y uint64) uint64 { return isZeroMask(x ^ y) },
+			class:  func(x, y uint64) uint64 { return boolBit(x == y) },
+			inputs: eqOrRandom,
+		},
+		{
+			name: "constant_time_eq_8", body: asmEq8,
+			ref:    func(x, y uint64) uint64 { return isZeroMask((x^y)&0xFF) & 0xFF },
+			class:  func(x, y uint64) uint64 { return boolBit(x&0xFF == y&0xFF) },
+			inputs: eqByteOrRandom,
+		},
+		{
+			name: "constant_time_eq_int", body: asmEqInt,
+			ref:    func(x, y uint64) uint64 { return isZeroMask(sext32w(x) ^ sext32w(y)) },
+			class:  func(x, y uint64) uint64 { return boolBit(uint32(x) == uint32(y)) },
+			inputs: eq32OrRandom,
+		},
+		{
+			name: "constant_time_eq_int_8", body: asmEqInt8,
+			ref:    func(x, y uint64) uint64 { return isZeroMask(sext32w(x)^sext32w(y)) & 0xFF },
+			class:  func(x, y uint64) uint64 { return boolBit(uint32(x) == uint32(y)) },
+			inputs: eq32OrRandom,
+		},
+		{
+			name: "constant_time_eq_bn", body: asmEqBn, data: bnData,
+			ref:    refEqBn,
+			class:  func(x, y uint64) uint64 { return boolBit(x == y) },
+			inputs: eqOrRandom,
+		},
+		{
+			name: "constant_time_select", body: asmSelect,
+			ref:    refSelect,
+			class:  classBit,
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_select_8", body: asmSelect8,
+			ref:    func(x, y uint64) uint64 { return refSelect(x, y) & 0xFF },
+			class:  classBit,
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_select_32", body: asmSelect32,
+			ref:    func(x, y uint64) uint64 { return sext32w(refSelect(x, y)) },
+			class:  classBit,
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_select_64", body: asmSelect,
+			ref:    refSelect,
+			class:  classBit,
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_ge", body: asmGe,
+			ref:    func(x, y uint64) uint64 { return ^ltMask(x, y) },
+			class:  func(x, y uint64) uint64 { return boolBit(x >= y) },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_ge_s", body: asmGeS,
+			ref:    func(x, y uint64) uint64 { return ^ltMaskS(x, y) },
+			class:  func(x, y uint64) uint64 { return boolBit(int64(x) >= int64(y)) },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_ge_8_s", body: asmGe8S,
+			ref:    func(x, y uint64) uint64 { return ^ltMaskS(sext8(x), sext8(y)) },
+			class:  func(x, y uint64) uint64 { return boolBit(int8(x) >= int8(y)) },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_lt", body: asmLt,
+			ref:    ltMask,
+			class:  func(x, y uint64) uint64 { return boolBit(x < y) },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_lt_s", body: asmLtS,
+			ref:    ltMaskS,
+			class:  func(x, y uint64) uint64 { return boolBit(int64(x) < int64(y)) },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_lt_32", body: asmLt32,
+			ref:    func(x, y uint64) uint64 { return ltMask(x&0xFFFFFFFF, y&0xFFFFFFFF) },
+			class:  func(x, y uint64) uint64 { return boolBit(uint32(x) < uint32(y)) },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_lt_64", body: asmLt,
+			ref:    ltMask,
+			class:  func(x, y uint64) uint64 { return boolBit(x < y) },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_lt_bn", body: asmLtBn, data: bnData,
+			ref:    refLtBn,
+			class:  func(x, y uint64) uint64 { return refLtBn(x, y) & 1 },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_cond_swap", body: asmCondSwap,
+			ref:    refCondSwap,
+			class:  classBit,
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_cond_swap_32", body: asmCondSwap32,
+			ref:    refCondSwap32Fixed,
+			class:  classBit,
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_cond_swap_64", body: asmCondSwap,
+			ref:    refCondSwap,
+			class:  classBit,
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_cond_swap_buff", body: asmCondSwapBuff, data: bnData,
+			ref:    refSwapBuff,
+			class:  classBit,
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_lookup", body: asmLookup, data: lutData(),
+			ref:    refLookup,
+			class:  func(x, _ uint64) uint64 { return x & 15 & 1 },
+			inputs: randomPair,
+		},
+		{
+			name: "constant_time_is_zero", body: asmIsZero,
+			ref:    func(x, _ uint64) uint64 { return isZeroMask(x) },
+			class:  func(x, _ uint64) uint64 { return boolBit(x == 0) },
+			inputs: zeroOrRandom,
+		},
+		{
+			name: "constant_time_is_zero_s", body: asmIsZero,
+			ref:    func(x, _ uint64) uint64 { return isZeroMask(x) },
+			class:  func(x, _ uint64) uint64 { return boolBit(x == 0) },
+			inputs: zeroOrRandom,
+		},
+		{
+			name: "constant_time_is_zero_8", body: asmIsZero8,
+			ref:    func(x, _ uint64) uint64 { return isZeroMask(x&0xFF) & 0xFF },
+			class:  func(x, _ uint64) uint64 { return boolBit(x&0xFF == 0) },
+			inputs: zeroOrRandom,
+		},
+		{
+			name: "constant_time_is_zero_32", body: asmIsZero32,
+			ref:    func(x, _ uint64) uint64 { return sext32w(isZeroMask(x & 0xFFFFFFFF)) },
+			class:  func(x, _ uint64) uint64 { return boolBit(uint32(x) == 0) },
+			inputs: zeroOrRandom,
+		},
+		{
+			name: "constant_time_is_zero_64", body: asmIsZero,
+			ref:    func(x, _ uint64) uint64 { return isZeroMask(x) },
+			class:  func(x, _ uint64) uint64 { return boolBit(x == 0) },
+			inputs: zeroOrRandom,
+		},
+	}
+}
+
+// refCondSwap32Fixed is the reference for the 32-bit conditional swap:
+// a = uint32(x)>>1 and b = uint32(y) swapped under bit(x); the result is
+// sext32(a' ^ rotl32(b', 1)), matching the kernel's fold.
+func refCondSwap32Fixed(x, y uint64) uint64 {
+	a := uint32(x) >> 1
+	b := uint32(y)
+	if x&1 == 1 {
+		a, b = b, a
+	}
+	return sext32w(uint64(a ^ bits.RotateLeft32(b, 1)))
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// OpenSSLPrimitiveNames lists the Table V primitive sweep names, sorted.
+func OpenSSLPrimitiveNames() []string {
+	ps := primitives()
+	out := make([]string, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, p.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// primitiveDriver is the shared sweep harness around one primitive.
+func primitiveDriver(p primitive) string {
+	return fmt.Sprintf(`
+	.equ N, %d
+	.text
+_start:
+	la   s2, xs
+	la   s3, ys
+	la   s4, classes
+	call sweep            # warmup pass
+	roi.begin
+	call sweep
+	roi.end
+	la   t0, expected
+	ld   t0, 0(t0)
+	sub  a0, a0, t0
+	snez a0, a0
+	j    do_exit
+
+sweep:                    # returns checksum in a0
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   s5, 0
+	li   s6, 0
+sw_loop:
+	slli t0, s5, 3
+	add  t1, s2, t0
+	ld   a0, 0(t1)        # x
+	add  t1, s3, t0
+	ld   a1, 0(t1)        # y
+	add  t1, s4, s5
+	lbu  s7, 0(t1)        # class
+	iter.begin s7
+	call prim
+	iter.end
+	slli t0, s6, 1
+	srli t1, s6, 63
+	or   s6, t0, t1       # checksum = rotl(checksum, 1) ^ result
+	xor  s6, s6, a0
+	addi s5, s5, 1
+	li   t0, N
+	bltu s5, t0, sw_loop
+	mv   a0, s6
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+%s%s
+	.data
+expected: .dword 0
+xs:       .zero %d
+ys:       .zero %d
+classes:  .zero %d
+%s`, opensslIters, p.body, exitSequence,
+		8*opensslIters, 8*opensslIters, opensslIters, p.data)
+}
+
+// primitiveSetup writes per-run operands, classes and the reference
+// checksum.
+func primitiveSetup(p primitive) func(int, *sim.Machine, *asm.Program) error {
+	return func(run int, m *sim.Machine, prog *asm.Program) error {
+		rng := rand.New(rand.NewSource(0x0551_0000 + int64(run)))
+		mem := m.Memory()
+		xs := prog.MustSymbol("xs")
+		ys := prog.MustSymbol("ys")
+		classes := prog.MustSymbol("classes")
+		checksum := uint64(0)
+		for i := 0; i < opensslIters; i++ {
+			x, y := p.inputs(rng)
+			mem.Write(xs+uint64(8*i), 8, x)
+			mem.Write(ys+uint64(8*i), 8, y)
+			mem.Write(classes+uint64(i), 1, p.class(x, y))
+			checksum = bits.RotateLeft64(checksum, 1) ^ p.ref(x, y)
+		}
+		mem.Write(prog.MustSymbol("expected"), 8, checksum)
+		return nil
+	}
+}
+
+// OpenSSLPrimitive builds the verification workload for one Table V
+// primitive by name.
+func OpenSSLPrimitive(name string) (core.Workload, error) {
+	for _, p := range primitives() {
+		if p.name != name {
+			continue
+		}
+		w := core.Workload{
+			Name:   p.name,
+			Source: primitiveDriver(p),
+			Setup:  primitiveSetup(p),
+		}
+		if _, err := asm.Assemble(w.Source); err != nil {
+			return core.Workload{}, fmt.Errorf("%s: %w", p.name, err)
+		}
+		return w, nil
+	}
+	return core.Workload{}, fmt.Errorf("workloads: unknown primitive %q", name)
+}

@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// SPECTRE-PHT is the strongest demonstration of the paper's thesis that
+// microarchitectural visibility catches leakage that never manifests
+// architecturally: a classic bounds-check-bypass victim.
+//
+//	uint64 victim(uint64 idx) {
+//	    if (idx < len) return table2[(table1[idx] & 1) * 64];
+//	    return 0;
+//	}
+//
+// Each iteration trains the bounds check in-bounds, evicts the length
+// and the probe array, then calls the victim with an out-of-bounds
+// index aiming at a secret byte. The architectural result of the probe
+// is always 0 — the bounds check holds — but the mispredicted window
+// transiently loads table2 at a secret-dependent line, which shows up
+// in the load queue, cache requests and miss-handling state. The class
+// label is the secret bit (known to the verifier, as in all MicroSampler
+// experiments).
+const spectreIters = 12
+
+const spectreSource = `
+	.equ ITERS, 12
+	.text
+_start:
+	call sweep            # warmup pass
+	roi.begin
+	call sweep
+	roi.end
+	la   t0, expected
+	ld   t0, 0(t0)
+	sub  a0, a0, t0
+	snez a0, a0
+	j    do_exit
+
+sweep:                    # returns the in-bounds checksum in a0
+	addi sp, sp, -32
+	sd   ra, 24(sp)
+	sd   s0, 16(sp)
+	li   s2, ITERS
+	li   s6, 0            # checksum of architectural results
+sw_loop:
+	# Train the bounds check with in-bounds calls.
+	li   s4, 4
+sw_train:
+	andi a0, s4, 3
+	call victim
+	add  s6, s6, a0
+	addi s4, s4, -1
+	bnez s4, sw_train
+	# Vary the global branch history so that every probe's bounds check
+	# maps to a fresh (untrained, weakly not-taken) predictor entry —
+	# the mistraining step of a Spectre attack, expressed through
+	# history divergence. A persistent counter makes the (k1, k2) spin
+	# pattern unique across all iterations of both passes.
+	la   t0, gctr
+	ld   t1, 0(t0)
+	addi t2, t1, 1
+	sd   t2, 0(t0)
+	li   t2, 5
+	remu t3, t1, t2       # k1 = g % 5
+	divu t4, t1, t2
+	remu t4, t4, t2       # k2 = (g / 5) % 5
+sw_spin1:
+	beqz t3, sw_spin1_done
+	addi t3, t3, -1
+	j    sw_spin1
+sw_spin1_done:
+sw_spin2:
+	beqz t4, sw_spin2_done
+	addi t4, t4, -1
+	j    sw_spin2
+sw_spin2_done:
+	# Attacker phase: evict the bound (so the check resolves late and
+	# the transient window is wide) and the probe array (so the
+	# transient access is observable as a miss); keep the secret's
+	# line warm (it shares a line with unrelated hot data). The
+	# serializing flushes double as a speculation barrier: no younger
+	# load can issue — and re-fill the evicted lines — before they
+	# complete.
+	la   t0, len_slot
+	cbo.flush (t0)
+	la   t0, table2
+	cbo.flush (t0)
+	addi t0, t0, 64
+	cbo.flush (t0)
+	la   t0, warm
+	ld   t1, 0(t0)
+	# Probe: out-of-bounds index aimed at the secret byte.
+	la   t0, classbit
+	lbu  s5, 0(t0)        # class label = the secret bit under test
+	la   t0, secret
+	la   t1, table1
+	sub  s0, t0, t1       # OOB index
+	iter.begin s5
+	mv   a0, s0
+	call victim
+	add  s6, s6, a0       # architecturally always 0
+	iter.end
+	fence
+	addi s2, s2, -1
+	bnez s2, sw_loop
+	mv   a0, s6
+	ld   s0, 16(sp)
+	ld   ra, 24(sp)
+	addi sp, sp, 32
+	ret
+
+victim:                   # a0 = idx; returns table2 word or 0
+	la   t0, len_slot
+	ld   t1, 0(t0)        # evicted bound: the check resolves late
+	bgeu a0, t1, v_skip
+	la   t2, table1
+	add  t2, t2, a0
+	lbu  t3, 0(t2)
+	andi t3, t3, 1
+	slli t3, t3, 6
+	la   t4, table2
+	add  t4, t4, t3
+	lwu  a0, 0(t4)        # secret-dependent line — transient on probes
+	ret
+v_skip:
+	li   a0, 0
+	ret
+` + exitSequence + `
+	.data
+expected: .dword 0
+gctr:     .dword 0
+classbit: .byte 0
+	.align 6
+	.zero 64              # guard line: keeps the next-line prefetcher
+	                      # triggered by the line above from re-fetching
+	                      # the evicted bound below
+len_slot: .dword 4
+table1:   .byte 0, 1, 0, 1
+	.align 6
+	.zero 64              # guard line before the probe array
+table2:   .zero 128
+	.align 6
+	.zero 64              # guard line before the secret's line
+warm:     .dword 0
+secret:   .byte 0
+`
+
+func spectreSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0x59EC_0000 + int64(run)))
+	mem := m.Memory()
+
+	// Per-run random secret with a deterministically balanced low bit.
+	secret := byte(rng.Intn(256))
+	secret = secret&^1 | byte(run&1)
+	sym, ok := prog.Symbol("secret")
+	if !ok {
+		return fmt.Errorf("spectre: symbol secret missing")
+	}
+	mem.Write(sym, 1, uint64(secret))
+	mem.Write(prog.MustSymbol("classbit"), 1, uint64(secret&1))
+
+	// table2 contents (loaded by the in-bounds calls and transiently by
+	// the probe).
+	t2 := prog.MustSymbol("table2")
+	for i := 0; i < 2; i++ {
+		mem.Write(t2+uint64(64*i), 4, uint64(0x1000+i))
+	}
+
+	// The architectural checksum: both passes run ITERS iterations of 4
+	// in-bounds calls each; the probe call always contributes 0.
+	inBounds := func(idx uint64) uint64 {
+		t1 := []uint64{0, 1, 0, 1}
+		return 0x1000 + t1[idx]&1
+	}
+	perIter := inBounds(0) + inBounds(1) + inBounds(2) + inBounds(3)
+	mem.Write(prog.MustSymbol("expected"), 8, uint64(spectreIters)*perIter)
+	return nil
+}
+
+// SpectrePHT is the bounds-check-bypass case study: the leak exists
+// only in transient execution.
+func SpectrePHT() (core.Workload, error) {
+	w := core.Workload{
+		Name:   "SPECTRE-PHT",
+		Source: spectreSource,
+		Setup:  spectreSetup,
+	}
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("SPECTRE-PHT: %w", err)
+	}
+	return w, nil
+}

@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// The windowed-exponentiation case studies exercise multi-class
+// analysis: fixed-window exponentiation processes the exponent in 2-bit
+// windows, so each iteration's secret class takes four values (the
+// paper notes that real algorithms operate on "windows of bits", which
+// makes full input coverage feasible).
+//
+//   - ME-WIN4-LKUP: the table of powers g[w] = a^w mod m is indexed
+//     directly by the secret window — the classic secret-dependent
+//     lookup that sliding-window RSA implementations were attacked
+//     through (CacheBleed et al.).
+//   - ME-WIN4-SAFE: the same algorithm with a constant-time scan: all
+//     four table entries are read every iteration and the right one is
+//     selected with mask arithmetic.
+
+// windowData lays each power of the table on its own cache line so a
+// window value selects a distinct line (and the safe variant's scan
+// touches all four uniformly).
+const windowData = `
+	.data
+a_val:     .dword 0
+mod_val:   .dword 0
+expected:  .dword 0
+exp_val:   .dword 0
+	.align 6
+g_table:   .zero 256      # g[w] at g_table + w*64
+r_slot:    .dword 0
+`
+
+// windowDriver builds the driver around a lookup block that must leave
+// g[w] in t5, given the window value in s1 (0..3) and the table base in
+// s6. Registers: s2=a, s3=mod, s4=exp, s5=window index, s6=&g_table.
+func windowDriver(lookup string) string {
+	return `
+	.text
+_start:
+	la   t0, a_val
+	ld   s2, 0(t0)
+	la   t0, mod_val
+	ld   s3, 0(t0)
+	la   t0, exp_val
+	ld   s4, 0(t0)
+	la   s6, g_table
+	# Precompute the table of powers: g[w] = a^w mod m.
+	li   t0, 1
+	sd   t0, 0(s6)
+	sd   s2, 64(s6)
+	mul  t1, s2, s2
+	remu t1, t1, s3
+	sd   t1, 128(s6)
+	mul  t1, t1, s2
+	remu t1, t1, s3
+	sd   t1, 192(s6)
+	call modexp_win       # warmup pass
+	roi.begin
+	call modexp_win
+	roi.end
+	la   t1, expected
+	ld   t1, 0(t1)
+	sub  a0, a0, t1
+	snez a0, a0
+	j    do_exit
+
+modexp_win:               # returns result in a0
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   t6, 1            # r
+	la   t0, r_slot
+	sd   t6, 0(t0)
+	li   s5, 15           # 16 windows of 2 bits, MSB first
+mw_loop:
+	fence                 # quiesce between iterations
+	slli t0, s5, 1
+	srl  t1, s4, t0
+	andi s1, t1, 3        # window value: the 4-valued secret class
+	# The last window's iteration is unmarked (see the modexp driver).
+	beqz s5, mw_skip_begin
+	iter.begin s1
+mw_skip_begin:
+	la   t0, r_slot
+	ld   t6, 0(t0)
+	mul  t6, t6, t6
+	remu t6, t6, s3       # r = r^2
+	mul  t6, t6, t6
+	remu t6, t6, s3       # r = r^4
+` + lookup + `
+	mul  t6, t6, t5
+	remu t6, t6, s3       # r *= g[w]
+	la   t0, r_slot
+	sd   t6, 0(t0)
+	beqz s5, mw_skip_end
+	iter.end
+mw_skip_end:
+	addi s5, s5, -1
+	bgez s5, mw_loop
+	la   t0, r_slot
+	ld   a0, 0(t0)
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+` + exitSequence + windowData
+}
+
+// lookupDirect indexes the table with the secret window value.
+const lookupDirect = `
+	slli t0, s1, 6
+	add  t0, t0, s6
+	ld   t5, 0(t0)        # g[w]: secret-dependent address
+`
+
+// lookupScan reads all four entries and mask-selects the right one.
+const lookupScan = `
+	li   t5, 0
+	li   t2, 0            # i
+ls_scan:
+	xor  t3, t2, s1       # eq(i, w) mask
+	snez t3, t3
+	addi t3, t3, -1
+	slli t0, t2, 6
+	add  t0, t0, s6
+	ld   t4, 0(t0)
+	and  t4, t4, t3
+	or   t5, t5, t4
+	addi t2, t2, 1
+	li   t0, 4
+	bltu t2, t0, ls_scan
+`
+
+// windowRef computes fixed-window exponentiation, MSB window first.
+func windowRef(a, mod, exp uint64) uint64 {
+	r := uint64(1)
+	for i := 15; i >= 0; i-- {
+		w := exp >> uint(2*i) & 3
+		r = r * r % mod
+		r = r * r % mod
+		g := uint64(1)
+		for k := uint64(0); k < w; k++ {
+			g = g * a % mod
+		}
+		r = r * g % mod
+	}
+	return r
+}
+
+func windowSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0x3149_0000 + int64(run)))
+	mod := uint64(rng.Int31())>>1 | 1<<29 | 1
+	a := uint64(rng.Int63())%(mod-2) + 2
+	exp := uint64(rng.Uint32())
+
+	mem := m.Memory()
+	sym, ok := prog.Symbol("a_val")
+	if !ok {
+		return fmt.Errorf("window: symbol a_val missing")
+	}
+	mem.Write(sym, 8, a)
+	mem.Write(prog.MustSymbol("mod_val"), 8, mod)
+	mem.Write(prog.MustSymbol("exp_val"), 8, exp)
+	mem.Write(prog.MustSymbol("expected"), 8, windowRef(a, mod, exp))
+	return nil
+}
+
+func windowWorkload(name, lookup string) (core.Workload, error) {
+	w := core.Workload{
+		Name:   name,
+		Source: windowDriver(lookup),
+		Setup:  windowSetup,
+	}
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return w, nil
+}
+
+// WindowLookup is ME-WIN4-LKUP: windowed exponentiation with a
+// secret-indexed table of powers.
+func WindowLookup() (core.Workload, error) {
+	return windowWorkload("ME-WIN4-LKUP", lookupDirect)
+}
+
+// WindowSafe is ME-WIN4-SAFE: the constant-time scan-select variant.
+func WindowSafe() (core.Workload, error) {
+	return windowWorkload("ME-WIN4-SAFE", lookupScan)
+}

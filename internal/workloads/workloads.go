@@ -1,0 +1,99 @@
+// Package workloads contains the security-critical kernels of the
+// paper's case studies (Section VII), written in the RV64 assembly
+// dialect of internal/asm and faithful to the paper's listings:
+//
+//   - ME-NAIVE:   the classic square-and-multiply of Listing 1, with a
+//     secret-dependent multiply (the paper's Fig. 1 walkthrough).
+//   - ME-V1-CV:   libgcrypt-style conditional copy compiled into the
+//     unbalanced branch sequence of Listing 4 (compiler vulnerability).
+//   - ME-V1-MV:   the branchless pointer-select variant of Listing 5
+//     (microarchitectural vulnerability: secret-dependent addresses).
+//   - ME-V2-Safe: the BearSSL byte-masked conditional copy of Listing 6.
+//   - ME-V2-FB:   ME-V2-Safe run on a core with the fast-bypass
+//     optimisation (built by enabling sim.Config.FastBypass).
+//   - CT-MEM-CMP: OpenSSL's CRYPTO_memcmp with a dependent branch
+//     (Listings 7 and 8).
+//   - The 27 branchless OpenSSL constant_time_* primitives of Table V.
+//
+// Every workload embeds a correctness self-check: the program exits
+// non-zero if the computed result disagrees with the reference value
+// written by its Setup function, so a verification run doubles as a
+// functional test of the kernel on the simulated core.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"microsampler/internal/core"
+)
+
+// exitSequence terminates the program with the exit code in a0.
+const exitSequence = `
+do_exit:
+	li   a7, 93
+	ecall
+`
+
+// memmoveAsm is a doubleword-granular forward copy: memmove(a0=dst,
+// a1=src, a2=len with len a multiple of 8), the shape a real memmove
+// takes for the aligned word-sized limbs of bignum buffers.
+const memmoveAsm = `
+memmove:
+	beqz a2, mm_done
+	mv   t1, a0
+mm_loop:
+	ld   t2, 0(a1)
+	sd   t2, 0(t1)
+	addi a1, a1, 8
+	addi t1, t1, 8
+	addi a2, a2, -8
+	bnez a2, mm_loop
+mm_done:
+	ret
+`
+
+// registry of all workload constructors by case-study name.
+func registry() map[string]func() (core.Workload, error) {
+	r := map[string]func() (core.Workload, error){
+		"ME-NAIVE":      func() (core.Workload, error) { return ModexpNaive() },
+		"ME-V1-CV":      func() (core.Workload, error) { return ModexpV1CV() },
+		"ME-V1-MV":      func() (core.Workload, error) { return ModexpV1MV() },
+		"ME-V1-MV-6A":   func() (core.Workload, error) { return ModexpV1MVFig6A() },
+		"ME-V1-MV-6B":   func() (core.Workload, error) { return ModexpV1MVFig6B() },
+		"ME-V2-SAFE":    func() (core.Workload, error) { return ModexpV2Safe() },
+		"CT-MEM-CMP":    func() (core.Workload, error) { return MemcmpCT() },
+		"CRYPTO_memcmp": func() (core.Workload, error) { return MemcmpCT() },
+		"CT-DIV":        func() (core.Workload, error) { return DivLeak() },
+		"AES-TTABLE":    func() (core.Workload, error) { return AESTTable() },
+		"AES-PRELOAD":   func() (core.Workload, error) { return AESPreload() },
+		"ME-WIN4-LKUP":  func() (core.Workload, error) { return WindowLookup() },
+		"ME-WIN4-SAFE":  func() (core.Workload, error) { return WindowSafe() },
+		"CHACHA20":      func() (core.Workload, error) { return ChaCha20() },
+		"SPECTRE-PHT":   func() (core.Workload, error) { return SpectrePHT() },
+	}
+	for _, name := range OpenSSLPrimitiveNames() {
+		r[name] = func() (core.Workload, error) { return OpenSSLPrimitive(name) }
+	}
+	return r
+}
+
+// Names returns every registered workload name, sorted.
+func Names() []string {
+	reg := registry()
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName constructs a workload by its case-study name.
+func ByName(name string) (core.Workload, error) {
+	ctor, ok := registry()[name]
+	if !ok {
+		return core.Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return ctor()
+}

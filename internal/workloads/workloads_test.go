@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"testing"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// runOnce executes a workload's program once on a fresh machine (run 0)
+// and returns the result, failing the test on any error or a non-zero
+// exit (every workload self-checks its computation).
+func runOnce(t *testing.T, w core.Workload, cfg sim.Config) sim.Result {
+	t.Helper()
+	prog, err := asm.Assemble(w.Source)
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", w.Name, err)
+	}
+	m, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if w.Setup != nil {
+		if err := w.Setup(0, m, prog); err != nil {
+			t.Fatalf("%s: setup: %v", w.Name, err)
+		}
+	}
+	res, err := m.Run(20_000_000)
+	if err != nil {
+		t.Fatalf("%s: run: %v", w.Name, err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("%s: self-check failed (exit %d)", w.Name, res.ExitCode)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) < 30 {
+		t.Fatalf("registry has %d workloads, expected >= 30 (got %v)",
+			len(names), names)
+	}
+	for _, n := range names {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestTableVCatalogueSize(t *testing.T) {
+	// The paper tests 28 OpenSSL constant-time primitives: 27 branchless
+	// kernels plus CRYPTO_memcmp.
+	if got := len(OpenSSLPrimitiveNames()); got != 27 {
+		t.Errorf("primitive catalogue has %d entries, want 27", got)
+	}
+}
+
+func TestModexpVariantsComputeCorrectly(t *testing.T) {
+	for _, name := range []string{
+		"ME-NAIVE", "ME-V1-CV", "ME-V1-MV", "ME-V1-MV-6A", "ME-V1-MV-6B",
+		"ME-V2-SAFE",
+	} {
+		t.Run(name, func(t *testing.T) {
+			w, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runOnce(t, w, sim.MegaBoom())
+		})
+	}
+}
+
+func TestModexpOnSmallBoomAndFastBypass(t *testing.T) {
+	w, err := ByName("ME-V2-SAFE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce(t, w, sim.SmallBoom())
+	fb := sim.MegaBoom()
+	fb.FastBypass = true
+	runOnce(t, w, fb) // the optimisation must not change results
+}
+
+func TestModexpDifferentRunsDifferentKeys(t *testing.T) {
+	w, err := ByName("ME-V2-SAFE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[uint64]bool)
+	for run := 0; run < 3; run++ {
+		m, _ := sim.New(sim.SmallBoom())
+		if err := m.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Setup(run, m, prog); err != nil {
+			t.Fatal(err)
+		}
+		exp := m.Memory().Read(prog.MustSymbol("exp_bytes"), 4)
+		keys[exp] = true
+	}
+	if len(keys) != 3 {
+		t.Errorf("expected 3 distinct keys, got %d", len(keys))
+	}
+}
+
+func TestModexpRefMatchesBigIntStyle(t *testing.T) {
+	// Cross-check modexpRef against a direct bit-by-bit implementation.
+	mod := uint64(1000003)
+	a := uint64(31337)
+	exp := [4]byte{0x12, 0x34, 0x56, 0x78}
+	want := uint64(1)
+	e := uint64(exp[3])<<24 | uint64(exp[2])<<16 | uint64(exp[1])<<8 | uint64(exp[0])
+	for bit := 31; bit >= 0; bit-- {
+		want = want * want % mod
+		if e>>uint(bit)&1 == 1 {
+			want = want * a % mod
+		}
+	}
+	if got := modexpRef(a, mod, exp); got != want {
+		t.Errorf("modexpRef = %d want %d", got, want)
+	}
+}
+
+func TestWindowVariantsComputeCorrectly(t *testing.T) {
+	for _, name := range []string{"ME-WIN4-LKUP", "ME-WIN4-SAFE"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runOnce(t, w, sim.MegaBoom())
+		})
+	}
+}
+
+func TestWindowRefMatchesPlainModexp(t *testing.T) {
+	// windowRef must agree with bit-by-bit square-and-multiply.
+	mod := uint64(999999937)
+	a := uint64(123456789)
+	exp := uint64(0xDEADBEEF)
+	want := uint64(1)
+	for bit := 31; bit >= 0; bit-- {
+		want = want * want % mod
+		if exp>>uint(bit)&1 == 1 {
+			want = want * a % mod
+		}
+	}
+	if got := windowRef(a, mod, exp); got != want {
+		t.Errorf("windowRef = %d want %d", got, want)
+	}
+}
+
+func TestDivLeakComputesCorrectly(t *testing.T) {
+	w, err := DivLeak()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce(t, w, sim.MegaBoom())
+	ddCfg := sim.MegaBoom()
+	ddCfg.DataDepDivide = true
+	runOnce(t, w, ddCfg) // the divider model must not change results
+}
+
+func TestMemcmpComputesCorrectly(t *testing.T) {
+	w, err := MemcmpCT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce(t, w, sim.MegaBoom())
+}
+
+func TestMemcmpClassPatternMixed(t *testing.T) {
+	p := memcmpClassPattern()
+	ones := 0
+	for _, c := range p {
+		ones += int(c)
+	}
+	if ones < 8 || ones > 24 {
+		t.Errorf("class pattern unbalanced: %d/%d equal pairs", ones, len(p))
+	}
+}
+
+func TestAllOpenSSLPrimitivesComputeCorrectly(t *testing.T) {
+	for _, name := range OpenSSLPrimitiveNames() {
+		t.Run(name, func(t *testing.T) {
+			w, err := OpenSSLPrimitive(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runOnce(t, w, sim.MegaBoom())
+		})
+	}
+}
+
+func TestPrimitiveRefsSelfConsistent(t *testing.T) {
+	// The class function must be consistent with the reference result
+	// for the predicate primitives: mask result <=> class bit.
+	for _, p := range primitives() {
+		switch p.name {
+		case "constant_time_eq", "constant_time_lt", "constant_time_is_zero",
+			"constant_time_ge", "constant_time_lt_bn":
+			for i := 0; i < 200; i++ {
+				x, y := uint64(i*7919), uint64(i*104729%977)
+				if i%3 == 0 {
+					y = x
+				}
+				if i%5 == 0 {
+					x = 0
+				}
+				mask := p.ref(x, y)
+				if mask != 0 && mask != ^uint64(0) {
+					t.Fatalf("%s: ref(%d,%d) = %#x not a mask", p.name, x, y, mask)
+				}
+				if (mask == ^uint64(0)) != (p.class(x, y) == 1) {
+					t.Errorf("%s: class/ref disagree at (%d,%d)", p.name, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestSpectreComputesCorrectly(t *testing.T) {
+	w, err := SpectrePHT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce(t, w, sim.MegaBoom())
+}

@@ -1,0 +1,225 @@
+// Package microsampler is a framework for microarchitecture-level
+// leakage detection in constant-time code, reproducing the system of
+// "MicroSampler: A Framework for Microarchitecture-Level Leakage
+// Detection in Constant Time Execution" (DSN 2025).
+//
+// The framework runs a program under test on a deterministic cycle-level
+// simulation of an out-of-order RISC-V core (modeled after the Berkeley
+// BOOM design), samples the state of sixteen microarchitectural units
+// every cycle inside the program's security-critical region, groups the
+// samples into per-iteration snapshots labeled with the secret values
+// being processed, and measures the statistical association between
+// snapshots and secrets with Cramér's V, validated by the chi-squared
+// p-value. Units with statistically significant strong association are
+// flagged and their root causes extracted through feature uniqueness and
+// feature ordering analysis.
+//
+// # Quick start
+//
+//	w, err := microsampler.WorkloadByName("ME-V2-SAFE")
+//	if err != nil { ... }
+//	rep, err := microsampler.Verify(w, microsampler.Options{Runs: 8})
+//	if err != nil { ... }
+//	fmt.Print(microsampler.RenderSummary(rep))
+//	fmt.Print(microsampler.RenderChart(rep))
+//
+// Programs under test are written in RV64 assembly (see the asm
+// subpackage dialect) and delimit their security-critical region with
+// the MARK tracing pseudo-instructions:
+//
+//	roi.begin / roi.end       — bound the sampled region
+//	iter.begin rs / iter.end  — bound one algorithmic iteration, with
+//	                            the secret class value in register rs
+//
+// The package re-exports the building blocks so downstream users can
+// assemble their own pipelines: the simulator configuration (MegaBoom
+// and SmallBoom, Table III of the paper), the tracked units (Table IV),
+// the case-study workload catalogue (Section VII), the formal-baseline
+// checker (Table VII), and the miniature constant-time compiler used by
+// the compiler-vulnerability study.
+package microsampler
+
+import (
+	"context"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/ctc"
+	"microsampler/internal/formal"
+	"microsampler/internal/report"
+	"microsampler/internal/sim"
+	"microsampler/internal/trace"
+	"microsampler/internal/workloads"
+)
+
+// Config parameterises the simulated core (Table III).
+type Config = sim.Config
+
+// Machine is a configured simulator instance; workload Setup functions
+// receive one to initialise memory with per-run inputs.
+type Machine = sim.Machine
+
+// Program is an assembled binary image.
+type Program = asm.Program
+
+// MegaBoom returns the large out-of-order configuration of Table III.
+func MegaBoom() Config { return sim.MegaBoom() }
+
+// SmallBoom returns the small configuration of Table III.
+func SmallBoom() Config { return sim.SmallBoom() }
+
+// Unit identifies a tracked microarchitectural feature (Table IV).
+type Unit = trace.Unit
+
+// Tracked units, in Table IV order.
+const (
+	SQADDR     = trace.SQADDR
+	SQPC       = trace.SQPC
+	LQADDR     = trace.LQADDR
+	LQPC       = trace.LQPC
+	ROBOCPNCY  = trace.ROBOCPNCY
+	ROBPC      = trace.ROBPC
+	LFBDATA    = trace.LFBDATA
+	LFBADDR    = trace.LFBADDR
+	EUUALU     = trace.EUUALU
+	EUUADDRGEN = trace.EUUADDRGEN
+	EUUDIV     = trace.EUUDIV
+	EUUMUL     = trace.EUUMUL
+	NLPADDR    = trace.NLPADDR
+	CACHEADDR  = trace.CACHEADDR
+	TLBADDR    = trace.TLBADDR
+	MSHRADDR   = trace.MSHRADDR
+)
+
+// AllUnits returns every tracked unit.
+func AllUnits() []Unit { return trace.AllUnits() }
+
+// Workload is a program under verification plus its input generator.
+type Workload = core.Workload
+
+// Options configures a verification run.
+type Options = core.Options
+
+// Report is a complete verification outcome.
+type Report = core.Report
+
+// UnitResult is the per-unit statistical verdict.
+type UnitResult = core.UnitResult
+
+// IterSample is one labeled iteration's summary.
+type IterSample = trace.IterSample
+
+// Verify runs the MicroSampler pipeline on a workload: simulate with
+// tracing, snapshot and hash, analyze associations, extract features.
+func Verify(w Workload, opts Options) (*Report, error) {
+	return core.Verify(w, opts)
+}
+
+// VerifyContext is Verify with cancellation: a cancelled context aborts
+// between simulation runs.
+func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, error) {
+	return core.VerifyContext(ctx, w, opts)
+}
+
+// WorkloadByName returns one of the built-in case-study workloads:
+// ME-NAIVE, ME-V1-CV, ME-V1-MV, ME-V1-MV-6A, ME-V1-MV-6B, ME-V2-SAFE,
+// CT-MEM-CMP, and the constant_time_* primitives of Table V.
+func WorkloadByName(name string) (Workload, error) {
+	return workloads.ByName(name)
+}
+
+// WorkloadNames lists the built-in case studies.
+func WorkloadNames() []string { return workloads.Names() }
+
+// OpenSSLPrimitiveNames lists the Table V primitive sweeps.
+func OpenSSLPrimitiveNames() []string { return workloads.OpenSSLPrimitiveNames() }
+
+// ModexpWithConditionalCopy builds the modular-exponentiation case-study
+// driver around a user-supplied (e.g. compiled) conditional copy: funcs
+// must define `ccopy(ctl, dst, dummy, src, len)` and anything it calls.
+func ModexpWithConditionalCopy(name, funcs string) (Workload, error) {
+	return workloads.ModexpWithConditionalCopy(name, funcs)
+}
+
+// Assemble assembles RV64 source in the framework's dialect.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// NewMachine builds a bare simulator for custom harnesses.
+func NewMachine(cfg Config) (*Machine, error) { return sim.New(cfg) }
+
+// Rendering helpers (terminal text in the style of the paper's figures).
+
+// RenderSummary returns the one-line verdict and leaky-unit list.
+func RenderSummary(rep *Report) string { return report.Summary(rep) }
+
+// RenderChart returns the per-unit Cramér's V bar chart (Figs. 3/4/7/10).
+func RenderChart(rep *Report) string { return report.CramersVChart(rep) }
+
+// RenderTimingChart returns the with/without-timing paired chart (Fig. 9).
+func RenderTimingChart(rep *Report) string { return report.CramersVTimingChart(rep) }
+
+// RenderHistogram returns per-class iteration timing distributions (Fig. 6).
+func RenderHistogram(title string, iters []IterSample) string {
+	return report.TimingHistogram(title, iters)
+}
+
+// MeanCyclesByClass returns mean iteration cycles per secret class.
+func MeanCyclesByClass(iters []IterSample) map[uint64]float64 {
+	return report.MeanCycles(iters)
+}
+
+// RenderContingency returns a unit's contingency table (Table II).
+func RenderContingency(rep *Report, unit Unit, maxCols int) string {
+	return report.ContingencyTable(rep, unit, maxCols)
+}
+
+// RenderFeatures returns a unit's root-cause extraction (Fig. 5).
+func RenderFeatures(rep *Report, unit Unit) string {
+	return report.Features(rep, unit)
+}
+
+// RenderStages returns the pipeline stage-time breakdown (Table VI).
+func RenderStages(rep *Report) string { return report.StageBreakdown(rep) }
+
+// RenderJSON returns the report in the stable machine-readable schema
+// (per-unit Cramér's V, bias-corrected V, p-value, mutual information,
+// unique features).
+func RenderJSON(rep *Report) ([]byte, error) { return report.JSON(rep) }
+
+// Constant-time compiler (compiler-vulnerability substrate).
+
+// Strategy selects the compiler's conditional lowering.
+type Strategy = ctc.Strategy
+
+// Compiler lowering strategies.
+const (
+	LowerPlain    = ctc.LowerPlain
+	LowerBalanced = ctc.LowerBalanced
+	LowerPreload  = ctc.LowerPreload
+)
+
+// CompileCT compiles the miniature C-like language to RV64 assembly
+// with the chosen lowering strategy.
+func CompileCT(src string, strategy Strategy) (string, error) {
+	return ctc.Compile(src, strategy)
+}
+
+// Formal baseline (Table VII scalability comparison).
+
+// FormalResult summarises a formal two-safety verification run.
+type FormalResult = formal.Result
+
+// Netlist is a gate-level design accepted by the formal checker.
+type Netlist = formal.Netlist
+
+// FormalALU returns the small data-oblivious ALU design (1x size).
+func FormalALU() *Netlist { return formal.ALUDesign() }
+
+// FormalSCARV returns the toy in-order core design (8x size).
+func FormalSCARV() *Netlist { return formal.SCARVDesign() }
+
+// FormalCheck runs the two-safety product-state checker to a bounded
+// depth.
+func FormalCheck(n *Netlist, maxSteps int) (FormalResult, error) {
+	return formal.Check(n, maxSteps)
+}

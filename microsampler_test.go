@@ -1,0 +1,307 @@
+package microsampler_test
+
+import (
+	"strings"
+	"testing"
+
+	"microsampler"
+)
+
+func verify(t *testing.T, name string, cfg microsampler.Config, runs int) *microsampler.Report {
+	t.Helper()
+	w, err := microsampler.WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := microsampler.Verify(w, microsampler.Options{
+		Config: cfg, Runs: runs, Warmup: 4, Parallel: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func leakySet(rep *microsampler.Report) map[microsampler.Unit]bool {
+	out := map[microsampler.Unit]bool{}
+	for _, u := range rep.LeakyUnits() {
+		out[u.Unit] = true
+	}
+	return out
+}
+
+// TestCaseStudyVerdicts asserts the paper's headline detection results
+// for every case study (Figs. 3, 4, 7, 9, 10).
+func TestCaseStudyVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full case-study verification is slow")
+	}
+
+	t.Run("ME-V2-SAFE is clean", func(t *testing.T) {
+		rep := verify(t, "ME-V2-SAFE", microsampler.MegaBoom(), 4)
+		if rep.AnyLeak() {
+			t.Fatalf("safe kernel flagged: %s", microsampler.RenderSummary(rep))
+		}
+	})
+
+	t.Run("ME-V1-CV leaks almost everywhere", func(t *testing.T) {
+		rep := verify(t, "ME-V1-CV", microsampler.MegaBoom(), 4)
+		if n := len(rep.LeakyUnits()); n < 12 {
+			t.Fatalf("only %d units flagged: %s", n, microsampler.RenderSummary(rep))
+		}
+		leaks := leakySet(rep)
+		for _, must := range []microsampler.Unit{
+			microsampler.SQADDR, microsampler.SQPC, microsampler.ROBPC,
+			microsampler.EUUALU,
+		} {
+			if !leaks[must] {
+				t.Errorf("unit %v not flagged", must)
+			}
+		}
+	})
+
+	t.Run("ME-V1-MV leaks only through addresses", func(t *testing.T) {
+		rep := verify(t, "ME-V1-MV", microsampler.MegaBoom(), 4)
+		leaks := leakySet(rep)
+		wantLeaky := []microsampler.Unit{
+			microsampler.SQADDR, microsampler.LFBADDR, microsampler.NLPADDR,
+			microsampler.CACHEADDR, microsampler.TLBADDR, microsampler.MSHRADDR,
+		}
+		wantClean := []microsampler.Unit{
+			microsampler.SQPC, microsampler.LQPC, microsampler.ROBPC,
+			microsampler.ROBOCPNCY, microsampler.EUUALU, microsampler.EUUMUL,
+			microsampler.EUUDIV, microsampler.EUUADDRGEN, microsampler.LQADDR,
+		}
+		for _, u := range wantLeaky {
+			if !leaks[u] {
+				t.Errorf("address unit %v not flagged", u)
+			}
+		}
+		for _, u := range wantClean {
+			if leaks[u] {
+				t.Errorf("non-address unit %v wrongly flagged", u)
+			}
+		}
+	})
+
+	t.Run("ME-V2-FB fast bypass breaks the safe kernel", func(t *testing.T) {
+		cfg := microsampler.MegaBoom()
+		cfg.FastBypass = true
+		rep := verify(t, "ME-V2-SAFE", cfg, 4)
+		if !rep.AnyLeak() {
+			t.Fatal("fast-bypass leakage not detected")
+		}
+		sq, _ := rep.Unit(microsampler.SQADDR)
+		if !sq.Leaky() || sq.AssocNoTiming.Leaky() {
+			t.Errorf("SQ-ADDR should be timing-only leakage: %v / noT %v",
+				sq.Assoc, sq.AssocNoTiming)
+		}
+		alu, _ := rep.Unit(microsampler.EUUALU)
+		if !alu.AssocNoTiming.Leaky() {
+			t.Errorf("EUU-ALU must survive timing removal: %v", alu.AssocNoTiming)
+		}
+		// The folded AND's PC is the single feature unique to bit 1.
+		if got := len(alu.UniqueFeatures[1]); got != 1 {
+			t.Errorf("class-1 unique ALU features = %d want 1 (%v)",
+				got, alu.UniqueFeatures)
+		}
+		if got := len(alu.UniqueFeatures[0]); got != 0 {
+			t.Errorf("class-0 unique ALU features = %d want 0", got)
+		}
+	})
+
+	t.Run("CT-MEM-CMP leaks only through the ROB", func(t *testing.T) {
+		rep := verify(t, "CT-MEM-CMP", microsampler.MegaBoom(), 6)
+		leaks := leakySet(rep)
+		if !leaks[microsampler.ROBPC] {
+			t.Fatal("ROB-PC not flagged")
+		}
+		for u := range leaks {
+			if u != microsampler.ROBPC && u != microsampler.ROBOCPNCY {
+				t.Errorf("unexpected leaky unit %v", u)
+			}
+		}
+	})
+}
+
+// TestFig6TimingSeparation asserts the Fig. 6 measurement outcome.
+func TestFig6TimingSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	repA := verify(t, "ME-V1-MV-6A", microsampler.MegaBoom(), 4)
+	repB := verify(t, "ME-V1-MV-6B", microsampler.MegaBoom(), 4)
+	mA := microsampler.MeanCyclesByClass(repA.Iterations)
+	mB := microsampler.MeanCyclesByClass(repB.Iterations)
+	if d := mA[0] - mA[1]; d > 3 || d < -3 {
+		t.Errorf("6a should overlap, got means %+v", mA)
+	}
+	if mB[0]-mB[1] < 5 {
+		t.Errorf("6b should separate with bit-0 slower, got means %+v", mB)
+	}
+}
+
+// TestOpenSSLSampleClean spot-checks representative Table V primitives
+// (the full sweep runs in the Table V benchmark).
+func TestOpenSSLSampleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, name := range []string{
+		"constant_time_eq", "constant_time_select_64",
+		"constant_time_lookup", "constant_time_cond_swap_buff",
+		"constant_time_lt_bn",
+	} {
+		rep := verify(t, name, microsampler.MegaBoom(), 3)
+		if rep.AnyLeak() {
+			t.Errorf("%s flagged: %s", name, microsampler.RenderSummary(rep))
+		}
+	}
+}
+
+func TestWorkloadCatalogue(t *testing.T) {
+	names := microsampler.WorkloadNames()
+	if len(names) < 30 {
+		t.Fatalf("catalogue has %d workloads", len(names))
+	}
+	if got := len(microsampler.OpenSSLPrimitiveNames()); got != 27 {
+		t.Errorf("primitive list = %d want 27", got)
+	}
+	if _, err := microsampler.WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload should error")
+	}
+}
+
+func TestPublicAssembleAndMachine(t *testing.T) {
+	prog, err := microsampler.Assemble(`
+_start:
+	li a0, 0
+	li a7, 93
+	ecall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := microsampler.NewMachine(microsampler.SmallBoom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(10000)
+	if err != nil || res.ExitCode != 0 {
+		t.Fatalf("run: %v exit %d", err, res.ExitCode)
+	}
+}
+
+func TestRenderingSmoke(t *testing.T) {
+	rep := verify(t, "ME-NAIVE", microsampler.SmallBoom(), 2)
+	for name, out := range map[string]string{
+		"summary":     microsampler.RenderSummary(rep),
+		"chart":       microsampler.RenderChart(rep),
+		"timing":      microsampler.RenderTimingChart(rep),
+		"histogram":   microsampler.RenderHistogram("x", rep.Iterations),
+		"contingency": microsampler.RenderContingency(rep, microsampler.EUUMUL, 5),
+		"features":    microsampler.RenderFeatures(rep, microsampler.EUUMUL),
+		"stages":      microsampler.RenderStages(rep),
+	} {
+		if len(out) == 0 {
+			t.Errorf("%s rendered empty", name)
+		}
+	}
+	if !strings.Contains(microsampler.RenderChart(rep), "EUU-MUL") {
+		t.Error("chart missing unit rows")
+	}
+}
+
+func TestCompilerIntegration(t *testing.T) {
+	const src = `
+func ccopy(ctl, dst, dummy, src, len) {
+	if (ctl) { memmove(dst, src, len); } else { memmove(dummy, src, len); }
+	return 0;
+}
+func memmove(dst, src, len) {
+	while (len) {
+		store64(dst, load64(src));
+		dst = dst + 8; src = src + 8; len = len - 8;
+	}
+	return 0;
+}
+`
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	balanced, err := microsampler.CompileCT(src, microsampler.LowerBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preload, err := microsampler.CompileCT(src, microsampler.LowerPreload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wB, err := microsampler.ModexpWithConditionalCopy("B", balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wP, err := microsampler.ModexpWithConditionalCopy("P", preload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := microsampler.Verify(wB, microsampler.Options{Runs: 4, Warmup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repP, err := microsampler.Verify(wP, microsampler.Options{Runs: 4, Warmup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq, _ := repB.Unit(microsampler.SQADDR); !sq.Leaky() {
+		t.Error("balanced build should still leak store addresses")
+	}
+	if rob, _ := repB.Unit(microsampler.ROBPC); rob.Leaky() {
+		t.Error("balanced build should not leak control flow")
+	}
+	if rob, _ := repP.Unit(microsampler.ROBPC); !rob.Leaky() {
+		t.Error("preload build must leak control flow")
+	}
+	if len(repP.LeakyUnits()) <= len(repB.LeakyUnits()) {
+		t.Errorf("preload (%d units) should leak more broadly than balanced (%d)",
+			len(repP.LeakyUnits()), len(repB.LeakyUnits()))
+	}
+}
+
+func TestFormalAPI(t *testing.T) {
+	res, err := microsampler.FormalCheck(microsampler.FormalALU(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds() {
+		t.Errorf("ALU design should hold: %+v", res.Violation)
+	}
+	if microsampler.FormalSCARV().StateBits() != 8*microsampler.FormalALU().StateBits() {
+		t.Error("Table VII size ratio must be 8x")
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	mega, small := microsampler.MegaBoom(), microsampler.SmallBoom()
+	if mega.ROBEntries != 128 || small.ROBEntries != 32 {
+		t.Error("Table III ROB sizes wrong")
+	}
+	if mega.FetchWidth != 8 || mega.DecodeWidth != 4 || mega.IssueWidth != 4 {
+		t.Error("Table III MegaBoom widths wrong")
+	}
+	if small.FetchWidth != 4 || small.DecodeWidth != 1 || small.IssueWidth != 1 {
+		t.Error("Table III SmallBoom widths wrong")
+	}
+	if mega.LDQEntries != 32 || small.LDQEntries != 8 {
+		t.Error("Table III LSQ sizes wrong")
+	}
+	if mega.BranchPredEnts != 2048 || small.BranchPredEnts != 2048 {
+		t.Error("Table III gshare sizes wrong")
+	}
+	if len(microsampler.AllUnits()) != 16 {
+		t.Error("Table IV must track 16 units")
+	}
+}
