@@ -405,3 +405,43 @@ func BenchmarkFig10MemcmpTransient(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkVerifyBaseline is the no-telemetry reference for
+// BenchmarkVerifyWithTelemetry: the same workload and options with all
+// observability surfaces off.
+func BenchmarkVerifyBaseline(b *testing.B) {
+	w, err := microsampler.WorkloadByName("ME-V1-MV")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microsampler.Verify(w, microsampler.Options{
+			Config: microsampler.SmallBoom(), Runs: 2, Warmup: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyWithTelemetry measures the full observability path
+// with no sink attached: a metrics registry plus in-memory span
+// retention. Compare against BenchmarkVerifyBaseline; the instrumented
+// run must stay within a few percent, because instrumentation is
+// per-run/per-stage, never per-cycle.
+func BenchmarkVerifyWithTelemetry(b *testing.B) {
+	w, err := microsampler.WorkloadByName("ME-V1-MV")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := microsampler.NewMetrics()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microsampler.Verify(w, microsampler.Options{
+			Config: microsampler.SmallBoom(), Runs: 2, Warmup: 2,
+			Metrics: reg,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,13 +11,20 @@
 //	microsampler -workload ME-V1-MV -features SQ-ADDR -contingency SQ-ADDR
 //	microsampler -src program.s -runs 4
 //	microsampler -workload AES-TTABLE -json > report.json
+//	microsampler -workload ME-V1-MV -runs 4 -parallel 4 -metrics -trace-out spans.jsonl
+//	microsampler -workload ME-V1-MV -progress -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"microsampler"
 )
@@ -38,7 +45,7 @@ func run(args []string) error {
 		config      = fs.String("config", "mega", "core configuration: mega or small")
 		fastBypass  = fs.Bool("fast-bypass", false, "enable the fast-bypass optimisation (ME-V2-FB)")
 		runs        = fs.Int("runs", 8, "independent runs (distinct keys/inputs)")
-		warmup      = fs.Int("warmup", 4, "warmup iterations to drop per run")
+		warmup      = fs.Int("warmup", 4, "warmup iterations to drop per run (0: keep all)")
 		chart       = fs.Bool("chart", true, "print the Cramér's V bar chart")
 		timingChart = fs.Bool("timing-chart", false, "print the with/without-timing chart (Fig. 9)")
 		histogram   = fs.Bool("histogram", false, "print per-class iteration timing histogram (Fig. 6)")
@@ -47,9 +54,49 @@ func run(args []string) error {
 		stages      = fs.Bool("stages", false, "measure and print the stage-time breakdown (Table VI)")
 		parallel    = fs.Int("parallel", -1, "concurrent simulation runs (-1: one per CPU, 1: sequential)")
 		jsonOut     = fs.Bool("json", false, "emit the machine-readable JSON report instead of charts")
+		metrics     = fs.Bool("metrics", false, "print the telemetry metrics dump after the run")
+		traceOut    = fs.String("trace-out", "", "write pipeline spans as JSON lines to FILE")
+		progress    = fs.Bool("progress", false, "print live per-run progress to stderr")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to FILE")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to FILE")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		ln := *pprofAddr
+		go func() {
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "microsampler: pprof server:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "microsampler: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "microsampler: memprofile:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -83,13 +130,42 @@ func run(args []string) error {
 	}
 	cfg.FastBypass = *fastBypass
 
-	rep, err := microsampler.Verify(w, microsampler.Options{
+	opts := microsampler.Options{
 		Config:        cfg,
 		Runs:          *runs,
 		Warmup:        *warmup,
 		MeasureStages: *stages,
 		Parallel:      *parallel,
-	})
+	}
+	if *warmup == 0 {
+		opts.Warmup = microsampler.NoWarmup
+	}
+	var reg *microsampler.MetricsRegistry
+	if *metrics {
+		reg = microsampler.NewMetrics()
+		opts.Metrics = reg
+	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		var err error
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		opts.TraceSink = traceFile
+	}
+	if *progress {
+		opts.OnProgress = func(p microsampler.Progress) {
+			fmt.Fprintf(os.Stderr, "\rrun %d/%d done (%d cycles, %d iterations, %v elapsed)",
+				p.Done, p.Total, p.Cycles, p.Iterations, p.Elapsed.Round(time.Millisecond))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	rep, err := microsampler.Verify(w, opts)
 	if err != nil {
 		return err
 	}
@@ -100,6 +176,9 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(string(data))
+		if reg != nil {
+			fmt.Print(microsampler.RenderMetrics(reg))
+		}
 		return nil
 	}
 
@@ -129,6 +208,9 @@ func run(args []string) error {
 	}
 	if *stages {
 		fmt.Print(microsampler.RenderStages(rep))
+	}
+	if reg != nil {
+		fmt.Print(microsampler.RenderMetrics(reg))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -89,5 +90,55 @@ func TestRunJSON(t *testing.T) {
 	if err := run([]string{"-workload", "ME-NAIVE", "-runs", "2",
 		"-warmup", "2", "-config", "small", "-json"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "spans.jsonl")
+	err := run([]string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "1",
+		"-config", "small", "-parallel", "2", "-chart=false",
+		"-metrics", "-trace-out", traceFile, "-progress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("expected spans on sink, got %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var span map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("malformed span line %q: %v", line, err)
+		}
+		for _, key := range []string{"id", "name", "startNs", "durNs"} {
+			if _, ok := span[key]; !ok {
+				t.Fatalf("span line missing %q: %s", key, line)
+			}
+		}
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	err := run([]string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "1",
+		"-config", "small", "-chart=false",
+		"-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPU profile is stopped by run's deferred StopCPUProfile; the
+	// heap profile is written by the deferred memprofile hook.
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty: %v", p, err)
+		}
 	}
 }

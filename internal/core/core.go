@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"microsampler/internal/sim"
 	"microsampler/internal/snapshot"
 	"microsampler/internal/stats"
+	"microsampler/internal/telemetry"
 	"microsampler/internal/trace"
 )
 
@@ -43,6 +45,25 @@ type Workload struct {
 	Setup func(run int, m *sim.Machine, prog *asm.Program) error
 }
 
+// NoWarmup is the Warmup sentinel requesting that no iterations be
+// dropped. A plain zero keeps the default of 2, so the zero-valued
+// Options stay useful; any negative Warmup means "explicitly zero".
+const NoWarmup = -1
+
+// Progress describes one completed simulation run; see
+// Options.OnProgress.
+type Progress struct {
+	// Run is the 0-based index of the run that just finished; Done of
+	// Total runs have completed so far (runs may finish out of order
+	// under Parallel > 1, but Done is monotonic).
+	Run, Done, Total int
+	// Cycles the run simulated and Iterations it kept after warmup.
+	Cycles     int64
+	Iterations int
+	// Elapsed is the wall time since the verification started.
+	Elapsed time.Duration
+}
+
 // Options configures a verification.
 type Options struct {
 	// Config is the core configuration (default MegaBoom).
@@ -52,20 +73,39 @@ type Options struct {
 	// Runs is the number of independent simulations, each starting from
 	// reset state with fresh inputs (default 1).
 	Runs int
-	// Warmup drops the first n labeled iterations of each run (default 2).
+	// Warmup drops the first n labeled iterations of each run (default
+	// 2). Use NoWarmup (or any negative value) to keep every iteration;
+	// a plain 0 selects the default.
 	Warmup int
 	// MaxCycles bounds each run (default 20M).
 	MaxCycles int64
 	// MeasureStages makes Verify execute each run twice — once without
 	// tracing — so that the Table VI stage breakdown can separate pure
-	// simulation time from trace parsing time.
+	// simulation time from trace parsing time. The double execution is
+	// attributed per run, so it composes with Parallel > 1: the
+	// Simulate/Parse stage totals are then sums of per-run (CPU) time
+	// rather than wall time.
 	MeasureStages bool
 	// Parallel runs up to this many simulations concurrently (each run
 	// is an independent machine). 0 or 1 means sequential; negative
 	// means one worker per CPU. Results are identical to a sequential
-	// run: merging happens in run order. MeasureStages forces
-	// sequential execution so the stage timings stay meaningful.
+	// run: merging happens in run order.
 	Parallel int
+
+	// Metrics, when non-nil, receives pipeline and simulator counters
+	// (cycles, IPC, cache and predictor events, per-unit sample volume,
+	// run/stage latency distributions). Accumulation is per run, off
+	// the per-cycle hot path.
+	Metrics *telemetry.Registry
+	// TraceSink, when non-nil, receives every pipeline span as one JSON
+	// line (see telemetry.Span). Spans are recorded in Report.Spans
+	// regardless; the sink only adds the streaming JSONL output. Sink
+	// write errors do not fail the verification.
+	TraceSink io.Writer
+	// OnProgress, when non-nil, is called after each run completes.
+	// Calls are serialised, but may originate from worker goroutines
+	// when Parallel > 1.
+	OnProgress func(Progress)
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +120,8 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Warmup == 0 {
 		o.Warmup = 2
+	} else if o.Warmup < 0 {
+		o.Warmup = 0
 	}
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 20_000_000
@@ -112,17 +154,71 @@ type UnitResult struct {
 // Leaky reports the paper's per-unit verdict.
 func (u UnitResult) Leaky() bool { return u.Assoc.Leaky() }
 
-// StageTimes is the Table VI breakdown.
+// StageTimes is the Table VI breakdown, enriched with per-run
+// distributions so parallel-mode runs remain attributable.
 type StageTimes struct {
+	Assemble time.Duration // 0: assembling the program under test
 	Simulate time.Duration // 1: RTL-equivalent simulation
 	Parse    time.Duration // 2: trace extraction and snapshot generation
 	Stats    time.Duration // 3: Cramér's V for all tracked structures
 	Extract  time.Duration // 4: feature extraction
+
+	// RunWall is the distribution of per-run wall times (traced
+	// execution). RunSim and RunParse split each run into pure
+	// simulation and trace-parsing shares; they are populated only
+	// under MeasureStages.
+	RunWall  telemetry.DurStats
+	RunSim   telemetry.DurStats
+	RunParse telemetry.DurStats
 }
 
 // Total returns the end-to-end analysis time.
 func (s StageTimes) Total() time.Duration {
-	return s.Simulate + s.Parse + s.Stats + s.Extract
+	return s.Assemble + s.Simulate + s.Parse + s.Stats + s.Extract
+}
+
+// SimStats aggregates the simulator's event counters across runs — the
+// microarchitectural behaviour behind the verdicts (and behind the
+// pipeline's own performance).
+type SimStats struct {
+	Cycles            int64
+	Instructions      uint64
+	Branches          uint64
+	BranchMispredicts uint64
+	DCacheHits        uint64
+	DCacheMisses      uint64
+	TLBMisses         uint64
+	Prefetches        uint64
+	PrefetchesUseful  uint64
+	PrefetchesUseless uint64
+	LSUReplays        uint64
+	MSHRHighWater     int
+}
+
+// IPC returns retired instructions per simulated cycle across all runs.
+func (s SimStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// accumulate folds one run's result into the aggregate.
+func (s *SimStats) accumulate(r sim.Result) {
+	s.Cycles += r.Cycles
+	s.Instructions += r.Instructions
+	s.Branches += r.Branches
+	s.BranchMispredicts += r.Mispredicts
+	s.DCacheHits += r.DCacheHits
+	s.DCacheMisses += r.DCacheMisses
+	s.TLBMisses += r.TLBMisses
+	s.Prefetches += r.Prefetches
+	s.PrefetchesUseful += r.PrefetchesUseful
+	s.PrefetchesUseless += r.PrefetchesUseless
+	s.LSUReplays += r.LSUReplays
+	if r.MSHRHighWater > s.MSHRHighWater {
+		s.MSHRHighWater = r.MSHRHighWater
+	}
 }
 
 // Report is the complete verification outcome for a workload.
@@ -134,6 +230,14 @@ type Report struct {
 	Runs       int
 	Stages     StageTimes
 	SimCycles  int64 // total simulated cycles across runs
+
+	// Sim aggregates the simulator's event counters across runs.
+	Sim SimStats
+	// Samples is the number of state rows the tracer ingested per unit.
+	Samples map[trace.Unit]uint64
+	// Spans is the pipeline span tree of this verification (per stage
+	// and per run); see telemetry.SpanStats for aggregation.
+	Spans []telemetry.Span
 
 	// Program is the assembled image, kept for symbolising extracted
 	// features (PCs to functions, addresses to data symbols).
@@ -183,7 +287,13 @@ func Verify(w Workload, opts Options) (*Report, error) {
 // between (not within) simulation runs.
 func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
+	verifyStart := time.Now()
+	tr := telemetry.NewSpanTracer(opts.TraceSink)
+	root := tr.Start("verify", 0, -1)
+
+	asmSpan := tr.Start("assemble", root.ID(), -1)
 	prog, err := asm.Assemble(w.Source)
+	asmDur := asmSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("assemble %s: %w", w.Name, err)
 	}
@@ -193,9 +303,11 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		Config:       opts.Config.Name,
 		Runs:         opts.Runs,
 		Program:      prog,
+		Samples:      make(map[trace.Unit]uint64, len(opts.Units)),
 		StoreWriters: make(map[uint64][]uint64),
 		LoadReaders:  make(map[uint64][]uint64),
 	}
+	rep.Stages.Assemble = asmDur
 
 	// Stages 1–2: simulate with tracing, accumulating snapshots.
 	full := make(map[trace.Unit]*snapshot.Store, len(opts.Units))
@@ -205,47 +317,81 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		noT[u] = snapshot.NewStore()
 	}
 
-	simStart := time.Now()
-	var plainTime time.Duration
-	runOne := func(run int) (*trace.Collector, sim.Result, error) {
+	simSpan := tr.Start("simulate", root.ID(), -1)
+	type runOut struct {
+		col    *trace.Collector
+		res    sim.Result
+		err    error
+		plain  time.Duration // untraced execution (MeasureStages only)
+		traced time.Duration // traced execution wall time
+	}
+	var progressMu sync.Mutex
+	runsDone := 0
+	runOne := func(run int) (out runOut) {
 		if err := ctx.Err(); err != nil {
-			return nil, sim.Result{}, err
+			out.err = err
+			return out
+		}
+		runSpan := tr.Start("run", simSpan.ID(), run)
+		defer runSpan.End()
+		if opts.MeasureStages {
+			s := tr.Start("simulate.untraced", runSpan.ID(), run)
+			_, err := execRun(w, opts, prog, run, nil, nil, 0)
+			out.plain = s.End()
+			if err != nil {
+				out.err = fmt.Errorf("%s run %d (untraced): %w", w.Name, run, err)
+				return out
+			}
 		}
 		col := trace.NewCollector(
 			trace.WithUnits(opts.Units...),
 			trace.WithWarmupIterations(opts.Warmup),
 		)
-		res, err := execRun(w, opts, prog, run, col)
+		tracedStart := time.Now()
+		res, err := execRun(w, opts, prog, run, col, tr, runSpan.ID())
+		out.traced = time.Since(tracedStart)
 		if err != nil {
-			return nil, res, fmt.Errorf("%s run %d: %w", w.Name, run, err)
+			out.err = fmt.Errorf("%s run %d: %w", w.Name, run, err)
+			return out
 		}
-		return col, res, nil
+		out.col, out.res = col, res
+		if opts.MeasureStages {
+			// Attribute the traced-minus-untraced overhead of this run
+			// to trace parsing, as a synthesised span.
+			parse := out.traced - out.plain
+			if parse < 0 {
+				parse = 0
+			}
+			tr.Record("parse", runSpan.ID(), run, tracedStart, parse)
+		}
+		if opts.OnProgress != nil {
+			progressMu.Lock()
+			runsDone++
+			opts.OnProgress(Progress{
+				Run:        run,
+				Done:       runsDone,
+				Total:      opts.Runs,
+				Cycles:     res.Cycles,
+				Iterations: len(col.Iterations()),
+				Elapsed:    time.Since(verifyStart),
+			})
+			progressMu.Unlock()
+		}
+		return out
 	}
 
 	workers := opts.Parallel
 	if workers < 0 {
 		workers = runtime.NumCPU()
 	}
-	if opts.MeasureStages || workers <= 1 {
+	if workers <= 1 {
 		workers = 1
 	}
 
-	type runOut struct {
-		col *trace.Collector
-		res sim.Result
-		err error
-	}
 	outs := make([]runOut, opts.Runs)
 	if workers == 1 {
 		for run := 0; run < opts.Runs; run++ {
-			if opts.MeasureStages {
-				t0 := time.Now()
-				if _, err := execRun(w, opts, prog, run, nil); err != nil {
-					return nil, fmt.Errorf("%s run %d (untraced): %w", w.Name, run, err)
-				}
-				plainTime += time.Since(t0)
-			}
-			outs[run].col, outs[run].res, outs[run].err = runOne(run)
+			outs[run] = runOne(run)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -256,35 +402,58 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				outs[run].col, outs[run].res, outs[run].err = runOne(run)
+				outs[run] = runOne(run)
 			}(run)
 		}
 		wg.Wait()
 	}
+	simWall := simSpan.End()
+
 	// Merge in run order so results are identical to a sequential run.
+	mergeSpan := tr.Start("merge", root.ID(), -1)
+	var plainTime, parseTime time.Duration
+	runWall := make([]time.Duration, 0, opts.Runs)
+	runSim := make([]time.Duration, 0, opts.Runs)
+	runParse := make([]time.Duration, 0, opts.Runs)
 	for run := 0; run < opts.Runs; run++ {
 		if err := outs[run].err; err != nil {
 			return nil, err
 		}
-		rep.SimCycles += outs[run].res.Cycles
+		rep.Sim.accumulate(outs[run].res)
 		for _, ut := range outs[run].col.Results() {
 			full[ut.Unit].Merge(ut.Full)
 			noT[ut.Unit].Merge(ut.NoTiming)
+		}
+		for u, n := range outs[run].col.SampleCounts() {
+			rep.Samples[u] += n
 		}
 		rep.Iterations = append(rep.Iterations, outs[run].col.Iterations()...)
 		writers, readers := outs[run].col.Attribution()
 		mergeAttribution(rep.StoreWriters, writers)
 		mergeAttribution(rep.LoadReaders, readers)
+
+		runWall = append(runWall, outs[run].traced)
+		if opts.MeasureStages {
+			plainTime += outs[run].plain
+			parse := outs[run].traced - outs[run].plain
+			if parse < 0 {
+				parse = 0
+			}
+			parseTime += parse
+			runSim = append(runSim, outs[run].plain)
+			runParse = append(runParse, parse)
+		}
 	}
-	tracedTime := time.Since(simStart) - plainTime
+	mergeSpan.End()
+	rep.SimCycles = rep.Sim.Cycles
+	rep.Stages.RunWall = telemetry.Stats(runWall)
 	if opts.MeasureStages {
 		rep.Stages.Simulate = plainTime
-		rep.Stages.Parse = tracedTime - plainTime
-		if rep.Stages.Parse < 0 {
-			rep.Stages.Parse = 0
-		}
+		rep.Stages.Parse = parseTime
+		rep.Stages.RunSim = telemetry.Stats(runSim)
+		rep.Stages.RunParse = telemetry.Stats(runParse)
 	} else {
-		rep.Stages.Simulate = tracedTime
+		rep.Stages.Simulate = simWall
 	}
 
 	if len(rep.Iterations) == 0 {
@@ -292,8 +461,9 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	}
 
 	// Stage 3: statistical correlation analysis.
-	statsStart := time.Now()
+	statsSpan := tr.Start("stats", root.ID(), -1)
 	for _, u := range opts.Units {
+		us := tr.StartDetail("stats.unit", statsSpan.ID(), -1, u.String())
 		ur := UnitResult{
 			Unit:          u,
 			Table:         tableOf(full[u]),
@@ -303,43 +473,94 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		ur.Assoc = ur.Table.Analyze()
 		ur.AssocNoTiming = tableOf(noT[u]).Analyze()
 		rep.Units = append(rep.Units, ur)
+		us.End()
 	}
-	rep.Stages.Stats = time.Since(statsStart)
+	rep.Stages.Stats = statsSpan.End()
 
 	// Stage 4: feature extraction for correlated units only (the paper
 	// runs uniqueness/ordering only where correlation is observed).
-	extractStart := time.Now()
+	extractSpan := tr.Start("extract", root.ID(), -1)
 	for i := range rep.Units {
 		ur := &rep.Units[i]
 		if !ur.Assoc.Significant() {
 			continue
 		}
+		us := tr.StartDetail("extract.unit", extractSpan.ID(), -1, ur.Unit.String())
 		ur.UniqueFeatures = features.Uniqueness(ur.Store)
 		ur.Ordering = features.Ordering(ur.StoreNoTiming)
+		us.End()
 	}
-	rep.Stages.Extract = time.Since(extractStart)
+	rep.Stages.Extract = extractSpan.End()
+	root.End()
+	rep.Spans = tr.Spans()
+
+	if opts.Metrics != nil {
+		recordMetrics(opts.Metrics, rep, runWall)
+	}
 	return rep, nil
 }
 
-// execRun performs one simulation run from reset state.
+// recordMetrics folds one finished verification into a registry.
+func recordMetrics(m *telemetry.Registry, rep *Report, runWall []time.Duration) {
+	m.Counter("verify_total").Inc()
+	m.Counter("verify_runs_total").Add(uint64(rep.Runs))
+	m.Counter("verify_iterations_total").Add(uint64(len(rep.Iterations)))
+	m.Counter("sim_cycles_total").Add(uint64(rep.Sim.Cycles))
+	m.Counter("sim_instructions_total").Add(rep.Sim.Instructions)
+	m.Counter("sim_branches_total").Add(rep.Sim.Branches)
+	m.Counter("sim_branch_mispredicts_total").Add(rep.Sim.BranchMispredicts)
+	m.Counter("sim_dcache_hits_total").Add(rep.Sim.DCacheHits)
+	m.Counter("sim_dcache_misses_total").Add(rep.Sim.DCacheMisses)
+	m.Counter("sim_tlb_misses_total").Add(rep.Sim.TLBMisses)
+	m.Counter("sim_nlp_prefetches_total").Add(rep.Sim.Prefetches)
+	m.Counter("sim_nlp_useful_total").Add(rep.Sim.PrefetchesUseful)
+	m.Counter("sim_nlp_mispredicts_total").Add(rep.Sim.PrefetchesUseless)
+	m.Counter("sim_lsu_replays_total").Add(rep.Sim.LSUReplays)
+	m.Gauge("sim_ipc").Set(rep.Sim.IPC())
+	m.Gauge("sim_mshr_highwater").SetMax(float64(rep.Sim.MSHRHighWater))
+	for u, n := range rep.Samples {
+		m.Counter("trace_samples_total." + u.String()).Add(n)
+	}
+	runHist := m.Histogram("verify_run_seconds", telemetry.LatencyBuckets())
+	for _, d := range runWall {
+		runHist.Observe(d.Seconds())
+	}
+	lb := telemetry.LatencyBuckets()
+	m.Histogram("verify_stage_seconds.assemble", lb).Observe(rep.Stages.Assemble.Seconds())
+	m.Histogram("verify_stage_seconds.simulate", lb).Observe(rep.Stages.Simulate.Seconds())
+	m.Histogram("verify_stage_seconds.parse", lb).Observe(rep.Stages.Parse.Seconds())
+	m.Histogram("verify_stage_seconds.stats", lb).Observe(rep.Stages.Stats.Seconds())
+	m.Histogram("verify_stage_seconds.extract", lb).Observe(rep.Stages.Extract.Seconds())
+}
+
+// execRun performs one simulation run from reset state. When tr is
+// non-nil, machine construction and execution are recorded as child
+// spans of parent.
 func execRun(w Workload, opts Options, prog *asm.Program, run int,
-	col *trace.Collector) (sim.Result, error) {
+	col *trace.Collector, tr *telemetry.SpanTracer, parent uint64) (sim.Result, error) {
+	setupSpan := tr.Start("machine-setup", parent, run)
 	m, err := sim.New(opts.Config)
 	if err != nil {
+		setupSpan.End()
 		return sim.Result{}, err
 	}
 	if err := m.LoadProgram(prog); err != nil {
+		setupSpan.End()
 		return sim.Result{}, err
 	}
 	if w.Setup != nil {
 		if err := w.Setup(run, m, prog); err != nil {
+			setupSpan.End()
 			return sim.Result{}, fmt.Errorf("setup: %w", err)
 		}
 	}
+	setupSpan.End()
 	if col != nil {
 		m.SetTracer(col)
 	}
+	execSpan := tr.Start("execute", parent, run)
 	res, err := m.Run(opts.MaxCycles)
+	execSpan.End()
 	if err != nil {
 		return res, err
 	}

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"microsampler/internal/asm"
 	"microsampler/internal/sim"
+	"microsampler/internal/telemetry"
 	"microsampler/internal/trace"
 )
 
@@ -323,4 +327,213 @@ loop:
 	if sym := rep.Program.DataSymbolAt(bufAddr); sym != "buf" {
 		t.Errorf("data symbol = %q want buf", sym)
 	}
+}
+
+func TestWarmupDefaultAndSentinel(t *testing.T) {
+	if got := (Options{}).withDefaults().Warmup; got != 2 {
+		t.Errorf("zero Warmup should default to 2, got %d", got)
+	}
+	if got := (Options{Warmup: NoWarmup}).withDefaults().Warmup; got != 0 {
+		t.Errorf("NoWarmup should yield 0, got %d", got)
+	}
+	if got := (Options{Warmup: 5}).withDefaults().Warmup; got != 5 {
+		t.Errorf("explicit Warmup clobbered: %d", got)
+	}
+	// End-to-end: NoWarmup keeps every labeled iteration (8 per run).
+	rep, err := Verify(Workload{Name: "smoke", Source: smokeWorkload},
+		Options{Runs: 1, Warmup: NoWarmup, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Iterations) != 8 {
+		t.Errorf("NoWarmup kept %d iterations, want 8", len(rep.Iterations))
+	}
+}
+
+func TestSimStatsAndIPCConsistency(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rep, err := Verify(Workload{Name: "smoke", Source: smokeWorkload},
+		Options{Runs: 2, Warmup: 1, Config: sim.SmallBoom(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sim.Cycles != rep.SimCycles {
+		t.Errorf("SimStats.Cycles %d != SimCycles %d", rep.Sim.Cycles, rep.SimCycles)
+	}
+	if rep.Sim.Instructions == 0 || rep.Sim.Branches == 0 {
+		t.Errorf("sim stats empty: %+v", rep.Sim)
+	}
+	// The telemetry counters must agree with the aggregated sim.Result
+	// values, and the IPC gauge with SimStats.IPC().
+	if got := reg.Counter("sim_cycles_total").Value(); got != uint64(rep.Sim.Cycles) {
+		t.Errorf("sim_cycles_total = %d want %d", got, rep.Sim.Cycles)
+	}
+	if got := reg.Counter("sim_instructions_total").Value(); got != rep.Sim.Instructions {
+		t.Errorf("sim_instructions_total = %d want %d", got, rep.Sim.Instructions)
+	}
+	wantIPC := float64(rep.Sim.Instructions) / float64(rep.Sim.Cycles)
+	if got := reg.Gauge("sim_ipc").Value(); got != wantIPC || got != rep.Sim.IPC() {
+		t.Errorf("sim_ipc gauge = %g want %g", got, wantIPC)
+	}
+	if rep.Sim.IPC() <= 0 || rep.Sim.IPC() > float64(sim.SmallBoom().RetireWidth) {
+		t.Errorf("IPC out of range: %g", rep.Sim.IPC())
+	}
+	// Per-unit sample volume: every tracked unit sampled the same
+	// number of in-iteration cycles.
+	if len(rep.Samples) != len(trace.AllUnits()) {
+		t.Fatalf("samples for %d units, want %d", len(rep.Samples), len(trace.AllUnits()))
+	}
+	var first uint64
+	for _, u := range trace.AllUnits() {
+		n := rep.Samples[u]
+		if n == 0 {
+			t.Fatalf("unit %v sampled nothing", u)
+		}
+		if first == 0 {
+			first = n
+		} else if n != first {
+			t.Errorf("unit %v sampled %d rows, others %d", u, n, first)
+		}
+	}
+	if got := reg.Counter("trace_samples_total.SQ-ADDR").Value(); got != rep.Samples[trace.SQADDR] {
+		t.Errorf("trace_samples_total.SQ-ADDR = %d want %d", got, rep.Samples[trace.SQADDR])
+	}
+}
+
+func TestSpansEmittedUnderParallel(t *testing.T) {
+	var buf syncBuffer
+	rep, err := Verify(Workload{Name: "leak", Source: leakWorkload},
+		Options{Runs: 4, Warmup: 1, Config: sim.SmallBoom(), Parallel: 4,
+			TraceSink: &buf, MeasureStages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Spans) < 20 {
+		t.Errorf("only %d spans recorded", len(rep.Spans))
+	}
+	byName := map[string]int{}
+	rootID := uint64(0)
+	for _, s := range rep.Spans {
+		byName[s.Name]++
+		if s.Name == "verify" {
+			rootID = s.ID
+		}
+	}
+	for _, want := range []string{"verify", "assemble", "simulate", "run",
+		"machine-setup", "execute", "simulate.untraced", "parse", "stats",
+		"stats.unit", "extract"} {
+		if byName[want] == 0 {
+			t.Errorf("no %q span", want)
+		}
+	}
+	if byName["run"] != 4 || byName["parse"] != 4 {
+		t.Errorf("per-run spans: run=%d parse=%d want 4 each", byName["run"], byName["parse"])
+	}
+	// Parent linkage: every non-root span's parent must exist.
+	ids := map[uint64]bool{}
+	for _, s := range rep.Spans {
+		ids[s.ID] = true
+	}
+	for _, s := range rep.Spans {
+		if s.ID != rootID && !ids[s.Parent] {
+			t.Errorf("span %q parent %d not recorded", s.Name, s.Parent)
+		}
+	}
+	// Enriched stage stats must be populated in parallel MeasureStages mode.
+	if rep.Stages.RunWall.N != 4 || rep.Stages.RunSim.N != 4 || rep.Stages.RunParse.N != 4 {
+		t.Errorf("run stats not aggregated: %+v", rep.Stages)
+	}
+	if rep.Stages.RunWall.Max < rep.Stages.RunWall.Min {
+		t.Errorf("run wall stats inconsistent: %+v", rep.Stages.RunWall)
+	}
+	if rep.Stages.Simulate <= 0 {
+		t.Error("parallel MeasureStages lost the simulate stage total")
+	}
+	// The JSONL sink must carry one well-formed object per span.
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		lines++
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if m["name"] == "" || m["id"] == nil {
+			t.Errorf("span line missing fields: %v", m)
+		}
+	}
+	if lines != len(rep.Spans) {
+		t.Errorf("sink lines %d != spans %d", lines, len(rep.Spans))
+	}
+}
+
+func TestParallelMeasureStagesMatchesSequential(t *testing.T) {
+	opts := Options{Runs: 4, Warmup: 1, Config: sim.SmallBoom(), MeasureStages: true}
+	seq, err := Verify(Workload{Name: "leak", Source: leakWorkload}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallel = 4
+	par, err := Verify(Workload{Name: "leak", Source: leakWorkload}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.SimCycles != par.SimCycles {
+		t.Errorf("cycles differ: %d vs %d", seq.SimCycles, par.SimCycles)
+	}
+	for i := range seq.Units {
+		if seq.Units[i].Assoc != par.Units[i].Assoc {
+			t.Errorf("unit %v stats differ under parallel MeasureStages",
+				seq.Units[i].Unit)
+		}
+	}
+}
+
+func TestOnProgress(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	rep, err := Verify(Workload{Name: "smoke", Source: smokeWorkload},
+		Options{Runs: 3, Warmup: 1, Config: sim.SmallBoom(), Parallel: 2,
+			OnProgress: func(p Progress) {
+				mu.Lock()
+				events = append(events, p)
+				mu.Unlock()
+			}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d progress events, want 3", len(events))
+	}
+	seenRun := map[int]bool{}
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != 3 {
+			t.Errorf("event %d: Done=%d Total=%d", i, e.Done, e.Total)
+		}
+		if e.Cycles <= 0 || e.Iterations <= 0 || e.Elapsed <= 0 {
+			t.Errorf("event %d incomplete: %+v", i, e)
+		}
+		seenRun[e.Run] = true
+	}
+	if len(seenRun) != 3 {
+		t.Errorf("runs reported: %v", seenRun)
+	}
+	_ = rep
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for parallel span sinks.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -5,18 +5,22 @@ import (
 
 	"microsampler/internal/core"
 	"microsampler/internal/stats"
+	"microsampler/internal/telemetry"
 )
 
 // jsonReport is the stable machine-readable schema of a verification.
 type jsonReport struct {
-	Workload   string           `json:"workload"`
-	Config     string           `json:"config"`
-	Runs       int              `json:"runs"`
-	Iterations int              `json:"iterations"`
-	SimCycles  int64            `json:"simCycles"`
-	Leaky      bool             `json:"leaky"`
-	Units      []jsonUnitResult `json:"units"`
-	Stages     jsonStages       `json:"stagesMillis"`
+	Workload   string            `json:"workload"`
+	Config     string            `json:"config"`
+	Runs       int               `json:"runs"`
+	Iterations int               `json:"iterations"`
+	SimCycles  int64             `json:"simCycles"`
+	Leaky      bool              `json:"leaky"`
+	Units      []jsonUnitResult  `json:"units"`
+	Stages     jsonStages        `json:"stagesMillis"`
+	RunStats   *jsonRunStats     `json:"runStatsMicros,omitempty"`
+	Sim        jsonSimStats      `json:"sim"`
+	Samples    map[string]uint64 `json:"traceSamples,omitempty"`
 }
 
 type jsonUnitResult struct {
@@ -45,10 +49,43 @@ type jsonUniq struct {
 }
 
 type jsonStages struct {
+	Assemble int64 `json:"assemble"`
 	Simulate int64 `json:"simulate"`
 	Parse    int64 `json:"parse"`
 	Stats    int64 `json:"stats"`
 	Extract  int64 `json:"extract"`
+}
+
+// jsonDurStats is a per-run duration distribution in microseconds.
+type jsonDurStats struct {
+	N    int   `json:"n"`
+	Min  int64 `json:"min"`
+	Mean int64 `json:"mean"`
+	P95  int64 `json:"p95"`
+	Max  int64 `json:"max"`
+}
+
+type jsonRunStats struct {
+	Wall     jsonDurStats  `json:"wall"`
+	Simulate *jsonDurStats `json:"simulate,omitempty"`
+	Parse    *jsonDurStats `json:"parse,omitempty"`
+}
+
+// jsonSimStats is the aggregated simulator counter block.
+type jsonSimStats struct {
+	Cycles            int64   `json:"cycles"`
+	Instructions      uint64  `json:"instructions"`
+	IPC               float64 `json:"ipc"`
+	Branches          uint64  `json:"branches"`
+	BranchMispredicts uint64  `json:"branchMispredicts"`
+	DCacheHits        uint64  `json:"dcacheHits"`
+	DCacheMisses      uint64  `json:"dcacheMisses"`
+	TLBMisses         uint64  `json:"tlbMisses"`
+	Prefetches        uint64  `json:"nlpPrefetches"`
+	PrefetchesUseful  uint64  `json:"nlpUseful"`
+	PrefetchesUseless uint64  `json:"nlpMispredicts"`
+	LSUReplays        uint64  `json:"lsuReplays"`
+	MSHRHighWater     int     `json:"mshrHighWater"`
 }
 
 // JSON renders the report in the stable machine-readable schema.
@@ -61,11 +98,45 @@ func JSON(rep *core.Report) ([]byte, error) {
 		SimCycles:  rep.SimCycles,
 		Leaky:      rep.AnyLeak(),
 		Stages: jsonStages{
+			Assemble: rep.Stages.Assemble.Milliseconds(),
 			Simulate: rep.Stages.Simulate.Milliseconds(),
 			Parse:    rep.Stages.Parse.Milliseconds(),
 			Stats:    rep.Stages.Stats.Milliseconds(),
 			Extract:  rep.Stages.Extract.Milliseconds(),
 		},
+		Sim: jsonSimStats{
+			Cycles:            rep.Sim.Cycles,
+			Instructions:      rep.Sim.Instructions,
+			IPC:               rep.Sim.IPC(),
+			Branches:          rep.Sim.Branches,
+			BranchMispredicts: rep.Sim.BranchMispredicts,
+			DCacheHits:        rep.Sim.DCacheHits,
+			DCacheMisses:      rep.Sim.DCacheMisses,
+			TLBMisses:         rep.Sim.TLBMisses,
+			Prefetches:        rep.Sim.Prefetches,
+			PrefetchesUseful:  rep.Sim.PrefetchesUseful,
+			PrefetchesUseless: rep.Sim.PrefetchesUseless,
+			LSUReplays:        rep.Sim.LSUReplays,
+			MSHRHighWater:     rep.Sim.MSHRHighWater,
+		},
+	}
+	if rep.Stages.RunWall.N > 0 {
+		rs := &jsonRunStats{Wall: jsonDurStatsOf(rep.Stages.RunWall)}
+		if rep.Stages.RunSim.N > 0 {
+			d := jsonDurStatsOf(rep.Stages.RunSim)
+			rs.Simulate = &d
+		}
+		if rep.Stages.RunParse.N > 0 {
+			d := jsonDurStatsOf(rep.Stages.RunParse)
+			rs.Parse = &d
+		}
+		out.RunStats = rs
+	}
+	if len(rep.Samples) > 0 {
+		out.Samples = make(map[string]uint64, len(rep.Samples))
+		for u, n := range rep.Samples {
+			out.Samples[u.String()] = n
+		}
 	}
 	for _, u := range rep.Units {
 		ju := jsonUnitResult{
@@ -91,6 +162,16 @@ func JSON(rep *core.Report) ([]byte, error) {
 		out.Units = append(out.Units, ju)
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+func jsonDurStatsOf(d telemetry.DurStats) jsonDurStats {
+	return jsonDurStats{
+		N:    d.N,
+		Min:  d.Min.Microseconds(),
+		Mean: d.Mean.Microseconds(),
+		P95:  d.P95.Microseconds(),
+		Max:  d.Max.Microseconds(),
+	}
 }
 
 func jsonAssocOf(a stats.Association) jsonAssoc {

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"microsampler/internal/core"
+	"microsampler/internal/telemetry"
 	"microsampler/internal/trace"
 )
 
@@ -231,16 +232,34 @@ func Summary(rep *core.Report) string {
 		rep.Workload, rep.Config, len(leaks), strings.Join(names, ", "))
 }
 
-// StageBreakdown renders the Table VI stage-time breakdown.
+// StageBreakdown renders the Table VI stage-time breakdown, enriched
+// with the per-run distributions (min/mean/p95/max) so that parallel
+// runs stay attributable: under Parallel > 1 the stage totals are sums
+// of per-run time while the distribution rows show the actual per-run
+// behaviour.
 func StageBreakdown(rep *core.Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "MicroSampler stage breakdown — %s on %s (%d runs, %d cycles simulated)\n",
 		rep.Workload, rep.Config, rep.Runs, rep.SimCycles)
 	s := rep.Stages
+	fmt.Fprintf(&b, "  0. assemble program                    %12v\n", s.Assemble)
 	fmt.Fprintf(&b, "  1. execute program on simulator        %12v\n", s.Simulate)
 	fmt.Fprintf(&b, "  2. parse traces / build snapshots      %12v\n", s.Parse)
 	fmt.Fprintf(&b, "  3. Cramér's V for tracked structures   %12v\n", s.Stats)
 	fmt.Fprintf(&b, "  4. feature extraction                  %12v\n", s.Extract)
 	fmt.Fprintf(&b, "  total                                  %12v\n", s.Total())
+	writeDurStats(&b, "per-run wall", s.RunWall)
+	writeDurStats(&b, "per-run simulate", s.RunSim)
+	writeDurStats(&b, "per-run parse", s.RunParse)
 	return b.String()
+}
+
+// writeDurStats renders one per-run distribution row; empty
+// distributions (e.g. RunSim without MeasureStages) are omitted.
+func writeDurStats(b *strings.Builder, label string, d telemetry.DurStats) {
+	if d.N == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  %-20s n=%-3d min=%v mean=%v p95=%v max=%v\n",
+		label, d.N, d.Min, d.Mean, d.P95, d.Max)
 }

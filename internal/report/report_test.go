@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"microsampler/internal/core"
 	"microsampler/internal/sim"
+	"microsampler/internal/telemetry"
 	"microsampler/internal/trace"
 )
 
@@ -206,5 +208,164 @@ func TestJSONExport(t *testing.T) {
 	}
 	if !foundUnique {
 		t.Error("no leaky unit exported unique features")
+	}
+}
+
+// fixedReport builds a Report with hand-set stage times and counters so
+// the enriched StageBreakdown output is fully deterministic.
+func fixedReport() *core.Report {
+	rep := &core.Report{
+		Workload:  "golden",
+		Config:    "SmallBoom",
+		Runs:      4,
+		SimCycles: 1234,
+	}
+	rep.Stages.Assemble = 1 * time.Millisecond
+	rep.Stages.Simulate = 40 * time.Millisecond
+	rep.Stages.Parse = 8 * time.Millisecond
+	rep.Stages.Stats = 3 * time.Millisecond
+	rep.Stages.Extract = 2 * time.Millisecond
+	rep.Stages.RunWall = telemetry.DurStats{
+		N: 4, Min: 9 * time.Millisecond, Mean: 12 * time.Millisecond,
+		P95: 15 * time.Millisecond, Max: 15 * time.Millisecond,
+	}
+	rep.Stages.RunSim = telemetry.DurStats{
+		N: 4, Min: 8 * time.Millisecond, Mean: 10 * time.Millisecond,
+		P95: 12 * time.Millisecond, Max: 12 * time.Millisecond,
+	}
+	rep.Stages.RunParse = telemetry.DurStats{
+		N: 4, Min: 1 * time.Millisecond, Mean: 2 * time.Millisecond,
+		P95: 3 * time.Millisecond, Max: 3 * time.Millisecond,
+	}
+	rep.Sim = core.SimStats{
+		Cycles: 1234, Instructions: 2468, Branches: 100, BranchMispredicts: 5,
+		DCacheHits: 900, DCacheMisses: 50, TLBMisses: 3,
+		Prefetches: 40, PrefetchesUseful: 30, PrefetchesUseless: 6,
+		LSUReplays: 2, MSHRHighWater: 4,
+	}
+	rep.Samples = map[trace.Unit]uint64{trace.EUUMUL: 128, trace.SQADDR: 128}
+	return rep
+}
+
+func TestStageBreakdownGolden(t *testing.T) {
+	got := StageBreakdown(fixedReport())
+	want := `MicroSampler stage breakdown — golden on SmallBoom (4 runs, 1234 cycles simulated)
+  0. assemble program                             1ms
+  1. execute program on simulator                40ms
+  2. parse traces / build snapshots               8ms
+  3. Cramér's V for tracked structures            3ms
+  4. feature extraction                           2ms
+  total                                          54ms
+  per-run wall         n=4   min=9ms mean=12ms p95=15ms max=15ms
+  per-run simulate     n=4   min=8ms mean=10ms p95=12ms max=12ms
+  per-run parse        n=4   min=1ms mean=2ms p95=3ms max=3ms
+`
+	if got != want {
+		t.Errorf("golden mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestStageBreakdownOmitsEmptyDistributions(t *testing.T) {
+	rep := fixedReport()
+	rep.Stages.RunSim = telemetry.DurStats{}
+	rep.Stages.RunParse = telemetry.DurStats{}
+	out := StageBreakdown(rep)
+	if strings.Contains(out, "per-run simulate") || strings.Contains(out, "per-run parse") {
+		t.Errorf("empty distributions must be omitted:\n%s", out)
+	}
+	if !strings.Contains(out, "per-run wall") {
+		t.Errorf("non-empty wall distribution must be kept:\n%s", out)
+	}
+}
+
+func TestJSONEnrichedGolden(t *testing.T) {
+	data, err := JSON(fixedReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"assemble": 1`,
+		`"simulate": 40`,
+		`"runStatsMicros"`,
+		`"wall"`,
+		`"n": 4`,
+		`"p95": 15000`,
+		`"ipc": 2`,
+		`"nlpPrefetches": 40`,
+		`"nlpMispredicts": 6`,
+		`"lsuReplays": 2`,
+		`"mshrHighWater": 4`,
+		`"traceSamples"`,
+		`"EUU-MUL": 128`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestJSONParallelSpanAggregation exercises the real Parallel > 1 +
+// MeasureStages path end to end and checks that the per-run
+// distributions survive into the JSON schema.
+func TestJSONParallelSpanAggregation(t *testing.T) {
+	rep, err := core.Verify(core.Workload{Name: "par", Source: `
+	.text
+_start:
+	li   s2, 12
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3
+	mul  t0, s2, s2
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+`}, core.Options{Runs: 4, Parallel: 4, MeasureStages: true, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		RunStats *struct {
+			Wall     struct{ N int }  `json:"wall"`
+			Simulate *struct{ N int } `json:"simulate"`
+			Parse    *struct{ N int } `json:"parse"`
+		} `json:"runStatsMicros"`
+		Sim struct {
+			Cycles       int64   `json:"cycles"`
+			Instructions uint64  `json:"instructions"`
+			IPC          float64 `json:"ipc"`
+		} `json:"sim"`
+		Samples map[string]uint64 `json:"traceSamples"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.RunStats == nil || decoded.RunStats.Wall.N != 4 {
+		t.Fatalf("runStatsMicros.wall.n != 4: %+v", decoded.RunStats)
+	}
+	if decoded.RunStats.Simulate == nil || decoded.RunStats.Simulate.N != 4 ||
+		decoded.RunStats.Parse == nil || decoded.RunStats.Parse.N != 4 {
+		t.Fatalf("MeasureStages distributions missing under Parallel > 1: %+v", decoded.RunStats)
+	}
+	if decoded.Sim.Cycles <= 0 || decoded.Sim.Instructions == 0 || decoded.Sim.IPC <= 0 {
+		t.Errorf("sim counters not aggregated: %+v", decoded.Sim)
+	}
+	if decoded.Samples["EUU-MUL"] == 0 {
+		t.Errorf("trace sample counts missing: %v", decoded.Samples)
+	}
+	// StageBreakdown on the same report must carry all three rows.
+	out := StageBreakdown(rep)
+	for _, want := range []string{"per-run wall", "per-run simulate", "per-run parse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stage breakdown missing %q:\n%s", want, out)
+		}
 	}
 }

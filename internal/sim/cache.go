@@ -2,9 +2,10 @@ package sim
 
 // cacheLine is one way of a set.
 type cacheLine struct {
-	tag     uint64
-	valid   bool
-	lastUse int64
+	tag        uint64
+	valid      bool
+	lastUse    int64
+	prefetched bool // filled by the prefetcher and not yet demanded
 }
 
 // cache is a set-associative, LRU-replacement cache model. It tracks tags
@@ -57,6 +58,12 @@ func (c *cache) present(lineAddr uint64) bool {
 
 // insert fills a line, evicting the LRU way if needed.
 func (c *cache) insert(lineAddr uint64, now int64) {
+	c.fill(lineAddr, now, false)
+}
+
+// fill installs a line (marking prefetcher fills) and returns the
+// evicted line so callers can account for never-used prefetches.
+func (c *cache) fill(lineAddr uint64, now int64, prefetched bool) (evicted cacheLine) {
 	set := c.setOf(lineAddr)
 	victim := 0
 	for i := range set {
@@ -68,7 +75,26 @@ func (c *cache) insert(lineAddr uint64, now int64) {
 			victim = i
 		}
 	}
-	set[victim] = cacheLine{tag: lineAddr, valid: true, lastUse: now}
+	evicted = set[victim]
+	set[victim] = cacheLine{tag: lineAddr, valid: true, lastUse: now, prefetched: prefetched}
+	return evicted
+}
+
+// demandLookup probes for a line on behalf of a demand access. On a hit
+// it refreshes the LRU stamp and clears (and reports) the prefetched
+// flag, so the prefetcher's accuracy counters can distinguish useful
+// fills from wasted ones.
+func (c *cache) demandLookup(lineAddr uint64, now int64) (hit, wasPrefetched bool) {
+	set := c.setOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lastUse = now
+			wasPrefetched = set[i].prefetched
+			set[i].prefetched = false
+			return true, wasPrefetched
+		}
+	}
+	return false, false
 }
 
 // invalidate removes a line if present.
@@ -176,6 +202,11 @@ type dcache struct {
 
 	// Statistics.
 	hits, misses, tlbMisses, prefetches uint64
+	// Prefetcher accuracy: fills later demanded vs fills evicted (or
+	// still unreferenced) without ever serving a demand access.
+	nlpUseful, nlpUseless uint64
+	// Demand-MSHR occupancy high-water mark across the run.
+	mshrHighWater int
 }
 
 type reqEvent struct {
@@ -202,13 +233,19 @@ func (d *dcache) tick(now int64) {
 	d.reqThisCycle = d.reqThisCycle[:0]
 	for i := range d.mshrs {
 		if d.mshrs[i].valid && d.mshrs[i].fillAt <= now {
-			d.cache.insert(d.mshrs[i].lineAddr, now)
+			evicted := d.cache.fill(d.mshrs[i].lineAddr, now, false)
+			if evicted.valid && evicted.prefetched {
+				d.nlpUseless++
+			}
 			d.mshrs[i].valid = false
 		}
 	}
 	for i := range d.nlp {
 		if d.nlp[i].valid && d.nlp[i].fillAt <= now {
-			d.cache.insert(d.nlp[i].lineAddr, now)
+			evicted := d.cache.fill(d.nlp[i].lineAddr, now, d.nlp[i].prefetch)
+			if evicted.valid && evicted.prefetched {
+				d.nlpUseless++
+			}
 			d.nlp[i].valid = false
 		}
 	}
@@ -235,6 +272,17 @@ func (d *dcache) freeMSHR() *mshr {
 		}
 	}
 	return nil
+}
+
+// mshrOccupancy counts the demand MSHRs currently tracking a miss.
+func (d *dcache) mshrOccupancy() int {
+	n := 0
+	for i := range d.mshrs {
+		if d.mshrs[i].valid {
+			n++
+		}
+	}
+	return n
 }
 
 func (d *dcache) freeLFB() *lfbEntry {
@@ -264,8 +312,11 @@ func (d *dcache) access(now int64, addr, pc uint64) (done int64, ok bool) {
 	line := d.lineOf(addr)
 	d.maybePrefetch(now, line)
 
-	if d.cache.lookup(line, now) {
+	if hit, wasPrefetched := d.cache.demandLookup(line, now); hit {
 		d.hits++
+		if wasPrefetched {
+			d.nlpUseful++
+		}
 		return now + penalty + int64(d.cfg.DCacheHitLat), true
 	}
 	d.misses++
@@ -275,6 +326,10 @@ func (d *dcache) access(now int64, addr, pc uint64) (done int64, ok bool) {
 	// Check in-flight prefetches: promote to a demand hit on the fill.
 	for i := range d.nlp {
 		if d.nlp[i].valid && d.nlp[i].lineAddr == line {
+			if d.nlp[i].prefetch {
+				d.nlp[i].prefetch = false // demanded while in flight: useful
+				d.nlpUseful++
+			}
 			return d.nlp[i].fillAt + 1 + penalty, true
 		}
 	}
@@ -285,6 +340,9 @@ func (d *dcache) access(now int64, addr, pc uint64) (done int64, ok bool) {
 	}
 	fill := now + penalty + int64(d.cfg.MissLat)
 	*m = mshr{valid: true, lineAddr: line, fillAt: fill}
+	if occ := d.mshrOccupancy(); occ > d.mshrHighWater {
+		d.mshrHighWater = occ
+	}
 	lineBase := line << d.cache.lineShift
 	*f = lfbEntry{
 		valid:    true,

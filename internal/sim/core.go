@@ -66,6 +66,7 @@ type Core struct {
 	lastCommit  int64
 	mispredicts uint64
 	branches    uint64
+	lsuReplays  uint64 // memory ops retried because MSHRs/LFB were full
 
 	tracer Tracer
 }
@@ -239,6 +240,7 @@ func (c *Core) drainStores() {
 	}
 	done, ok := c.dc.access(c.cycle, u.memAddr, u.pc)
 	if !ok {
+		c.lsuReplays++
 		return
 	}
 	c.drainBusyUntil = done
@@ -365,6 +367,7 @@ func (c *Core) issueMemory() {
 		}
 		done, ok := c.dc.access(c.cycle, ld.memAddr, ld.pc)
 		if !ok {
+			c.lsuReplays++
 			continue
 		}
 		raw := c.mem.Read(ld.memAddr, ld.memSize)

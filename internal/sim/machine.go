@@ -75,6 +75,17 @@ type Result struct {
 	DCacheMisses uint64
 	TLBMisses    uint64
 	Prefetches   uint64
+	// PrefetchesUseful counts prefetched lines that later served a
+	// demand access; PrefetchesUseless counts prefetched lines evicted
+	// without ever being demanded (the prefetcher's mispredictions).
+	PrefetchesUseful  uint64
+	PrefetchesUseless uint64
+	// LSUReplays counts load/store issue attempts bounced because every
+	// MSHR or fill-buffer slot was busy.
+	LSUReplays uint64
+	// MSHRHighWater is the peak number of simultaneously outstanding
+	// demand misses.
+	MSHRHighWater int
 }
 
 // IPC returns retired instructions per cycle.
@@ -111,15 +122,19 @@ func (m *Machine) ArchReg(r isa.Reg) uint64 { return m.core.archRegs[r] }
 
 func (m *Machine) result() Result {
 	return Result{
-		Cycles:       m.core.cycle,
-		Instructions: m.core.retired,
-		ExitCode:     m.core.exitCode,
-		Output:       m.core.output,
-		Branches:     m.core.branches,
-		Mispredicts:  m.core.mispredicts,
-		DCacheHits:   m.core.dc.hits,
-		DCacheMisses: m.core.dc.misses,
-		TLBMisses:    m.core.dc.tlbMisses,
-		Prefetches:   m.core.dc.prefetches,
+		Cycles:            m.core.cycle,
+		Instructions:      m.core.retired,
+		ExitCode:          m.core.exitCode,
+		Output:            m.core.output,
+		Branches:          m.core.branches,
+		Mispredicts:       m.core.mispredicts,
+		DCacheHits:        m.core.dc.hits,
+		DCacheMisses:      m.core.dc.misses,
+		TLBMisses:         m.core.dc.tlbMisses,
+		Prefetches:        m.core.dc.prefetches,
+		PrefetchesUseful:  m.core.dc.nlpUseful,
+		PrefetchesUseless: m.core.dc.nlpUseless,
+		LSUReplays:        m.core.lsuReplays,
+		MSHRHighWater:     m.core.dc.mshrHighWater,
 	}
 }

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of the Verify pipeline: either a stage
+// (assemble, simulate, parse, stats, extract) or a per-run region. ID
+// and Parent link spans into a tree rooted at the "verify" span.
+type Span struct {
+	ID     uint64        `json:"id"`
+	Parent uint64        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Run    int           `json:"run"`              // run index, -1 for non-run spans
+	Detail string        `json:"detail,omitempty"` // e.g. the unit a stats span covers
+	Start  time.Time     `json:"-"`
+	Dur    time.Duration `json:"-"`
+}
+
+// spanJSON is the wire form of a span on the JSONL sink.
+type spanJSON struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Run     *int   `json:"run,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	StartNs int64  `json:"startNs"`
+	DurNs   int64  `json:"durNs"`
+}
+
+// SpanTracer records pipeline spans. It is safe for concurrent use
+// (runs execute in parallel), retains every finished span for
+// aggregation, and optionally emits each span as one JSON line to a
+// sink when it ends. A nil *SpanTracer is valid and records nothing, so
+// instrumentation points need no nil checks.
+type SpanTracer struct {
+	mu    sync.Mutex
+	sink  io.Writer
+	next  uint64
+	spans []Span
+	err   error // first sink write error, if any
+}
+
+// NewSpanTracer returns a tracer; sink may be nil to only retain spans
+// in memory.
+func NewSpanTracer(sink io.Writer) *SpanTracer {
+	return &SpanTracer{sink: sink}
+}
+
+// ActiveSpan is an in-flight span; call End exactly once.
+type ActiveSpan struct {
+	t    *SpanTracer
+	span Span
+}
+
+// ID returns the span's identifier for parent linkage; 0 on a nil
+// tracer's spans.
+func (a ActiveSpan) ID() uint64 { return a.span.ID }
+
+// Start opens a span. parent is the ID of the enclosing span (0 for the
+// root); run is the run index the span belongs to, or -1 for stage
+// spans covering all runs.
+func (t *SpanTracer) Start(name string, parent uint64, run int) ActiveSpan {
+	return t.StartDetail(name, parent, run, "")
+}
+
+// StartDetail is Start with a free-form detail label (e.g. the tracked
+// unit a per-unit stats span covers).
+func (t *SpanTracer) StartDetail(name string, parent uint64, run int, detail string) ActiveSpan {
+	if t == nil {
+		return ActiveSpan{}
+	}
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	t.mu.Unlock()
+	return ActiveSpan{
+		t: t,
+		span: Span{
+			ID:     id,
+			Parent: parent,
+			Name:   name,
+			Run:    run,
+			Detail: detail,
+			Start:  time.Now(),
+		},
+	}
+}
+
+// End closes the span, retaining it and emitting it to the sink. It
+// returns the measured duration (0 on a nil tracer's spans).
+func (a ActiveSpan) End() time.Duration {
+	if a.t == nil {
+		return 0
+	}
+	a.span.Dur = time.Since(a.span.Start)
+	a.t.record(a.span)
+	return a.span.Dur
+}
+
+// Record inserts an already-measured span (used to attribute a portion
+// of a measured interval, e.g. the parse share of a traced run).
+func (t *SpanTracer) Record(name string, parent uint64, run int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	t.mu.Unlock()
+	t.record(Span{
+		ID: id, Parent: parent, Name: name, Run: run, Start: start, Dur: dur,
+	})
+}
+
+func (t *SpanTracer) record(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, s)
+	if t.sink == nil {
+		return
+	}
+	js := spanJSON{
+		ID:      s.ID,
+		Parent:  s.Parent,
+		Name:    s.Name,
+		Detail:  s.Detail,
+		StartNs: s.Start.UnixNano(),
+		DurNs:   s.Dur.Nanoseconds(),
+	}
+	if s.Run >= 0 {
+		run := s.Run
+		js.Run = &run
+	}
+	line, err := json.Marshal(js)
+	if err == nil {
+		line = append(line, '\n')
+		_, err = t.sink.Write(line)
+	}
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// Spans returns a copy of every finished span, in end order.
+func (t *SpanTracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Err returns the first sink write error, if any.
+func (t *SpanTracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// DurStats summarises a duration sample set: the per-run distribution
+// view of the paper's Table VI single totals.
+type DurStats struct {
+	N    int
+	Min  time.Duration
+	Mean time.Duration
+	P95  time.Duration
+	Max  time.Duration
+}
+
+// Stats computes DurStats over a duration sample set. P95 is the
+// nearest-rank 95th percentile.
+func Stats(ds []time.Duration) DurStats {
+	if len(ds) == 0 {
+		return DurStats{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	rank := (95*len(sorted) + 99) / 100 // ceil(0.95 n), 1-based
+	if rank < 1 {
+		rank = 1
+	}
+	return DurStats{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Mean: sum / time.Duration(len(sorted)),
+		P95:  sorted[rank-1],
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// SpanStats aggregates the durations of every span with the given name.
+func SpanStats(spans []Span, name string) DurStats {
+	var ds []time.Duration
+	for _, s := range spans {
+		if s.Name == name {
+			ds = append(ds, s.Dur)
+		}
+	}
+	return Stats(ds)
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewSpanTracer(&buf)
+
+	root := tr.Start("verify", 0, -1)
+	run := tr.Start("run", root.ID(), 2)
+	stats := tr.StartDetail("stats.unit", root.ID(), -1, "SQ-ADDR")
+	stats.End()
+	run.End()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["run"].Parent != byName["verify"].ID {
+		t.Error("run span not parented to verify")
+	}
+	if byName["run"].Run != 2 {
+		t.Errorf("run index = %d", byName["run"].Run)
+	}
+	if byName["stats.unit"].Detail != "SQ-ADDR" {
+		t.Error("detail missing")
+	}
+
+	// Sink: one well-formed JSON object per line, run field only on run
+	// spans, durations non-negative.
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if m["name"] == "run" {
+			if m["run"] != float64(2) {
+				t.Errorf("run span missing run index: %v", m)
+			}
+		} else if _, present := m["run"]; present {
+			t.Errorf("non-run span carries run field: %v", m)
+		}
+		if m["durNs"].(float64) < 0 {
+			t.Errorf("negative duration: %v", m)
+		}
+	}
+	if lines != 3 {
+		t.Errorf("sink lines = %d want 3", lines)
+	}
+}
+
+func TestSpanNilTracer(t *testing.T) {
+	var tr *SpanTracer
+	s := tr.Start("x", 0, -1)
+	s.End() // must not panic
+	tr.Record("y", 0, -1, time.Now(), time.Second)
+	if tr.Spans() != nil || tr.Err() != nil {
+		t.Error("nil tracer must return nothing")
+	}
+}
+
+func TestSpanRecordSynthesised(t *testing.T) {
+	tr := NewSpanTracer(nil)
+	start := time.Now()
+	tr.Record("parse", 7, 1, start, 42*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Dur != 42*time.Millisecond ||
+		spans[0].Parent != 7 || spans[0].Run != 1 {
+		t.Errorf("recorded span = %+v", spans)
+	}
+}
+
+func TestSpanConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewSpanTracer(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := tr.Start("run", 1, w)
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != 400 {
+		t.Fatalf("got %d spans want 400", len(spans))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range spans {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 400 {
+		t.Errorf("sink lines = %d want 400", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ds := []time.Duration{
+		40 * time.Millisecond, 10 * time.Millisecond,
+		20 * time.Millisecond, 30 * time.Millisecond,
+	}
+	s := Stats(ds)
+	if s.N != 4 || s.Min != 10*time.Millisecond || s.Max != 40*time.Millisecond {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Mean != 25*time.Millisecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.P95 != 40*time.Millisecond {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	if z := Stats(nil); z.N != 0 || z.Max != 0 {
+		t.Errorf("empty stats = %+v", z)
+	}
+}
+
+func TestSpanStats(t *testing.T) {
+	spans := []Span{
+		{Name: "run", Dur: 10 * time.Millisecond},
+		{Name: "run", Dur: 30 * time.Millisecond},
+		{Name: "stats", Dur: 5 * time.Millisecond},
+	}
+	s := SpanStats(spans, "run")
+	if s.N != 2 || s.Mean != 20*time.Millisecond {
+		t.Errorf("span stats = %+v", s)
+	}
+}

@@ -95,6 +95,7 @@ type Collector struct {
 	prevRow map[Unit][]uint64
 	full    map[Unit]*snapshot.Store
 	noT     map[Unit]*snapshot.Store
+	samples map[Unit]uint64 // state rows sampled per unit (telemetry)
 
 	roi       bool
 	inIter    bool
@@ -141,6 +142,7 @@ func NewCollector(opts ...Option) *Collector {
 		prevRow: make(map[Unit][]uint64, numUnits),
 		full:    make(map[Unit]*snapshot.Store, numUnits),
 		noT:     make(map[Unit]*snapshot.Store, numUnits),
+		samples: make(map[Unit]uint64, numUnits),
 		row:     make([]uint64, 0, 128),
 		ev:      make([]uint64, 0, 128),
 		writers: make(map[uint64]map[uint64]struct{}),
@@ -219,6 +221,7 @@ func (c *Collector) OnCycle(p *sim.Probe) {
 			c.evRecs[u].AddRow([]uint64{v})
 		}
 		c.recs[u].AddRow(row)
+		c.samples[u]++
 		prev := c.prevRow[u]
 		c.prevRow[u] = append(prev[:0], row...)
 	}
@@ -337,6 +340,17 @@ func (c *Collector) Results() []UnitTrace {
 	out := make([]UnitTrace, 0, len(c.units))
 	for _, u := range c.units {
 		out = append(out, UnitTrace{Unit: u, Full: c.full[u], NoTiming: c.noT[u]})
+	}
+	return out
+}
+
+// SampleCounts returns, per tracked unit, the number of state rows
+// sampled inside labeled iterations — the volume the snapshot pipeline
+// ingested, surfaced as telemetry.
+func (c *Collector) SampleCounts() map[Unit]uint64 {
+	out := make(map[Unit]uint64, len(c.samples))
+	for u, n := range c.samples {
+		out[u] = n
 	}
 	return out
 }

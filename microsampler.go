@@ -48,6 +48,7 @@ import (
 	"microsampler/internal/formal"
 	"microsampler/internal/report"
 	"microsampler/internal/sim"
+	"microsampler/internal/telemetry"
 	"microsampler/internal/trace"
 	"microsampler/internal/workloads"
 )
@@ -99,6 +100,41 @@ type Workload = core.Workload
 
 // Options configures a verification run.
 type Options = core.Options
+
+// NoWarmup requests explicitly zero warmup iterations; a plain zero
+// Warmup keeps the package default.
+const NoWarmup = core.NoWarmup
+
+// Progress is the payload of the Options.OnProgress callback: one call
+// per completed simulation run.
+type Progress = core.Progress
+
+// SimStats aggregates the simulator's performance counters across runs.
+type SimStats = core.SimStats
+
+// MetricsRegistry is a goroutine-safe registry of counters, gauges and
+// histograms; pass one in Options.Metrics to collect pipeline metrics.
+type MetricsRegistry = telemetry.Registry
+
+// Span is one timed region of the Verify pipeline; Report.Spans holds
+// the full trace tree and Options.TraceSink receives each span as one
+// JSON line.
+type Span = telemetry.Span
+
+// DurStats is a duration distribution (min/mean/p95/max).
+type DurStats = telemetry.DurStats
+
+// Metrics returns the process-wide default metrics registry.
+func Metrics() *MetricsRegistry { return telemetry.Default }
+
+// NewMetrics returns a fresh, empty metrics registry.
+func NewMetrics() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// RenderMetrics renders a registry as sorted human-readable text.
+func RenderMetrics(m *MetricsRegistry) string { return m.RenderText() }
+
+// RenderMetricsJSON renders a registry as a stable JSON document.
+func RenderMetricsJSON(m *MetricsRegistry) ([]byte, error) { return m.RenderJSON() }
 
 // Report is a complete verification outcome.
 type Report = core.Report

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 verification: build, formatting, vet, full test suite, and a
+# race-detector pass over the packages with concurrent hot paths.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (telemetry, core) =="
+go test -race ./internal/telemetry ./internal/core
+
+echo "verify: OK"
