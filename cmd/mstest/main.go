@@ -1,0 +1,226 @@
+// Command mstest is MicroSampler's detection-quality gate. It replays
+// the ground-truth oracle corpus — labeled leaky/safe workload pairs —
+// under independent input seeds and checks every verdict against its
+// label: zero false positives on the safe set, zero false negatives on
+// the leaky set, and per-unit expectations where the paper pins them.
+//
+// Usage:
+//
+//	mstest list
+//	mstest run [-seeds 5] [-match RE] [-out quality.json] [-baseline quality.json]
+//	mstest calibrate [-seeds 5] [-out quality.json]
+//	mstest diff baseline.json current.json [-vtol 0.05]
+//
+// `run` evaluates the corpus and exits nonzero on any ground-truth
+// violation (and, with -baseline, on any regression against a stored
+// artifact). `calibrate` does the same but always writes the artifact,
+// producing the baseline that future `diff` calls compare against.
+// `diff` compares two artifacts offline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"microsampler/internal/oracle"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mstest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: mstest {run|calibrate|diff|list} [flags]")
+	}
+	switch args[0] {
+	case "run":
+		return runCorpus(args[1:], false)
+	case "calibrate":
+		return runCorpus(args[1:], true)
+	case "diff":
+		return runDiff(args[1:])
+	case "list":
+		return runList(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want run, calibrate, diff, or list)", args[0])
+	}
+}
+
+// corpusFlags are shared by run and calibrate.
+func corpusFlags(fs *flag.FlagSet) (seeds *int, match, out, baseline *string,
+	vthresh, pthresh *float64, parallel *int, quiet *bool) {
+	seeds = fs.Int("seeds", 5, "independent input seeds per corpus entry")
+	match = fs.String("match", "", "restrict to entries whose name or pair matches this regexp")
+	out = fs.String("out", "", "write the quality.json artifact to FILE")
+	baseline = fs.String("baseline", "", "diff the outcome against a stored quality.json")
+	vthresh = fs.Float64("vthresh", 0, "override the Cramér's V verdict threshold (0: paper default)")
+	pthresh = fs.Float64("pthresh", 0, "override the p-value significance threshold (0: paper default)")
+	parallel = fs.Int("parallel", -1, "concurrent simulation runs per verification (-1: one per CPU)")
+	quiet = fs.Bool("quiet", false, "suppress per-entry progress lines")
+	return
+}
+
+func runCorpus(args []string, calibrate bool) error {
+	name := "run"
+	if calibrate {
+		name = "calibrate"
+	}
+	fs := flag.NewFlagSet("mstest "+name, flag.ContinueOnError)
+	seeds, match, out, baseline, vthresh, pthresh, parallel, quiet := corpusFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if calibrate && *out == "" {
+		*out = "quality.json"
+	}
+	opts := oracle.Options{
+		Seeds:      *seeds,
+		Thresholds: oracle.Thresholds{V: *vthresh, P: *pthresh},
+		Parallel:   *parallel,
+	}
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			return fmt.Errorf("-match: %w", err)
+		}
+		opts.Match = re
+	}
+	if !*quiet {
+		opts.OnEntry = func(eq oracle.EntryQuality) {
+			verdict := "safe"
+			if eq.WantLeaky {
+				verdict = "leaky"
+			}
+			status := "ok"
+			if eq.Violations > 0 {
+				status = fmt.Sprintf("FAIL (%d/%d seeds violate)", eq.Violations, len(eq.Seeds))
+			}
+			fmt.Printf("%-18s %-16s want=%-5s marginV=%.3f  %s\n",
+				eq.Name, eq.Pair, verdict, eq.MarginV, status)
+		}
+	}
+
+	q, err := oracle.RunCorpus(oracle.Corpus(), opts)
+	if err != nil {
+		return err
+	}
+	if q.Summary.Entries == 0 {
+		return fmt.Errorf("no corpus entries matched %q", *match)
+	}
+	printSummary(q)
+
+	if *out != "" {
+		data, err := q.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d entries, %d trials)\n", *out, q.Summary.Entries, q.Summary.Trials)
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return err
+		}
+		base, err := oracle.ParseQuality(data)
+		if err != nil {
+			return err
+		}
+		d := oracle.Diff(base, q, -1)
+		printDiff(d)
+		if !d.Clean() {
+			return fmt.Errorf("%d regression(s) against baseline %s", len(d.Regressions), *baseline)
+		}
+	}
+
+	if !q.Summary.Pass {
+		return fmt.Errorf("detection-quality gate failed: %d false positive(s), %d false negative(s), %d unit violation(s)",
+			q.Summary.FalsePositives, q.Summary.FalseNegatives, q.Summary.UnitViolations)
+	}
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("mstest diff", flag.ContinueOnError)
+	vtol := fs.Float64("vtol", 0.05, "allowed erosion of an entry's V margin toward the threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("usage: mstest diff [-vtol T] baseline.json current.json")
+	}
+	var qs [2]*oracle.Quality
+	for i, path := range rest {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		q, err := oracle.ParseQuality(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		qs[i] = q
+	}
+	d := oracle.Diff(qs[0], qs[1], *vtol)
+	printDiff(d)
+	if !d.Clean() {
+		return fmt.Errorf("%d regression(s)", len(d.Regressions))
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+func runList(args []string) error {
+	fs := flag.NewFlagSet("mstest list", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-18s %-16s %-28s %-9s %-6s %s\n",
+		"NAME", "PAIR", "WORKLOAD", "CONFIG", "LABEL", "NOTES")
+	for _, e := range oracle.Corpus() {
+		label := "safe"
+		if e.WantLeaky {
+			label = "leaky"
+		}
+		fmt.Printf("%-18s %-16s %-28s %-9s %-6s %s\n",
+			e.Name, e.Pair, e.Workload, e.ConfigName(), label, e.Notes)
+	}
+	return nil
+}
+
+func printSummary(q *oracle.Quality) {
+	s := q.Summary
+	fmt.Printf("corpus: %d entries in %d pairs, %d seeds, %d trials (V>%g, p<%g)\n",
+		s.Entries, s.Pairs, q.Seeds, s.Trials, q.VThreshold, q.PThreshold)
+	fmt.Printf("false positives: %d/%d (rate %.3f, 95%% CI [%.3f, %.3f])\n",
+		s.FPRate.Errors, s.FPRate.Trials, s.FPRate.Rate, s.FPRate.WilsonLo, s.FPRate.WilsonHi)
+	fmt.Printf("false negatives: %d/%d (rate %.3f, 95%% CI [%.3f, %.3f])\n",
+		s.FNRate.Errors, s.FNRate.Trials, s.FNRate.Rate, s.FNRate.WilsonLo, s.FNRate.WilsonHi)
+	if s.Pass {
+		fmt.Println("PASS")
+	} else {
+		fmt.Println("FAIL")
+	}
+}
+
+func printDiff(d oracle.DiffResult) {
+	for _, r := range d.Regressions {
+		fmt.Println("REGRESSION:", r)
+	}
+	for _, dr := range d.Drift {
+		fmt.Println("drift:", dr)
+	}
+	if len(d.Regressions) == 0 && len(d.Drift) == 0 {
+		fmt.Println("baseline and current artifacts agree")
+	}
+}

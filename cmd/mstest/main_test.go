@@ -1,0 +1,112 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microsampler/internal/oracle"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = orig
+	return string(out), runErr
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"diff"},
+		{"diff", "only-one.json"},
+		{"run", "-match", "("},
+		{"run", "-match", "^no-such-entry$", "-seeds", "1"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%q) should fail", args)
+		}
+	}
+}
+
+func TestListShowsWholeCorpus(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range oracle.Corpus() {
+		if !strings.Contains(out, e.Name) {
+			t.Errorf("list output missing entry %s", e.Name)
+		}
+	}
+}
+
+func TestRunWritesArtifactAndSelfDiffsClean(t *testing.T) {
+	art := filepath.Join(t.TempDir(), "quality.json")
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-match", "^divider$", "-seeds", "2", "-quiet", "-out", art})
+	})
+	if err != nil {
+		t.Fatalf("gate failed on the divider pair: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("summary missing PASS:\n%s", out)
+	}
+	data, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := oracle.ParseQuality(data)
+	if err != nil {
+		t.Fatalf("written artifact does not parse: %v", err)
+	}
+	if q.Summary.Entries != 2 || !q.Summary.Pass {
+		t.Errorf("artifact summary: %+v", q.Summary)
+	}
+
+	// The artifact must diff clean against itself, and a rerun against
+	// it as -baseline must report no regressions.
+	out, err = capture(t, func() error { return run([]string{"diff", art, art}) })
+	if err != nil {
+		t.Fatalf("self-diff: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("self-diff output:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"run", "-match", "^divider$", "-seeds", "2", "-quiet", "-baseline", art})
+	}); err != nil {
+		t.Errorf("rerun against own baseline regressed: %v", err)
+	}
+}
+
+func TestRunGateFailsUnderInjectedThreshold(t *testing.T) {
+	// V > 1 is unsatisfiable, so the leaky twin turns into a false
+	// negative and the gate must exit nonzero.
+	out, err := capture(t, func() error {
+		return run([]string{"run", "-match", "^divider$", "-seeds", "1", "-quiet", "-vthresh", "1.0"})
+	})
+	if err == nil {
+		t.Fatalf("gate passed with an unsatisfiable V threshold:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "false negative") {
+		t.Errorf("gate error should mention false negatives: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,6 +80,13 @@ type Options struct {
 	Warmup int
 	// MaxCycles bounds each run (default 20M).
 	MaxCycles int64
+	// SeedOffset shifts the run index passed to the workload's Setup
+	// function: run r calls Setup(SeedOffset+r, ...). Setup functions
+	// derive their input RNG seed from the run index, so distinct
+	// offsets draw disjoint input sets — the oracle harness uses this
+	// to replicate a verification under independent seeds. Progress
+	// callbacks and spans still report local run indices.
+	SeedOffset int
 	// MeasureStages makes Verify execute each run twice — once without
 	// tracing — so that the Table VI stage breakdown can separate pure
 	// simulation time from trace parsing time. The double execution is
@@ -549,7 +557,7 @@ func execRun(w Workload, opts Options, prog *asm.Program, run int,
 		return sim.Result{}, err
 	}
 	if w.Setup != nil {
-		if err := w.Setup(run, m, prog); err != nil {
+		if err := w.Setup(opts.SeedOffset+run, m, prog); err != nil {
 			setupSpan.End()
 			return sim.Result{}, fmt.Errorf("setup: %w", err)
 		}
@@ -595,12 +603,21 @@ func mergeAttribution(dst, src map[uint64][]uint64) {
 	}
 }
 
-// tableOf builds the contingency table of a snapshot store.
+// tableOf builds the contingency table of a snapshot store. Classes
+// are inserted in sorted order: the chi-squared and mutual-information
+// sums accumulate floats in table insertion order, so iterating the
+// CountByClass map directly would perturb their low-order bits from
+// run to run.
 func tableOf(s *snapshot.Store) *stats.Table {
 	t := stats.NewTable()
 	for _, e := range s.Entries() {
-		for class, n := range e.CountByClass {
-			t.Add(class, e.Hash, n)
+		classes := make([]uint64, 0, len(e.CountByClass))
+		for class := range e.CountByClass {
+			classes = append(classes, class)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		for _, class := range classes {
+			t.Add(class, e.Hash, e.CountByClass[class])
 		}
 	}
 	return t

@@ -537,3 +537,43 @@ func (b *syncBuffer) String() string {
 	defer b.mu.Unlock()
 	return b.buf.String()
 }
+
+func TestSeedOffset(t *testing.T) {
+	record := func(got *[]int) Workload {
+		return Workload{
+			Name:   "smoke",
+			Source: smokeWorkload,
+			Setup: func(run int, m *sim.Machine, prog *asm.Program) error {
+				*got = append(*got, run)
+				return nil
+			},
+		}
+	}
+	var base, shifted []int
+	if _, err := Verify(record(&base),
+		Options{Runs: 3, Warmup: 1, Config: sim.SmallBoom()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(record(&shifted),
+		Options{Runs: 3, Warmup: 1, Config: sim.SmallBoom(), SeedOffset: 700}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2}; !equalInts(base, want) {
+		t.Errorf("default offset passed runs %v, want %v", base, want)
+	}
+	if want := []int{700, 701, 702}; !equalInts(shifted, want) {
+		t.Errorf("SeedOffset=700 passed runs %v, want %v", shifted, want)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

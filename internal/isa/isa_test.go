@@ -130,7 +130,9 @@ func TestEncodeRangeErrors(t *testing.T) {
 // TestEncodeDecodeQuick drives randomized instructions through the
 // encoder/decoder pair and checks the round-trip property.
 func TestEncodeDecodeQuick(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	const seed = 7
+	t.Logf("rng seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
 	rops := []Op{OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR,
 		OpAND, OpADDW, OpSUBW, OpMUL, OpMULH, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU}
 	iops := []Op{OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpADDIW}

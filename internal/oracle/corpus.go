@@ -1,0 +1,196 @@
+package oracle
+
+import "microsampler/internal/trace"
+
+// Corpus returns the built-in ground-truth corpus: eleven leaky/safe
+// pairs spanning every case-study family in internal/workloads plus
+// adversarial pairs where the program is held fixed and a single core
+// optimisation (fast bypass, data-dependent divide) or a metamorphic
+// transform (dead constant-time padding) separates the twins.
+//
+// Labels are deliberately conservative: MustFlag lists only units whose
+// flagging is a headline result of the paper (or of the case study's
+// construction), MustClean only units whose cleanliness is; borderline
+// units are left unconstrained so the corpus encodes ground truth, not
+// incidental simulator behaviour.
+func Corpus() []Entry {
+	return []Entry{
+		// Pair 1 — modexp-mul: the Fig. 1 walkthrough. Square-and-multiply
+		// with a secret-dependent multiply vs the BearSSL byte-masked
+		// conditional copy (Listing 6).
+		{
+			Name: "me-naive", Pair: "modexp-mul", Workload: "ME-NAIVE",
+			WantLeaky: true,
+			MustFlag:  []trace.Unit{trace.EUUMUL, trace.SQADDR},
+			Notes:     "Listing 1: secret-dependent multiply; EUU-MUL activity separates the key bits",
+		},
+		{
+			Name: "me-v2-safe", Pair: "modexp-mul", Workload: "ME-V2-SAFE",
+			WantLeaky: false,
+			Notes:     "Listing 6: BearSSL masked conditional copy, constant time by construction",
+		},
+
+		// Pair 2 — condcopy-branch: the compiler vulnerability (Listing 4)
+		// vs a branchless OpenSSL select.
+		{
+			Name: "me-v1-cv", Pair: "condcopy-branch", Workload: "ME-V1-CV",
+			WantLeaky: true,
+			MustFlag:  []trace.Unit{trace.SQADDR, trace.SQPC, trace.ROBPC, trace.EUUALU},
+			Notes:     "Listing 4: compiled-in unbalanced branch leaks through control flow",
+		},
+		{
+			Name: "ct-select-64", Pair: "condcopy-branch", Workload: "constant_time_select_64",
+			WantLeaky: false,
+			Notes:     "Table V: branchless 64-bit select primitive",
+		},
+
+		// Pair 3 — condcopy-addr: the microarchitectural vulnerability
+		// (Listing 5, secret-dependent addresses, branchless) vs a
+		// constant-time table scan.
+		{
+			Name: "me-v1-mv", Pair: "condcopy-addr", Workload: "ME-V1-MV",
+			WantLeaky: true,
+			MustFlag: []trace.Unit{
+				trace.SQADDR, trace.LFBADDR, trace.NLPADDR,
+				trace.CACHEADDR, trace.TLBADDR, trace.MSHRADDR,
+			},
+			MustClean: []trace.Unit{
+				trace.SQPC, trace.LQPC, trace.ROBPC,
+				trace.EUUALU, trace.EUUMUL, trace.EUUDIV,
+			},
+			Notes: "Listing 5: pointer select leaks only through address-observing units",
+		},
+		{
+			Name: "ct-lookup", Pair: "condcopy-addr", Workload: "constant_time_lookup",
+			WantLeaky: false,
+			Notes:     "Table V: full-scan table lookup touches every entry regardless of index",
+		},
+
+		// Pair 4 — fast-bypass (adversarial): identical program, the
+		// Section VII-B core optimisation flips the verdict.
+		{
+			Name: "me-v2-fb", Pair: "fast-bypass", Workload: "ME-V2-SAFE",
+			FastBypass: true,
+			WantLeaky:  true,
+			MustFlag:   []trace.Unit{trace.SQADDR, trace.EUUALU},
+			Notes:      "Section VII-B: rename-time AND folding makes the safe kernel leak",
+		},
+		{
+			Name: "me-v2-safe-small", Pair: "fast-bypass", Workload: "ME-V2-SAFE",
+			Small:     true,
+			WantLeaky: false,
+			Notes:     "same kernel, SmallBoom without fast bypass: clean",
+		},
+
+		// Pair 5 — divider (adversarial): identical branchless program,
+		// an early-terminating divider reveals the operand width.
+		{
+			Name: "ct-div-earlyout", Pair: "divider", Workload: "CT-DIV",
+			DataDepDivide: true,
+			WantLeaky:     true,
+			MustFlag:      []trace.Unit{trace.EUUDIV},
+			Notes:         "third CT principle violated only when divide latency is operand-dependent",
+		},
+		{
+			Name: "ct-div-fixed", Pair: "divider", Workload: "CT-DIV",
+			WantLeaky: false,
+			Notes:     "same program on the fixed-latency divider: clean",
+		},
+
+		// Pair 6 — table-cipher: T-table AES under cache pressure vs the
+		// ARX cipher with no tables and no secret-dependent addresses.
+		{
+			Name: "aes-ttable", Pair: "table-cipher", Workload: "AES-TTABLE",
+			WantLeaky: true,
+			MustFlag: []trace.Unit{
+				trace.LQADDR, trace.CACHEADDR, trace.MSHRADDR, trace.LFBADDR,
+			},
+			Notes: "key-distinguishing experiment: secret-indexed T-table loads",
+		},
+		{
+			Name: "chacha20", Pair: "table-cipher", Workload: "CHACHA20",
+			WantLeaky: false,
+			Notes:     "ARX rounds only: same experiment finds nothing",
+		},
+
+		// Pair 7 — preload (partial countermeasure): preloading closes
+		// the residency/timing channels but not the access pattern.
+		{
+			Name: "aes-preload", Pair: "preload", Workload: "AES-PRELOAD",
+			WantLeaky: true,
+			MustFlag:  []trace.Unit{trace.LQADDR, trace.CACHEADDR, trace.TLBADDR},
+			MustClean: []trace.Unit{
+				trace.MSHRADDR, trace.LFBADDR, trace.NLPADDR,
+				trace.SQADDR, trace.ROBPC, trace.EUUDIV,
+			},
+			Notes: "table preload: misses gone, secret-dependent load addresses remain",
+		},
+		{
+			Name: "ct-cond-swap", Pair: "preload", Workload: "constant_time_cond_swap_buff",
+			WantLeaky: false,
+			Notes:     "Table V: masked buffer swap, fixed access pattern",
+		},
+
+		// Pair 8 — window: fixed-window modexp with a secret-indexed
+		// window lookup vs the scan-all-windows mitigation.
+		{
+			Name: "me-win4-lkup", Pair: "window", Workload: "ME-WIN4-LKUP",
+			WantLeaky: true,
+			MustFlag:  []trace.Unit{trace.LQADDR, trace.CACHEADDR},
+			Notes:     "4-bit window table indexed by the secret window value",
+		},
+		{
+			Name: "me-win4-safe", Pair: "window", Workload: "ME-WIN4-SAFE",
+			WantLeaky: false,
+			Notes:     "scans every window entry with a mask: clean",
+		},
+
+		// Pair 9 — memcmp: the transient-execution signature of a
+		// dependent branch after a constant-time compare.
+		{
+			Name: "ct-mem-cmp", Pair: "memcmp", Workload: "CT-MEM-CMP",
+			Runs:      6,
+			WantLeaky: true,
+			MustFlag:  []trace.Unit{trace.ROBPC},
+			MustClean: []trace.Unit{trace.SQADDR, trace.CACHEADDR, trace.EUUALU},
+			Notes:     "Listings 7/8: leak is confined to the reorder buffer's transient window",
+		},
+		{
+			Name: "ct-eq", Pair: "memcmp", Workload: "constant_time_eq",
+			WantLeaky: false,
+			Notes:     "Table V: branchless equality, no dependent caller branch",
+		},
+
+		// Pair 10 — transient: Spectre-PHT bounds-check bypass vs a
+		// branchless bignum compare.
+		{
+			Name: "spectre-pht", Pair: "transient", Workload: "SPECTRE-PHT",
+			WantLeaky: true,
+			MustFlag:  []trace.Unit{trace.LQADDR, trace.CACHEADDR},
+			MustClean: []trace.Unit{trace.SQADDR, trace.EUUALU},
+			Notes:     "architecturally invariant probe; transient loads separate the secret",
+		},
+		{
+			Name: "ct-lt-bn", Pair: "transient", Workload: "constant_time_lt_bn",
+			WantLeaky: false,
+			Notes:     "Table V: branchless bignum less-than",
+		},
+
+		// Pair 11 — padding (metamorphic, adversarial): dead constant-time
+		// instructions after each iter.begin must mask nothing and flag
+		// nothing.
+		{
+			Name: "me-naive-padded", Pair: "padding", Workload: "ME-NAIVE",
+			PadIters:  24,
+			WantLeaky: true,
+			MustFlag:  []trace.Unit{trace.EUUMUL},
+			Notes:     "padding must not mask the secret-dependent multiply",
+		},
+		{
+			Name: "me-v2-safe-padded", Pair: "padding", Workload: "ME-V2-SAFE",
+			PadIters:  24,
+			WantLeaky: false,
+			Notes:     "padding a safe kernel must not create an association",
+		},
+	}
+}

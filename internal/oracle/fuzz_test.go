@@ -1,0 +1,127 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+// genRegs is the register pool a generated program computes in. s11
+// holds the scratch base and s10 the iteration class; a0/a7 drive the
+// exit sequence; everything else here is fair game.
+var genRegs = []string{"s2", "s3", "s4", "s5", "s6", "s7", "t0", "t1", "t2"}
+
+// genProgram derives a small random-but-valid labeled program from fuzz
+// bytes: straight-line constant-time-shaped iterations (ALU ops, loads
+// and stores at in-bounds scratch offsets, multiplies, divides) with
+// class labels drawn from the input. Every output must assemble and
+// terminate; anything else is a bug in the pipeline, not the input.
+func genProgram(data []byte) string {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	var b strings.Builder
+	b.WriteString("\t.text\n_start:\n\tla   s11, scratch\n")
+	for i, r := range genRegs {
+		fmt.Fprintf(&b, "\tli   %s, %d\n", r, int(next())+i*37+1)
+	}
+	iters := 2 + int(next())%6
+	b.WriteString("\troi.begin\n")
+	for it := 0; it < iters; it++ {
+		fmt.Fprintf(&b, "\tli   s10, %d\n\titer.begin s10\n", int(next())%3)
+		body := 1 + int(next())%8
+		for j := 0; j < body; j++ {
+			op := next()
+			rd := genRegs[int(next())%len(genRegs)]
+			ra := genRegs[int(next())%len(genRegs)]
+			rb := genRegs[int(next())%len(genRegs)]
+			switch op % 10 {
+			case 0:
+				fmt.Fprintf(&b, "\tadd  %s, %s, %s\n", rd, ra, rb)
+			case 1:
+				fmt.Fprintf(&b, "\txor  %s, %s, %s\n", rd, ra, rb)
+			case 2:
+				fmt.Fprintf(&b, "\tand  %s, %s, %s\n", rd, ra, rb)
+			case 3:
+				fmt.Fprintf(&b, "\tor   %s, %s, %s\n", rd, ra, rb)
+			case 4:
+				fmt.Fprintf(&b, "\taddi %s, %s, %d\n", rd, ra, int(next())%1024-512)
+			case 5:
+				fmt.Fprintf(&b, "\tslli %s, %s, %d\n", rd, ra, int(next())%64)
+			case 6:
+				fmt.Fprintf(&b, "\tmul  %s, %s, %s\n", rd, ra, rb)
+			case 7:
+				fmt.Fprintf(&b, "\tdivu %s, %s, %s\n", rd, ra, rb)
+			case 8:
+				fmt.Fprintf(&b, "\tld   %s, %d(s11)\n", rd, int(next())%32*8)
+			case 9:
+				fmt.Fprintf(&b, "\tsd   %s, %d(s11)\n", ra, int(next())%32*8)
+			}
+		}
+		b.WriteString("\titer.end\n")
+	}
+	b.WriteString("\troi.end\n\tli   a0, 0\n\tli   a7, 93\n\tecall\n")
+	b.WriteString("\t.data\n\t.align 6\nscratch: .zero 256\n")
+	return b.String()
+}
+
+// FuzzPipeline pushes generated programs through the full assemble ->
+// simulate -> snapshot -> stats pipeline and asserts the two invariants
+// every refactor must preserve: no panics on valid input, and repeated
+// runs produce byte-identical detection evidence.
+func FuzzPipeline(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("divide-heavy\x07\x77\x77\x77\x77\x77\x77\x77\x77"))
+	f.Add([]byte{0xFF, 0x00, 0x80, 0x08, 0x88, 0x44, 0x22, 0x11, 0x99, 0xAA, 0xBB, 0xCC})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := genProgram(data)
+		if _, err := asm.Assemble(src); err != nil {
+			t.Fatalf("generated program does not assemble: %v\n%s", err, src)
+		}
+		w := core.Workload{Name: "fuzz", Source: src}
+		opts := core.Options{
+			Config:    sim.SmallBoom(),
+			Runs:      1,
+			Warmup:    core.NoWarmup,
+			MaxCycles: 200_000,
+		}
+		rep1, err := core.Verify(w, opts)
+		if err != nil {
+			t.Fatalf("verify: %v\n%s", err, src)
+		}
+		rep2, err := core.Verify(w, opts)
+		if err != nil {
+			t.Fatalf("re-verify: %v", err)
+		}
+		fp1, fp2 := Fingerprint(rep1), Fingerprint(rep2)
+		if fp1 != fp2 {
+			t.Errorf("pipeline not deterministic: %s vs %s\n%s", fp1, fp2, src)
+		}
+		if len(rep1.Iterations) == 0 {
+			t.Error("generated program produced no labeled iterations")
+		}
+		for _, u := range rep1.Units {
+			if u.Assoc.V < 0 || u.Assoc.V > 1 {
+				t.Errorf("unit %s: Cramér's V %v out of [0,1]", u.Unit, u.Assoc.V)
+			}
+			if u.Assoc.P < 0 || u.Assoc.P > 1 {
+				t.Errorf("unit %s: p-value %v out of [0,1]", u.Unit, u.Assoc.P)
+			}
+			if u.StoreNoTiming.Unique() > u.Store.Unique() {
+				t.Errorf("unit %s: timing removal increased snapshot diversity (%d > %d)",
+					u.Unit, u.StoreNoTiming.Unique(), u.Store.Unique())
+			}
+		}
+	})
+}

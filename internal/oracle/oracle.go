@@ -1,0 +1,280 @@
+// Package oracle is MicroSampler's detection-quality harness: a labeled
+// ground-truth corpus of (workload, expected verdict) pairs, the
+// machinery to replay it under independent input seeds, and a
+// machine-readable quality artifact with false-positive/false-negative
+// rates and Wilson confidence intervals. The paper's core claim is
+// detection quality — every known-leaky variant is flagged (V > 0.5,
+// p < 0.05) and the constant-time baselines produce zero false
+// positives (Tables V–VII) — and this package makes that claim a
+// CI-enforced invariant: any refactor of the simulator, snapshot, or
+// stats layers that changes a verdict fails the `mstest run` gate.
+package oracle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+	"microsampler/internal/stats"
+	"microsampler/internal/trace"
+	"microsampler/internal/workloads"
+)
+
+// SeedStride is the SeedOffset distance between consecutive oracle
+// seeds. Workload Setup functions derive their input RNG from the run
+// index, so seed s draws run indices [s*SeedStride, s*SeedStride+Runs),
+// disjoint from every other seed for any Runs below the stride.
+const SeedStride = 100
+
+// Thresholds are the verdict cut-offs applied by the oracle when
+// classifying a unit as flagged. The zero value selects the paper's
+// defaults (V > 0.5, p < 0.05).
+type Thresholds struct {
+	V float64 // Cramér's V strength threshold (exclusive)
+	P float64 // chi-squared p-value significance threshold (exclusive)
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.V == 0 {
+		t.V = stats.DefaultVThreshold
+	}
+	if t.P == 0 {
+		t.P = stats.DefaultPThreshold
+	}
+	return t
+}
+
+// flaggedAt applies the verdict rule at custom thresholds.
+func flaggedAt(a stats.Association, th Thresholds) bool {
+	return a.V > th.V && a.P < th.P
+}
+
+// Entry is one labeled corpus element: a workload plus the core
+// configuration it runs on and the expected detection outcome.
+type Entry struct {
+	// Name uniquely identifies the entry within the corpus.
+	Name string
+	// Pair groups the leaky/safe counterparts of one case study.
+	Pair string
+	// Workload is the workloads.ByName key of the program under test.
+	Workload string
+	// Small selects the SmallBoom configuration (default MegaBoom).
+	Small bool
+	// FastBypass and DataDepDivide toggle the leakage-inducing core
+	// optimisations; the adversarial pairs flip exactly one of these
+	// between the leaky and safe twin.
+	FastBypass    bool
+	DataDepDivide bool
+	// PadIters, when positive, injects that many dead constant-time
+	// instructions after each iter.begin marker (see PadDead) — the
+	// metamorphic padding transform materialised as a corpus entry.
+	PadIters int
+	// Runs per seed and warmup iterations per run (defaults 4 and 4).
+	Runs   int
+	Warmup int
+	// WantLeaky is the ground-truth verdict.
+	WantLeaky bool
+	// MustFlag units must be flagged on every seed (leaky entries);
+	// MustClean units must never be flagged. Units outside both sets
+	// are unconstrained, keeping the labels robust to borderline units.
+	MustFlag  []trace.Unit
+	MustClean []trace.Unit
+	// Notes documents what the entry exercises.
+	Notes string
+}
+
+func (e Entry) withDefaults() Entry {
+	if e.Runs == 0 {
+		e.Runs = 4
+	}
+	if e.Warmup == 0 {
+		e.Warmup = 4
+	}
+	return e
+}
+
+// ConfigName returns the entry's core configuration name.
+func (e Entry) ConfigName() string {
+	if e.Small {
+		return sim.SmallBoom().Name
+	}
+	return sim.MegaBoom().Name
+}
+
+// Build constructs the entry's workload (with padding applied) and
+// simulator configuration.
+func (e Entry) Build() (core.Workload, sim.Config, error) {
+	e = e.withDefaults()
+	w, err := workloads.ByName(e.Workload)
+	if err != nil {
+		return core.Workload{}, sim.Config{}, fmt.Errorf("oracle %s: %w", e.Name, err)
+	}
+	if e.PadIters > 0 {
+		src, err := PadDead(w.Source, e.PadIters)
+		if err != nil {
+			return core.Workload{}, sim.Config{}, fmt.Errorf("oracle %s: %w", e.Name, err)
+		}
+		w.Source = src
+	}
+	cfg := sim.MegaBoom()
+	if e.Small {
+		cfg = sim.SmallBoom()
+	}
+	cfg.FastBypass = e.FastBypass
+	cfg.DataDepDivide = e.DataDepDivide
+	return w, cfg, nil
+}
+
+// SeedResult is the outcome of one entry under one seed.
+type SeedResult struct {
+	Seed    int      `json:"seed"`
+	Leaky   bool     `json:"leaky"`
+	Flagged []string `json:"flaggedUnits,omitempty"`
+	// MaxV is the largest statistically significant per-unit Cramér's V
+	// (0 when no unit is significant): the margin of the verdict.
+	MaxV     float64 `json:"maxSignificantV"`
+	MaxVUnit string  `json:"maxVUnit,omitempty"`
+	// Fingerprint hashes the detection-relevant report content; equal
+	// inputs must produce equal fingerprints (metamorphic property 1).
+	Fingerprint string `json:"fingerprint"`
+	// Violations lists ground-truth disagreements: a false verdict or a
+	// MustFlag/MustClean unit on the wrong side.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// RunEntry verifies one corpus entry under one seed and scores the
+// outcome against the entry's labels at the given thresholds.
+func RunEntry(e Entry, seed int, th Thresholds, parallel int) (*SeedResult, error) {
+	e = e.withDefaults()
+	th = th.withDefaults()
+	w, cfg, err := e.Build()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Verify(w, core.Options{
+		Config:     cfg,
+		Runs:       e.Runs,
+		Warmup:     e.Warmup,
+		Parallel:   parallel,
+		SeedOffset: seed * SeedStride,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle %s seed %d: %w", e.Name, seed, err)
+	}
+	return scoreReport(e, seed, th, rep), nil
+}
+
+// scoreReport derives the seed verdict from a finished report.
+func scoreReport(e Entry, seed int, th Thresholds, rep *core.Report) *SeedResult {
+	res := &SeedResult{Seed: seed, Fingerprint: Fingerprint(rep)}
+	flagged := make(map[trace.Unit]bool, len(rep.Units))
+	for _, u := range rep.Units {
+		sig := u.Assoc.P < th.P
+		if sig && u.Assoc.V > res.MaxV {
+			res.MaxV = u.Assoc.V
+			res.MaxVUnit = u.Unit.String()
+		}
+		if flaggedAt(u.Assoc, th) {
+			flagged[u.Unit] = true
+			res.Flagged = append(res.Flagged, u.Unit.String())
+		}
+	}
+	res.Leaky = len(flagged) > 0
+	if res.Leaky != e.WantLeaky {
+		kind := "false positive: safe workload flagged"
+		if e.WantLeaky {
+			kind = "false negative: leaky workload not flagged"
+		}
+		res.Violations = append(res.Violations, kind)
+	}
+	for _, u := range e.MustFlag {
+		if !flagged[u] {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("unit %s must be flagged but is clean", u))
+		}
+	}
+	for _, u := range e.MustClean {
+		if flagged[u] {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("unit %s must be clean but is flagged", u))
+		}
+	}
+	return res
+}
+
+// FalseVerdict reports whether the seed's overall verdict disagrees
+// with the ground-truth label (as opposed to a per-unit violation).
+func (r *SeedResult) FalseVerdict(wantLeaky bool) bool {
+	return r.Leaky != wantLeaky
+}
+
+// Fingerprint returns a stable hash of the detection-relevant content
+// of a report: per-unit association statistics (timed and timing-free),
+// snapshot population counts, iteration labels and cycle counts, and
+// the simulator's event counters. Wall-clock fields are excluded, so
+// two runs of the same workload with the same inputs must produce
+// byte-identical fingerprints — the determinism metamorphic property.
+func Fingerprint(rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload=%s config=%s runs=%d\n", rep.Workload, rep.Config, rep.Runs)
+	for _, u := range rep.Units {
+		fmt.Fprintf(&b, "unit=%s %s noT=%s uniq=%d uniqNoT=%d\n",
+			u.Unit, assocKey(u.Assoc), assocKey(u.AssocNoTiming),
+			u.Store.Unique(), u.StoreNoTiming.Unique())
+	}
+	fmt.Fprintf(&b, "iters=%d\n", len(rep.Iterations))
+	for _, it := range rep.Iterations {
+		fmt.Fprintf(&b, "iter class=%d cycles=%d\n", it.Class, it.Cycles)
+	}
+	fmt.Fprintf(&b, "sim cycles=%d instr=%d br=%d mp=%d dh=%d dm=%d tlb=%d pf=%d lsu=%d\n",
+		rep.Sim.Cycles, rep.Sim.Instructions, rep.Sim.Branches, rep.Sim.BranchMispredicts,
+		rep.Sim.DCacheHits, rep.Sim.DCacheMisses, rep.Sim.TLBMisses,
+		rep.Sim.Prefetches, rep.Sim.LSUReplays)
+	units := make([]string, 0, len(rep.Samples))
+	for u, n := range rep.Samples {
+		units = append(units, fmt.Sprintf("samples %s=%d", u, n))
+	}
+	sort.Strings(units)
+	b.WriteString(strings.Join(units, "\n"))
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// assocKey renders an association's defining values with full float
+// precision.
+func assocKey(a stats.Association) string {
+	return fmt.Sprintf("V=%x Vc=%x p=%x chi2=%x df=%d n=%d r=%d k=%d",
+		a.V, a.VCorrected, a.P, a.Chi2, a.DF, a.N, a.Rows, a.Cols)
+}
+
+// PadDead inserts n dead constant-time instructions (nops) after every
+// iter.begin marker of an assembly source. Padding is secret-independent
+// and identical across iterations, so it must never flip a verdict in
+// either direction — the metamorphic padding property. It returns an
+// error when the source contains no iteration markers.
+func PadDead(src string, n int) (string, error) {
+	lines := strings.Split(src, "\n")
+	pad := strings.Repeat("\tnop\n", n)
+	pad = strings.TrimSuffix(pad, "\n")
+	var out []string
+	found := false
+	for _, line := range lines {
+		out = append(out, line)
+		code := line
+		if i := strings.IndexByte(code, '#'); i >= 0 {
+			code = code[:i]
+		}
+		if strings.Contains(code, "iter.begin") {
+			found = true
+			out = append(out, pad)
+		}
+	}
+	if !found {
+		return "", fmt.Errorf("oracle: PadDead: source has no iter.begin markers")
+	}
+	return strings.Join(out, "\n"), nil
+}

@@ -1,0 +1,400 @@
+package oracle
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+	"microsampler/internal/snapshot"
+	"microsampler/internal/stats"
+	"microsampler/internal/trace"
+)
+
+// TestCorpusShape pins the corpus invariants the acceptance criteria
+// depend on: at least 8 pairs, unique names, every pair holding both a
+// leaky and a safe twin, and every entry buildable (the workload
+// exists, padding applies, the source assembles).
+func TestCorpusShape(t *testing.T) {
+	corpus := Corpus()
+	names := make(map[string]bool)
+	type pairSides struct{ leaky, safe bool }
+	pairs := make(map[string]*pairSides)
+	for _, e := range corpus {
+		if names[e.Name] {
+			t.Errorf("duplicate entry name %q", e.Name)
+		}
+		names[e.Name] = true
+		p := pairs[e.Pair]
+		if p == nil {
+			p = &pairSides{}
+			pairs[e.Pair] = p
+		}
+		if e.WantLeaky {
+			p.leaky = true
+		} else {
+			p.safe = true
+		}
+		w, _, err := e.Build()
+		if err != nil {
+			t.Errorf("entry %s: %v", e.Name, err)
+			continue
+		}
+		if _, err := asm.Assemble(w.Source); err != nil {
+			t.Errorf("entry %s does not assemble: %v", e.Name, err)
+		}
+	}
+	if len(pairs) < 8 {
+		t.Errorf("corpus has %d pairs, want >= 8", len(pairs))
+	}
+	for name, p := range pairs {
+		if !p.leaky || !p.safe {
+			t.Errorf("pair %q lacks a leaky/safe twin (leaky=%v safe=%v)",
+				name, p.leaky, p.safe)
+		}
+	}
+}
+
+// cheapEntry returns a corpus entry that verifies quickly, for tests
+// that need real pipeline output.
+func cheapEntry(t *testing.T, name string) Entry {
+	t.Helper()
+	for _, e := range Corpus() {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("corpus entry %q missing", name)
+	return Entry{}
+}
+
+// TestSameSeedRunsAreByteIdentical is metamorphic property 1: repeating
+// a verification with the same seed must reproduce the exact
+// detection-relevant report content.
+func TestSameSeedRunsAreByteIdentical(t *testing.T) {
+	e := cheapEntry(t, "ct-div-earlyout")
+	a, err := RunEntry(e, 1, Thresholds{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEntry(e, 1, Thresholds{}, -1) // parallel must not change results
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Errorf("same-seed fingerprints differ: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.Leaky != b.Leaky || a.MaxV != b.MaxV {
+		t.Errorf("same-seed verdicts differ: %+v vs %+v", a, b)
+	}
+	c, err := RunEntry(e, 2, Thresholds{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Error("distinct seeds produced identical fingerprints; seeds are not disjoint")
+	}
+}
+
+// TestRelabelingInvariance is metamorphic property 2: permuting the
+// secret-class labels of real verification evidence permutes the
+// contingency table's rows but never changes — let alone creates — the
+// measured association.
+func TestRelabelingInvariance(t *testing.T) {
+	e := cheapEntry(t, "ct-div-earlyout")
+	w, cfg, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Verify(w, core.Options{Config: cfg, Runs: 2, Warmup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, u := range rep.Units {
+		if u.Assoc.N == 0 || u.Assoc.Rows < 2 {
+			continue
+		}
+		orig := u.Table
+		relabel := stats.NewTable()
+		for _, entry := range u.Store.Entries() {
+			for class, n := range entry.CountByClass {
+				relabel.Add(class^1, entry.Hash, n) // swap classes 0 and 1
+			}
+		}
+		a, b := orig.Analyze(), relabel.Analyze()
+		if !closeTo(a.V, b.V) || !closeTo(a.Chi2, b.Chi2) || !closeTo(a.P, b.P) ||
+			!closeTo(a.MI, b.MI) || a.DF != b.DF || a.N != b.N {
+			t.Errorf("unit %s: association not relabeling-invariant:\n  %v\n  %v",
+				u.Unit, a, b)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no unit had a multi-class table to relabel")
+	}
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9
+}
+
+// TestPaddingPreservesSafeVerdict is metamorphic property 3 at test
+// scale (the full-scale version is the corpus "padding" pair): dead
+// constant-time instructions never flip a safe verdict.
+func TestPaddingPreservesSafeVerdict(t *testing.T) {
+	w, cfg, err := Entry{Name: "pad-test", Workload: "ME-V2-SAFE", Small: true, PadIters: 16}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Verify(w, core.Options{Config: cfg, Runs: 2, Warmup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnyLeak() {
+		t.Error("padded safe kernel was flagged")
+	}
+}
+
+func TestPadDead(t *testing.T) {
+	src := "\tli s1, 0\n\titer.begin s1  # marker\n\tadd a0, a0, a0\n\titer.end\n"
+	out, err := PadDead(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "\tnop"); got != 3 {
+		t.Errorf("padded source has %d nops, want 3", got)
+	}
+	begin := strings.Index(out, "iter.begin")
+	firstNop := strings.Index(out, "nop")
+	end := strings.Index(out, "iter.end")
+	if !(begin < firstNop && firstNop < end) {
+		t.Errorf("padding must land inside the iteration window: %q", out)
+	}
+	if _, err := PadDead("# iter.begin only in a comment\n\tnop\n", 2); err == nil {
+		t.Error("PadDead must reject sources without real iteration markers")
+	}
+}
+
+// TestQualityArtifactDeterministic runs a corpus subset twice and
+// requires byte-identical quality.json artifacts.
+func TestQualityArtifactDeterministic(t *testing.T) {
+	opts := Options{Seeds: 2, Match: regexp.MustCompile(`^divider$`)}
+	q1, err := RunCorpus(Corpus(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := RunCorpus(Corpus(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := q1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := q2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		i := 0
+		for i < len(b1) && i < len(b2) && b1[i] == b2[i] {
+			i++
+		}
+		lo, hi := i-80, i+80
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(b []byte) string {
+			if hi > len(b) {
+				return string(b[lo:])
+			}
+			return string(b[lo:hi])
+		}
+		t.Errorf("quality.json not deterministic across identical runs; first divergence at byte %d:\n--- run 1\n%s\n--- run 2\n%s",
+			i, clip(b1), clip(b2))
+	}
+	if q1.Summary.Entries != 2 || q1.Summary.Trials != 4 {
+		t.Errorf("divider subset: %+v", q1.Summary)
+	}
+	if !q1.Summary.Pass {
+		t.Errorf("divider pair failed: %+v", q1.Summary)
+	}
+	back, err := ParseQuality(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary != q1.Summary {
+		t.Errorf("artifact round-trip changed summary: %+v vs %+v", back.Summary, q1.Summary)
+	}
+}
+
+// TestDiffDetectsInjectedRegression perturbs the V threshold — the
+// acceptance criterion's injected stats regression — and requires
+// mstest's diff layer to flag the resulting verdict flips.
+func TestDiffDetectsInjectedRegression(t *testing.T) {
+	match := regexp.MustCompile(`^divider$`)
+	baseline, err := RunCorpus(Corpus(), Options{Seeds: 2, Match: match})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A verdict threshold no association can exceed (V > 1 is
+	// impossible) makes the leaky twin invisible: false negatives
+	// where the baseline had none.
+	broken, err := RunCorpus(Corpus(), Options{
+		Seeds: 2, Match: match, Thresholds: Thresholds{V: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.Summary.FalseNegatives == 0 {
+		t.Fatal("injected threshold perturbation did not produce false negatives")
+	}
+	d := Diff(baseline, broken, -1)
+	if d.Clean() {
+		t.Fatal("diff missed the injected regression")
+	}
+	joined := strings.Join(d.Regressions, "\n")
+	for _, want := range []string{"thresholds changed", "false negatives rose", "verdict flipped"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diff output missing %q:\n%s", want, joined)
+		}
+	}
+	// The reverse direction must be symmetric-clean: comparing the
+	// baseline against itself reports nothing.
+	if d := Diff(baseline, baseline, -1); !d.Clean() || len(d.Drift) != 0 {
+		t.Errorf("self-diff not clean: %+v", d)
+	}
+}
+
+func TestDiffFlagsMissingEntryAndMarginErosion(t *testing.T) {
+	base := &Quality{
+		Schema: QualitySchema, VThreshold: 0.5, PThreshold: 0.05,
+		Entries: []EntryQuality{
+			{Name: "a", WantLeaky: true, MarginV: 0.9,
+				Seeds: []SeedResult{{Seed: 0, Leaky: true, Fingerprint: "x"}}},
+			{Name: "gone", WantLeaky: false, MarginV: 0.0},
+		},
+	}
+	cur := &Quality{
+		Schema: QualitySchema, VThreshold: 0.5, PThreshold: 0.05,
+		Entries: []EntryQuality{
+			{Name: "a", WantLeaky: true, MarginV: 0.6,
+				Seeds: []SeedResult{{Seed: 0, Leaky: true, Fingerprint: "y"}}},
+		},
+	}
+	d := Diff(base, cur, 0.05)
+	joined := strings.Join(d.Regressions, "\n")
+	if !strings.Contains(joined, "margin eroded") {
+		t.Errorf("margin erosion not flagged:\n%s", joined)
+	}
+	if !strings.Contains(joined, "missing from current run") {
+		t.Errorf("missing entry not flagged:\n%s", joined)
+	}
+	if len(d.Drift) != 1 || !strings.Contains(d.Drift[0], "fingerprint") {
+		t.Errorf("fingerprint change should be drift, got %+v", d.Drift)
+	}
+	// Erosion within tolerance passes.
+	cur.Entries[0].MarginV = 0.88
+	base.Entries = base.Entries[:1]
+	if d := Diff(base, cur, 0.05); !d.Clean() {
+		t.Errorf("tolerated margin shift flagged: %+v", d.Regressions)
+	}
+}
+
+// TestScoreReportViolations exercises the ground-truth scoring rules
+// without running the simulator.
+func TestScoreReportViolations(t *testing.T) {
+	leakyAssoc := stats.Association{V: 0.9, P: 1e-6, N: 100, Rows: 2, Cols: 4}
+	cleanAssoc := stats.Association{V: 0.1, P: 0.9, N: 100, Rows: 2, Cols: 4}
+	mkRep := func(flagged map[trace.Unit]bool) *core.Report {
+		rep := &core.Report{Workload: "w", Config: "c"}
+		for _, u := range trace.AllUnits() {
+			a := cleanAssoc
+			if flagged[u] {
+				a = leakyAssoc
+			}
+			rep.Units = append(rep.Units, core.UnitResult{
+				Unit: u, Assoc: a,
+				Store: snapshot.NewStore(), StoreNoTiming: snapshot.NewStore(),
+			})
+		}
+		return rep
+	}
+	th := Thresholds{}.withDefaults()
+
+	safe := Entry{Name: "s", WantLeaky: false}
+	if res := scoreReport(safe, 0, th, mkRep(nil)); len(res.Violations) != 0 || res.Leaky {
+		t.Errorf("clean report on safe entry: %+v", res)
+	}
+	if res := scoreReport(safe, 0, th, mkRep(map[trace.Unit]bool{trace.SQADDR: true})); !res.FalseVerdict(false) {
+		t.Error("flagged safe entry must be a false positive")
+	}
+
+	leaky := Entry{Name: "l", WantLeaky: true,
+		MustFlag:  []trace.Unit{trace.EUUMUL},
+		MustClean: []trace.Unit{trace.ROBPC}}
+	res := scoreReport(leaky, 0, th, mkRep(map[trace.Unit]bool{trace.ROBPC: true}))
+	joined := strings.Join(res.Violations, "\n")
+	if !strings.Contains(joined, "EUU-MUL must be flagged") {
+		t.Errorf("missing MustFlag violation: %q", joined)
+	}
+	if !strings.Contains(joined, "ROB-PC must be clean") {
+		t.Errorf("missing MustClean violation: %q", joined)
+	}
+	good := scoreReport(leaky, 0, th, mkRep(map[trace.Unit]bool{trace.EUUMUL: true}))
+	if len(good.Violations) != 0 {
+		t.Errorf("correct leaky report flagged violations: %+v", good.Violations)
+	}
+	if good.MaxVUnit != trace.EUUMUL.String() || !closeTo(good.MaxV, 0.9) {
+		t.Errorf("margin bookkeeping wrong: %+v", good)
+	}
+}
+
+// TestSeedStrideKeepsInputsDisjoint documents the contract between
+// SeedStride and entry Runs: no entry may draw overlapping run indices
+// across seeds.
+func TestSeedStrideKeepsInputsDisjoint(t *testing.T) {
+	for _, e := range Corpus() {
+		if r := e.withDefaults().Runs; r > SeedStride {
+			t.Errorf("entry %s: Runs %d exceeds SeedStride %d; seeds would overlap",
+				e.Name, r, SeedStride)
+		}
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	th := Thresholds{}.withDefaults()
+	if th.V != stats.DefaultVThreshold || th.P != stats.DefaultPThreshold {
+		t.Errorf("defaults = %+v", th)
+	}
+	custom := Thresholds{V: 0.7, P: 0.01}.withDefaults()
+	if custom.V != 0.7 || custom.P != 0.01 {
+		t.Errorf("custom thresholds clobbered: %+v", custom)
+	}
+	a := stats.Association{V: 0.6, P: 0.001}
+	if !flaggedAt(a, th) {
+		t.Error("V=0.6 p=0.001 must be flagged at the defaults")
+	}
+	if flaggedAt(a, custom) {
+		t.Error("V=0.6 must not be flagged at a 0.7 threshold")
+	}
+}
+
+func TestVerifyConfigRespectsEntryToggles(t *testing.T) {
+	e := Entry{Name: "x", Workload: "CT-DIV", FastBypass: true, DataDepDivide: true, Small: true}
+	_, cfg, err := e.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.FastBypass || !cfg.DataDepDivide || cfg.Name != sim.SmallBoom().Name {
+		t.Errorf("entry toggles not applied: %+v", cfg)
+	}
+}

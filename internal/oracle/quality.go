@@ -1,0 +1,290 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+
+	"microsampler/internal/stats"
+)
+
+// QualitySchema identifies the quality.json document format.
+const QualitySchema = "microsampler-quality/1"
+
+// Options configures a corpus evaluation.
+type Options struct {
+	// Seeds is the number of independent input seeds per entry
+	// (default 5). Seed s offsets the workload's run indices by
+	// s*SeedStride, so every seed draws a disjoint input set.
+	Seeds int
+	// Thresholds are the verdict cut-offs (zero value: paper defaults).
+	Thresholds Thresholds
+	// Parallel is passed through to core.Options.Parallel per
+	// verification.
+	Parallel int
+	// Match, when non-nil, restricts the corpus to entries whose Name
+	// or Pair matches.
+	Match *regexp.Regexp
+	// OnEntry, when non-nil, is called after each entry completes.
+	OnEntry func(EntryQuality)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds == 0 {
+		o.Seeds = 5
+	}
+	o.Thresholds = o.Thresholds.withDefaults()
+	return o
+}
+
+// RateCI is an error rate with its 95% Wilson confidence interval.
+type RateCI struct {
+	Errors   int     `json:"errors"`
+	Trials   int     `json:"trials"`
+	Rate     float64 `json:"rate"`
+	WilsonLo float64 `json:"wilsonLo"`
+	WilsonHi float64 `json:"wilsonHi"`
+}
+
+// rateCI builds a RateCI at the 95% level.
+func rateCI(errors, trials int) RateCI {
+	r := RateCI{Errors: errors, Trials: trials}
+	if trials > 0 {
+		r.Rate = float64(errors) / float64(trials)
+		r.WilsonLo, r.WilsonHi = stats.WilsonInterval(errors, trials, 1.96)
+	}
+	return r
+}
+
+// EntryQuality is the evaluated outcome of one corpus entry across all
+// seeds.
+type EntryQuality struct {
+	Name      string `json:"name"`
+	Pair      string `json:"pair"`
+	Workload  string `json:"workload"`
+	Config    string `json:"config"`
+	WantLeaky bool   `json:"wantLeaky"`
+	Runs      int    `json:"runsPerSeed"`
+	Notes     string `json:"notes,omitempty"`
+
+	// Misses counts seeds with a false verdict (false negatives for
+	// leaky entries, false positives for safe ones); Violations counts
+	// seeds with any ground-truth disagreement, including per-unit
+	// MustFlag/MustClean failures.
+	Misses     int `json:"misses"`
+	Violations int `json:"violations"`
+
+	// MarginV summarises how far the entry sits from the V threshold:
+	// for leaky entries the minimum over seeds of the strongest
+	// significant V (should stay well above the threshold), for safe
+	// entries the maximum (should stay well below).
+	MarginV float64 `json:"marginV"`
+
+	Seeds []SeedResult `json:"seeds"`
+}
+
+// Quality is the machine-readable quality.json artifact. All content is
+// deterministic for a fixed corpus, seed count, and thresholds: it
+// contains no timestamps or wall-clock measurements.
+type Quality struct {
+	Schema     string         `json:"schema"`
+	Seeds      int            `json:"seeds"`
+	VThreshold float64        `json:"vThreshold"`
+	PThreshold float64        `json:"pThreshold"`
+	Entries    []EntryQuality `json:"entries"`
+	Summary    Summary        `json:"summary"`
+}
+
+// Summary aggregates the corpus outcome.
+type Summary struct {
+	Entries        int    `json:"entries"`
+	Pairs          int    `json:"pairs"`
+	Trials         int    `json:"trials"`
+	FalsePositives int    `json:"falsePositives"`
+	FalseNegatives int    `json:"falseNegatives"`
+	UnitViolations int    `json:"unitViolations"`
+	FPRate         RateCI `json:"fpRate"`
+	FNRate         RateCI `json:"fnRate"`
+	Pass           bool   `json:"pass"`
+}
+
+// RunCorpus evaluates the corpus entries across Options.Seeds seeds and
+// assembles the quality artifact. Entries run sequentially in corpus
+// order and seeds in ascending order, so the artifact is reproducible
+// byte for byte.
+func RunCorpus(entries []Entry, o Options) (*Quality, error) {
+	o = o.withDefaults()
+	q := &Quality{
+		Schema:     QualitySchema,
+		Seeds:      o.Seeds,
+		VThreshold: o.Thresholds.V,
+		PThreshold: o.Thresholds.P,
+	}
+	pairs := make(map[string]bool)
+	for _, e := range entries {
+		if o.Match != nil && !o.Match.MatchString(e.Name) && !o.Match.MatchString(e.Pair) {
+			continue
+		}
+		e = e.withDefaults()
+		eq := EntryQuality{
+			Name:      e.Name,
+			Pair:      e.Pair,
+			Workload:  e.Workload,
+			Config:    e.ConfigName(),
+			WantLeaky: e.WantLeaky,
+			Runs:      e.Runs,
+			Notes:     e.Notes,
+		}
+		for seed := 0; seed < o.Seeds; seed++ {
+			res, err := RunEntry(e, seed, o.Thresholds, o.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			eq.Seeds = append(eq.Seeds, *res)
+			if res.FalseVerdict(e.WantLeaky) {
+				eq.Misses++
+				if e.WantLeaky {
+					q.Summary.FalseNegatives++
+				} else {
+					q.Summary.FalsePositives++
+				}
+			}
+			if len(res.Violations) > 0 {
+				eq.Violations++
+				q.Summary.UnitViolations += len(res.Violations)
+			}
+			if seed == 0 || (e.WantLeaky && res.MaxV < eq.MarginV) ||
+				(!e.WantLeaky && res.MaxV > eq.MarginV) {
+				eq.MarginV = res.MaxV
+			}
+			q.Summary.Trials++
+		}
+		pairs[e.Pair] = true
+		q.Entries = append(q.Entries, eq)
+		q.Summary.Entries++
+		if o.OnEntry != nil {
+			o.OnEntry(eq)
+		}
+	}
+	q.Summary.Pairs = len(pairs)
+	leakyTrials, safeTrials := 0, 0
+	for _, eq := range q.Entries {
+		if eq.WantLeaky {
+			leakyTrials += len(eq.Seeds)
+		} else {
+			safeTrials += len(eq.Seeds)
+		}
+	}
+	q.Summary.FPRate = rateCI(q.Summary.FalsePositives, safeTrials)
+	q.Summary.FNRate = rateCI(q.Summary.FalseNegatives, leakyTrials)
+	q.Summary.Pass = q.Summary.FalsePositives == 0 &&
+		q.Summary.FalseNegatives == 0 && q.Summary.UnitViolations == 0
+	return q, nil
+}
+
+// Marshal renders the artifact as deterministic indented JSON.
+func (q *Quality) Marshal() ([]byte, error) {
+	return json.MarshalIndent(q, "", "  ")
+}
+
+// ParseQuality decodes a quality.json document.
+func ParseQuality(data []byte) (*Quality, error) {
+	var q Quality
+	if err := json.Unmarshal(data, &q); err != nil {
+		return nil, fmt.Errorf("oracle: parse quality artifact: %w", err)
+	}
+	if q.Schema != QualitySchema {
+		return nil, fmt.Errorf("oracle: unsupported quality schema %q", q.Schema)
+	}
+	return &q, nil
+}
+
+// DiffResult separates hard regressions (detection quality got worse)
+// from drift (behaviour changed without affecting any verdict).
+type DiffResult struct {
+	// Regressions fail the gate: new false verdicts, new unit
+	// violations, verdict flips, or V margins eroding toward the
+	// threshold by more than the tolerance.
+	Regressions []string
+	// Drift is informational: fingerprint changes on trials whose
+	// verdicts still agree — typically a legitimate refactor that
+	// changed cycle-level behaviour.
+	Drift []string
+}
+
+// Diff compares a new quality artifact against a calibration baseline.
+// vTol is the allowed erosion of an entry's V margin toward the
+// threshold (a negative value selects the default 0.05).
+func Diff(baseline, current *Quality, vTol float64) DiffResult {
+	if vTol < 0 {
+		vTol = 0.05
+	}
+	var d DiffResult
+	reg := func(format string, args ...any) {
+		d.Regressions = append(d.Regressions, fmt.Sprintf(format, args...))
+	}
+	if baseline.VThreshold != current.VThreshold || baseline.PThreshold != current.PThreshold {
+		reg("verdict thresholds changed: baseline V>%g p<%g, current V>%g p<%g",
+			baseline.VThreshold, baseline.PThreshold,
+			current.VThreshold, current.PThreshold)
+	}
+	if current.Summary.FalsePositives > baseline.Summary.FalsePositives {
+		reg("false positives rose %d -> %d",
+			baseline.Summary.FalsePositives, current.Summary.FalsePositives)
+	}
+	if current.Summary.FalseNegatives > baseline.Summary.FalseNegatives {
+		reg("false negatives rose %d -> %d",
+			baseline.Summary.FalseNegatives, current.Summary.FalseNegatives)
+	}
+	base := make(map[string]*EntryQuality, len(baseline.Entries))
+	for i := range baseline.Entries {
+		base[baseline.Entries[i].Name] = &baseline.Entries[i]
+	}
+	for i := range current.Entries {
+		cur := &current.Entries[i]
+		old, ok := base[cur.Name]
+		if !ok {
+			continue // new entry: no baseline to regress from
+		}
+		delete(base, cur.Name)
+		if cur.Misses > old.Misses {
+			reg("entry %s: misses rose %d -> %d", cur.Name, old.Misses, cur.Misses)
+		}
+		if cur.Violations > old.Violations {
+			reg("entry %s: violating seeds rose %d -> %d",
+				cur.Name, old.Violations, cur.Violations)
+		}
+		if cur.WantLeaky && cur.MarginV < old.MarginV-vTol {
+			reg("entry %s: leaky V margin eroded %.3f -> %.3f",
+				cur.Name, old.MarginV, cur.MarginV)
+		}
+		if !cur.WantLeaky && cur.MarginV > old.MarginV+vTol {
+			reg("entry %s: safe V margin eroded %.3f -> %.3f",
+				cur.Name, old.MarginV, cur.MarginV)
+		}
+		for s := 0; s < len(cur.Seeds) && s < len(old.Seeds); s++ {
+			cs, os := cur.Seeds[s], old.Seeds[s]
+			if cs.Leaky != os.Leaky {
+				reg("entry %s seed %d: verdict flipped %v -> %v",
+					cur.Name, cs.Seed, os.Leaky, cs.Leaky)
+			} else if cs.Fingerprint != os.Fingerprint {
+				d.Drift = append(d.Drift, fmt.Sprintf(
+					"entry %s seed %d: fingerprint %s -> %s (verdict unchanged)",
+					cur.Name, cs.Seed, os.Fingerprint, cs.Fingerprint))
+			}
+		}
+	}
+	missing := make([]string, 0, len(base))
+	for name := range base {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		reg("entry %s present in baseline but missing from current run", name)
+	}
+	return d
+}
+
+// Clean reports whether the diff found no regressions.
+func (d DiffResult) Clean() bool { return len(d.Regressions) == 0 }

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONRoundTrip guards the stable schema: RenderJSON output must
+// unmarshal back into the schema types and re-marshal byte-identically,
+// with every telemetry field surviving the trip.
+func TestJSONRoundTrip(t *testing.T) {
+	rep := sampleReport(t)
+	data, err := JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back jsonReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report JSON does not unmarshal into its own schema: %v", err)
+	}
+	again, err := json.MarshalIndent(back, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("JSON round trip not byte-identical:\n--- first\n%s\n--- second\n%s",
+			data, again)
+	}
+}
+
+// TestJSONFieldFidelity checks the decoded document against the source
+// report field by field, including the simulator-counter and run-stats
+// telemetry blocks.
+func TestJSONFieldFidelity(t *testing.T) {
+	rep := sampleReport(t)
+	data, err := JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back jsonReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != rep.Workload || back.Config != rep.Config || back.Runs != rep.Runs {
+		t.Errorf("identity fields: %+v", back)
+	}
+	if back.Iterations != len(rep.Iterations) || back.SimCycles != rep.SimCycles {
+		t.Errorf("iteration/cycle counts: got %d/%d want %d/%d",
+			back.Iterations, back.SimCycles, len(rep.Iterations), rep.SimCycles)
+	}
+	if back.Leaky != rep.AnyLeak() {
+		t.Errorf("leaky = %v want %v", back.Leaky, rep.AnyLeak())
+	}
+	if back.Sim.Cycles != rep.Sim.Cycles || back.Sim.Instructions != rep.Sim.Instructions ||
+		back.Sim.Branches != rep.Sim.Branches || back.Sim.DCacheHits != rep.Sim.DCacheHits ||
+		back.Sim.IPC != rep.Sim.IPC() {
+		t.Errorf("sim counter block diverges: %+v vs %+v", back.Sim, rep.Sim)
+	}
+	if back.RunStats == nil {
+		t.Fatal("runStatsMicros missing")
+	}
+	if back.RunStats.Wall.N != rep.Stages.RunWall.N {
+		t.Errorf("run wall stats N = %d want %d", back.RunStats.Wall.N, rep.Stages.RunWall.N)
+	}
+	if len(back.Samples) == 0 {
+		t.Error("traceSamples missing")
+	}
+	for u, n := range rep.Samples {
+		if back.Samples[u.String()] != n {
+			t.Errorf("samples[%s] = %d want %d", u, back.Samples[u.String()], n)
+		}
+	}
+	if len(back.Units) != len(rep.Units) {
+		t.Fatalf("units = %d want %d", len(back.Units), len(rep.Units))
+	}
+	for i, ju := range back.Units {
+		ur := rep.Units[i]
+		if ju.Unit != ur.Unit.String() || ju.Leaky != ur.Leaky() {
+			t.Errorf("unit %d: %s/%v want %s/%v", i, ju.Unit, ju.Leaky, ur.Unit, ur.Leaky())
+		}
+		if ju.Assoc.V != ur.Assoc.V || ju.Assoc.P != ur.Assoc.P ||
+			ju.Assoc.Chi2 != ur.Assoc.Chi2 || ju.Assoc.DF != ur.Assoc.DF {
+			t.Errorf("unit %s association diverges: %+v vs %+v", ju.Unit, ju.Assoc, ur.Assoc)
+		}
+		if ju.NoTime.V != ur.AssocNoTiming.V {
+			t.Errorf("unit %s timing-free V = %v want %v", ju.Unit, ju.NoTime.V, ur.AssocNoTiming.V)
+		}
+	}
+}

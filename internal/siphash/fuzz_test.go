@@ -1,0 +1,57 @@
+package siphash
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSipHashChunks asserts that the digest is independent of how the
+// input is sliced across Write calls, and that the WriteUint64 fast
+// path agrees with the byte path — the property the snapshot layer's
+// incremental hashing depends on.
+func FuzzSipHashChunks(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte("hello, siphash"), uint8(3))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, uint8(7))
+	f.Add([]byte{0xFF}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, split uint8) {
+		want := Hash(DefaultKey, data)
+
+		// Arbitrary chunking must not change the digest.
+		h := New(DefaultKey)
+		step := int(split)%7 + 1
+		for rest := data; len(rest) > 0; {
+			n := step
+			if n > len(rest) {
+				n = len(rest)
+			}
+			h.Write(rest[:n]) //nolint:errcheck // cannot fail
+			rest = rest[n:]
+		}
+		if got := h.Sum64(); got != want {
+			t.Errorf("chunked (step %d) = %#x, one-shot = %#x", step, got, want)
+		}
+
+		// The word fast path must agree with writing the same bytes,
+		// for every multiple-of-8 prefix and regardless of buffered
+		// leading bytes.
+		lead := int(split) % 8
+		if lead > len(data) {
+			lead = len(data)
+		}
+		words := data[lead:]
+		words = words[:len(words)/8*8]
+		hw := New(DefaultKey)
+		hb := New(DefaultKey)
+		hw.Write(data[:lead]) //nolint:errcheck // cannot fail
+		hb.Write(data[:lead]) //nolint:errcheck // cannot fail
+		for i := 0; i < len(words); i += 8 {
+			hw.WriteUint64(binary.LittleEndian.Uint64(words[i : i+8]))
+		}
+		hb.Write(words) //nolint:errcheck // cannot fail
+		if gw, gb := hw.Sum64(), hb.Sum64(); gw != gb {
+			t.Errorf("WriteUint64 path %#x != Write path %#x (lead %d, %d words)",
+				gw, gb, lead, len(words)/8)
+		}
+	})
+}

@@ -325,6 +325,35 @@ func gammaQContinued(a, x float64) float64 {
 	return math.Exp(-x+a*math.Log(x)-lg) * h
 }
 
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion: the plausible range of the true success rate
+// after observing successes out of trials, at the confidence level
+// implied by the normal quantile z (z = 1.96 for 95%). Unlike the
+// normal approximation it behaves sensibly at the extremes — zero
+// observed failures still yield a nonzero upper bound — which is what
+// the detection-quality harness reports for its false-positive and
+// false-negative rates.
+func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := p + z2/(2*n)
+	margin := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Render formats the table for human inspection, columns sorted by
 // total frequency (most common hash first), capped at maxCols.
 func (t *Table) Render(maxCols int) string {

@@ -46,7 +46,9 @@ func TestNoAssociationSingleColumn(t *testing.T) {
 func TestIndependentDistribution(t *testing.T) {
 	// Both classes draw hashes from the same distribution: V near 0.
 	tb := NewTable()
-	rng := rand.New(rand.NewSource(42))
+	const seed = 42
+	t.Logf("rng seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
 	hashes := []uint64{1, 2, 3, 4}
 	for i := 0; i < 4000; i++ {
 		tb.Add(uint64(i%2), hashes[rng.Intn(len(hashes))], 1)
@@ -283,7 +285,9 @@ func TestEmptyTable(t *testing.T) {
 // statistics with randomized tables: V and p are invariant under class
 // relabeling and under permuting the order in which cells are added.
 func TestInvarianceProperties(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	const seed = 17
+	t.Logf("rng seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
 	for trial := 0; trial < 100; trial++ {
 		r := rng.Intn(3) + 2
 		k := rng.Intn(5) + 2
@@ -337,5 +341,152 @@ func TestInvarianceProperties(t *testing.T) {
 		if base.MI < 0 {
 			t.Fatalf("trial %d: negative MI", trial)
 		}
+	}
+}
+
+// TestDegenerateTables pins the behaviour of contingency tables with
+// zero degrees of freedom — single class, single hash, empty — which a
+// verification produces whenever a unit never changes state or a
+// workload has one secret class. The pinned contract: chi-squared and V
+// are 0, the p-value is 1, and the verdict is never leaky. A refactor
+// that makes any of these NaN or significant is a regression.
+func TestDegenerateTables(t *testing.T) {
+	cases := []struct {
+		name string
+		fill func(tb *Table)
+	}{
+		{"empty", func(tb *Table) {}},
+		{"single class, many hashes", func(tb *Table) {
+			for h := uint64(0); h < 10; h++ {
+				tb.Add(7, h, 3)
+			}
+		}},
+		{"single hash, many classes", func(tb *Table) {
+			for c := uint64(0); c < 10; c++ {
+				tb.Add(c, 0xABCD, 5)
+			}
+		}},
+		{"single cell", func(tb *Table) { tb.Add(1, 2, 1000) }},
+		{"all-identical snapshots two classes", func(tb *Table) {
+			tb.Add(0, 0xFEED, 500)
+			tb.Add(1, 0xFEED, 500)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := NewTable()
+			tc.fill(tb)
+			chi2, df := tb.ChiSquared()
+			if chi2 != 0 || df != 0 {
+				t.Errorf("chi2=%v df=%d, want 0/0", chi2, df)
+			}
+			a := tb.Analyze()
+			if a.V != 0 || a.VCorrected != 0 {
+				t.Errorf("V=%v Vc=%v, want 0", a.V, a.VCorrected)
+			}
+			if a.P != 1 {
+				t.Errorf("p=%v, want 1", a.P)
+			}
+			if math.IsNaN(a.MI) || a.MI < 0 {
+				t.Errorf("MI=%v, want finite >= 0", a.MI)
+			}
+			if a.Leaky() || a.Significant() {
+				t.Error("degenerate table must not be leaky or significant")
+			}
+			if a.MaskedV() != 0 {
+				t.Errorf("MaskedV=%v, want 0", a.MaskedV())
+			}
+		})
+	}
+}
+
+// TestVerdictThresholdBoundary pins the verdict rule at the V = 0.5
+// boundary: the inequality is strict, so an association of exactly 0.5
+// — however significant — is not leaky, while anything above with a
+// small p-value is. For a 2x2 table [[a,b],[b,a]], V = |a-b|/(a+b).
+func TestVerdictThresholdBoundary(t *testing.T) {
+	mk := func(a, b int) Association {
+		tb := NewTable()
+		tb.Add(0, 1, a)
+		tb.Add(0, 2, b)
+		tb.Add(1, 1, b)
+		tb.Add(1, 2, a)
+		return tb.Analyze()
+	}
+
+	// a=30, b=10: V = 20/40 = 0.5 exactly, p ~ 7.7e-6.
+	at := mk(30, 10)
+	if math.Abs(at.V-0.5) > 1e-12 {
+		t.Fatalf("V = %v want exactly 0.5", at.V)
+	}
+	if !at.Significant() {
+		t.Fatalf("boundary table should be highly significant, p=%v", at.P)
+	}
+	if at.Leaky() {
+		t.Error("V exactly at the threshold must NOT be leaky (strict inequality)")
+	}
+
+	// a=31, b=9: V = 22/40 = 0.55, clears the threshold.
+	above := mk(31, 9)
+	if !above.Leaky() {
+		t.Errorf("V=%v p=%v just above the threshold must be leaky", above.V, above.P)
+	}
+
+	// a=1, b=0: V = 1 but n = 2 — perfect association with no
+	// statistical support stays non-leaky via the p-value guard.
+	tiny := mk(1, 0)
+	if tiny.V != 1 {
+		t.Errorf("tiny table V = %v want 1", tiny.V)
+	}
+	if tiny.Significant() || tiny.Leaky() {
+		t.Errorf("n=2 association must not be significant (p=%v)", tiny.P)
+	}
+	if tiny.MaskedV() != 0 {
+		t.Errorf("insignificant V must mask to 0, got %v", tiny.MaskedV())
+	}
+}
+
+// TestWilsonInterval checks the Wilson score interval against known
+// reference values and its structural properties at the extremes.
+func TestWilsonInterval(t *testing.T) {
+	// Reference: 0/55 successes at 95% -> upper bound 3/(n+z^2)-ish;
+	// the classical value for 0/55 is about 0.0654.
+	lo, hi := WilsonInterval(0, 55, 1.96)
+	if lo != 0 {
+		t.Errorf("0 successes: lo = %v want 0", lo)
+	}
+	if math.Abs(hi-0.0654) > 0.002 {
+		t.Errorf("0/55 upper bound = %v want ~0.0654", hi)
+	}
+
+	// Symmetry: k/n and (n-k)/n mirror around 1/2.
+	lo1, hi1 := WilsonInterval(10, 40, 1.96)
+	lo2, hi2 := WilsonInterval(30, 40, 1.96)
+	if math.Abs(lo1-(1-hi2)) > 1e-12 || math.Abs(hi1-(1-lo2)) > 1e-12 {
+		t.Errorf("interval not symmetric: [%v,%v] vs [%v,%v]", lo1, hi1, lo2, hi2)
+	}
+
+	// Reference value: 10/40 at 95% is approximately [0.1419, 0.4019].
+	if math.Abs(lo1-0.1419) > 0.002 || math.Abs(hi1-0.4019) > 0.002 {
+		t.Errorf("10/40 interval = [%v, %v] want ~[0.1419, 0.4019]", lo1, hi1)
+	}
+
+	// All successes: lower bound below 1, upper bound exactly 1-ish.
+	lo3, hi3 := WilsonInterval(20, 20, 1.96)
+	if lo3 >= 1 || hi3 > 1 || lo3 < 0.8 {
+		t.Errorf("20/20 interval = [%v, %v]", lo3, hi3)
+	}
+
+	// Degenerate trials.
+	if lo, hi := WilsonInterval(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("no trials must give the vacuous interval, got [%v, %v]", lo, hi)
+	}
+
+	// Wider confidence -> wider interval.
+	lo95, hi95 := WilsonInterval(5, 50, 1.96)
+	lo99, hi99 := WilsonInterval(5, 50, 2.576)
+	if lo99 > lo95 || hi99 < hi95 {
+		t.Errorf("99%% interval [%v,%v] must contain 95%% interval [%v,%v]",
+			lo99, hi99, lo95, hi95)
 	}
 }

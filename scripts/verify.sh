@@ -25,4 +25,16 @@ go test ./...
 echo "== go test -race (telemetry, core) =="
 go test -race ./internal/telemetry ./internal/core
 
+echo "== oracle determinism (go test -count=2) =="
+go test -count=2 ./internal/oracle
+
+echo "== fuzz smoke (5s per target) =="
+go test -run='^$' -fuzz='^FuzzAssemble$' -fuzztime=5s ./internal/asm
+go test -run='^$' -fuzz='^FuzzSipHashChunks$' -fuzztime=5s ./internal/siphash
+go test -run='^$' -fuzz='^FuzzHashMatrix$' -fuzztime=5s ./internal/snapshot
+go test -run='^$' -fuzz='^FuzzPipeline$' -fuzztime=5s ./internal/oracle
+
+echo "== detection-quality gate (mstest) =="
+go run ./cmd/mstest run -seeds 5 -quiet -out "${TMPDIR:-/tmp}/microsampler-quality.json"
+
 echo "verify: OK"
