@@ -445,3 +445,30 @@ func BenchmarkVerifyWithTelemetry(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSamplingThroughput measures the end-to-end ingest rate of
+// the per-cycle sampler: total state rows fed into the snapshot
+// pipeline per second of wall-clock verification time. This is the
+// number the allocation-free hot path moves; compare across commits
+// with scripts/bench.sh.
+func BenchmarkSamplingThroughput(b *testing.B) {
+	w, err := microsampler.WorkloadByName("ME-V1-MV")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := microsampler.Verify(w, microsampler.Options{
+			Config: microsampler.SmallBoom(), Runs: 2, Warmup: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range rep.Samples {
+			rows += n
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
+}

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microsampler/internal/asm"
@@ -50,6 +51,10 @@ type Workload struct {
 // dropped. A plain zero keeps the default of 2, so the zero-valued
 // Options stay useful; any negative Warmup means "explicitly zero".
 const NoWarmup = -1
+
+// ParallelAuto is the Options.Parallel sentinel selecting one worker
+// per CPU.
+const ParallelAuto = -1
 
 // Progress describes one completed simulation run; see
 // Options.OnProgress.
@@ -95,9 +100,10 @@ type Options struct {
 	// rather than wall time.
 	MeasureStages bool
 	// Parallel runs up to this many simulations concurrently (each run
-	// is an independent machine). 0 or 1 means sequential; negative
-	// means one worker per CPU. Results are identical to a sequential
-	// run: merging happens in run order.
+	// is an independent machine). 0 or 1 means sequential; ParallelAuto
+	// (-1) means one worker per CPU. Results are identical to a
+	// sequential run: merging happens in run order. When any run fails,
+	// its siblings are cancelled instead of simulating to completion.
 	Parallel int
 
 	// Metrics, when non-nil, receives pipeline and simulator counters
@@ -116,7 +122,22 @@ type Options struct {
 	OnProgress func(Progress)
 }
 
-func (o Options) withDefaults() Options {
+// withDefaults validates the options and fills in defaults. Negative
+// Runs or MaxCycles, or a Parallel below the ParallelAuto sentinel, are
+// programming errors that used to surface as panics (e.g. in
+// make([]runOut, opts.Runs)) deep inside Verify; they are rejected here
+// with a descriptive error instead.
+func (o Options) withDefaults() (Options, error) {
+	if o.Runs < 0 {
+		return o, fmt.Errorf("core: Options.Runs must be non-negative, got %d", o.Runs)
+	}
+	if o.MaxCycles < 0 {
+		return o, fmt.Errorf("core: Options.MaxCycles must be non-negative, got %d", o.MaxCycles)
+	}
+	if o.Parallel < ParallelAuto {
+		return o, fmt.Errorf("core: Options.Parallel must be >= %d (ParallelAuto), got %d",
+			ParallelAuto, o.Parallel)
+	}
 	if o.Config.Name == "" {
 		o.Config = sim.MegaBoom()
 	}
@@ -134,7 +155,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 20_000_000
 	}
-	return o
+	return o, nil
 }
 
 // UnitResult is the verdict for one microarchitectural unit.
@@ -294,7 +315,10 @@ func Verify(w Workload, opts Options) (*Report, error) {
 // VerifyContext is Verify with cancellation: a cancelled context aborts
 // between (not within) simulation runs.
 func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	verifyStart := time.Now()
 	tr := telemetry.NewSpanTracer(opts.TraceSink)
 	root := tr.Start("verify", 0, -1)
@@ -303,6 +327,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	prog, err := asm.Assemble(w.Source)
 	asmDur := asmSpan.End()
 	if err != nil {
+		root.End()
 		return nil, fmt.Errorf("assemble %s: %w", w.Name, err)
 	}
 
@@ -333,10 +358,27 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		plain  time.Duration // untraced execution (MeasureStages only)
 		traced time.Duration // traced execution wall time
 	}
+	// runCtx is cancelled when the first run fails, so sibling runs —
+	// queued or about to start — abort instead of simulating their full
+	// cycle budget only to have the result discarded. firstErr keeps the
+	// error that triggered cancellation: in run order it may be shadowed
+	// by the context.Canceled of an aborted earlier-indexed sibling.
+	runCtx, cancelRuns := context.WithCancel(ctx)
+	defer cancelRuns()
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			firstErr = err
+			cancelRuns()
+		})
+	}
 	var progressMu sync.Mutex
 	runsDone := 0
 	runOne := func(run int) (out runOut) {
-		if err := ctx.Err(); err != nil {
+		// Re-check cancellation here, after the run has been claimed:
+		// a worker may have been waiting while a sibling failed.
+		if err := runCtx.Err(); err != nil {
 			out.err = err
 			return out
 		}
@@ -395,23 +437,41 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	if workers <= 1 {
 		workers = 1
 	}
+	if workers > opts.Runs {
+		workers = opts.Runs
+	}
 
 	outs := make([]runOut, opts.Runs)
-	if workers == 1 {
+	doRun := func(run int) {
+		out := runOne(run)
+		if out.err != nil {
+			fail(out.err)
+		}
+		outs[run] = out
+	}
+	if workers <= 1 {
 		for run := 0; run < opts.Runs; run++ {
-			outs[run] = runOne(run)
+			doRun(run)
 		}
 	} else {
+		// A fixed pool of `workers` goroutines claims run indices from a
+		// shared counter: at most `workers` goroutines exist (instead of
+		// one per run), and a claimed run observes sibling failure via
+		// runCtx before it starts simulating.
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for run := 0; run < opts.Runs; run++ {
+		var nextRun atomic.Int64
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(run int) {
+			go func() {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				outs[run] = runOne(run)
-			}(run)
+				for {
+					run := int(nextRun.Add(1)) - 1
+					if run >= opts.Runs {
+						return
+					}
+					doRun(run)
+				}
+			}()
 		}
 		wg.Wait()
 	}
@@ -425,6 +485,14 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	runParse := make([]time.Duration, 0, opts.Runs)
 	for run := 0; run < opts.Runs; run++ {
 		if err := outs[run].err; err != nil {
+			// End the enclosing spans so a TraceSink JSONL stream is
+			// well-formed even on failure, and surface the error that
+			// caused the abort rather than a sibling's cancellation.
+			mergeSpan.End()
+			root.End()
+			if firstErr != nil {
+				err = firstErr
+			}
 			return nil, err
 		}
 		rep.Sim.accumulate(outs[run].res)
@@ -465,6 +533,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	}
 
 	if len(rep.Iterations) == 0 {
+		root.End()
 		return nil, fmt.Errorf("%s: %w", w.Name, ErrNoIterations)
 	}
 
@@ -578,29 +647,43 @@ func execRun(w Workload, opts Options, prog *asm.Program, run int,
 	return res, nil
 }
 
-// mergeAttribution unions sorted PC lists per address.
+// mergeAttribution unions sorted PC lists per address. Both sides hold
+// strictly increasing lists (trace.Collector.Attribution sorts its
+// output, and dst only ever holds results of previous merges), so a
+// linear two-pointer merge replaces the former quadratic membership
+// scan plus insertion sort while producing the identical sorted union.
 func mergeAttribution(dst, src map[uint64][]uint64) {
 	for addr, pcs := range src {
-		have := dst[addr]
-		for _, pc := range pcs {
-			found := false
-			for _, h := range have {
-				if h == pc {
-					found = true
-					break
-				}
-			}
-			if !found {
-				have = append(have, pc)
-			}
-		}
-		for i := 1; i < len(have); i++ {
-			for j := i; j > 0 && have[j] < have[j-1]; j-- {
-				have[j], have[j-1] = have[j-1], have[j]
-			}
-		}
-		dst[addr] = have
+		dst[addr] = mergeSortedUnique(dst[addr], pcs)
 	}
+}
+
+// mergeSortedUnique returns the sorted, deduplicated union of two
+// strictly increasing lists. The result never aliases b, so callers may
+// retain it independently of the source map.
+func mergeSortedUnique(a, b []uint64) []uint64 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // tableOf builds the contingency table of a snapshot store. Classes

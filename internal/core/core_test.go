@@ -5,9 +5,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math/rand"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"microsampler/internal/asm"
 	"microsampler/internal/sim"
@@ -202,6 +206,229 @@ _start:
 	})
 }
 
+func TestVerifyNegativeOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"negative runs", Options{Runs: -1}, "Runs"},
+		{"negative max cycles", Options{MaxCycles: -5}, "MaxCycles"},
+		{"parallel below auto", Options{Parallel: -2}, "Parallel"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Verify(Workload{Name: "neg", Source: smokeWorkload}, tc.opts)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("opts %+v: want error mentioning %q, got %v", tc.opts, tc.want, err)
+			}
+		})
+	}
+	// ParallelAuto itself must remain valid.
+	if _, err := Verify(Workload{Name: "auto", Source: smokeWorkload},
+		Options{Runs: 2, Warmup: 1, Config: sim.SmallBoom(), Parallel: ParallelAuto}); err != nil {
+		t.Errorf("ParallelAuto rejected: %v", err)
+	}
+}
+
+func TestParallelFailureCancelsSiblings(t *testing.T) {
+	// Run 0 fails during setup; the remaining runs would each simulate a
+	// long loop. With failure propagation, the pool must stop claiming
+	// queued runs: only the runs already in flight when the failure hits
+	// can still execute, so far fewer than Runs setups are observed.
+	const runs = 16
+	var started atomic.Int64
+	w := Workload{
+		Name:   "failfast",
+		Source: leakWorkload,
+		Setup: func(run int, m *sim.Machine, prog *asm.Program) error {
+			started.Add(1)
+			if run == 0 {
+				return errors.New("injected failure")
+			}
+			return nil
+		},
+	}
+	start := time.Now()
+	_, err := Verify(w, Options{Runs: runs, Warmup: 1, Config: sim.SmallBoom(), Parallel: 2})
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("want the injected failure surfaced, got %v", err)
+	}
+	// Worker pool of 2: run 0 fails immediately; at most a handful of
+	// sibling runs can have started before cancellation lands.
+	if n := started.Load(); n > 4 {
+		t.Errorf("%d of %d runs started after failure, cancellation did not propagate", n, runs)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("failure took %v to surface; siblings were not cancelled", elapsed)
+	}
+}
+
+func TestSequentialFailureSkipsRemainingRuns(t *testing.T) {
+	var started atomic.Int64
+	w := Workload{
+		Name:   "failfast-seq",
+		Source: smokeWorkload,
+		Setup: func(run int, m *sim.Machine, prog *asm.Program) error {
+			started.Add(1)
+			if run == 1 {
+				return errors.New("injected failure")
+			}
+			return nil
+		},
+	}
+	_, err := Verify(w, Options{Runs: 8, Warmup: 1, Config: sim.SmallBoom()})
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("want the injected failure surfaced, got %v", err)
+	}
+	if n := started.Load(); n != 2 {
+		t.Errorf("%d runs started, want 2 (runs after the failure must be skipped)", n)
+	}
+}
+
+// spanNames decodes a JSONL span sink into the multiset of span names.
+func spanNames(t *testing.T, sink string) map[string]int {
+	t.Helper()
+	names := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(sink), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		name, _ := m["name"].(string)
+		names[name]++
+	}
+	return names
+}
+
+func TestSpansClosedOnFailure(t *testing.T) {
+	t.Run("run failure", func(t *testing.T) {
+		var buf syncBuffer
+		_, err := Verify(Workload{Name: "fail", Source: `
+_start:
+	roi.begin
+	li  t0, 1
+	iter.begin t0
+	iter.end
+	roi.end
+	li a0, 7
+	li a7, 93
+	ecall
+`}, Options{Runs: 2, Warmup: 0, Config: sim.SmallBoom(), TraceSink: &buf})
+		if err == nil {
+			t.Fatal("want run failure")
+		}
+		names := spanNames(t, buf.String())
+		for _, want := range []string{"verify", "simulate", "merge"} {
+			if names[want] == 0 {
+				t.Errorf("span %q not closed on the failing path (sink: %v)", want, names)
+			}
+		}
+	})
+	t.Run("assemble failure", func(t *testing.T) {
+		var buf syncBuffer
+		_, err := Verify(Workload{Name: "bad", Source: "_start:\n bogus\n"},
+			Options{TraceSink: &buf})
+		if err == nil {
+			t.Fatal("want assembly failure")
+		}
+		names := spanNames(t, buf.String())
+		if names["verify"] == 0 || names["assemble"] == 0 {
+			t.Errorf("verify/assemble spans not closed: %v", names)
+		}
+	})
+	t.Run("no iterations", func(t *testing.T) {
+		var buf syncBuffer
+		_, err := Verify(Workload{Name: "empty", Source: `
+_start:
+	li a0, 0
+	li a7, 93
+	ecall
+`}, Options{Runs: 1, Warmup: 0, Config: sim.SmallBoom(), TraceSink: &buf})
+		if !errors.Is(err, ErrNoIterations) {
+			t.Fatalf("want ErrNoIterations, got %v", err)
+		}
+		names := spanNames(t, buf.String())
+		for _, want := range []string{"verify", "simulate", "merge"} {
+			if names[want] == 0 {
+				t.Errorf("span %q not closed on the no-iterations path: %v", want, names)
+			}
+		}
+	})
+}
+
+func TestMergeAttribution(t *testing.T) {
+	// Reference implementation: the former quadratic membership scan.
+	ref := func(dst, src map[uint64][]uint64) {
+		for addr, pcs := range src {
+			have := dst[addr]
+			for _, pc := range pcs {
+				found := false
+				for _, h := range have {
+					if h == pc {
+						found = true
+						break
+					}
+				}
+				if !found {
+					have = append(have, pc)
+				}
+			}
+			for i := 1; i < len(have); i++ {
+				for j := i; j > 0 && have[j] < have[j-1]; j-- {
+					have[j], have[j-1] = have[j-1], have[j]
+				}
+			}
+			dst[addr] = have
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		got := map[uint64][]uint64{}
+		want := map[uint64][]uint64{}
+		for merge := 0; merge < 4; merge++ {
+			src := map[uint64][]uint64{}
+			for a := 0; a < 5; a++ {
+				addr := uint64(rng.Intn(6))
+				n := rng.Intn(5)
+				set := map[uint64]struct{}{}
+				for i := 0; i < n; i++ {
+					set[uint64(rng.Intn(10))] = struct{}{}
+				}
+				pcs := make([]uint64, 0, len(set))
+				for pc := range set {
+					pcs = append(pcs, pc)
+				}
+				sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+				src[addr] = pcs
+			}
+			srcCopy := map[uint64][]uint64{}
+			for a, pcs := range src {
+				srcCopy[a] = append([]uint64(nil), pcs...)
+			}
+			mergeAttribution(got, src)
+			ref(want, srcCopy)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d addrs, want %d", trial, len(got), len(want))
+		}
+		for addr, pcs := range want {
+			g := got[addr]
+			if len(g) != len(pcs) {
+				t.Fatalf("trial %d addr %d: %v want %v", trial, addr, g, pcs)
+			}
+			for i := range pcs {
+				if g[i] != pcs[i] {
+					t.Fatalf("trial %d addr %d: %v want %v", trial, addr, g, pcs)
+				}
+			}
+		}
+	}
+}
+
 func TestVerifyDeterministic(t *testing.T) {
 	opts := Options{Runs: 2, Warmup: 1, Config: sim.SmallBoom()}
 	r1, err := Verify(Workload{Name: "leak", Source: leakWorkload}, opts)
@@ -330,13 +557,21 @@ loop:
 }
 
 func TestWarmupDefaultAndSentinel(t *testing.T) {
-	if got := (Options{}).withDefaults().Warmup; got != 2 {
+	defaulted := func(o Options) Options {
+		t.Helper()
+		out, err := o.withDefaults()
+		if err != nil {
+			t.Fatalf("withDefaults(%+v): %v", o, err)
+		}
+		return out
+	}
+	if got := defaulted(Options{}).Warmup; got != 2 {
 		t.Errorf("zero Warmup should default to 2, got %d", got)
 	}
-	if got := (Options{Warmup: NoWarmup}).withDefaults().Warmup; got != 0 {
+	if got := defaulted(Options{Warmup: NoWarmup}).Warmup; got != 0 {
 		t.Errorf("NoWarmup should yield 0, got %d", got)
 	}
-	if got := (Options{Warmup: 5}).withDefaults().Warmup; got != 5 {
+	if got := defaulted(Options{Warmup: 5}).Warmup; got != 5 {
 		t.Errorf("explicit Warmup clobbered: %d", got)
 	}
 	// End-to-end: NoWarmup keeps every labeled iteration (8 per run).

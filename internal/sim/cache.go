@@ -117,6 +117,7 @@ type tlbEntry struct {
 
 type tlb struct {
 	entries []tlbEntry
+	scratch []tlbEntry // reused by recencyScratch; no per-cycle allocation
 }
 
 func newTLB(n int) *tlb { return &tlb{entries: make([]tlbEntry, n)} }
@@ -145,11 +146,18 @@ func (t *tlb) insert(page uint64, now int64) {
 	t.entries[victim] = tlbEntry{page: page, valid: true, lastUse: now}
 }
 
-// recencyOrdered returns the valid pages most-recently-used first. This
-// is the TLB-ADDR feature row: it exposes the replacement (LRU stack)
-// state, which is genuine RTL state of the translation unit.
+// recencyOrdered returns the valid pages most-recently-used first, as a
+// freshly allocated slice safe to retain.
 func (t *tlb) recencyOrdered() []tlbEntry {
-	out := make([]tlbEntry, 0, len(t.entries))
+	return append([]tlbEntry(nil), t.recencyScratch()...)
+}
+
+// recencyScratch returns the valid pages most-recently-used first. This
+// is the TLB-ADDR feature row: it exposes the replacement (LRU stack)
+// state, which is genuine RTL state of the translation unit. The result
+// is backed by a reused scratch buffer, valid until the next call.
+func (t *tlb) recencyScratch() []tlbEntry {
+	out := t.scratch[:0]
 	for _, e := range t.entries {
 		if e.valid {
 			out = append(out, e)
@@ -161,6 +169,7 @@ func (t *tlb) recencyOrdered() []tlbEntry {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
+	t.scratch = out
 	return out
 }
 

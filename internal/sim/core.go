@@ -69,6 +69,10 @@ type Core struct {
 	lsuReplays  uint64 // memory ops retried because MSHRs/LFB were full
 
 	tracer Tracer
+	// probe is the persistent view handed to the tracer every cycle; it
+	// lives on the core so neither the probe nor its scratch buffers are
+	// reallocated on the per-cycle hot path.
+	probe Probe
 }
 
 // Tracer observes per-cycle microarchitectural state and commit-time
@@ -104,6 +108,7 @@ func newCore(cfg Config, mem *Memory) *Core {
 	for i := cfg.IntPRF - 1; i >= 32; i-- {
 		c.freeList = append(c.freeList, int16(i))
 	}
+	c.probe = Probe{c: c}
 	return c
 }
 
@@ -121,7 +126,7 @@ func (c *Core) step() {
 	c.fetch()
 
 	if c.tracer != nil {
-		c.tracer.OnCycle(&Probe{c: c})
+		c.tracer.OnCycle(&c.probe)
 	}
 	if !c.halted && c.cycle-c.lastCommit > 100000 {
 		c.fail(fmt.Errorf("sim: pipeline made no progress for 100000 cycles (pc≈%#x)", c.fetchPC))

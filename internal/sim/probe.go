@@ -3,8 +3,22 @@ package sim
 // Probe exposes the per-cycle microarchitectural state that MicroSampler
 // tracks (Table IV of the paper). A Probe is only valid during the
 // Tracer.OnCycle call that delivered it.
+//
+// The slice-returning views (StoreQueue, ROB, LFB, ...) are zero-copy:
+// they are backed by scratch buffers owned by the probe and reused every
+// call, so a returned slice is only valid until the next call of the
+// same method. Tracers that need to retain entries must copy them. The
+// Append* variants write straight into a caller-provided buffer and are
+// the allocation-free path the trace collector samples through.
 type Probe struct {
 	c *Core
+
+	// Scratch buffers backing the zero-copy views.
+	stq []LSQEntry
+	ldq []LSQEntry
+	rob []ROBEntry
+	lfb []LFBEntryView
+	pcs []uint64
 }
 
 // Cycle returns the current simulation cycle.
@@ -18,22 +32,70 @@ type LSQEntry struct {
 }
 
 // StoreQueue returns the store-queue contents in age order, including
-// committed stores that have not yet drained to the D-cache.
+// committed stores that have not yet drained to the D-cache. The slice
+// is valid until the next StoreQueue call.
 func (p *Probe) StoreQueue() []LSQEntry {
-	out := make([]LSQEntry, 0, len(p.c.stq))
+	out := p.stq[:0]
 	for _, u := range p.c.stq {
 		out = append(out, LSQEntry{Addr: u.memAddr, PC: u.pc, Valid: u.addrReady})
 	}
+	p.stq = out
 	return out
 }
 
-// LoadQueue returns the load-queue contents in age order.
+// LoadQueue returns the load-queue contents in age order. The slice is
+// valid until the next LoadQueue call.
 func (p *Probe) LoadQueue() []LSQEntry {
-	out := make([]LSQEntry, 0, len(p.c.ldq))
+	out := p.ldq[:0]
 	for _, u := range p.c.ldq {
 		out = append(out, LSQEntry{Addr: u.memAddr, PC: u.pc, Valid: u.addrReady})
 	}
+	p.ldq = out
 	return out
+}
+
+// AppendStoreAddrs appends the SQ-ADDR feature row: per store-queue slot
+// in age order, the computed store address (0 while unresolved).
+func (p *Probe) AppendStoreAddrs(dst []uint64) []uint64 {
+	for _, u := range p.c.stq {
+		if u.addrReady {
+			dst = append(dst, u.memAddr)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// AppendStorePCs appends the SQ-PC feature row: the program counter of
+// every store-queue slot in age order.
+func (p *Probe) AppendStorePCs(dst []uint64) []uint64 {
+	for _, u := range p.c.stq {
+		dst = append(dst, u.pc)
+	}
+	return dst
+}
+
+// AppendLoadAddrs appends the LQ-ADDR feature row: per load-queue slot
+// in age order, the computed load address (0 while unresolved).
+func (p *Probe) AppendLoadAddrs(dst []uint64) []uint64 {
+	for _, u := range p.c.ldq {
+		if u.addrReady {
+			dst = append(dst, u.memAddr)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// AppendLoadPCs appends the LQ-PC feature row: the program counter of
+// every load-queue slot in age order.
+func (p *Probe) AppendLoadPCs(dst []uint64) []uint64 {
+	for _, u := range p.c.ldq {
+		dst = append(dst, u.pc)
+	}
+	return dst
 }
 
 // ROBEntry is one reorder-buffer slot view.
@@ -42,13 +104,26 @@ type ROBEntry struct {
 	Folded bool // fast-bypassed op sharing its neighbour's slot
 }
 
-// ROB returns the reorder-buffer contents in age order.
+// ROB returns the reorder-buffer contents in age order. The slice is
+// valid until the next ROB call.
 func (p *Probe) ROB() []ROBEntry {
-	out := make([]ROBEntry, 0, len(p.c.rob))
+	out := p.rob[:0]
 	for _, u := range p.c.rob {
 		out = append(out, ROBEntry{PC: u.pc, Folded: u.folded})
 	}
+	p.rob = out
 	return out
+}
+
+// AppendROBPCs appends the ROB-PC feature row: the program counters of
+// the occupied (non-folded) reorder-buffer slots in age order.
+func (p *Probe) AppendROBPCs(dst []uint64) []uint64 {
+	for _, u := range p.c.rob {
+		if !u.folded {
+			dst = append(dst, u.pc)
+		}
+	}
+	return dst
 }
 
 // ROBOccupancy returns the number of occupied (non-folded) ROB slots.
@@ -69,9 +144,10 @@ type LFBEntryView struct {
 	Filled bool
 }
 
-// LFB returns the valid load-fill-buffer entries.
+// LFB returns the valid load-fill-buffer entries. The slice is valid
+// until the next LFB call.
 func (p *Probe) LFB() []LFBEntryView {
-	out := make([]LFBEntryView, 0, 4)
+	out := p.lfb[:0]
 	for _, e := range p.c.dc.lfb {
 		if !e.valid {
 			continue
@@ -85,79 +161,168 @@ func (p *Probe) LFB() []LFBEntryView {
 		}
 		out = append(out, v)
 	}
+	p.lfb = out
 	return out
 }
 
-func busyPCs(pool []fuSlot, now int64) []uint64 {
-	out := make([]uint64, len(pool))
-	for i, s := range pool {
-		if s.busyUntil > now {
-			out[i] = s.pc
+// AppendLFBData appends the LFB-Data feature row: per valid fill-buffer
+// entry, the first doubleword of the line (0 while the fill is in
+// flight).
+func (p *Probe) AppendLFBData(dst []uint64) []uint64 {
+	for _, e := range p.c.dc.lfb {
+		if !e.valid {
+			continue
+		}
+		if e.fillAt <= p.c.cycle {
+			dst = append(dst, e.data)
+		} else {
+			dst = append(dst, 0)
 		}
 	}
+	return dst
+}
+
+// AppendLFBAddrs appends the LFB-ADDR feature row: the line base
+// addresses of the valid fill-buffer entries.
+func (p *Probe) AppendLFBAddrs(dst []uint64) []uint64 {
+	for _, e := range p.c.dc.lfb {
+		if e.valid {
+			dst = append(dst, e.lineAddr<<p.c.dc.cache.lineShift)
+		}
+	}
+	return dst
+}
+
+func appendBusyPCs(dst []uint64, pool []fuSlot, now int64) []uint64 {
+	for _, s := range pool {
+		if s.busyUntil > now {
+			dst = append(dst, s.pc)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+func (p *Probe) busyPCs(pool []fuSlot) []uint64 {
+	out := appendBusyPCs(p.pcs[:0], pool, p.c.cycle)
+	p.pcs = out
 	return out
 }
 
 // ALUBusy returns, per ALU instance, the PC of the op executing this
-// cycle (0 when idle). EUU-ALU feature.
-func (p *Probe) ALUBusy() []uint64 { return busyPCs(p.c.alus, p.c.cycle) }
+// cycle (0 when idle). EUU-ALU feature. The slice is valid until the
+// next *Busy call.
+func (p *Probe) ALUBusy() []uint64 { return p.busyPCs(p.c.alus) }
 
 // MulBusy returns the multiplier occupancy. EUU-MUL feature.
-func (p *Probe) MulBusy() []uint64 { return busyPCs(p.c.muls, p.c.cycle) }
+func (p *Probe) MulBusy() []uint64 { return p.busyPCs(p.c.muls) }
 
 // DivBusy returns the divider occupancy. EUU-DIV feature.
-func (p *Probe) DivBusy() []uint64 { return busyPCs(p.c.divs, p.c.cycle) }
+func (p *Probe) DivBusy() []uint64 { return p.busyPCs(p.c.divs) }
 
 // AGUBusy returns the address-generation unit occupancy. EUU-ADDRGEN.
-func (p *Probe) AGUBusy() []uint64 { return busyPCs(p.c.agus, p.c.cycle) }
+func (p *Probe) AGUBusy() []uint64 { return p.busyPCs(p.c.agus) }
 
-// PrefetchAddrs returns the line addresses of outstanding next-line
-// prefetches. NLP-ADDR feature.
-func (p *Probe) PrefetchAddrs() []uint64 {
-	out := make([]uint64, 0, 2)
+// AppendALUBusy appends the EUU-ALU feature row to dst.
+func (p *Probe) AppendALUBusy(dst []uint64) []uint64 {
+	return appendBusyPCs(dst, p.c.alus, p.c.cycle)
+}
+
+// AppendMulBusy appends the EUU-MUL feature row to dst.
+func (p *Probe) AppendMulBusy(dst []uint64) []uint64 {
+	return appendBusyPCs(dst, p.c.muls, p.c.cycle)
+}
+
+// AppendDivBusy appends the EUU-DIV feature row to dst.
+func (p *Probe) AppendDivBusy(dst []uint64) []uint64 {
+	return appendBusyPCs(dst, p.c.divs, p.c.cycle)
+}
+
+// AppendAGUBusy appends the EUU-ADDRGEN feature row to dst.
+func (p *Probe) AppendAGUBusy(dst []uint64) []uint64 {
+	return appendBusyPCs(dst, p.c.agus, p.c.cycle)
+}
+
+// AppendPrefetchAddrs appends the NLP-ADDR feature row: the line
+// addresses of outstanding next-line prefetches.
+func (p *Probe) AppendPrefetchAddrs(dst []uint64) []uint64 {
 	for _, m := range p.c.dc.nlp {
 		if m.valid {
-			out = append(out, m.lineAddr<<p.c.dc.cache.lineShift)
+			dst = append(dst, m.lineAddr<<p.c.dc.cache.lineShift)
 		}
 	}
+	return dst
+}
+
+// PrefetchAddrs returns the line addresses of outstanding next-line
+// prefetches. NLP-ADDR feature. The slice is valid until the next
+// PrefetchAddrs/ALUBusy-family call (shared scratch).
+func (p *Probe) PrefetchAddrs() []uint64 {
+	out := p.AppendPrefetchAddrs(p.pcs[:0])
+	p.pcs = out
 	return out
+}
+
+// AppendCacheRequests appends the Cache-ADDR feature row: the demand
+// addresses presented to the D-cache this cycle.
+func (p *Probe) AppendCacheRequests(dst []uint64) []uint64 {
+	for _, r := range p.c.dc.reqThisCycle {
+		dst = append(dst, r.addr)
+	}
+	return dst
 }
 
 // CacheRequests returns the demand addresses presented to the D-cache
-// this cycle. Cache-ADDR feature.
+// this cycle. Cache-ADDR feature. The slice is valid until the next
+// PrefetchAddrs/ALUBusy-family call (shared scratch).
 func (p *Probe) CacheRequests() []uint64 {
-	out := make([]uint64, 0, len(p.c.dc.reqThisCycle))
-	for _, r := range p.c.dc.reqThisCycle {
-		out = append(out, r.addr)
-	}
+	out := p.AppendCacheRequests(p.pcs[:0])
+	p.pcs = out
 	return out
+}
+
+// AppendTLBPages appends the TLB-ADDR feature row: the valid data-TLB
+// page numbers, most recently used first — this exposes the translation
+// unit's replacement state, which is RTL state.
+func (p *Probe) AppendTLBPages(dst []uint64) []uint64 {
+	for _, e := range p.c.dc.tlb.recencyScratch() {
+		dst = append(dst, e.page)
+	}
+	return dst
 }
 
 // TLBPages returns the valid data-TLB page numbers, most recently used
-// first — this exposes the translation unit's replacement state, which
-// is RTL state. TLB-ADDR feature.
+// first. TLB-ADDR feature. The slice is valid until the next
+// PrefetchAddrs/ALUBusy-family call (shared scratch).
 func (p *Probe) TLBPages() []uint64 {
-	ents := p.c.dc.tlb.recencyOrdered()
-	out := make([]uint64, 0, len(ents))
-	for _, e := range ents {
-		out = append(out, e.page)
-	}
+	out := p.AppendTLBPages(p.pcs[:0])
+	p.pcs = out
 	return out
 }
 
-// MSHRAddrs returns the line addresses of outstanding misses — demand
-// MSHRs plus the prefetcher's dedicated miss trackers. MSHR-ADDR feature.
-func (p *Probe) MSHRAddrs() []uint64 {
-	out := make([]uint64, 0, 2)
+// AppendMSHRAddrs appends the MSHR-ADDR feature row: the line addresses
+// of outstanding misses — demand MSHRs plus the prefetcher's dedicated
+// miss trackers.
+func (p *Probe) AppendMSHRAddrs(dst []uint64) []uint64 {
 	for _, m := range p.c.dc.mshrs {
 		if m.valid {
-			out = append(out, m.lineAddr<<p.c.dc.cache.lineShift)
+			dst = append(dst, m.lineAddr<<p.c.dc.cache.lineShift)
 		}
 	}
 	for _, m := range p.c.dc.nlp {
 		if m.valid {
-			out = append(out, m.lineAddr<<p.c.dc.cache.lineShift)
+			dst = append(dst, m.lineAddr<<p.c.dc.cache.lineShift)
 		}
 	}
+	return dst
+}
+
+// MSHRAddrs returns the line addresses of outstanding misses. MSHR-ADDR
+// feature. The slice is valid until the next PrefetchAddrs/ALUBusy-family
+// call (shared scratch).
+func (p *Probe) MSHRAddrs() []uint64 {
+	out := p.AppendMSHRAddrs(p.pcs[:0])
+	p.pcs = out
 	return out
 }

@@ -35,12 +35,21 @@ type Hasher struct {
 
 // New returns a Hasher initialised with the key.
 func New(k Key) *Hasher {
-	return &Hasher{
-		v0: k.K0 ^ 0x736f6d6570736575,
-		v1: k.K1 ^ 0x646f72616e646f6d,
-		v2: k.K0 ^ 0x6c7967656e657261,
-		v3: k.K1 ^ 0x7465646279746573,
-	}
+	h := &Hasher{}
+	h.Reset(k)
+	return h
+}
+
+// Reset reinitialises the hasher to its post-New state under the key,
+// discarding all absorbed data. It lets long-lived recorders rehash
+// without allocating a fresh Hasher per iteration.
+func (h *Hasher) Reset(k Key) {
+	h.v0 = k.K0 ^ 0x736f6d6570736575
+	h.v1 = k.K1 ^ 0x646f72616e646f6d
+	h.v2 = k.K0 ^ 0x6c7967656e657261
+	h.v3 = k.K1 ^ 0x7465646279746573
+	h.bufLen = 0
+	h.length = 0
 }
 
 func (h *Hasher) round() {
@@ -108,21 +117,23 @@ func (h *Hasher) WriteUint64(v uint64) {
 	h.Write(b[:]) //nolint:errcheck // cannot fail
 }
 
-// Sum64 finalises and returns the digest. The Hasher must not be used
-// after Sum64.
+// Sum64 returns the digest of the data absorbed so far. Finalisation
+// runs on a copy of the state, so Sum64 is idempotent and the Hasher
+// remains usable for further writes.
 func (h *Hasher) Sum64() uint64 {
+	f := *h
 	var last uint64
-	for i := 0; i < h.bufLen; i++ {
-		last |= uint64(h.buf[i]) << (8 * i)
+	for i := 0; i < f.bufLen; i++ {
+		last |= uint64(f.buf[i]) << (8 * i)
 	}
-	last |= (h.length & 0xFF) << 56
-	h.block(last)
-	h.v2 ^= 0xFF
-	h.round()
-	h.round()
-	h.round()
-	h.round()
-	return h.v0 ^ h.v1 ^ h.v2 ^ h.v3
+	last |= (f.length & 0xFF) << 56
+	f.block(last)
+	f.v2 ^= 0xFF
+	f.round()
+	f.round()
+	f.round()
+	f.round()
+	return f.v0 ^ f.v1 ^ f.v2 ^ f.v3
 }
 
 func le64(b []byte) uint64 {

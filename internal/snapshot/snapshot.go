@@ -54,14 +54,23 @@ func rowsEqual(a, b []uint64) bool {
 
 // Recorder accumulates the rows of one iteration snapshot for a single
 // microarchitectural unit. It hashes incrementally (both the full and
-// the timing-free variant) and keeps the raw rows so that a newly seen
-// snapshot can be retained as the representative matrix.
+// the timing-free variant) and keeps the raw row values so that a newly
+// seen snapshot can be retained as the representative matrix.
+//
+// Rows are stored in a flat arena (one values slice plus per-row end
+// offsets) that is reused across Reset calls, so the per-cycle AddRow /
+// AddValue path performs no steady-state allocations once the arena has
+// grown to cover the longest iteration.
 type Recorder struct {
-	rows     [][]uint64
-	full     *siphash.Hasher
-	noTiming *siphash.Hasher
-	lastRow  []uint64
-	hasLast  bool
+	vals     []uint64 // flat arena of all row values, in row order
+	ends     []int    // ends[i] is the end offset of row i in vals
+	full     siphash.Hasher
+	noTiming siphash.Hasher
+	// Last distinct row, as offsets into vals (offsets stay valid when
+	// the arena reallocates, unlike subslice headers).
+	lastStart, lastEnd int
+	hasLast            bool
+	rows               [][]uint64 // scratch rebuilt by Rows, reused
 }
 
 // NewRecorder returns an empty Recorder.
@@ -71,43 +80,86 @@ func NewRecorder() *Recorder {
 	return r
 }
 
-// Reset clears the recorder for the next iteration.
+// Reset clears the recorder for the next iteration, retaining the
+// arena's capacity.
 func (r *Recorder) Reset() {
+	r.vals = r.vals[:0]
+	r.ends = r.ends[:0]
 	r.rows = r.rows[:0]
-	r.full = siphash.New(siphash.DefaultKey)
-	r.noTiming = siphash.New(siphash.DefaultKey)
-	r.lastRow = nil
+	r.full.Reset(siphash.DefaultKey)
+	r.noTiming.Reset(siphash.DefaultKey)
+	r.lastStart, r.lastEnd = 0, 0
 	r.hasLast = false
 }
 
-// AddRow appends one cycle's state row. The row is copied.
+// AddRow appends one cycle's state row. The row is copied into the
+// arena; the caller may reuse its slice.
 func (r *Recorder) AddRow(row []uint64) {
-	cp := make([]uint64, len(row))
-	copy(cp, row)
-	r.rows = append(r.rows, cp)
+	start := len(r.vals)
+	r.vals = append(r.vals, row...)
+	r.commitRow(start)
+}
 
-	r.full.WriteUint64(uint64(len(cp)) | 1<<63)
-	for _, v := range cp {
+// AddValue appends a single-value row. It is equivalent to
+// AddRow([]uint64{v}) — same hash, same stored row — without
+// materialising the one-element slice, which lets event streams feed the
+// recorder value by value off the hot path's scratch buffers.
+func (r *Recorder) AddValue(v uint64) {
+	start := len(r.vals)
+	r.vals = append(r.vals, v)
+	r.commitRow(start)
+}
+
+// commitRow seals vals[start:] as one row: records its end offset and
+// streams it into the full hash, and into the timing-free hash when it
+// differs from the previous distinct row.
+func (r *Recorder) commitRow(start int) {
+	end := len(r.vals)
+	r.ends = append(r.ends, end)
+	row := r.vals[start:end]
+	r.full.WriteUint64(uint64(len(row)) | 1<<63)
+	for _, v := range row {
 		r.full.WriteUint64(v)
 	}
-	if !r.hasLast || !rowsEqual(cp, r.lastRow) {
-		r.noTiming.WriteUint64(uint64(len(cp)) | 1<<63)
-		for _, v := range cp {
+	if !r.hasLast || !rowsEqual(row, r.vals[r.lastStart:r.lastEnd]) {
+		r.noTiming.WriteUint64(uint64(len(row)) | 1<<63)
+		for _, v := range row {
 			r.noTiming.WriteUint64(v)
 		}
-		r.lastRow = cp
+		r.lastStart, r.lastEnd = start, end
 		r.hasLast = true
 	}
 }
 
 // Cycles returns the number of rows recorded so far.
-func (r *Recorder) Cycles() int { return len(r.rows) }
+func (r *Recorder) Cycles() int { return len(r.ends) }
+
+// Hashes returns the full and timing-free hashes of the rows recorded
+// so far. It does not disturb the recorder.
+func (r *Recorder) Hashes() (full, noTiming uint64) {
+	return r.full.Sum64(), r.noTiming.Sum64()
+}
+
+// Rows materialises the recorded rows as arena-backed subslices. The
+// result is only valid until the next Reset or Add; callers that keep
+// it must copy (Store does).
+func (r *Recorder) Rows() [][]uint64 {
+	rows := r.rows[:0]
+	start := 0
+	for _, end := range r.ends {
+		rows = append(rows, r.vals[start:end:end])
+		start = end
+	}
+	r.rows = rows
+	return rows
+}
 
 // Finish returns the full and timing-free hashes plus the recorded rows.
-// The returned rows alias the recorder's buffer and are only valid until
+// The returned rows alias the recorder's arena and are only valid until
 // the next Reset; callers that keep them must copy (Store does).
 func (r *Recorder) Finish() (full, noTiming uint64, rows [][]uint64) {
-	return r.full.Sum64(), r.noTiming.Sum64(), r.rows
+	full, noTiming = r.Hashes()
+	return full, noTiming, r.Rows()
 }
 
 // Entry is one unique snapshot with its per-class observation counts
@@ -170,6 +222,17 @@ func (s *Store) ObserveLazy(class, hash uint64, rows func() [][]uint64) {
 		return
 	}
 	s.Observe(class, hash, rows())
+}
+
+// ObserveFrom folds one snapshot occurrence straight from a recorder,
+// materialising its rows only when the hash is new. Unlike ObserveLazy
+// it needs no closure, so the seen-hash fast path is allocation-free.
+func (s *Store) ObserveFrom(class, hash uint64, r *Recorder) {
+	if e := s.byHash[hash]; e != nil {
+		e.CountByClass[class]++
+		return
+	}
+	s.Observe(class, hash, r.Rows())
 }
 
 // Merge folds another store's observations into s. Representative

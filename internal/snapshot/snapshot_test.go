@@ -213,3 +213,100 @@ func TestObserveLazy(t *testing.T) {
 		t.Errorf("counts = %d want 3", s.Entries()[0].Total())
 	}
 }
+
+func TestAddValueMatchesSingleValueRow(t *testing.T) {
+	// The streaming event API must be hash-identical to building the
+	// equivalent single-value rows: the collector switched from
+	// AddRow([]uint64{v}) to AddValue(v) and the snapshot identity of
+	// every event stream has to survive that switch.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]uint64, rng.Intn(30))
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(5)) // duplicates likely
+		}
+		a, b := NewRecorder(), NewRecorder()
+		for _, v := range vals {
+			a.AddValue(v)
+			b.AddRow([]uint64{v})
+		}
+		af, an := a.Hashes()
+		bf, bn := b.Hashes()
+		if af != bf || an != bn {
+			t.Fatalf("trial %d: AddValue (%x,%x) != AddRow (%x,%x)",
+				trial, af, an, bf, bn)
+		}
+		rows := a.Rows()
+		if len(rows) != len(vals) {
+			t.Fatalf("trial %d: %d rows want %d", trial, len(rows), len(vals))
+		}
+		for i, v := range vals {
+			if len(rows[i]) != 1 || rows[i][0] != v {
+				t.Fatalf("trial %d row %d = %v want [%d]", trial, i, rows[i], v)
+			}
+		}
+	}
+}
+
+func TestRecorderHashesIdempotent(t *testing.T) {
+	r := NewRecorder()
+	r.AddRow([]uint64{1, 2})
+	r.AddValue(3)
+	f1, n1 := r.Hashes()
+	f2, n2 := r.Hashes()
+	if f1 != f2 || n1 != n2 {
+		t.Error("Hashes must be callable repeatedly without changing")
+	}
+	r.AddRow([]uint64{4})
+	f3, _ := r.Hashes()
+	if f3 == f1 {
+		t.Error("hash did not change after more rows")
+	}
+}
+
+func TestRecorderRowsSurviveArenaGrowth(t *testing.T) {
+	// Row views are rebuilt from offsets, so arena reallocation while
+	// recording must not corrupt earlier rows.
+	r := NewRecorder()
+	want := make([][]uint64, 0, 200)
+	for i := 0; i < 200; i++ {
+		row := []uint64{uint64(i), uint64(i * 3)}
+		r.AddRow(row)
+		want = append(want, row)
+	}
+	got := r.Rows()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !rowsEqual(got[i], want[i]) {
+			t.Fatalf("row %d = %v want %v", i, got[i], want[i])
+		}
+	}
+	if HashMatrix(got) != HashMatrix(want) {
+		t.Error("hash mismatch after growth")
+	}
+}
+
+func TestObserveFrom(t *testing.T) {
+	s := NewStore()
+	r := NewRecorder()
+	r.AddRow([]uint64{5, 6})
+	h, _ := r.Hashes()
+	s.ObserveFrom(0, h, r)
+	s.ObserveFrom(0, h, r)
+	s.ObserveFrom(1, h, r)
+	if s.Unique() != 1 {
+		t.Fatalf("unique = %d want 1", s.Unique())
+	}
+	e := s.Entries()[0]
+	if e.CountByClass[0] != 2 || e.CountByClass[1] != 1 {
+		t.Errorf("counts wrong: %v", e.CountByClass)
+	}
+	// The stored representative must not alias the recorder's arena.
+	r.Reset()
+	r.AddRow([]uint64{99, 99})
+	if e.Rep[0][0] != 5 || e.Rep[0][1] != 6 {
+		t.Errorf("representative aliases recorder arena: %v", e.Rep)
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+// u64set is a small open-addressing hash set of non-zero uint64 values
+// with O(1) generation-based clearing. It backs the event-row
+// derivation: membership of the previous cycle's state row used to be a
+// linear scan per value, making the event diff O(|row|·|prev|); the set
+// makes it O(|row|) with no per-cycle allocation (the table is reused
+// across cycles and cleared by bumping a generation stamp).
+//
+// Zero values are never stored: event detection only queries non-zero
+// values, so the caller filters zeros on both insert and lookup.
+type u64set struct {
+	keys []uint64 // power-of-two sized slot array
+	gen  []uint32 // slot is live iff gen[i] == cur
+	cur  uint32   // current generation
+	n    int      // live entries
+}
+
+// mix is a splitmix64-style finaliser spreading entropy across all bits
+// so low-bit-masked probing behaves well on addresses and PCs (which
+// share low-order structure).
+func mix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// clear empties the set in O(1) by advancing the generation.
+func (s *u64set) clear() {
+	s.n = 0
+	s.cur++
+	if s.cur == 0 { // generation wrapped: stamps are ambiguous, scrub them
+		for i := range s.gen {
+			s.gen[i] = 0
+		}
+		s.cur = 1
+	}
+}
+
+// grow doubles the table (or creates it) and rehashes live entries.
+func (s *u64set) grow() {
+	oldKeys, oldGen, oldCur := s.keys, s.gen, s.cur
+	size := 64
+	if len(oldKeys) > 0 {
+		size = len(oldKeys) * 2
+	}
+	s.keys = make([]uint64, size)
+	s.gen = make([]uint32, size)
+	s.cur = 1
+	s.n = 0
+	for i, g := range oldGen {
+		if g == oldCur {
+			s.insert(oldKeys[i])
+		}
+	}
+}
+
+// insert adds a non-zero value; duplicates are a no-op.
+func (s *u64set) insert(v uint64) {
+	// Keep load factor under 1/2 so probe chains stay short.
+	if len(s.keys) == 0 || 2*(s.n+1) > len(s.keys) {
+		s.grow()
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := mix(v) & mask
+	for {
+		if s.gen[i] != s.cur {
+			s.keys[i] = v
+			s.gen[i] = s.cur
+			s.n++
+			return
+		}
+		if s.keys[i] == v {
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// contains reports whether a non-zero value is in the set.
+func (s *u64set) contains(v uint64) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := mix(v) & mask
+	for {
+		if s.gen[i] != s.cur {
+			return false
+		}
+		if s.keys[i] == v {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}

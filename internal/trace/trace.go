@@ -6,6 +6,12 @@
 // row per tracked unit (Table IV), groups rows into per-iteration
 // snapshot matrices, and deduplicates them by hash, labeled with the
 // iteration's secret class.
+//
+// The per-cycle path is allocation-free in steady state: unit state is
+// indexed by dense arrays rather than maps, every unit owns preallocated
+// row scratch, event detection uses a generation-cleared hash set over
+// the previous cycle's row, and event values stream into the snapshot
+// recorders value by value.
 package trace
 
 import (
@@ -59,6 +65,9 @@ func (u Unit) String() string {
 	return "UNIT?"
 }
 
+// valid reports whether u indexes a Table IV unit.
+func (u Unit) valid() bool { return u >= 1 && u <= numUnits }
+
 // AllUnits returns every tracked unit in Table IV order.
 func AllUnits() []Unit {
 	return []Unit{
@@ -86,16 +95,23 @@ type UnitTrace struct {
 	NoTiming *snapshot.Store
 }
 
+// unitState is the per-unit sampling state, held in a dense array
+// indexed by Unit so the per-cycle loop does no map lookups.
+type unitState struct {
+	rec     snapshot.Recorder // full (timed) snapshot of the iteration
+	evRec   snapshot.Recorder // timing-free event stream
+	row     []uint64          // per-unit row scratch, reused every cycle
+	prev    u64set            // non-zero values of the previous cycle's row
+	samples uint64            // state rows sampled (telemetry)
+	full    *snapshot.Store
+	noT     *snapshot.Store
+}
+
 // Collector implements sim.Tracer. It samples the tracked units every
 // cycle while inside a region of interest and a labeled iteration.
 type Collector struct {
-	units   []Unit
-	recs    map[Unit]*snapshot.Recorder
-	evRecs  map[Unit]*snapshot.Recorder
-	prevRow map[Unit][]uint64
-	full    map[Unit]*snapshot.Store
-	noT     map[Unit]*snapshot.Store
-	samples map[Unit]uint64 // state rows sampled per unit (telemetry)
+	units  []Unit
+	states [numUnits + 1]unitState // indexed by Unit (index 0 unused)
 
 	roi       bool
 	inIter    bool
@@ -105,8 +121,6 @@ type Collector struct {
 	dropFirst int
 
 	iters []IterSample
-	row   []uint64 // scratch
-	ev    []uint64 // scratch for event rows
 
 	// Memory-access attribution inside the region of interest: which
 	// store/load PCs produced each address. This is the paper's
@@ -122,6 +136,7 @@ var _ sim.Tracer = (*Collector)(nil)
 type Option func(*Collector)
 
 // WithUnits restricts tracking to the given units (default: all).
+// Values outside Table IV are ignored.
 func WithUnits(units ...Unit) Option {
 	return func(c *Collector) { c.units = units }
 }
@@ -137,25 +152,28 @@ func WithWarmupIterations(n int) Option {
 func NewCollector(opts ...Option) *Collector {
 	c := &Collector{
 		units:   AllUnits(),
-		recs:    make(map[Unit]*snapshot.Recorder, numUnits),
-		evRecs:  make(map[Unit]*snapshot.Recorder, numUnits),
-		prevRow: make(map[Unit][]uint64, numUnits),
-		full:    make(map[Unit]*snapshot.Store, numUnits),
-		noT:     make(map[Unit]*snapshot.Store, numUnits),
-		samples: make(map[Unit]uint64, numUnits),
-		row:     make([]uint64, 0, 128),
-		ev:      make([]uint64, 0, 128),
 		writers: make(map[uint64]map[uint64]struct{}),
 		readers: make(map[uint64]map[uint64]struct{}),
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	// Filter into a fresh slice: the configured slice may be shared
+	// between collectors running in parallel, so it must stay read-only.
+	kept := make([]Unit, 0, len(c.units))
 	for _, u := range c.units {
-		c.recs[u] = snapshot.NewRecorder()
-		c.evRecs[u] = snapshot.NewRecorder()
-		c.full[u] = snapshot.NewStore()
-		c.noT[u] = snapshot.NewStore()
+		if u.valid() {
+			kept = append(kept, u)
+		}
+	}
+	c.units = kept
+	for _, u := range c.units {
+		st := &c.states[u]
+		st.rec.Reset()
+		st.evRec.Reset()
+		st.row = make([]uint64, 0, 128)
+		st.full = snapshot.NewStore()
+		st.noT = snapshot.NewStore()
 	}
 	return c
 }
@@ -176,9 +194,10 @@ func (c *Collector) OnMark(cycle int64, kind isa.MarkKind, class uint64) {
 		c.class = class
 		c.iterStart = cycle
 		for _, u := range c.units {
-			c.recs[u].Reset()
-			c.evRecs[u].Reset()
-			c.prevRow[u] = nil
+			st := &c.states[u]
+			st.rec.Reset()
+			st.evRec.Reset()
+			st.prev.clear()
 		}
 	case isa.MarkIterEnd:
 		if !c.roi || !c.inIter {
@@ -187,43 +206,50 @@ func (c *Collector) OnMark(cycle int64, kind isa.MarkKind, class uint64) {
 		c.inIter = false
 		keep := c.iterIdx >= c.dropFirst
 		c.iterIdx++
-		if keep {
-			c.iters = append(c.iters, IterSample{
-				Class:  c.class,
-				Cycles: cycle - c.iterStart,
-			})
-		}
 		if !keep {
 			return
 		}
+		c.iters = append(c.iters, IterSample{
+			Class:  c.class,
+			Cycles: cycle - c.iterStart,
+		})
 		for _, u := range c.units {
-			fullH, _, rows := c.recs[u].Finish()
-			c.full[u].Observe(c.class, fullH, rows)
-			evH, _, evRows := c.evRecs[u].Finish()
-			c.noT[u].Observe(c.class, evH, evRows)
+			st := &c.states[u]
+			fullH, _ := st.rec.Hashes()
+			st.full.ObserveFrom(c.class, fullH, &st.rec)
+			evH, _ := st.evRec.Hashes()
+			st.noT.ObserveFrom(c.class, evH, &st.evRec)
 		}
 	}
 }
 
 // OnCycle samples one state row per unit and derives its timing-free
 // event row: the values present this cycle that were absent the cycle
-// before (newly arrived entries, changed states, issued requests).
+// before (newly arrived entries, changed states, issued requests). Each
+// event becomes its own single-value row so that the event stream
+// carries no per-cycle grouping (which would smuggle timing back into
+// the "timing removed" view).
 func (c *Collector) OnCycle(p *sim.Probe) {
 	if !c.roi || !c.inIter {
 		return
 	}
 	for _, u := range c.units {
-		row := c.sample(u, p)
-		// Each event becomes its own single-value row so that the event
-		// stream carries no per-cycle grouping (which would smuggle
-		// timing back into the "timing removed" view).
-		for _, v := range c.eventRow(u, row) {
-			c.evRecs[u].AddRow([]uint64{v})
+		st := &c.states[u]
+		row := sampleInto(u, p, st.row[:0])
+		st.row = row
+		for _, v := range row {
+			if v != 0 && !st.prev.contains(v) {
+				st.evRec.AddValue(v)
+			}
 		}
-		c.recs[u].AddRow(row)
-		c.samples[u]++
-		prev := c.prevRow[u]
-		c.prevRow[u] = append(prev[:0], row...)
+		st.rec.AddRow(row)
+		st.samples++
+		st.prev.clear()
+		for _, v := range row {
+			if v != 0 {
+				st.prev.insert(v)
+			}
+		}
 	}
 	for _, e := range p.StoreQueue() {
 		if e.Valid {
@@ -246,100 +272,52 @@ func attribute(m map[uint64]map[uint64]struct{}, addr, pc uint64) {
 	set[pc] = struct{}{}
 }
 
-// eventRow returns the non-zero values of row that do not appear in the
-// previous cycle's row, in row (age) order.
-func (c *Collector) eventRow(u Unit, row []uint64) []uint64 {
-	prev := c.prevRow[u]
-	ev := c.ev[:0]
-	for _, v := range row {
-		if v == 0 {
-			continue
-		}
-		seen := false
-		for _, pv := range prev {
-			if pv == v {
-				seen = true
-				break
-			}
-		}
-		if !seen {
-			ev = append(ev, v)
-		}
-	}
-	c.ev = ev[:0]
-	return ev
-}
-
-// sample builds the state row of one unit for the current cycle.
-func (c *Collector) sample(u Unit, p *sim.Probe) []uint64 {
-	row := c.row[:0]
+// sampleInto appends the state row of one unit for the current cycle to
+// dst, using the probe's allocation-free append views.
+func sampleInto(u Unit, p *sim.Probe, dst []uint64) []uint64 {
 	switch u {
 	case SQADDR:
-		for _, e := range p.StoreQueue() {
-			if e.Valid {
-				row = append(row, e.Addr)
-			} else {
-				row = append(row, 0)
-			}
-		}
+		return p.AppendStoreAddrs(dst)
 	case SQPC:
-		for _, e := range p.StoreQueue() {
-			row = append(row, e.PC)
-		}
+		return p.AppendStorePCs(dst)
 	case LQADDR:
-		for _, e := range p.LoadQueue() {
-			if e.Valid {
-				row = append(row, e.Addr)
-			} else {
-				row = append(row, 0)
-			}
-		}
+		return p.AppendLoadAddrs(dst)
 	case LQPC:
-		for _, e := range p.LoadQueue() {
-			row = append(row, e.PC)
-		}
+		return p.AppendLoadPCs(dst)
 	case ROBOCPNCY:
-		row = append(row, uint64(p.ROBOccupancy()))
+		return append(dst, uint64(p.ROBOccupancy()))
 	case ROBPC:
-		for _, e := range p.ROB() {
-			if !e.Folded {
-				row = append(row, e.PC)
-			}
-		}
+		return p.AppendROBPCs(dst)
 	case LFBDATA:
-		for _, e := range p.LFB() {
-			row = append(row, e.Data)
-		}
+		return p.AppendLFBData(dst)
 	case LFBADDR:
-		for _, e := range p.LFB() {
-			row = append(row, e.Addr)
-		}
+		return p.AppendLFBAddrs(dst)
 	case EUUALU:
-		row = append(row, p.ALUBusy()...)
+		return p.AppendALUBusy(dst)
 	case EUUADDRGEN:
-		row = append(row, p.AGUBusy()...)
+		return p.AppendAGUBusy(dst)
 	case EUUDIV:
-		row = append(row, p.DivBusy()...)
+		return p.AppendDivBusy(dst)
 	case EUUMUL:
-		row = append(row, p.MulBusy()...)
+		return p.AppendMulBusy(dst)
 	case NLPADDR:
-		row = append(row, p.PrefetchAddrs()...)
+		return p.AppendPrefetchAddrs(dst)
 	case CACHEADDR:
-		row = append(row, p.CacheRequests()...)
+		return p.AppendCacheRequests(dst)
 	case TLBADDR:
-		row = append(row, p.TLBPages()...)
+		return p.AppendTLBPages(dst)
 	case MSHRADDR:
-		row = append(row, p.MSHRAddrs()...)
+		return p.AppendMSHRAddrs(dst)
 	}
-	c.row = row[:0]
-	return row
+	return dst
 }
 
-// Results returns the per-unit snapshot evidence in Table IV order.
+// Results returns the per-unit snapshot evidence in tracked order.
 func (c *Collector) Results() []UnitTrace {
 	out := make([]UnitTrace, 0, len(c.units))
 	for _, u := range c.units {
-		out = append(out, UnitTrace{Unit: u, Full: c.full[u], NoTiming: c.noT[u]})
+		st := &c.states[u]
+		out = append(out, UnitTrace{Unit: u, Full: st.full, NoTiming: st.noT})
 	}
 	return out
 }
@@ -348,9 +326,11 @@ func (c *Collector) Results() []UnitTrace {
 // sampled inside labeled iterations — the volume the snapshot pipeline
 // ingested, surfaced as telemetry.
 func (c *Collector) SampleCounts() map[Unit]uint64 {
-	out := make(map[Unit]uint64, len(c.samples))
-	for u, n := range c.samples {
-		out[u] = n
+	out := make(map[Unit]uint64, len(c.units))
+	for _, u := range c.units {
+		if n := c.states[u].samples; n > 0 {
+			out[u] = n
+		}
 	}
 	return out
 }

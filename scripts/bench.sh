@@ -1,0 +1,58 @@
+#!/bin/sh
+# Hot-path benchmark baseline: runs the trace-collector benchmarks plus
+# the end-to-end sampling-throughput benchmark and records the results
+# as BENCH_trace.json in the repo root. Commit the refreshed artifact
+# when the hot path changes so regressions show up in review diffs.
+#
+# Usage: scripts/bench.sh [count]   (benchmark repetitions, default 3)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+count="${1:-3}"
+out="BENCH_trace.json"
+raw="${TMPDIR:-/tmp}/microsampler-bench.txt"
+
+echo "== go test -bench (count=$count) =="
+go test -run '^$' -bench 'OnCycle' -benchmem -count "$count" \
+    ./internal/trace | tee "$raw"
+go test -run '^$' -bench 'SamplingThroughput' -benchmem -count "$count" \
+    . | tee -a "$raw"
+
+# Fold the standard benchmark output into JSON: one object per
+# benchmark name, each metric averaged over the repetitions. Plain awk,
+# no dependencies.
+awk -v go_version="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++nnames] = name }
+    runs[name]++
+    for (i = 3; i + 1 <= NF; i += 2) {
+        metric = name SUBSEP $(i + 1)
+        sum[metric] += $i
+        if (!(metric in mseen)) {
+            mseen[metric] = 1
+            morder[name, ++nmetrics[name]] = $(i + 1)
+        }
+    }
+}
+END {
+    printf "{\n  \"go\": \"%s\",\n  \"count\": %d,\n  \"benchmarks\": [\n", \
+        go_version, runs[order[1]]
+    for (n = 1; n <= nnames; n++) {
+        name = order[n]
+        printf "    {\"name\": \"%s\"", name
+        for (m = 1; m <= nmetrics[name]; m++) {
+            unit = morder[name, m]
+            avg = sum[name SUBSEP unit] / runs[name]
+            printf ", \"%s\": %.6g", unit, avg
+        }
+        printf "}%s\n", n < nnames ? "," : ""
+    }
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

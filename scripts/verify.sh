@@ -34,6 +34,9 @@ go test -run='^$' -fuzz='^FuzzSipHashChunks$' -fuzztime=5s ./internal/siphash
 go test -run='^$' -fuzz='^FuzzHashMatrix$' -fuzztime=5s ./internal/snapshot
 go test -run='^$' -fuzz='^FuzzPipeline$' -fuzztime=5s ./internal/oracle
 
+echo "== bench smoke (hot-path collector) =="
+go test -run '^$' -bench 'OnCycle' -benchtime 100x -benchmem ./internal/trace
+
 echo "== detection-quality gate (mstest) =="
 go run ./cmd/mstest run -seeds 5 -quiet -out "${TMPDIR:-/tmp}/microsampler-quality.json"
 
