@@ -13,6 +13,7 @@
 //	microsampler -workload AES-TTABLE -json > report.json
 //	microsampler -workload ME-V1-MV -runs 4 -parallel 4 -metrics -trace-out spans.jsonl
 //	microsampler -workload ME-V1-MV -progress -pprof localhost:6060
+//	microsampler -workload ME-NAIVE -perfetto-out trace.json -heatmap-out heatmap.json -heatmap-html heatmap.html
 package main
 
 import (
@@ -56,6 +57,10 @@ func run(args []string) error {
 		jsonOut     = fs.Bool("json", false, "emit the machine-readable JSON report instead of charts")
 		metrics     = fs.Bool("metrics", false, "print the telemetry metrics dump after the run")
 		traceOut    = fs.String("trace-out", "", "write pipeline spans as JSON lines to FILE")
+		perfettoOut = fs.String("perfetto-out", "", "write the pipeline trace as Perfetto/Chrome JSON to FILE (open in ui.perfetto.dev)")
+		heatmapOut  = fs.String("heatmap-out", "", "write the leakage heatmap as JSON to FILE")
+		heatmapHTML = fs.String("heatmap-html", "", "write the leakage heatmap as self-contained HTML to FILE")
+		heatmapWin  = fs.Int("heatmap-windows", 16, "iteration windows in the leakage heatmap")
 		progress    = fs.Bool("progress", false, "print live per-run progress to stderr")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to FILE")
@@ -168,6 +173,34 @@ func run(args []string) error {
 	rep, err := microsampler.Verify(w, opts)
 	if err != nil {
 		return err
+	}
+
+	if *perfettoOut != "" {
+		data, err := microsampler.RenderPerfetto(rep).JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*perfettoOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *heatmapOut != "" {
+		data, err := microsampler.RenderHeatmapJSON(rep, *heatmapWin)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*heatmapOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *heatmapHTML != "" {
+		doc, err := microsampler.RenderHeatmapHTML(rep, *heatmapWin)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*heatmapHTML, []byte(doc), 0o644); err != nil {
+			return err
+		}
 	}
 
 	if *jsonOut {

@@ -123,6 +123,57 @@ func TestRunObservabilityFlags(t *testing.T) {
 	}
 }
 
+func TestRunExportFlags(t *testing.T) {
+	dir := t.TempDir()
+	perfetto := filepath.Join(dir, "trace.json")
+	hmJSON := filepath.Join(dir, "heatmap.json")
+	hmHTML := filepath.Join(dir, "heatmap.html")
+	err := run([]string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "2",
+		"-config", "small", "-chart=false",
+		"-perfetto-out", perfetto,
+		"-heatmap-out", hmJSON, "-heatmap-html", hmHTML, "-heatmap-windows", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trace struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	data, err := os.ReadFile(perfetto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &trace); err != nil || len(trace.TraceEvents) == 0 {
+		t.Errorf("perfetto trace: err=%v events=%d", err, len(trace.TraceEvents))
+	}
+
+	var hm struct {
+		Windows int `json:"windows"`
+		Units   []struct {
+			Unit  string                   `json:"unit"`
+			Cells []map[string]interface{} `json:"cells"`
+		} `json:"units"`
+	}
+	data, err = os.ReadFile(hmJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &hm); err != nil {
+		t.Fatal(err)
+	}
+	if hm.Windows != 8 || len(hm.Units) == 0 || len(hm.Units[0].Cells) != 8 {
+		t.Errorf("heatmap shape: windows=%d units=%d", hm.Windows, len(hm.Units))
+	}
+
+	html, err := os.ReadFile(hmHTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "<svg") || !strings.Contains(string(html), "</html>") {
+		t.Error("heatmap HTML incomplete")
+	}
+}
+
 func TestRunProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.prof")

@@ -1,0 +1,144 @@
+// Command msd is the MicroSampler daemon: a long-running HTTP service
+// that runs verification jobs on a bounded worker pool and exposes the
+// framework's observability surfaces.
+//
+// Usage:
+//
+//	msd -addr :8844 -workers 2 -queue 32
+//	msd -log-format json -log-level debug
+//
+// Endpoints:
+//
+//	POST /api/v1/jobs                    submit a job ({"workload":"ME-NAIVE"} or {"source":"..."})
+//	GET  /api/v1/jobs                    list tracked jobs
+//	GET  /api/v1/jobs/{id}               job status and verdict
+//	GET  /api/v1/jobs/{id}/report        JSON report artifact
+//	GET  /api/v1/jobs/{id}/trace         Perfetto trace (open in ui.perfetto.dev)
+//	GET  /api/v1/jobs/{id}/heatmap       leakage heatmap JSON
+//	GET  /api/v1/jobs/{id}/heatmap.html  leakage heatmap as self-contained HTML
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /healthz, /readyz               liveness / readiness
+//	GET  /debug/pprof/                   Go profiling
+//
+// SIGINT/SIGTERM drains in-flight jobs (bounded by -drain-timeout)
+// before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"microsampler/internal/msd"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "msd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and serves until ctx is cancelled. When ready
+// is non-nil it receives the bound listen address once the server
+// accepts connections (the smoke test uses it with -addr 127.0.0.1:0).
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("msd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8844", "HTTP listen address")
+		workers      = fs.Int("workers", 1, "concurrent verification jobs")
+		queue        = fs.Int("queue", 16, "queued-job capacity (submissions beyond it get 503)")
+		maxJobs      = fs.Int("max-jobs", 64, "finished jobs retained in memory")
+		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+		logFormat    = fs.String("log-format", "text", "log output format: text or json")
+		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+
+	server := msd.New(msd.Config{
+		Workers:   *workers,
+		QueueSize: *queue,
+		MaxJobs:   *maxJobs,
+		Logger:    logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Info("msd listening", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queue)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Shutdown: stop intake, finish queued and in-flight jobs, then
+	// close the HTTP server.
+	logger.Info("msd shutting down", "drain_timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := server.Drain(drainCtx)
+	if err := httpServer.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q", format)
+	}
+}

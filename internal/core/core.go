@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -120,6 +121,16 @@ type Options struct {
 	// Calls are serialised, but may originate from worker goroutines
 	// when Parallel > 1.
 	OnProgress func(Progress)
+
+	// Logger, when non-nil, receives structured progress and outcome
+	// events (run completions, failures, stage durations, the verdict)
+	// as slog records. Records may originate from worker goroutines
+	// when Parallel > 1; slog handlers are safe for that.
+	Logger *slog.Logger
+	// RunID tags every log record of this verification with a run_id
+	// attribute, correlating daemon logs with the metrics and spans of
+	// the same job. Empty means no run_id attribute.
+	RunID string
 }
 
 // withDefaults validates the options and fills in defaults. Negative
@@ -264,6 +275,11 @@ type Report struct {
 	Sim SimStats
 	// Samples is the number of state rows the tracer ingested per unit.
 	Samples map[trace.Unit]uint64
+	// IterHashes is, per tracked unit, the full-snapshot hash of every
+	// kept iteration, concatenated in run order and aligned with
+	// Iterations. The report package bins this sequence into iteration
+	// windows to render the leakage heatmap.
+	IterHashes map[trace.Unit][]uint64
 	// Spans is the pipeline span tree of this verification (per stage
 	// and per run); see telemetry.SpanStats for aggregation.
 	Spans []telemetry.Span
@@ -320,6 +336,18 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		return nil, err
 	}
 	verifyStart := time.Now()
+	lg := opts.Logger
+	if lg == nil {
+		lg = slog.New(slog.DiscardHandler)
+	}
+	if opts.RunID != "" {
+		lg = lg.With("run_id", opts.RunID)
+	}
+	lg = lg.With("workload", w.Name)
+	lg.Info("verify started",
+		"config", opts.Config.Name, "runs", opts.Runs,
+		"parallel", opts.Parallel, "max_cycles", opts.MaxCycles)
+
 	tr := telemetry.NewSpanTracer(opts.TraceSink)
 	root := tr.Start("verify", 0, -1)
 
@@ -328,6 +356,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	asmDur := asmSpan.End()
 	if err != nil {
 		root.End()
+		lg.Error("assemble failed", "err", err)
 		return nil, fmt.Errorf("assemble %s: %w", w.Name, err)
 	}
 
@@ -337,6 +366,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		Runs:         opts.Runs,
 		Program:      prog,
 		Samples:      make(map[trace.Unit]uint64, len(opts.Units)),
+		IterHashes:   make(map[trace.Unit][]uint64, len(opts.Units)),
 		StoreWriters: make(map[uint64][]uint64),
 		LoadReaders:  make(map[uint64][]uint64),
 	}
@@ -402,8 +432,11 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		out.traced = time.Since(tracedStart)
 		if err != nil {
 			out.err = fmt.Errorf("%s run %d: %w", w.Name, run, err)
+			lg.Error("run failed", "run", run, "err", err)
 			return out
 		}
+		lg.Debug("run complete", "run", run, "cycles", res.Cycles,
+			"iterations", len(col.Iterations()), "dur", out.traced)
 		out.col, out.res = col, res
 		if opts.MeasureStages {
 			// Attribute the traced-minus-untraced overhead of this run
@@ -493,12 +526,14 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 			if firstErr != nil {
 				err = firstErr
 			}
+			lg.Error("verify failed", "err", err, "elapsed", time.Since(verifyStart))
 			return nil, err
 		}
 		rep.Sim.accumulate(outs[run].res)
 		for _, ut := range outs[run].col.Results() {
 			full[ut.Unit].Merge(ut.Full)
 			noT[ut.Unit].Merge(ut.NoTiming)
+			rep.IterHashes[ut.Unit] = append(rep.IterHashes[ut.Unit], ut.IterHashes...)
 		}
 		for u, n := range outs[run].col.SampleCounts() {
 			rep.Samples[u] += n
@@ -534,6 +569,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 
 	if len(rep.Iterations) == 0 {
 		root.End()
+		lg.Error("verify failed", "err", ErrNoIterations)
 		return nil, fmt.Errorf("%s: %w", w.Name, ErrNoIterations)
 	}
 
@@ -574,6 +610,16 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	if opts.Metrics != nil {
 		recordMetrics(opts.Metrics, rep, runWall)
 	}
+	leakyNames := make([]string, 0, len(rep.Units))
+	for _, u := range rep.LeakyUnits() {
+		leakyNames = append(leakyNames, u.Unit.String())
+	}
+	lg.Info("verify complete",
+		"leaky", rep.AnyLeak(), "leaky_units", leakyNames,
+		"iterations", len(rep.Iterations), "sim_cycles", rep.SimCycles,
+		"elapsed", time.Since(verifyStart),
+		"stage_simulate", rep.Stages.Simulate, "stage_stats", rep.Stages.Stats,
+		"stage_extract", rep.Stages.Extract)
 	return rep, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"strings"
@@ -811,4 +812,116 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+func TestReportIterHashes(t *testing.T) {
+	w := Workload{Name: "iterhash", Source: smokeWorkload}
+	rep, err := Verify(w, Options{Config: sim.SmallBoom(), Runs: 3, Warmup: 1, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.IterHashes) == 0 {
+		t.Fatal("report has no per-iteration hashes")
+	}
+	for _, u := range rep.Units {
+		hashes := rep.IterHashes[u.Unit]
+		if len(hashes) != len(rep.Iterations) {
+			t.Fatalf("%v: %d iter hashes for %d iterations",
+				u.Unit, len(hashes), len(rep.Iterations))
+		}
+		// Hash multiset must agree with the merged store totals.
+		total := 0
+		for _, e := range u.Store.Entries() {
+			total += e.Total()
+		}
+		if total != len(hashes) {
+			t.Errorf("%v: store total %d vs %d hashes", u.Unit, total, len(hashes))
+		}
+	}
+
+	// Parallel merge must preserve the sequential run-order sequence.
+	seq, err := Verify(w, Options{Config: sim.SmallBoom(), Runs: 3, Warmup: 1, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range rep.Units {
+		a, b := rep.IterHashes[u.Unit], seq.IterHashes[u.Unit]
+		if len(a) != len(b) {
+			t.Fatalf("%v: parallel %d vs sequential %d hashes", u.Unit, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: hash %d differs between parallel and sequential", u.Unit, i)
+			}
+		}
+	}
+}
+
+func TestVerifyStructuredLogging(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	lg := slog.New(slog.NewJSONHandler(lockedWriter{&mu, &buf}, &slog.HandlerOptions{
+		Level: slog.LevelDebug,
+	}))
+	w := Workload{Name: "logged", Source: smokeWorkload}
+	_, err := Verify(w, Options{
+		Config: sim.SmallBoom(), Runs: 2, Warmup: 1, Parallel: 2,
+		Logger: lg, RunID: "job-42",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started, runDone, complete int
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("malformed log line %q: %v", line, err)
+		}
+		if rec["run_id"] != "job-42" {
+			t.Fatalf("log record missing run_id: %q", line)
+		}
+		if rec["workload"] != "logged" {
+			t.Fatalf("log record missing workload: %q", line)
+		}
+		switch rec["msg"] {
+		case "verify started":
+			started++
+		case "run complete":
+			runDone++
+		case "verify complete":
+			complete++
+			if _, ok := rec["leaky"]; !ok {
+				t.Error("verify complete record missing verdict")
+			}
+		}
+	}
+	if started != 1 || runDone != 2 || complete != 1 {
+		t.Errorf("log events started=%d runDone=%d complete=%d", started, runDone, complete)
+	}
+
+	// Failures must be logged too.
+	buf.Reset()
+	bad := Workload{Name: "bad", Source: smokeWorkload,
+		Setup: func(run int, m *sim.Machine, prog *asm.Program) error {
+			return errors.New("boom")
+		}}
+	if _, err := Verify(bad, Options{Config: sim.SmallBoom(), Runs: 1, Logger: lg}); err == nil {
+		t.Fatal("expected setup failure")
+	}
+	if !strings.Contains(buf.String(), "verify failed") {
+		t.Errorf("failure not logged:\n%s", buf.String())
+	}
+}
+
+// lockedWriter serialises handler writes: with Parallel > 1 log records
+// originate from worker goroutines.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }

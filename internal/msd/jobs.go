@@ -1,0 +1,202 @@
+package msd
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"microsampler/internal/core"
+	"microsampler/internal/report"
+	"microsampler/internal/sim"
+	"microsampler/internal/telemetry/export"
+	"microsampler/internal/workloads"
+)
+
+// JobStatus is the lifecycle state of a submitted verification job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusQueued  JobStatus = "queued"
+	StatusRunning JobStatus = "running"
+	StatusDone    JobStatus = "done"
+	StatusFailed  JobStatus = "failed"
+)
+
+// JobRequest is the submit-endpoint payload. Exactly one of Workload
+// (a built-in case-study name) or Source (raw RV64 assembly in the
+// framework dialect) must be set; everything else defaults like the
+// CLI does.
+type JobRequest struct {
+	Workload string `json:"workload,omitempty"`
+	Source   string `json:"source,omitempty"`
+	// Config selects the simulated core: "mega" (default) or "small".
+	Config     string `json:"config,omitempty"`
+	FastBypass bool   `json:"fastBypass,omitempty"`
+	Runs       int    `json:"runs,omitempty"`   // default 4
+	Warmup     int    `json:"warmup,omitempty"` // 0: framework default, <0: keep all
+	// Parallel is forwarded to core.Options.Parallel: concurrent
+	// simulations within this job (0/absent: one per CPU).
+	Parallel       int  `json:"parallel,omitempty"`
+	SeedOffset     int  `json:"seedOffset,omitempty"`
+	MeasureStages  bool `json:"measureStages,omitempty"`
+	HeatmapWindows int  `json:"heatmapWindows,omitempty"`
+}
+
+// validate normalises the request and reports user errors.
+func (r *JobRequest) validate() error {
+	if (r.Workload == "") == (r.Source == "") {
+		return fmt.Errorf("exactly one of workload or source is required")
+	}
+	if r.Workload != "" {
+		if _, err := workloads.ByName(r.Workload); err != nil {
+			return err
+		}
+	}
+	switch strings.ToLower(r.Config) {
+	case "", "mega", "megaboom", "small", "smallboom":
+	default:
+		return fmt.Errorf("unknown config %q (mega or small)", r.Config)
+	}
+	if r.Runs < 0 || r.Runs > 1024 {
+		return fmt.Errorf("runs must be in [0,1024], got %d", r.Runs)
+	}
+	return nil
+}
+
+func (r *JobRequest) config() sim.Config {
+	var cfg sim.Config
+	switch strings.ToLower(r.Config) {
+	case "small", "smallboom":
+		cfg = sim.SmallBoom()
+	default:
+		cfg = sim.MegaBoom()
+	}
+	cfg.FastBypass = r.FastBypass
+	return cfg
+}
+
+func (r *JobRequest) workload() (core.Workload, error) {
+	if r.Workload != "" {
+		return workloads.ByName(r.Workload)
+	}
+	return core.Workload{Name: "submitted-source", Source: r.Source}, nil
+}
+
+// Job is one tracked verification: the request, its lifecycle
+// timestamps, and — once done — the rendered artifacts. Fields are
+// guarded by the server mutex; artifacts are written once before the
+// job transitions to done and read-only afterwards.
+type Job struct {
+	ID        string
+	Req       JobRequest
+	Status    JobStatus
+	Err       string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+
+	Leaky      bool
+	LeakyUnits []string
+	Iterations int
+	SimCycles  int64
+
+	artifacts map[string]artifact
+}
+
+// artifact is one downloadable result document.
+type artifact struct {
+	contentType string
+	data        []byte
+}
+
+// jobView is the wire form of a job's status.
+type jobView struct {
+	ID         string   `json:"id"`
+	Workload   string   `json:"workload"`
+	Status     string   `json:"status"`
+	Error      string   `json:"error,omitempty"`
+	Submitted  string   `json:"submitted"`
+	Started    string   `json:"started,omitempty"`
+	Finished   string   `json:"finished,omitempty"`
+	DurationMS int64    `json:"durationMillis,omitempty"`
+	Leaky      *bool    `json:"leaky,omitempty"`
+	LeakyUnits []string `json:"leakyUnits,omitempty"`
+	Iterations int      `json:"iterations,omitempty"`
+	SimCycles  int64    `json:"simCycles,omitempty"`
+	Artifacts  []string `json:"artifacts,omitempty"`
+}
+
+func (j *Job) view() jobView {
+	v := jobView{
+		ID:        j.ID,
+		Workload:  j.workloadName(),
+		Status:    string(j.Status),
+		Error:     j.Err,
+		Submitted: j.Submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.Started.IsZero() {
+		v.Started = j.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.Finished.IsZero() {
+		v.Finished = j.Finished.UTC().Format(time.RFC3339Nano)
+		v.DurationMS = j.Finished.Sub(j.Started).Milliseconds()
+	}
+	if j.Status == StatusDone {
+		leaky := j.Leaky
+		v.Leaky = &leaky
+		v.LeakyUnits = j.LeakyUnits
+		v.Iterations = j.Iterations
+		v.SimCycles = j.SimCycles
+		for name := range j.artifacts {
+			v.Artifacts = append(v.Artifacts, name)
+		}
+		sortStrings(v.Artifacts)
+	}
+	return v
+}
+
+func (j *Job) workloadName() string {
+	if j.Req.Workload != "" {
+		return j.Req.Workload
+	}
+	return "submitted-source"
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k] < s[k-1]; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+}
+
+// renderArtifacts produces every downloadable document of a finished
+// verification: the stable JSON report, the Perfetto trace of the span
+// tree, and the leakage heatmap in JSON and self-contained HTML.
+func renderArtifacts(rep *core.Report, heatmapWindows int) (map[string]artifact, error) {
+	out := make(map[string]artifact, 4)
+	repJSON, err := report.JSON(rep)
+	if err != nil {
+		return nil, fmt.Errorf("render report: %w", err)
+	}
+	out["report"] = artifact{"application/json", repJSON}
+
+	traceJSON, err := export.Perfetto(rep.Spans).JSON()
+	if err != nil {
+		return nil, fmt.Errorf("render trace: %w", err)
+	}
+	out["trace"] = artifact{"application/json", traceJSON}
+
+	hm, err := report.BuildHeatmap(rep, heatmapWindows)
+	if err != nil {
+		return nil, fmt.Errorf("build heatmap: %w", err)
+	}
+	hmJSON, err := hm.JSON()
+	if err != nil {
+		return nil, fmt.Errorf("render heatmap: %w", err)
+	}
+	out["heatmap"] = artifact{"application/json", hmJSON}
+	out["heatmap.html"] = artifact{"text/html; charset=utf-8", []byte(hm.HTML())}
+	return out, nil
+}

@@ -1,0 +1,404 @@
+// Package msd implements the MicroSampler daemon: a long-running HTTP
+// service that accepts verification jobs, runs them on a bounded
+// worker pool, and exposes the observability surfaces of the pipeline
+// — Prometheus metrics, pprof, per-job Perfetto traces, JSON reports
+// and leakage heatmaps. It is the serving boundary the ROADMAP's
+// "production-scale system" grows behind: cmd/msd is a thin flag/signal
+// wrapper around this package.
+package msd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"microsampler/internal/core"
+	"microsampler/internal/telemetry"
+	"microsampler/internal/telemetry/export"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Workers is the number of jobs verified concurrently (default 1).
+	// Each job additionally parallelises its own simulation runs via
+	// JobRequest.Parallel / core.Options.Parallel.
+	Workers int
+	// QueueSize bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with 503 (default 16).
+	QueueSize int
+	// MaxJobs bounds the number of finished jobs retained in memory;
+	// the oldest finished jobs are evicted first (default 64).
+	MaxJobs int
+	// Logger receives the daemon's structured logs; every job's
+	// pipeline events carry its job ID as run_id. Nil discards.
+	Logger *slog.Logger
+	// Metrics is the registry served at /metrics; the verification
+	// pipeline's own counters land in the same registry so one scrape
+	// sees daemon and pipeline state. Nil creates a fresh registry.
+	Metrics *telemetry.Registry
+	// MaxCycles bounds each simulation run (0: core default).
+	MaxCycles int64
+
+	// verify, when non-nil, replaces the real verification step; the
+	// in-package tests use it to model slow or failing jobs without
+	// paying for a simulation.
+	verify func(j *Job) (*core.Report, error)
+}
+
+// Server is the daemon: an http.Handler plus a worker pool.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	reg *telemetry.Registry
+	mux *http.ServeMux
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing and eviction
+	nextID   int
+	draining bool
+
+	// verify runs one job's verification; tests swap it out to model
+	// slow or failing jobs without paying for a simulation.
+	verify func(j *Job) (*core.Report, error)
+
+	queueDepth  *telemetry.Gauge
+	inflight    *telemetry.Gauge
+	submitted   *telemetry.Counter
+	rejected    *telemetry.Counter
+	completed   *telemetry.Counter
+	failed      *telemetry.Counter
+	jobSeconds  *telemetry.Histogram
+	waitSeconds *telemetry.Histogram
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 16
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 64
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		reg:   cfg.Metrics,
+		queue: make(chan *Job, cfg.QueueSize),
+		jobs:  make(map[string]*Job),
+
+		queueDepth:  cfg.Metrics.Gauge("msd_queue_depth"),
+		inflight:    cfg.Metrics.Gauge("msd_jobs_inflight"),
+		submitted:   cfg.Metrics.Counter("msd_jobs_submitted_total"),
+		rejected:    cfg.Metrics.Counter("msd_jobs_rejected_total"),
+		completed:   cfg.Metrics.Counter("msd_jobs_completed_total"),
+		failed:      cfg.Metrics.Counter("msd_jobs_failed_total"),
+		jobSeconds:  cfg.Metrics.Histogram("msd_job_seconds", telemetry.LatencyBuckets()),
+		waitSeconds: cfg.Metrics.Histogram("msd_job_queue_wait_seconds", telemetry.LatencyBuckets()),
+	}
+	s.verify = cfg.verify
+	if s.verify == nil {
+		s.verify = s.runVerification
+	}
+	s.mux = s.buildMux()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting new jobs, waits for queued and in-flight jobs
+// to finish (or ctx to expire), and stops the workers. After Drain the
+// server still serves reads (/metrics, job status and artifacts), but
+// every submission is rejected and /readyz reports 503.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	s.log.Info("msd draining", "queued", len(s.queue))
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.log.Info("msd drained")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("msd drain: %w", ctx.Err())
+	}
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/{artifact}", s.handleArtifact)
+	mux.Handle("GET /metrics", export.MetricsHandler(s.reg))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Req:       req,
+		Status:    StatusQueued,
+		Submitted: time.Now(),
+	}
+	// Reserve the queue slot while holding the lock: draining flips
+	// before close(queue), so a reserved send cannot hit a closed
+	// channel.
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueSize)
+		return
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.evictLocked()
+	view := job.view()
+	s.mu.Unlock()
+
+	s.submitted.Inc()
+	s.queueDepth.Set(float64(len(s.queue)))
+	s.log.Info("job submitted", "run_id", view.ID, "workload", view.Workload)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention
+// bound. Queued and running jobs are never evicted.
+func (s *Server) evictLocked() {
+	excess := len(s.order) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && (j.Status == StatusDone || j.Status == StatusFailed) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var view jobView
+	if ok {
+		view = job.view()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id, name := r.PathValue("id"), r.PathValue("artifact")
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	var status JobStatus
+	var art artifact
+	var have bool
+	if ok {
+		status = job.Status
+		art, have = job.artifacts[name]
+	}
+	s.mu.Unlock()
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	case status == StatusQueued || status == StatusRunning:
+		writeError(w, http.StatusConflict, "job %s is %s; artifacts appear when it is done", id, status)
+	case !have:
+		writeError(w, http.StatusNotFound, "job %s has no artifact %q", id, name)
+	default:
+		w.Header().Set("Content-Type", art.contentType)
+		_, _ = w.Write(art.data)
+	}
+}
+
+// worker drains the job queue until Drain closes it.
+func (s *Server) worker(n int) {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.queueDepth.Set(float64(len(s.queue)))
+		s.runJob(job)
+	}
+	s.log.Debug("msd worker exiting", "worker", n)
+}
+
+func (s *Server) runJob(job *Job) {
+	s.mu.Lock()
+	job.Status = StatusRunning
+	job.Started = time.Now()
+	s.mu.Unlock()
+	s.inflight.Add(1)
+	s.waitSeconds.Observe(job.Started.Sub(job.Submitted).Seconds())
+	s.log.Info("job started", "run_id", job.ID, "workload", job.workloadName())
+
+	rep, err := s.verify(job)
+	var arts map[string]artifact
+	if err == nil {
+		arts, err = renderArtifacts(rep, job.Req.HeatmapWindows)
+	}
+
+	s.mu.Lock()
+	job.Finished = time.Now()
+	if err != nil {
+		job.Status = StatusFailed
+		job.Err = err.Error()
+	} else {
+		job.Status = StatusDone
+		job.artifacts = arts
+		job.Leaky = rep.AnyLeak()
+		for _, u := range rep.LeakyUnits() {
+			job.LeakyUnits = append(job.LeakyUnits, u.Unit.String())
+		}
+		job.Iterations = len(rep.Iterations)
+		job.SimCycles = rep.SimCycles
+	}
+	dur := job.Finished.Sub(job.Started)
+	s.mu.Unlock()
+
+	s.inflight.Add(-1)
+	s.jobSeconds.Observe(dur.Seconds())
+	if err != nil {
+		s.failed.Inc()
+		s.log.Error("job failed", "run_id", job.ID, "err", err, "dur", dur)
+		return
+	}
+	s.completed.Inc()
+	s.log.Info("job done", "run_id", job.ID, "leaky", job.Leaky,
+		"leaky_units", job.LeakyUnits, "dur", dur)
+}
+
+// runVerification executes the real pipeline for one job.
+func (s *Server) runVerification(job *Job) (*core.Report, error) {
+	w, err := job.Req.workload()
+	if err != nil {
+		return nil, err
+	}
+	runs := job.Req.Runs
+	if runs == 0 {
+		runs = 4
+	}
+	parallel := job.Req.Parallel
+	if parallel == 0 {
+		parallel = core.ParallelAuto
+	}
+	warmup := job.Req.Warmup
+	if warmup < 0 {
+		warmup = core.NoWarmup
+	}
+	return core.Verify(w, core.Options{
+		Config:        job.Req.config(),
+		Runs:          runs,
+		Warmup:        warmup,
+		Parallel:      parallel,
+		SeedOffset:    job.Req.SeedOffset,
+		MeasureStages: job.Req.MeasureStages,
+		MaxCycles:     s.cfg.MaxCycles,
+		Metrics:       s.reg,
+		Logger:        s.log,
+		RunID:         job.ID,
+	})
+}

@@ -1,0 +1,225 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microsampler/internal/core"
+	"microsampler/internal/stats"
+	"microsampler/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticReport builds a report with hand-written iteration evidence:
+// SQ-ADDR leaks only in the second half of the run (class-dependent
+// hashes), LQ-ADDR never leaks (constant hash). 40 iterations,
+// alternating classes.
+func syntheticReport() *core.Report {
+	const iters = 40
+	rep := &core.Report{
+		Workload:   "synthetic",
+		Config:     "TestBoom",
+		Runs:       1,
+		IterHashes: map[trace.Unit][]uint64{},
+	}
+	sq := make([]uint64, 0, iters)
+	lq := make([]uint64, 0, iters)
+	for i := 0; i < iters; i++ {
+		class := uint64(i % 2)
+		rep.Iterations = append(rep.Iterations, trace.IterSample{Class: class, Cycles: 10})
+		if i < iters/2 {
+			sq = append(sq, 1) // constant: no association
+		} else {
+			sq = append(sq, 100+class) // perfectly class-determined
+		}
+		lq = append(lq, 7)
+	}
+	rep.IterHashes[trace.SQADDR] = sq
+	rep.IterHashes[trace.LQADDR] = lq
+	for _, u := range []trace.Unit{trace.SQADDR, trace.LQADDR} {
+		t := stats.NewTable()
+		for i, h := range rep.IterHashes[u] {
+			t.Add(rep.Iterations[i].Class, h, 1)
+		}
+		rep.Units = append(rep.Units, core.UnitResult{
+			Unit:  u,
+			Table: t,
+			Assoc: t.Analyze(),
+		})
+	}
+	return rep
+}
+
+func TestHeatmapGolden(t *testing.T) {
+	hm, err := BuildHeatmap(syntheticReport(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "heatmap_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("heatmap JSON drifted from golden (rerun with -update if intended)\ngot:\n%s", got)
+	}
+}
+
+func TestHeatmapWindowing(t *testing.T) {
+	rep := syntheticReport()
+	hm, err := BuildHeatmap(rep, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.Windows != 4 || hm.Iterations != 40 || len(hm.Units) != 2 {
+		t.Fatalf("shape: %+v", hm)
+	}
+	var sq, lq HeatmapUnit
+	for _, u := range hm.Units {
+		switch u.Unit {
+		case "SQ-ADDR":
+			sq = u
+		case "LQ-ADDR":
+			lq = u
+		}
+	}
+	// Windows must partition [0,40) contiguously.
+	next := 0
+	for _, c := range sq.Cells {
+		if c.Start != next {
+			t.Fatalf("window gap: cell starts at %d want %d", c.Start, next)
+		}
+		next = c.End
+	}
+	if next != 40 {
+		t.Fatalf("windows end at %d want 40", next)
+	}
+	// The leak lives in the second half: first two windows quiet,
+	// last two leaky.
+	for i, c := range sq.Cells {
+		wantLeak := i >= 2
+		if c.Leaky != wantLeak {
+			t.Errorf("SQ-ADDR window %d leaky=%v want %v (V=%g p=%g)",
+				i, c.Leaky, wantLeak, c.V, c.P)
+		}
+	}
+	for i, c := range lq.Cells {
+		if c.Leaky || c.V != 0 {
+			t.Errorf("LQ-ADDR window %d should be quiet, got V=%g", i, c.V)
+		}
+	}
+}
+
+// TestHeatmapFlagsMatchReport runs the real pipeline and checks the
+// heatmap's per-unit leak flags equal the report's unit verdicts (the
+// acceptance criterion for the artifact).
+func TestHeatmapFlagsMatchReport(t *testing.T) {
+	rep := sampleReport(t)
+	hm, err := BuildHeatmap(rep, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hm.Units) != len(rep.Units) {
+		t.Fatalf("%d heatmap units vs %d report units", len(hm.Units), len(rep.Units))
+	}
+	for i, u := range rep.Units {
+		if hm.Units[i].Unit != u.Unit.String() || hm.Units[i].Leaky != u.Leaky() {
+			t.Errorf("unit %v: heatmap leaky=%v report leaky=%v",
+				u.Unit, hm.Units[i].Leaky, u.Leaky())
+		}
+	}
+}
+
+// TestHeatmapDeterministic repeats the same seeded verification and
+// requires byte-identical heatmap JSON.
+func TestHeatmapDeterministic(t *testing.T) {
+	render := func() []byte {
+		t.Helper()
+		hm, err := BuildHeatmap(sampleReport(t), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := hm.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := render(), render(); !bytes.Equal(a, b) {
+		t.Error("heatmap JSON differs across identical seeded runs")
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	if _, err := BuildHeatmap(&core.Report{}, 4); err == nil {
+		t.Error("empty report must error")
+	}
+	rep := syntheticReport()
+	rep.IterHashes[trace.SQADDR] = rep.IterHashes[trace.SQADDR][:3]
+	if _, err := BuildHeatmap(rep, 4); err == nil ||
+		!strings.Contains(err.Error(), "iteration hashes") {
+		t.Errorf("misaligned hashes: %v", err)
+	}
+	// Window clamping: more windows than iterations.
+	rep2 := syntheticReport()
+	hm, err := BuildHeatmap(rep2, 1000)
+	if err != nil || hm.Windows != 40 {
+		t.Errorf("clamp: windows=%d err=%v", hm.Windows, err)
+	}
+	// Default selection.
+	hm, err = BuildHeatmap(rep2, 0)
+	if err != nil || hm.Windows != DefaultHeatmapWindows {
+		t.Errorf("default: windows=%d err=%v", hm.Windows, err)
+	}
+}
+
+func TestHeatmapHTML(t *testing.T) {
+	hm, err := BuildHeatmap(syntheticReport(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := hm.HTML()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "<svg", "</svg>", "</html>",
+		"SQ-ADDR", "LQ-ADDR", "<title>", "synthetic",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// One rect per unit×window cell.
+	if got, want := strings.Count(doc, "<rect"), 2*4; got != want {
+		t.Errorf("%d rects want %d", got, want)
+	}
+	// Self-contained: no external references.
+	for _, banned := range []string{"http://", "https://", "src=", "href="} {
+		if strings.Contains(doc, banned) {
+			t.Errorf("HTML not self-contained: found %q", banned)
+		}
+	}
+	// Deterministic rendering.
+	if doc != hm.HTML() {
+		t.Error("HTML rendering not deterministic")
+	}
+	var jsonDoc map[string]any
+	data, _ := hm.JSON()
+	if err := json.Unmarshal(data, &jsonDoc); err != nil {
+		t.Fatalf("heatmap JSON invalid: %v", err)
+	}
+}

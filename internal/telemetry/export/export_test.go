@@ -1,0 +1,188 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"microsampler/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedSpans builds a deterministic little span tree: a verify root,
+// two runs with execute children, and a stats stage span.
+func fixedSpans() []telemetry.Span {
+	base := time.Unix(100, 0).UTC()
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	return []telemetry.Span{
+		{ID: 3, Parent: 2, Name: "run", Run: 0, Start: at(1), Dur: 40 * time.Millisecond},
+		{ID: 4, Parent: 3, Name: "execute", Run: 0, Start: at(2), Dur: 35 * time.Millisecond},
+		{ID: 5, Parent: 2, Name: "run", Run: 1, Start: at(5), Dur: 50 * time.Millisecond},
+		{ID: 6, Parent: 5, Name: "execute", Run: 1, Start: at(6), Dur: 44 * time.Millisecond},
+		{ID: 2, Parent: 1, Name: "simulate", Run: -1, Start: at(1), Dur: 55 * time.Millisecond},
+		{ID: 7, Parent: 1, Name: "stats.unit", Run: -1, Detail: "SQ-ADDR", Start: at(60), Dur: 3 * time.Millisecond},
+		{ID: 1, Parent: 0, Name: "verify", Run: -1, Start: at(0), Dur: 65 * time.Millisecond},
+	}
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	got, err := Perfetto(fixedSpans()).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("perfetto output drifted from golden (rerun with -update if intended)\ngot:\n%s", got)
+	}
+	// Byte determinism: a second conversion must be identical.
+	again, err := Perfetto(fixedSpans()).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append(again, '\n')) {
+		t.Error("perfetto conversion is not deterministic")
+	}
+}
+
+// TestPerfettoStructure validates the trace-event invariants Perfetto's
+// importer relies on: every event has a phase, complete ("X") events
+// have non-negative rebased timestamps and durations, run spans sit on
+// tid run+1, stage spans on tid 0, and the document round-trips as
+// JSON with a traceEvents array.
+func TestPerfettoStructure(t *testing.T) {
+	data, err := Perfetto(fixedSpans()).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("perfetto JSON does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("event %q has negative ts/dur: %+v", ev.Name, ev)
+			}
+			if run, ok := ev.Args["run"]; ok {
+				if want := int(run.(float64)) + 1; ev.Tid != want {
+					t.Errorf("run span %q on tid %d want %d", ev.Name, ev.Tid, want)
+				}
+			} else if ev.Tid != 0 {
+				t.Errorf("stage span %q on tid %d want 0", ev.Name, ev.Tid)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Name == "" || ev.Pid != 1 {
+			t.Errorf("malformed event %+v", ev)
+		}
+	}
+	if complete != len(fixedSpans()) {
+		t.Errorf("%d complete events, want %d", complete, len(fixedSpans()))
+	}
+	// process_name + pipeline thread + one thread per run (2 runs).
+	if meta != 4 {
+		t.Errorf("%d metadata events, want 4", meta)
+	}
+	// The verify root starts the trace at ts 0.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "verify" && ev.Ts != 0 {
+			t.Errorf("verify root ts = %g want 0 (rebased)", ev.Ts)
+		}
+	}
+}
+
+// TestPerfettoFromJSONL feeds the converter the exact wire format the
+// span tracer writes and checks it agrees with the in-memory path.
+func TestPerfettoFromJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := telemetry.NewSpanTracer(&buf)
+	root := tr.Start("verify", 0, -1)
+	run := tr.Start("run", root.ID(), 0)
+	run.End()
+	root.End()
+
+	fromJSONL, err := PerfettoFromJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSpans := Perfetto(tr.Spans())
+	a, err := fromJSONL.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fromSpans.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JSONL wire format truncates to whole nanoseconds, which both
+	// paths share; the rendered documents must agree byte for byte.
+	if !bytes.Equal(a, b) {
+		t.Errorf("JSONL and in-memory conversions disagree:\n%s\nvs\n%s", a, b)
+	}
+
+	if _, err := PerfettoFromJSONL(strings.NewReader("{bad json\n")); err == nil {
+		t.Error("malformed JSONL line must fail the conversion")
+	}
+	empty, err := PerfettoFromJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(empty.TraceEvents) != 2 { // process+pipeline metadata only
+		t.Errorf("blank-line stream: %v, %d events", err, len(empty.TraceEvents))
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("msd_jobs_total").Add(2)
+	r.Histogram("msd_job_seconds", telemetry.LatencyBuckets()).Observe(0.5)
+
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE msd_jobs_total counter", "msd_jobs_total 2",
+		"# TYPE msd_job_seconds histogram", `msd_job_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
+}

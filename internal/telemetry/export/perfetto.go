@@ -1,0 +1,207 @@
+// Package export turns the in-process telemetry of PR 1 — the metrics
+// registry and the span tracer — into standard, tool-consumable
+// surfaces: Prometheus text exposition over HTTP and Perfetto/Chrome
+// trace-event JSON that opens directly in ui.perfetto.dev. It is the
+// serving boundary between the pipeline's instrumentation and the
+// outside world; the msd daemon and the CLI both render through it.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"microsampler/internal/telemetry"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format (the JSON
+// dialect Perfetto's legacy importer accepts). Ts and Dur are in
+// microseconds, relative to the earliest span of the trace.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// PerfettoTrace is a complete trace document: load it in
+// ui.perfetto.dev or chrome://tracing as-is.
+type PerfettoTrace struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// JSON marshals the trace. Field order is fixed by the struct layout
+// and events are pre-sorted, so the output is deterministic for a
+// given span set.
+func (p *PerfettoTrace) JSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", " ")
+}
+
+const perfettoPid = 1
+
+// pipeline-stage spans (run < 0) render on tid 0; run spans render on
+// tid run+1 so each simulation run gets its own track.
+func perfettoTid(run int) int {
+	if run < 0 {
+		return 0
+	}
+	return run + 1
+}
+
+// Perfetto converts a finished span tree (core.Report.Spans) into a
+// trace-event document. Timestamps are rebased to the earliest span so
+// traces start at t=0, and events are sorted by (start, id) so the
+// output bytes do not depend on the order runs happened to finish in.
+func Perfetto(spans []telemetry.Span) *PerfettoTrace {
+	rows := make([]spanRow, 0, len(spans))
+	for _, s := range spans {
+		rows = append(rows, spanRow{
+			id:      s.ID,
+			parent:  s.Parent,
+			name:    s.Name,
+			run:     s.Run,
+			detail:  s.Detail,
+			startNs: s.Start.UnixNano(),
+			durNs:   s.Dur.Nanoseconds(),
+		})
+	}
+	return fromRows(rows)
+}
+
+// spanJSONL is the wire form emitted by telemetry.SpanTracer on its
+// JSONL sink (Options.TraceSink / microsampler -trace-out).
+type spanJSONL struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent"`
+	Name    string `json:"name"`
+	Run     *int   `json:"run"`
+	Detail  string `json:"detail"`
+	StartNs int64  `json:"startNs"`
+	DurNs   int64  `json:"durNs"`
+}
+
+// PerfettoFromJSONL converts a span JSONL stream (the format written
+// by microsampler -trace-out and Options.TraceSink) into a trace-event
+// document. Blank lines are skipped; a malformed line fails the whole
+// conversion with its line number.
+func PerfettoFromJSONL(r io.Reader) (*PerfettoTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var rows []spanRow
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var s spanJSONL
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, fmt.Errorf("span JSONL line %d: %w", lineNo, err)
+		}
+		run := -1
+		if s.Run != nil {
+			run = *s.Run
+		}
+		rows = append(rows, spanRow{
+			id:      s.ID,
+			parent:  s.Parent,
+			name:    s.Name,
+			run:     run,
+			detail:  s.Detail,
+			startNs: s.StartNs,
+			durNs:   s.DurNs,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fromRows(rows), nil
+}
+
+type spanRow struct {
+	id, parent   uint64
+	name, detail string
+	run          int
+	startNs      int64
+	durNs        int64
+}
+
+func fromRows(rows []spanRow) *PerfettoTrace {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].startNs != rows[j].startNs {
+			return rows[i].startNs < rows[j].startNs
+		}
+		return rows[i].id < rows[j].id
+	})
+	var minStart int64
+	if len(rows) > 0 {
+		minStart = rows[0].startNs
+	}
+
+	tr := &PerfettoTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"source": "microsampler span tracer"},
+		TraceEvents:     make([]TraceEvent, 0, len(rows)+2),
+	}
+
+	// Name the process and the pipeline track, then one track per run
+	// index seen, in sorted order (metadata events, ph "M").
+	meta := func(name string, tid int, value string) TraceEvent {
+		return TraceEvent{
+			Name: name, Ph: "M", Pid: perfettoPid, Tid: tid,
+			Args: map[string]any{"name": value},
+		}
+	}
+	tr.TraceEvents = append(tr.TraceEvents,
+		meta("process_name", 0, "microsampler verify"),
+		meta("thread_name", 0, "pipeline"))
+	runs := map[int]bool{}
+	for _, r := range rows {
+		if r.run >= 0 && !runs[r.run] {
+			runs[r.run] = true
+		}
+	}
+	sortedRuns := make([]int, 0, len(runs))
+	for r := range runs {
+		sortedRuns = append(sortedRuns, r)
+	}
+	sort.Ints(sortedRuns)
+	for _, r := range sortedRuns {
+		tr.TraceEvents = append(tr.TraceEvents,
+			meta("thread_name", perfettoTid(r), fmt.Sprintf("run %d", r)))
+	}
+
+	for _, r := range rows {
+		ev := TraceEvent{
+			Name: r.name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			Ts:   float64(r.startNs-minStart) / 1e3,
+			Dur:  float64(r.durNs) / 1e3,
+			Pid:  perfettoPid,
+			Tid:  perfettoTid(r.run),
+			Args: map[string]any{"id": r.id},
+		}
+		if r.run >= 0 {
+			ev.Cat = "run"
+			ev.Args["run"] = r.run
+		}
+		if r.parent != 0 {
+			ev.Args["parent"] = r.parent
+		}
+		if r.detail != "" {
+			ev.Args["detail"] = r.detail
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	return tr
+}

@@ -1,0 +1,30 @@
+package export
+
+import (
+	"net/http"
+
+	"microsampler/internal/telemetry"
+)
+
+// PrometheusContentType is the exposition-format content type scrapers
+// negotiate for (text format version 0.0.4).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PrometheusText renders a registry snapshot in the Prometheus text
+// exposition format: # HELP/# TYPE headers, sanitised metric names,
+// and histograms expanded into cumulative _bucket/_sum/_count series.
+// The heavy lifting lives on telemetry.Snapshot so the registry's own
+// RenderText shares the exact same output.
+func PrometheusText(r *telemetry.Registry) string {
+	return r.Snapshot().Prometheus()
+}
+
+// MetricsHandler serves a registry as a Prometheus scrape endpoint
+// (the msd daemon mounts it at /metrics). The snapshot is taken per
+// request, so long-lived scrapers always see current values.
+func MetricsHandler(r *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		_, _ = w.Write([]byte(PrometheusText(r)))
+	})
+}

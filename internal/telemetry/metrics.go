@@ -168,6 +168,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if n == 0 {
 		return 0
 	}
+	if q <= 0 {
+		return h.Min()
+	}
 	rank := uint64(math.Ceil(q * float64(n)))
 	if rank < 1 {
 		rank = 1
@@ -310,14 +313,20 @@ func (r *Registry) Reset() {
 	r.histograms = make(map[string]*Histogram)
 }
 
-// HistogramSnapshot is the rendered state of one histogram.
+// HistogramSnapshot is the rendered state of one histogram. Bounds and
+// BucketCounts carry the raw (non-cumulative) bucket layout so
+// exporters can rebuild the full distribution (Prometheus _bucket
+// series); BucketCounts has one extra trailing entry for the +Inf
+// overflow bucket.
 type HistogramSnapshot struct {
-	Count uint64  `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Mean  float64 `json:"mean"`
-	P95   float64 `json:"p95"`
-	Max   float64 `json:"max"`
+	Count        uint64    `json:"count"`
+	Sum          float64   `json:"sum"`
+	Min          float64   `json:"min"`
+	Mean         float64   `json:"mean"`
+	P95          float64   `json:"p95"`
+	Max          float64   `json:"max"`
+	Bounds       []float64 `json:"bounds,omitempty"`
+	BucketCounts []uint64  `json:"bucketCounts,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry's values.
@@ -343,20 +352,33 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[n] = g.Value()
 	}
 	for n, h := range r.histograms {
+		bounds, counts := h.Buckets()
 		s.Histograms[n] = HistogramSnapshot{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			Min:   h.Min(),
-			Mean:  h.Mean(),
-			P95:   h.Quantile(0.95),
-			Max:   h.Max(),
+			Count:        h.Count(),
+			Sum:          h.Sum(),
+			Min:          h.Min(),
+			Mean:         h.Mean(),
+			P95:          h.Quantile(0.95),
+			Max:          h.Max(),
+			Bounds:       bounds,
+			BucketCounts: counts,
 		}
 	}
 	return s
 }
 
-// RenderText renders the registry as aligned, sorted terminal text.
+// RenderText renders the registry in the Prometheus text exposition
+// format (via Snapshot.Prometheus), so the same dump a terminal shows
+// is scrapeable by any Prometheus-compatible collector. Metric names
+// are sanitised to the exposition alphabet; RenderSummary keeps the
+// old aligned human-oriented view.
 func (r *Registry) RenderText() string {
+	return r.Snapshot().Prometheus()
+}
+
+// RenderSummary renders the registry as aligned, sorted terminal text:
+// one line per metric, histograms condensed to n/min/mean/p95/max.
+func (r *Registry) RenderSummary() string {
 	s := r.Snapshot()
 	var b strings.Builder
 	b.WriteString("metrics:\n")

@@ -105,10 +105,26 @@ func TestRenderText(t *testing.T) {
 	r.Gauge("sim_ipc").Set(1.5)
 	r.Histogram("run_seconds", LatencyBuckets()).Observe(0.25)
 	out := r.RenderText()
-	for _, want := range []string{"sim_cycles_total", "1234", "sim_ipc", "1.5",
-		"run_seconds", "n=1"} {
+	for _, want := range []string{
+		"# TYPE sim_cycles_total counter", "sim_cycles_total 1234",
+		"# TYPE sim_ipc gauge", "sim_ipc 1.5",
+		"# TYPE run_seconds histogram", `run_seconds_bucket{le="+Inf"} 1`,
+		"run_seconds_sum 0.25", "run_seconds_count 1",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("RenderText missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_cycles_total").Add(1234)
+	r.Histogram("run_seconds", LatencyBuckets()).Observe(0.25)
+	out := r.RenderSummary()
+	for _, want := range []string{"sim_cycles_total", "1234", "run_seconds", "n=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderSummary missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SanitizeMetricName maps an arbitrary metric name onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid rune
+// becomes '_', and a leading digit is prefixed with '_'. The registry
+// itself accepts free-form names (per-unit counters embed unit labels
+// like "trace_samples_total.SQ-ADDR"); sanitisation happens at render
+// time so in-process consumers keep the readable originals.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !valid {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, with the special values spelled +Inf,
+// -Inf and NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE header per metric
+// family followed by its samples, histograms expanded into cumulative
+// _bucket series plus _sum and _count. Metric names are sanitised with
+// SanitizeMetricName; when two names collapse onto the same sanitised
+// family the headers are emitted once. Families appear in sorted
+// (sanitised) name order, so the rendering is deterministic.
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	seen := make(map[string]bool)
+
+	header := func(name, orig, typ string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteString(" microsampler ")
+		b.WriteString(typ)
+		if orig != name {
+			b.WriteString(" (source name ")
+			b.WriteString(orig)
+			b.WriteString(")")
+		}
+		b.WriteString("\n# TYPE ")
+		b.WriteString(name)
+		b.WriteString(" ")
+		b.WriteString(typ)
+		b.WriteString("\n")
+	}
+
+	for _, orig := range sortedBySanitized(s.Counters) {
+		name := SanitizeMetricName(orig)
+		header(name, orig, "counter")
+		b.WriteString(name)
+		b.WriteString(" ")
+		b.WriteString(strconv.FormatUint(s.Counters[orig], 10))
+		b.WriteString("\n")
+	}
+	for _, orig := range sortedBySanitized(s.Gauges) {
+		name := SanitizeMetricName(orig)
+		header(name, orig, "gauge")
+		b.WriteString(name)
+		b.WriteString(" ")
+		b.WriteString(formatFloat(s.Gauges[orig]))
+		b.WriteString("\n")
+	}
+	for _, orig := range sortedBySanitized(s.Histograms) {
+		name := SanitizeMetricName(orig)
+		h := s.Histograms[orig]
+		header(name, orig, "histogram")
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.BucketCounts[i]
+			b.WriteString(name)
+			b.WriteString(`_bucket{le="`)
+			b.WriteString(formatFloat(bound))
+			b.WriteString(`"} `)
+			b.WriteString(strconv.FormatUint(cum, 10))
+			b.WriteString("\n")
+		}
+		b.WriteString(name)
+		b.WriteString(`_bucket{le="+Inf"} `)
+		b.WriteString(strconv.FormatUint(h.Count, 10))
+		b.WriteString("\n")
+		b.WriteString(name)
+		b.WriteString("_sum ")
+		b.WriteString(formatFloat(h.Sum))
+		b.WriteString("\n")
+		b.WriteString(name)
+		b.WriteString("_count ")
+		b.WriteString(strconv.FormatUint(h.Count, 10))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sortedBySanitized returns the map keys ordered by their sanitised
+// form (ties broken by the original name, for determinism).
+func sortedBySanitized[M ~map[string]V, V any](m M) []string {
+	keys := sortedKeys(m)
+	// sortedKeys is already sorted by original name; re-sort by the
+	// sanitised form, keeping the original order as tie-break (stable).
+	sortStableBy(keys, func(a, bk string) bool {
+		sa, sb := SanitizeMetricName(a), SanitizeMetricName(bk)
+		if sa != sb {
+			return sa < sb
+		}
+		return a < bk
+	})
+	return keys
+}
+
+// sortStableBy is a tiny insertion sort: key sets are small (tens of
+// metrics) and this avoids pulling in sort.SliceStable's reflection on
+// a hot-ish render path.
+func sortStableBy(s []string, less func(a, b string) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"verify_total":                "verify_total",
+		"trace_samples_total.SQ-ADDR": "trace_samples_total_SQ_ADDR",
+		"verify_stage_seconds.parse":  "verify_stage_seconds_parse",
+		"ns:sub_metric":               "ns:sub_metric",
+		"9lives":                      "_9lives",
+		"":                            "_",
+		"a b/c":                       "a_b_c",
+	} {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q want %q", in, got, want)
+		}
+	}
+	valid := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	for _, in := range []string{"trace.Ü-nit", "--", "x.y.z", "123", "_ok"} {
+		if got := SanitizeMetricName(in); !valid.MatchString(got) {
+			t.Errorf("SanitizeMetricName(%q) = %q is not a valid metric name", in, got)
+		}
+	}
+}
+
+// promSampleRe matches one exposition sample line: a valid metric name,
+// an optional label set, and a float value.
+var promSampleRe = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+
+var promHeaderRe = regexp.MustCompile(
+	`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+
+// TestPrometheusConformance feeds the renderer a registry with every
+// metric kind (including names that need sanitising) and parses the
+// output line by line against the exposition grammar, checking the
+// histogram invariants: cumulative non-decreasing _bucket series, the
+// +Inf bucket equal to _count, and HELP/TYPE headers preceding samples.
+func TestPrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("verify_total").Add(3)
+	r.Counter("trace_samples_total.SQ-ADDR").Add(41)
+	r.Counter("trace_samples_total.LQ-PC").Add(7)
+	r.Gauge("sim_ipc").Set(1.25)
+	r.Gauge("weird gauge/name").Set(-2.5)
+	h := r.Histogram("verify_stage_seconds.parse", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.004, 0.05, 0.05, 2, 30} {
+		h.Observe(v)
+	}
+
+	out := r.RenderText()
+	typed := map[string]string{}
+	samples := map[string][]string{} // family -> sample lines (in order)
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition output", i)
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promHeaderRe.MatchString(line) {
+				t.Fatalf("line %d: malformed header %q", i, line)
+			}
+			f := strings.Fields(line)
+			if f[1] == "TYPE" {
+				typed[f[2]] = f[3]
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", i, line)
+		}
+		name := m[1]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("line %d: sample %q before its # TYPE header", i, line)
+		}
+		samples[family] = append(samples[family], line)
+	}
+
+	if typ := typed["verify_total"]; typ != "counter" {
+		t.Errorf("verify_total TYPE = %q", typ)
+	}
+	if typ := typed["trace_samples_total_SQ_ADDR"]; typ != "counter" {
+		t.Errorf("sanitised per-unit counter TYPE = %q (families: %v)", typ, typed)
+	}
+	if typ := typed["verify_stage_seconds_parse"]; typ != "histogram" {
+		t.Errorf("verify_stage_seconds_parse TYPE = %q", typ)
+	}
+
+	// Histogram invariants.
+	var prev uint64
+	var infCount, count uint64
+	var sawSum bool
+	for _, line := range samples["verify_stage_seconds_parse"] {
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		switch {
+		case strings.Contains(line, "_bucket{"):
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", val, err)
+			}
+			if n < prev {
+				t.Errorf("bucket series not cumulative: %q after %d", line, prev)
+			}
+			prev = n
+			if strings.Contains(line, `le="+Inf"`) {
+				infCount = n
+			}
+		case strings.Contains(line, "_count"):
+			count, _ = strconv.ParseUint(val, 10, 64)
+		case strings.Contains(line, "_sum"):
+			sawSum = true
+		}
+	}
+	if infCount != 6 || count != 6 {
+		t.Errorf("+Inf bucket = %d, _count = %d, want 6", infCount, count)
+	}
+	if !sawSum {
+		t.Error("histogram missing _sum sample")
+	}
+}
+
+func TestPrometheusSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("inf").Set(math.Inf(1))
+	r.Gauge("neginf").Set(math.Inf(-1))
+	r.Gauge("nan").Set(math.NaN())
+	out := r.RenderText()
+	for _, want := range []string{"inf +Inf\n", "neginf -Inf\n", "nan NaN\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(1)
+	r.Counter("a_total").Add(2)
+	r.Histogram("h", []float64{1, 2}).Observe(1.5)
+	if a, b := r.RenderText(), r.RenderText(); a != b {
+		t.Errorf("rendering not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewRegistry().Histogram("q", []float64{1, 2, 4})
+
+	// Single observation: every quantile must return it.
+	h.Observe(1.5)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got < 1.5 || got > 2 {
+			t.Errorf("single-obs Quantile(%g) = %g want within [1.5,2]", q, got)
+		}
+	}
+
+	h2 := NewRegistry().Histogram("q2", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 3, 100} { // 100 overflows the last bound
+		h2.Observe(v)
+	}
+	if got := h2.Quantile(0); got != 0.5 {
+		t.Errorf("Quantile(0) = %g want 0.5 (observed min)", got)
+	}
+	if got := h2.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %g want 100 (observed max)", got)
+	}
+	// A value above the last bound must clamp to max, not +Inf.
+	h3 := NewRegistry().Histogram("q3", []float64{1})
+	h3.Observe(50)
+	if got := h3.Quantile(0.5); got != 50 {
+		t.Errorf("overflow-only Quantile(0.5) = %g want 50", got)
+	}
+	if got := h3.Quantile(1); math.IsInf(got, 1) {
+		t.Error("Quantile(1) leaked +Inf for overflow bucket")
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.SetMax(float64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := float64(workers*perWorker - 1)
+	if got := g.Value(); got != want {
+		t.Errorf("concurrent SetMax = %g want %g", got, want)
+	}
+}

@@ -35,8 +35,11 @@ type spanJSON struct {
 // SpanTracer records pipeline spans. It is safe for concurrent use
 // (runs execute in parallel), retains every finished span for
 // aggregation, and optionally emits each span as one JSON line to a
-// sink when it ends. A nil *SpanTracer is valid and records nothing, so
-// instrumentation points need no nil checks.
+// sink when it ends. Sink writes are serialised under the tracer's
+// mutex, so the sink itself needs no locking and never sees
+// interleaved lines — a plain *os.File or bytes.Buffer is a valid
+// sink under Parallel > 1. A nil *SpanTracer is valid and records
+// nothing, so instrumentation points need no nil checks.
 type SpanTracer struct {
 	mu    sync.Mutex
 	sink  io.Writer
@@ -117,6 +120,9 @@ func (t *SpanTracer) Record(name string, parent uint64, run int, start time.Time
 	})
 }
 
+// record retains the span and emits its JSONL form. The whole
+// marshal-and-write happens under t.mu: concurrent End calls from the
+// parallel worker pool must not interleave partial lines on the sink.
 func (t *SpanTracer) record(s Span) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -151,3 +151,58 @@ func TestSpanStats(t *testing.T) {
 		t.Errorf("span stats = %+v", s)
 	}
 }
+
+// TestSpanTracerConcurrentSink hammers one tracer from many goroutines
+// (the parallel worker-pool shape: concurrent Start/End/Record against
+// a shared unsynchronised sink) and checks that the JSONL stream comes
+// out line-atomic and complete. Run under -race this also proves the
+// tracer's mutex is the only synchronisation the sink needs.
+func TestSpanTracerConcurrentSink(t *testing.T) {
+	var buf bytes.Buffer // deliberately not goroutine-safe on its own
+	tr := NewSpanTracer(&buf)
+	root := tr.Start("verify", 0, -1)
+
+	const workers, spansPerWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansPerWorker; i++ {
+				s := tr.StartDetail("run", root.ID(), w*spansPerWorker+i, "worker")
+				tr.Record("parse", s.ID(), w, time.Now(), time.Microsecond)
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := workers*spansPerWorker*2 + 1
+	if got := len(tr.Spans()); got != want {
+		t.Fatalf("retained %d spans, want %d", got, want)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	ids := map[uint64]bool{}
+	for sc.Scan() {
+		lines++
+		var span struct {
+			ID   uint64 `json:"id"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			t.Fatalf("interleaved or corrupt JSONL line %q: %v", sc.Text(), err)
+		}
+		if span.ID == 0 || ids[span.ID] {
+			t.Fatalf("duplicate or zero span id on line %q", sc.Text())
+		}
+		ids[span.ID] = true
+	}
+	if lines != want {
+		t.Fatalf("sink holds %d lines, want %d", lines, want)
+	}
+}

@@ -93,18 +93,25 @@ type UnitTrace struct {
 	// duration information discarded (the paper's "timing information
 	// removed" transform of Section VII-B2).
 	NoTiming *snapshot.Store
+	// IterHashes is the full-snapshot hash of each kept iteration, in
+	// execution order and aligned with Collector.Iterations. The Store
+	// deduplicates by hash, so this sequence is what preserves *when*
+	// each snapshot occurred — the leakage heatmap bins it into
+	// iteration windows.
+	IterHashes []uint64
 }
 
 // unitState is the per-unit sampling state, held in a dense array
 // indexed by Unit so the per-cycle loop does no map lookups.
 type unitState struct {
-	rec     snapshot.Recorder // full (timed) snapshot of the iteration
-	evRec   snapshot.Recorder // timing-free event stream
-	row     []uint64          // per-unit row scratch, reused every cycle
-	prev    u64set            // non-zero values of the previous cycle's row
-	samples uint64            // state rows sampled (telemetry)
-	full    *snapshot.Store
-	noT     *snapshot.Store
+	rec        snapshot.Recorder // full (timed) snapshot of the iteration
+	evRec      snapshot.Recorder // timing-free event stream
+	row        []uint64          // per-unit row scratch, reused every cycle
+	prev       u64set            // non-zero values of the previous cycle's row
+	samples    uint64            // state rows sampled (telemetry)
+	full       *snapshot.Store
+	noT        *snapshot.Store
+	iterHashes []uint64 // full-snapshot hash per kept iteration
 }
 
 // Collector implements sim.Tracer. It samples the tracked units every
@@ -217,6 +224,7 @@ func (c *Collector) OnMark(cycle int64, kind isa.MarkKind, class uint64) {
 			st := &c.states[u]
 			fullH, _ := st.rec.Hashes()
 			st.full.ObserveFrom(c.class, fullH, &st.rec)
+			st.iterHashes = append(st.iterHashes, fullH)
 			evH, _ := st.evRec.Hashes()
 			st.noT.ObserveFrom(c.class, evH, &st.evRec)
 		}
@@ -317,7 +325,9 @@ func (c *Collector) Results() []UnitTrace {
 	out := make([]UnitTrace, 0, len(c.units))
 	for _, u := range c.units {
 		st := &c.states[u]
-		out = append(out, UnitTrace{Unit: u, Full: st.full, NoTiming: st.noT})
+		out = append(out, UnitTrace{
+			Unit: u, Full: st.full, NoTiming: st.noT, IterHashes: st.iterHashes,
+		})
 	}
 	return out
 }

@@ -207,3 +207,39 @@ _start:
 		t.Error("event view should be identical (same store, same address)")
 	}
 }
+
+// TestCollectorIterHashes checks the per-iteration hash sequence that
+// feeds the leakage heatmap: one hash per kept iteration per unit,
+// aligned with Iterations(), and consistent with the deduplicated
+// store (the multiset of sequence hashes equals the store's counts).
+func TestCollectorIterHashes(t *testing.T) {
+	col := runWithCollector(t, loopProgram, WithWarmupIterations(1))
+	iters := col.Iterations()
+	if len(iters) == 0 {
+		t.Fatal("no iterations")
+	}
+	for _, ut := range col.Results() {
+		if len(ut.IterHashes) != len(iters) {
+			t.Fatalf("%v: %d iter hashes for %d iterations",
+				ut.Unit, len(ut.IterHashes), len(iters))
+		}
+		seqCounts := map[uint64]int{}
+		for _, h := range ut.IterHashes {
+			seqCounts[h]++
+		}
+		storeCounts := map[uint64]int{}
+		for _, e := range ut.Full.Entries() {
+			storeCounts[e.Hash] += e.Total()
+		}
+		if len(seqCounts) != len(storeCounts) {
+			t.Fatalf("%v: %d distinct sequence hashes vs %d store entries",
+				ut.Unit, len(seqCounts), len(storeCounts))
+		}
+		for h, n := range seqCounts {
+			if storeCounts[h] != n {
+				t.Errorf("%v: hash %#x seen %d times in sequence, %d in store",
+					ut.Unit, h, n, storeCounts[h])
+			}
+		}
+	}
+}

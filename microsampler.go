@@ -49,6 +49,7 @@ import (
 	"microsampler/internal/report"
 	"microsampler/internal/sim"
 	"microsampler/internal/telemetry"
+	"microsampler/internal/telemetry/export"
 	"microsampler/internal/trace"
 	"microsampler/internal/workloads"
 )
@@ -221,6 +222,51 @@ func RenderStages(rep *Report) string { return report.StageBreakdown(rep) }
 // (per-unit Cramér's V, bias-corrected V, p-value, mutual information,
 // unique features).
 func RenderJSON(rep *Report) ([]byte, error) { return report.JSON(rep) }
+
+// Exportable observability surfaces (Prometheus, Perfetto, heatmaps).
+
+// Heatmap is the units × iteration-window leakage matrix of a report:
+// per-window Cramér's V for every tracked unit, showing *when* during
+// the execution each unit correlated with the secret.
+type Heatmap = report.Heatmap
+
+// PerfettoTrace is a Chrome trace-event document; open it in
+// ui.perfetto.dev or chrome://tracing.
+type PerfettoTrace = export.PerfettoTrace
+
+// BuildHeatmap bins a report's per-iteration evidence into `windows`
+// contiguous iteration windows (non-positive selects the default, 16).
+func BuildHeatmap(rep *Report, windows int) (*Heatmap, error) {
+	return report.BuildHeatmap(rep, windows)
+}
+
+// RenderHeatmapJSON returns a report's leakage heatmap as deterministic
+// JSON (byte-identical across repeated runs of the same seed).
+func RenderHeatmapJSON(rep *Report, windows int) ([]byte, error) {
+	hm, err := report.BuildHeatmap(rep, windows)
+	if err != nil {
+		return nil, err
+	}
+	return hm.JSON()
+}
+
+// RenderHeatmapHTML returns a report's leakage heatmap as a
+// self-contained single-file HTML document with an inline SVG matrix.
+func RenderHeatmapHTML(rep *Report, windows int) (string, error) {
+	hm, err := report.BuildHeatmap(rep, windows)
+	if err != nil {
+		return "", err
+	}
+	return hm.HTML(), nil
+}
+
+// RenderPerfetto converts a report's span tree into a Perfetto/Chrome
+// trace-event document.
+func RenderPerfetto(rep *Report) *PerfettoTrace { return export.Perfetto(rep.Spans) }
+
+// RenderPrometheus renders a metrics registry in the Prometheus text
+// exposition format (the document served at the msd daemon's /metrics).
+func RenderPrometheus(m *MetricsRegistry) string { return export.PrometheusText(m) }
 
 // Constant-time compiler (compiler-vulnerability substrate).
 

@@ -18,6 +18,11 @@ go test -run '^$' -bench 'OnCycle' -benchmem -count "$count" \
     ./internal/trace | tee "$raw"
 go test -run '^$' -bench 'SamplingThroughput' -benchmem -count "$count" \
     . | tee -a "$raw"
+# End-to-end daemon job latency: HTTP submit through simulation,
+# analysis, artifact rendering and the completion poll. Few iterations
+# — each one is a whole verification.
+go test -run '^$' -bench 'MSDJobLatency' -benchtime 5x -count 1 \
+    ./internal/msd | tee -a "$raw"
 
 # Fold the standard benchmark output into JSON: one object per
 # benchmark name, each metric averaged over the repetitions. Plain awk,

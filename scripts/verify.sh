@@ -22,8 +22,12 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (telemetry, core) =="
-go test -race ./internal/telemetry ./internal/core
+echo "== go test -race (telemetry, export, core, msd) =="
+go test -race ./internal/telemetry ./internal/telemetry/export \
+    ./internal/core ./internal/msd
+
+echo "== msd daemon smoke (full HTTP lifecycle) =="
+go test -race -count=1 -run '^TestSmoke$' ./cmd/msd
 
 echo "== oracle determinism (go test -count=2) =="
 go test -count=2 ./internal/oracle
