@@ -14,6 +14,7 @@
 //	microsampler -workload ME-V1-MV -runs 4 -parallel 4 -metrics -trace-out spans.jsonl
 //	microsampler -workload ME-V1-MV -progress -pprof localhost:6060
 //	microsampler -workload ME-NAIVE -perfetto-out trace.json -heatmap-out heatmap.json -heatmap-html heatmap.html
+//	microsampler -workload ME-V1-MV -run-timeout 30s -retries 2
 package main
 
 import (
@@ -54,6 +55,8 @@ func run(args []string) error {
 		contingency = fs.String("contingency", "", "print the contingency table for a unit")
 		stages      = fs.Bool("stages", false, "measure and print the stage-time breakdown (Table VI)")
 		parallel    = fs.Int("parallel", -1, "concurrent simulation runs (-1: one per CPU, 1: sequential)")
+		runTimeout  = fs.Duration("run-timeout", 0, "per-run wall-clock deadline (0: no deadline)")
+		retries     = fs.Int("retries", 0, "retries per failed run for transient errors, with exponential backoff (0: fail fast)")
 		jsonOut     = fs.Bool("json", false, "emit the machine-readable JSON report instead of charts")
 		metrics     = fs.Bool("metrics", false, "print the telemetry metrics dump after the run")
 		traceOut    = fs.String("trace-out", "", "write pipeline spans as JSON lines to FILE")
@@ -141,6 +144,8 @@ func run(args []string) error {
 		Warmup:        *warmup,
 		MeasureStages: *stages,
 		Parallel:      *parallel,
+		RunTimeout:    *runTimeout,
+		Retry:         microsampler.RetryPolicy{Max: *retries},
 	}
 	if *warmup == 0 {
 		opts.Warmup = microsampler.NoWarmup

@@ -174,6 +174,27 @@ func TestRunExportFlags(t *testing.T) {
 	}
 }
 
+func TestRunFaultToleranceFlags(t *testing.T) {
+	err := run([]string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "1",
+		"-config", "small", "-chart=false",
+		"-run-timeout", "30s", "-retries", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Negative values are rejected by option validation, not silently
+	// clamped.
+	if err := run([]string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "1",
+		"-config", "small", "-chart=false", "-retries", "-1"}); err == nil ||
+		!strings.Contains(err.Error(), "Options.Retry") {
+		t.Errorf("negative -retries: %v", err)
+	}
+	if err := run([]string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "1",
+		"-config", "small", "-chart=false", "-run-timeout", "-1s"}); err == nil ||
+		!strings.Contains(err.Error(), "RunTimeout") {
+		t.Errorf("negative -run-timeout: %v", err)
+	}
+}
+
 func TestRunProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.prof")

@@ -22,6 +22,14 @@
 //
 // SIGINT/SIGTERM drains in-flight jobs (bounded by -drain-timeout)
 // before exiting.
+//
+// With -journal-dir set, every job transition is appended to a fsynced
+// write-ahead journal and finished jobs' artifacts are persisted under
+// that directory; a daemon restarted over the same directory re-enqueues
+// jobs that were queued at the crash and marks jobs that were mid-run as
+// interrupted (-recover re-enqueues those too):
+//
+//	msd -journal-dir /var/lib/msd -recover
 package main
 
 import (
@@ -61,11 +69,16 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		queue        = fs.Int("queue", 16, "queued-job capacity (submissions beyond it get 503)")
 		maxJobs      = fs.Int("max-jobs", 64, "finished jobs retained in memory")
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+		journalDir   = fs.String("journal-dir", "", "directory for the crash-safe job journal and artifacts (default: disabled, jobs are in-memory only)")
+		recoverFlag  = fs.Bool("recover", false, "re-enqueue jobs interrupted by a crash instead of leaving them terminal (requires -journal-dir; queued jobs are always recovered)")
 		logFormat    = fs.String("log-format", "text", "log output format: text or json")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *recoverFlag && *journalDir == "" {
+		return fmt.Errorf("-recover requires -journal-dir")
 	}
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -73,12 +86,17 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 
-	server := msd.New(msd.Config{
-		Workers:   *workers,
-		QueueSize: *queue,
-		MaxJobs:   *maxJobs,
-		Logger:    logger,
+	server, err := msd.New(msd.Config{
+		Workers:            *workers,
+		QueueSize:          *queue,
+		MaxJobs:            *maxJobs,
+		Logger:             logger,
+		JournalDir:         *journalDir,
+		RequeueInterrupted: *recoverFlag,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

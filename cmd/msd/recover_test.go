@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// helperEnv re-executes the test binary as a real msd daemon: when set,
+// TestMain runs main's run() with the US-separated (0x1f) args instead of the
+// test suite. This gives the kill/recover test an actual OS process to
+// SIGKILL — in-process "crashes" cannot model a dead process.
+const helperEnv = "MSD_HELPER_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(helperEnv); args != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := run(ctx, strings.Split(args, "\x1f"), nil); err != nil {
+			fmt.Fprintln(os.Stderr, "msd helper:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startDaemon spawns the helper-process daemon with the given flags and
+// waits for /healthz.
+func startDaemon(t *testing.T, base string, flags ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), helperEnv+"="+strings.Join(flags, "\x1f"))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatal("daemon never became healthy")
+	return nil
+}
+
+func postJob(t *testing.T, base string, req map[string]any) (id, status string, code int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return v.ID, v.Status, resp.StatusCode
+}
+
+func jobStatus(t *testing.T, base, id string) (status, errMsg string) {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("status %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return v.Status, v.Error
+}
+
+// slowLeakySource is a secret-dependent loop with enough iterations
+// that a multi-run job reliably outlives the SIGKILL window.
+const slowLeakySource = `
+	.text
+_start:
+	li   s2, 60
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3
+	mul  t0, s2, s2
+	beqz s3, skip
+	mul  t0, t0, s2
+skip:
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+`
+
+// TestKillRecover is the crash-recovery acceptance test: a real daemon
+// process is SIGKILLed mid-job and a new process over the same journal
+// directory must pick up the pieces — the interrupted job re-runs
+// (-recover), the queued job runs, and the ID sequence continues.
+func TestKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/recover spawns real daemon processes")
+	}
+	dir := t.TempDir()
+
+	// Reserve an ephemeral port for both daemon incarnations.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	base := "http://" + addr
+	flags := []string{
+		"-addr", addr, "-workers", "1", "-journal-dir", dir,
+		"-recover", "-log-level", "error",
+	}
+
+	first := startDaemon(t, base, flags...)
+	killed := false
+	defer func() {
+		if !killed {
+			_ = first.Process.Kill()
+			_, _ = first.Process.Wait()
+		}
+	}()
+
+	// Job 1 is slow enough to be mid-run when the SIGKILL lands; job 2
+	// waits behind it in the queue.
+	id1, _, code := postJob(t, base, map[string]any{
+		"source": slowLeakySource, "config": "small", "runs": 48, "warmup": 2,
+	})
+	if code != http.StatusAccepted || id1 != "job-1" {
+		t.Fatalf("submit 1: code=%d id=%s", code, id1)
+	}
+	id2, _, code := postJob(t, base, map[string]any{
+		"source": slowLeakySource, "config": "small", "runs": 2, "warmup": 2,
+	})
+	if code != http.StatusAccepted || id2 != "job-2" {
+		t.Fatalf("submit 2: code=%d id=%s", code, id2)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, _ := jobStatus(t, base, id1)
+		if st == "running" {
+			break
+		}
+		if st == "done" || st == "failed" {
+			t.Fatalf("job-1 reached %q before the kill; make it slower", st)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job-1 never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The crash: SIGKILL, no drain, no goodbye.
+	if err := first.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = first.Process.Wait()
+	killed = true
+
+	second := startDaemon(t, base, flags...)
+	defer func() {
+		_ = second.Process.Signal(syscall.SIGTERM)
+		waitExit := make(chan error, 1)
+		go func() { waitExit <- second.Wait() }()
+		select {
+		case <-waitExit:
+		case <-time.After(30 * time.Second):
+			_ = second.Process.Kill()
+		}
+	}()
+
+	// Both jobs must finish under the new incarnation: job-1 re-enqueued
+	// by -recover after being marked interrupted, job-2 recovered from
+	// the queued state.
+	deadline = time.Now().Add(120 * time.Second)
+	for _, id := range []string{id1, id2} {
+		for {
+			st, errMsg := jobStatus(t, base, id)
+			if st == "done" {
+				break
+			}
+			if st == "failed" {
+				t.Fatalf("%s failed after recovery: %s", id, errMsg)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s stuck in %q after recovery", id, st)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The ID sequence resumes past the journaled jobs.
+	id3, _, code := postJob(t, base, map[string]any{
+		"source": slowLeakySource, "config": "small", "runs": 2, "warmup": 2,
+	})
+	if code != http.StatusAccepted || id3 != "job-3" {
+		t.Errorf("post-recovery submit: code=%d id=%s want job-3", code, id3)
+	}
+}

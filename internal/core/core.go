@@ -19,13 +19,16 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"microsampler/internal/asm"
+	"microsampler/internal/faults"
 	"microsampler/internal/features"
 	"microsampler/internal/sim"
 	"microsampler/internal/snapshot"
@@ -107,6 +110,27 @@ type Options struct {
 	// its siblings are cancelled instead of simulating to completion.
 	Parallel int
 
+	// RunTimeout bounds the wall time of each run attempt (0 means no
+	// bound). An expired attempt fails with context.DeadlineExceeded,
+	// which the retry policy treats as transient.
+	RunTimeout time.Duration
+	// Watchdog, when positive, arms a wall-clock stall detector per run
+	// attempt: if the simulator makes no cycle progress for this long
+	// (a blocked tracer or fault hook), the attempt is aborted with a
+	// sim.ErrStalled-wrapped error, which the retry policy treats as
+	// transient.
+	Watchdog time.Duration
+	// Retry re-executes run attempts that fail transiently — injected
+	// transient faults, recovered panics, deadline expiries, watchdog
+	// stalls — with exponential backoff and full jitter. The zero value
+	// disables retrying.
+	Retry RetryPolicy
+	// FaultHook, when non-nil, supplies the per-cycle fault hook
+	// installed on each run attempt's machine (nil hooks are fine and
+	// cost nothing). It exists for fault-injection campaigns:
+	// faults.Injector.Hook is the intended source.
+	FaultHook func(run, attempt int) sim.FaultHook
+
 	// Metrics, when non-nil, receives pipeline and simulator counters
 	// (cycles, IPC, cache and predictor events, per-unit sample volume,
 	// run/stage latency distributions). Accumulation is per run, off
@@ -133,6 +157,41 @@ type Options struct {
 	RunID string
 }
 
+// RetryPolicy configures per-run retry of transiently failing attempts.
+type RetryPolicy struct {
+	// Max is the number of retries allowed per run beyond the first
+	// attempt; 0 disables retrying.
+	Max int
+	// BaseDelay seeds the exponential backoff (default 50ms when
+	// Max > 0): before retry n (0-based) the worker sleeps a full-jitter
+	// duration drawn uniformly from [0, min(MaxDelay, BaseDelay·2ⁿ)].
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window (default 2s; never below
+	// BaseDelay).
+	MaxDelay time.Duration
+}
+
+// backoff returns the jittered delay before retry n (0-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	return p.backoffAt(n, rand.Float64())
+}
+
+// backoffAt is backoff with the uniform jitter draw u injected; split
+// out so tests can pin the draw.
+func (p RetryPolicy) backoffAt(n int, u float64) time.Duration {
+	window := p.BaseDelay
+	for i := 0; i < n && window < p.MaxDelay; i++ {
+		window *= 2
+	}
+	if window > p.MaxDelay {
+		window = p.MaxDelay
+	}
+	if window <= 0 {
+		return 0
+	}
+	return time.Duration(u * float64(window))
+}
+
 // withDefaults validates the options and fills in defaults. Negative
 // Runs or MaxCycles, or a Parallel below the ParallelAuto sentinel, are
 // programming errors that used to surface as panics (e.g. in
@@ -148,6 +207,26 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Parallel < ParallelAuto {
 		return o, fmt.Errorf("core: Options.Parallel must be >= %d (ParallelAuto), got %d",
 			ParallelAuto, o.Parallel)
+	}
+	if o.RunTimeout < 0 {
+		return o, fmt.Errorf("core: Options.RunTimeout must be non-negative, got %v", o.RunTimeout)
+	}
+	if o.Watchdog < 0 {
+		return o, fmt.Errorf("core: Options.Watchdog must be non-negative, got %v", o.Watchdog)
+	}
+	if o.Retry.Max < 0 || o.Retry.BaseDelay < 0 || o.Retry.MaxDelay < 0 {
+		return o, fmt.Errorf("core: Options.Retry fields must be non-negative, got %+v", o.Retry)
+	}
+	if o.Retry.Max > 0 {
+		if o.Retry.BaseDelay == 0 {
+			o.Retry.BaseDelay = 50 * time.Millisecond
+		}
+		if o.Retry.MaxDelay == 0 {
+			o.Retry.MaxDelay = 2 * time.Second
+		}
+		if o.Retry.MaxDelay < o.Retry.BaseDelay {
+			o.Retry.MaxDelay = o.Retry.BaseDelay
+		}
 	}
 	if o.Config.Name == "" {
 		o.Config = sim.MegaBoom()
@@ -270,6 +349,9 @@ type Report struct {
 	Runs       int
 	Stages     StageTimes
 	SimCycles  int64 // total simulated cycles across runs
+	// Retries counts run attempts that failed transiently and were
+	// re-executed under Options.Retry; 0 on the fault-free path.
+	Retries int
 
 	// Sim aggregates the simulator's event counters across runs.
 	Sim SimStats
@@ -405,18 +487,15 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	}
 	var progressMu sync.Mutex
 	runsDone := 0
-	runOne := func(run int) (out runOut) {
-		// Re-check cancellation here, after the run has been claimed:
-		// a worker may have been waiting while a sibling failed.
-		if err := runCtx.Err(); err != nil {
-			out.err = err
-			return out
-		}
-		runSpan := tr.Start("run", simSpan.ID(), run)
-		defer runSpan.End()
+	var retriesTotal atomic.Int64
+	// attemptOne executes one attempt of one run: the untraced pass
+	// (MeasureStages), the traced pass with a fresh collector, and the
+	// synthesised parse span. Attempt state never leaks across attempts,
+	// so a retried run is indistinguishable from a first try.
+	attemptOne := func(run, attempt int, parent uint64) (out runOut) {
 		if opts.MeasureStages {
-			s := tr.Start("simulate.untraced", runSpan.ID(), run)
-			_, err := execRun(w, opts, prog, run, nil, nil, 0)
+			s := tr.Start("simulate.untraced", parent, run)
+			_, err := execRun(runCtx, w, opts, prog, run, attempt, nil, nil, 0)
 			out.plain = s.End()
 			if err != nil {
 				out.err = fmt.Errorf("%s run %d (untraced): %w", w.Name, run, err)
@@ -428,15 +507,12 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 			trace.WithWarmupIterations(opts.Warmup),
 		)
 		tracedStart := time.Now()
-		res, err := execRun(w, opts, prog, run, col, tr, runSpan.ID())
+		res, err := execRun(runCtx, w, opts, prog, run, attempt, col, tr, parent)
 		out.traced = time.Since(tracedStart)
 		if err != nil {
 			out.err = fmt.Errorf("%s run %d: %w", w.Name, run, err)
-			lg.Error("run failed", "run", run, "err", err)
 			return out
 		}
-		lg.Debug("run complete", "run", run, "cycles", res.Cycles,
-			"iterations", len(col.Iterations()), "dur", out.traced)
 		out.col, out.res = col, res
 		if opts.MeasureStages {
 			// Attribute the traced-minus-untraced overhead of this run
@@ -445,8 +521,50 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 			if parse < 0 {
 				parse = 0
 			}
-			tr.Record("parse", runSpan.ID(), run, tracedStart, parse)
+			tr.Record("parse", parent, run, tracedStart, parse)
 		}
+		return out
+	}
+	runOne := func(run int) (out runOut) {
+		// Re-check cancellation here, after the run has been claimed:
+		// a worker may have been waiting while a sibling failed.
+		if err := runCtx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		runSpan := tr.Start("run", simSpan.ID(), run)
+		defer runSpan.End()
+		for attempt := 0; ; attempt++ {
+			out = attemptOne(run, attempt, runSpan.ID())
+			if out.err == nil {
+				break
+			}
+			countFailure(opts.Metrics, out.err)
+			if runCtx.Err() != nil || attempt >= opts.Retry.Max || !retryable(out.err) {
+				lg.Error("run failed", "run", run, "attempt", attempt, "err", out.err)
+				return out
+			}
+			retriesTotal.Add(1)
+			if opts.Metrics != nil {
+				opts.Metrics.Counter("verify_retries_total").Inc()
+			}
+			delay := opts.Retry.backoff(attempt)
+			lg.Warn("run attempt failed; retrying", "run", run, "attempt", attempt,
+				"class", errClass(out.err), "backoff", delay, "err", out.err)
+			retrySpan := tr.StartDetail("run.retry", runSpan.ID(), run,
+				fmt.Sprintf("attempt %d after %s", attempt+1, errClass(out.err)))
+			wait := time.NewTimer(delay)
+			select {
+			case <-runCtx.Done():
+				wait.Stop()
+				retrySpan.End()
+				return out
+			case <-wait.C:
+			}
+			retrySpan.End()
+		}
+		lg.Debug("run complete", "run", run, "cycles", out.res.Cycles,
+			"iterations", len(out.col.Iterations()), "dur", out.traced)
 		if opts.OnProgress != nil {
 			progressMu.Lock()
 			runsDone++
@@ -454,8 +572,8 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 				Run:        run,
 				Done:       runsDone,
 				Total:      opts.Runs,
-				Cycles:     res.Cycles,
-				Iterations: len(col.Iterations()),
+				Cycles:     out.res.Cycles,
+				Iterations: len(out.col.Iterations()),
 				Elapsed:    time.Since(verifyStart),
 			})
 			progressMu.Unlock()
@@ -509,6 +627,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		wg.Wait()
 	}
 	simWall := simSpan.End()
+	rep.Retries = int(retriesTotal.Load())
 
 	// Merge in run order so results are identical to a sequential run.
 	mergeSpan := tr.Start("merge", root.ID(), -1)
@@ -617,6 +736,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	lg.Info("verify complete",
 		"leaky", rep.AnyLeak(), "leaky_units", leakyNames,
 		"iterations", len(rep.Iterations), "sim_cycles", rep.SimCycles,
+		"retries", rep.Retries,
 		"elapsed", time.Since(verifyStart),
 		"stage_simulate", rep.Stages.Simulate, "stage_stats", rep.Stages.Stats,
 		"stage_extract", rep.Stages.Extract)
@@ -656,11 +776,19 @@ func recordMetrics(m *telemetry.Registry, rep *Report, runWall []time.Duration) 
 	m.Histogram("verify_stage_seconds.extract", lb).Observe(rep.Stages.Extract.Seconds())
 }
 
-// execRun performs one simulation run from reset state. When tr is
-// non-nil, machine construction and execution are recorded as child
-// spans of parent.
-func execRun(w Workload, opts Options, prog *asm.Program, run int,
-	col *trace.Collector, tr *telemetry.SpanTracer, parent uint64) (sim.Result, error) {
+// execRun performs one simulation run attempt from reset state. When tr
+// is non-nil, machine construction and execution are recorded as child
+// spans of parent. A panic anywhere in the attempt — setup, probes, an
+// injected fault — is recovered into a transient faults.PanicError with
+// the stack captured, so one crashing attempt never takes down the
+// worker pool.
+func execRun(ctx context.Context, w Workload, opts Options, prog *asm.Program, run, attempt int,
+	col *trace.Collector, tr *telemetry.SpanTracer, parent uint64) (res sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = faults.Transient(&faults.PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
 	setupSpan := tr.Start("machine-setup", parent, run)
 	m, err := sim.New(opts.Config)
 	if err != nil {
@@ -681,8 +809,16 @@ func execRun(w Workload, opts Options, prog *asm.Program, run int,
 	if col != nil {
 		m.SetTracer(col)
 	}
+	if opts.FaultHook != nil {
+		m.SetFaultHook(opts.FaultHook(run, attempt))
+	}
+	if opts.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.RunTimeout)
+		defer cancel()
+	}
 	execSpan := tr.Start("execute", parent, run)
-	res, err := m.Run(opts.MaxCycles)
+	res, err = m.RunContext(ctx, opts.MaxCycles, opts.Watchdog)
 	execSpan.End()
 	if err != nil {
 		return res, err
@@ -691,6 +827,56 @@ func execRun(w Workload, opts Options, prog *asm.Program, run int,
 		return res, fmt.Errorf("program exited with code %d", res.ExitCode)
 	}
 	return res, nil
+}
+
+// retryable reports whether a failed attempt may be re-executed:
+// watchdog stalls, run-deadline expiries and errors the faults package
+// marks transient (injected transients, recovered panics) are; plain
+// cancellation — a sibling failed, or the caller gave up — never is,
+// even though its chain may carry transient markers.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, sim.ErrStalled), errors.Is(err, context.DeadlineExceeded):
+		return true
+	case errors.Is(err, context.Canceled):
+		return false
+	}
+	return faults.IsTransient(err)
+}
+
+// errClass names the failure mode of a run attempt for logs and spans.
+func errClass(err error) string {
+	var pe *faults.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, sim.ErrStalled):
+		return "stall"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case faults.IsTransient(err):
+		return "transient"
+	}
+	return "error"
+}
+
+// countFailure attributes one failed run attempt to the matching live
+// telemetry counter.
+func countFailure(m *telemetry.Registry, err error) {
+	if m == nil {
+		return
+	}
+	var pe *faults.PanicError
+	switch {
+	case errors.As(err, &pe):
+		m.Counter("verify_run_panics_total").Inc()
+	case errors.Is(err, sim.ErrStalled):
+		m.Counter("verify_run_stalls_total").Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		m.Counter("verify_run_timeouts_total").Inc()
+	default:
+		m.Counter("verify_run_errors_total").Inc()
+	}
 }
 
 // mergeAttribution unions sorted PC lists per address. Both sides hold

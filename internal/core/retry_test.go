@@ -1,0 +1,427 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"microsampler/internal/faults"
+	"microsampler/internal/sim"
+	"microsampler/internal/telemetry"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+var fastRetry = RetryPolicy{Max: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond}
+
+// hookEvery installs the same per-cycle hook on every attempt of every
+// run.
+func hookEvery(h sim.FaultHook) func(run, attempt int) sim.FaultHook {
+	return func(run, attempt int) sim.FaultHook { return h }
+}
+
+// failAttemptsBelow returns a FaultHook factory whose attempts below n
+// fail at cycle 1 with err; later attempts are fault-free.
+func failAttemptsBelow(n int, err error) func(run, attempt int) sim.FaultHook {
+	return func(run, attempt int) sim.FaultHook {
+		if attempt >= n {
+			return nil
+		}
+		return func(ctx context.Context, cycle int64) error { return err }
+	}
+}
+
+func TestRetryTransientSucceeds(t *testing.T) {
+	m := telemetry.NewRegistry()
+	rep, err := Verify(Workload{Name: "flaky", Source: leakWorkload}, Options{
+		Config:    sim.SmallBoom(),
+		Runs:      2,
+		Retry:     fastRetry,
+		FaultHook: failAttemptsBelow(2, faults.Transient(errors.New("blip"))),
+		Metrics:   m,
+	})
+	if err != nil {
+		t.Fatalf("verify with transient faults and retries: %v", err)
+	}
+	// Each of the 2 runs burned 2 attempts before succeeding.
+	if rep.Retries != 4 {
+		t.Errorf("Report.Retries = %d want 4", rep.Retries)
+	}
+	if got := m.Counter("verify_retries_total").Value(); got != 4 {
+		t.Errorf("verify_retries_total = %d want 4", got)
+	}
+	if got := m.Counter("verify_run_errors_total").Value(); got != 4 {
+		t.Errorf("verify_run_errors_total = %d want 4", got)
+	}
+
+	// The retried verification reaches the same verdicts as a fault-free
+	// one: retried attempts restart from reset state with the same seed.
+	base, err := Verify(Workload{Name: "flaky", Source: leakWorkload},
+		Options{Config: sim.SmallBoom(), Runs: 2})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if got, want := leakyNamesOf(rep), leakyNamesOf(base); got != want {
+		t.Errorf("verdicts diverged under retry: %q vs baseline %q", got, want)
+	}
+}
+
+func TestPermanentFaultFailsFast(t *testing.T) {
+	var attempts atomic.Int64
+	_, err := Verify(Workload{Name: "dead", Source: smokeWorkload}, Options{
+		Config: sim.SmallBoom(),
+		Retry:  fastRetry,
+		FaultHook: func(run, attempt int) sim.FaultHook {
+			attempts.Add(1)
+			return func(ctx context.Context, cycle int64) error {
+				return faults.Permanent(errors.New("wedged"))
+			}
+		},
+	})
+	if !faults.IsPermanent(err) {
+		t.Fatalf("want permanent-classified error, got %v", err)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Errorf("permanent fault consumed %d attempts, want 1 (no retry)", n)
+	}
+}
+
+func TestUnmarkedErrorNotRetried(t *testing.T) {
+	var attempts atomic.Int64
+	_, err := Verify(Workload{Name: "plain", Source: smokeWorkload}, Options{
+		Config: sim.SmallBoom(),
+		Retry:  fastRetry,
+		FaultHook: func(run, attempt int) sim.FaultHook {
+			attempts.Add(1)
+			return func(ctx context.Context, cycle int64) error {
+				return errors.New("unclassified")
+			}
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unclassified") {
+		t.Fatalf("want the unclassified error, got %v", err)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Errorf("unmarked error consumed %d attempts, want 1", n)
+	}
+}
+
+func TestRetryExhaustionSurfacesTransient(t *testing.T) {
+	var attempts atomic.Int64
+	rep, err := Verify(Workload{Name: "hopeless", Source: smokeWorkload}, Options{
+		Config: sim.SmallBoom(),
+		Retry:  RetryPolicy{Max: 2, BaseDelay: 50 * time.Microsecond},
+		FaultHook: func(run, attempt int) sim.FaultHook {
+			attempts.Add(1)
+			return func(ctx context.Context, cycle int64) error {
+				return faults.Transient(errors.New("still down"))
+			}
+		},
+	})
+	if rep != nil || !faults.IsTransient(err) {
+		t.Fatalf("want transient-classified failure after exhaustion, got rep=%v err=%v", rep, err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Errorf("Max=2 ran %d attempts, want 3", n)
+	}
+	if !strings.Contains(err.Error(), "run 0") {
+		t.Errorf("error lost the run prefix: %v", err)
+	}
+}
+
+func TestPanicRecoveredAndRetried(t *testing.T) {
+	m := telemetry.NewRegistry()
+	rep, err := Verify(Workload{Name: "panicky", Source: smokeWorkload}, Options{
+		Config: sim.SmallBoom(),
+		Retry:  fastRetry,
+		FaultHook: func(run, attempt int) sim.FaultHook {
+			if attempt > 0 {
+				return nil
+			}
+			return func(ctx context.Context, cycle int64) error { panic("probe bug") }
+		},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatalf("panic was not recovered and retried: %v", err)
+	}
+	if rep.Retries != 1 {
+		t.Errorf("Retries = %d want 1", rep.Retries)
+	}
+	if got := m.Counter("verify_run_panics_total").Value(); got != 1 {
+		t.Errorf("verify_run_panics_total = %d want 1", got)
+	}
+}
+
+func TestPanicWithoutRetrySurfacesPanicError(t *testing.T) {
+	_, err := Verify(Workload{Name: "panicky", Source: smokeWorkload}, Options{
+		Config:    sim.SmallBoom(),
+		FaultHook: hookEvery(func(ctx context.Context, cycle int64) error { panic("boom") }),
+	})
+	var pe *faults.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want PanicError, got %v", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError lost value or stack: %+v", pe)
+	}
+}
+
+func TestRunTimeoutIsTransient(t *testing.T) {
+	m := telemetry.NewRegistry()
+	rep, err := Verify(Workload{Name: "slowstart", Source: smokeWorkload}, Options{
+		Config:     sim.SmallBoom(),
+		RunTimeout: 30 * time.Millisecond,
+		Retry:      fastRetry,
+		FaultHook: func(run, attempt int) sim.FaultHook {
+			if attempt > 0 {
+				return nil
+			}
+			// First attempt blocks (honouring ctx) until the run deadline.
+			return func(ctx context.Context, cycle int64) error {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(10 * time.Second):
+					return errors.New("timeout never fired")
+				}
+			}
+		},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatalf("deadline expiry was not retried: %v", err)
+	}
+	if rep.Retries != 1 {
+		t.Errorf("Retries = %d want 1", rep.Retries)
+	}
+	if got := m.Counter("verify_run_timeouts_total").Value(); got != 1 {
+		t.Errorf("verify_run_timeouts_total = %d want 1", got)
+	}
+}
+
+func TestWatchdogStallIsTransient(t *testing.T) {
+	m := telemetry.NewRegistry()
+	rep, err := Verify(Workload{Name: "stall", Source: smokeWorkload}, Options{
+		Config:   sim.SmallBoom(),
+		Watchdog: 50 * time.Millisecond,
+		Retry:    fastRetry,
+		FaultHook: func(run, attempt int) sim.FaultHook {
+			if attempt > 0 {
+				return nil
+			}
+			return func(ctx context.Context, cycle int64) error {
+				<-ctx.Done() // a hang the watchdog must break
+				return ctx.Err()
+			}
+		},
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatalf("watchdog stall was not retried: %v", err)
+	}
+	if rep.Retries != 1 {
+		t.Errorf("Retries = %d want 1", rep.Retries)
+	}
+	if got := m.Counter("verify_run_stalls_total").Value(); got != 1 {
+		t.Errorf("verify_run_stalls_total = %d want 1", got)
+	}
+}
+
+func TestRetrySpansRecorded(t *testing.T) {
+	var sink bytes.Buffer
+	_, err := Verify(Workload{Name: "flaky", Source: smokeWorkload}, Options{
+		Config:    sim.SmallBoom(),
+		Retry:     fastRetry,
+		FaultHook: failAttemptsBelow(1, faults.Transient(errors.New("blip"))),
+		TraceSink: &sink,
+	})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	var runID uint64
+	var retries []struct {
+		Parent uint64
+		Detail string
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sink.String()), "\n") {
+		var span struct {
+			Name   string `json:"name"`
+			ID     uint64 `json:"id"`
+			Parent uint64 `json:"parent"`
+			Detail string `json:"detail"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		switch span.Name {
+		case "run":
+			runID = span.ID
+		case "run.retry":
+			retries = append(retries, struct {
+				Parent uint64
+				Detail string
+			}{span.Parent, span.Detail})
+		}
+	}
+	if len(retries) != 1 {
+		t.Fatalf("want 1 run.retry span, got %d", len(retries))
+	}
+	if retries[0].Parent != runID {
+		t.Errorf("run.retry parented under %d, want run span %d", retries[0].Parent, runID)
+	}
+	if !strings.Contains(retries[0].Detail, "transient") {
+		t.Errorf("run.retry detail %q lacks the failure class", retries[0].Detail)
+	}
+}
+
+func TestBackoffWindows(t *testing.T) {
+	p := RetryPolicy{Max: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}
+	// u=1 probes the upper edge of each jitter window: 10ms, 20ms, then
+	// capped at 35ms.
+	for n, want := range map[int]time.Duration{
+		0: 10 * time.Millisecond,
+		1: 20 * time.Millisecond,
+		2: 35 * time.Millisecond,
+		9: 35 * time.Millisecond,
+	} {
+		if got := p.backoffAt(n, 1); got != want {
+			t.Errorf("backoffAt(%d, 1) = %v want %v", n, got, want)
+		}
+	}
+	if got := p.backoffAt(3, 0); got != 0 {
+		t.Errorf("backoffAt(_, 0) = %v want 0 (full jitter reaches zero)", got)
+	}
+	if (RetryPolicy{}).backoffAt(2, 1) != 0 {
+		t.Error("zero policy must not sleep")
+	}
+	// Verify jittered draws stay inside the window.
+	for i := 0; i < 100; i++ {
+		if d := p.backoff(1); d < 0 || d > 20*time.Millisecond {
+			t.Fatalf("backoff(1) = %v outside [0, 20ms]", d)
+		}
+	}
+}
+
+func TestFaultToleranceOptionValidation(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"timeout":  {RunTimeout: -time.Second},
+		"watchdog": {Watchdog: -time.Second},
+		"retryMax": {Retry: RetryPolicy{Max: -1}},
+		"retryDur": {Retry: RetryPolicy{Max: 1, BaseDelay: -time.Second}},
+	} {
+		if _, err := Verify(Workload{Name: "neg", Source: smokeWorkload}, opts); err == nil {
+			t.Errorf("%s: negative option accepted", name)
+		}
+	}
+	// Defaults fill in only when retrying is enabled.
+	o, err := Options{Retry: RetryPolicy{Max: 2}}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Retry.BaseDelay != 50*time.Millisecond || o.Retry.MaxDelay != 2*time.Second {
+		t.Errorf("retry defaults not filled: %+v", o.Retry)
+	}
+	o, err = Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Retry.BaseDelay != 0 {
+		t.Errorf("disabled retry grew a delay: %+v", o.Retry)
+	}
+}
+
+func leakyNamesOf(rep *Report) string {
+	names := make([]string, 0, len(rep.Units))
+	for _, u := range rep.LeakyUnits() {
+		names = append(names, u.Unit.String())
+	}
+	return strings.Join(names, ",")
+}
+
+// classifiedFailure reports whether a Verify error carries one of the
+// fault-tolerance layer's classifications — the chaos-test contract
+// that failures are never anonymous.
+func classifiedFailure(err error) bool {
+	return faults.IsTransient(err) || faults.IsPermanent(err) ||
+		errors.Is(err, sim.ErrStalled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// chaosVerify runs the leak workload under an injector for one seed.
+func chaosVerify(seed uint64) (string, error) {
+	inj := faults.New(seed, faults.Config{
+		PTransient: 0.15,
+		PPermanent: 0.05,
+		PPanic:     0.10,
+		PHang:      0.05,
+		PSlow:      0.10,
+		MaxCycle:   2048,
+		HangFor:    2 * time.Second,
+		SlowFor:    time.Millisecond,
+	})
+	rep, err := Verify(Workload{Name: "chaos", Source: leakWorkload}, Options{
+		Config:     sim.SmallBoom(),
+		Runs:       3,
+		Parallel:   2,
+		RunTimeout: 10 * time.Second,
+		Watchdog:   100 * time.Millisecond,
+		Retry:      RetryPolicy{Max: 5, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		FaultHook:  inj.Hook,
+	})
+	if err != nil {
+		return "", err
+	}
+	return leakyNamesOf(rep), nil
+}
+
+// TestChaosSeeds drives the full pipeline under a seeded mix of
+// injected transients, permanents, panics, hangs and latency. For every
+// seed the outcome must be one of exactly two shapes: a report whose
+// verdicts match the fault-free baseline (retries are invisible to the
+// analysis), or a classified error. Panics escaping Verify or the test
+// timing out are the failures this guards against.
+func TestChaosSeeds(t *testing.T) {
+	base, err := Verify(Workload{Name: "chaos", Source: leakWorkload},
+		Options{Config: sim.SmallBoom(), Runs: 3, Parallel: 2})
+	if err != nil {
+		t.Fatalf("fault-free baseline: %v", err)
+	}
+	want := leakyNamesOf(base)
+	if want == "" {
+		t.Fatal("baseline found no leaks; chaos comparison is vacuous")
+	}
+
+	failed, succeeded := 0, 0
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			verdicts, err := chaosVerify(seed)
+			if err != nil {
+				failed++
+				if !classifiedFailure(err) {
+					t.Errorf("unclassified chaos failure: %v", err)
+				}
+				t.Logf("seed %d: classified failure: %v", seed, err)
+				return
+			}
+			succeeded++
+			if verdicts != want {
+				t.Errorf("verdicts under faults %q != baseline %q", verdicts, want)
+			}
+		})
+	}
+	t.Logf("chaos: %d seeds succeeded, %d failed classified", succeeded, failed)
+
+	// Determinism: replaying a seed reproduces the outcome shape.
+	v1, err1 := chaosVerify(3)
+	v2, err2 := chaosVerify(3)
+	if (err1 == nil) != (err2 == nil) || v1 != v2 {
+		t.Errorf("seed 3 not reproducible: (%q, %v) vs (%q, %v)", v1, err1, v2, err2)
+	}
+}

@@ -1,0 +1,87 @@
+// Package faults provides the failure-handling primitives shared by
+// every layer of the pipeline: transient/permanent error classification
+// markers, panic capture with stack retention, and a deterministic,
+// seedable fault injector used to chaos-test the verification pipeline
+// end to end.
+//
+// Classification is the contract between the layers. A run attempt that
+// fails with an error marked Transient (an injected transient fault, a
+// recovered panic, a run-deadline expiry, a watchdog stall) may be
+// re-executed by core.Verify's retry loop; an error marked Permanent —
+// or any unmarked error, which is treated as permanent — surfaces
+// immediately. The outermost marker wins, so Permanent(Transient(err))
+// is permanent.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// classified wraps an error with a retryability verdict.
+type classified struct {
+	err       error
+	transient bool
+}
+
+func (c *classified) Error() string {
+	if c.transient {
+		return "transient: " + c.err.Error()
+	}
+	return "permanent: " + c.err.Error()
+}
+
+func (c *classified) Unwrap() error { return c.err }
+
+// Transient marks err as retryable. A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, transient: true}
+}
+
+// Permanent marks err as not retryable, overriding any transient marker
+// wrapped deeper in the chain. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, transient: false}
+}
+
+// IsTransient reports whether err carries a transient marker as its
+// outermost classification. Unmarked errors are not transient.
+func IsTransient(err error) bool {
+	var c *classified
+	if errors.As(err, &c) {
+		return c.transient
+	}
+	return false
+}
+
+// IsPermanent reports whether err carries a permanent marker as its
+// outermost classification. Unmarked errors report false: they are
+// treated as permanent by retry loops but were never classified.
+func IsPermanent(err error) bool {
+	var c *classified
+	if errors.As(err, &c) {
+		return !c.transient
+	}
+	return false
+}
+
+// PanicError is a recovered panic converted into an error, with the
+// goroutine stack captured at the recovery site. Workers recover panics
+// from probes, workloads and injected faults into a PanicError instead
+// of crashing the process.
+type PanicError struct {
+	// Value is the value the goroutine panicked with.
+	Value any
+	// Stack is the stack trace captured by debug.Stack at recovery.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("recovered panic: %v", p.Value)
+}

@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClassification(t *testing.T) {
+	base := errors.New("boom")
+	tr := Transient(base)
+	pe := Permanent(base)
+
+	if !IsTransient(tr) || IsPermanent(tr) {
+		t.Errorf("Transient marker: IsTransient=%v IsPermanent=%v", IsTransient(tr), IsPermanent(tr))
+	}
+	if !IsPermanent(pe) || IsTransient(pe) {
+		t.Errorf("Permanent marker: IsPermanent=%v IsTransient=%v", IsPermanent(pe), IsTransient(pe))
+	}
+	if IsTransient(base) || IsPermanent(base) {
+		t.Error("unmarked error must carry no classification")
+	}
+	if IsTransient(nil) || IsPermanent(nil) {
+		t.Error("nil error must carry no classification")
+	}
+	if Transient(nil) != nil || Permanent(nil) != nil {
+		t.Error("marking nil must stay nil")
+	}
+
+	// The outermost marker wins; the chain stays intact.
+	flip := Permanent(Transient(base))
+	if IsTransient(flip) || !IsPermanent(flip) {
+		t.Error("Permanent(Transient(err)) must be permanent")
+	}
+	if !errors.Is(flip, base) {
+		t.Error("classification must not break errors.Is")
+	}
+	wrapped := fmt.Errorf("run 3: %w", Transient(base))
+	if !IsTransient(wrapped) {
+		t.Error("classification must survive fmt.Errorf %w wrapping")
+	}
+	if !strings.Contains(tr.Error(), "transient: boom") {
+		t.Errorf("transient message: %q", tr.Error())
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	pe := &PanicError{Value: "oops", Stack: []byte("stack")}
+	if !strings.Contains(pe.Error(), "oops") {
+		t.Errorf("PanicError message: %q", pe.Error())
+	}
+	var got *PanicError
+	if !errors.As(Transient(pe), &got) || got != pe {
+		t.Error("PanicError must survive classification for errors.As")
+	}
+}
+
+// TestPlanDeterministicReplay is the injector's core contract: the same
+// seed yields the identical fault schedule, and distinct seeds diverge.
+func TestPlanDeterministicReplay(t *testing.T) {
+	cfg := Config{PTransient: 0.2, PPermanent: 0.1, PPanic: 0.1, PHang: 0.1, PSlow: 0.1}
+	a := New(42, cfg)
+	b := New(42, cfg)
+	c := New(43, cfg)
+	same, diff := true, false
+	for run := 0; run < 64; run++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			pa, pb, pc := a.Plan(run, attempt), b.Plan(run, attempt), c.Plan(run, attempt)
+			if pa != pb {
+				same = false
+			}
+			if pa != pc {
+				diff = true
+			}
+			// Replaying the same (run, attempt) must not consume state.
+			if again := a.Plan(run, attempt); again != pa {
+				t.Fatalf("Plan(%d,%d) not pure: %+v then %+v", run, attempt, pa, again)
+			}
+			if pa.Kind != KindNone && (pa.Cycle < 1 || pa.Cycle > 2048) {
+				t.Fatalf("Plan(%d,%d) cycle %d out of [1,2048]", run, attempt, pa.Cycle)
+			}
+			if pa.Kind == KindNone && pa.Cycle != 0 {
+				t.Fatalf("fault-free plan with cycle %d", pa.Cycle)
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed produced different schedules")
+	}
+	if !diff {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestPlanMixCoverage checks every kind actually occurs under a mixed
+// config — the schedule is not degenerate.
+func TestPlanMixCoverage(t *testing.T) {
+	in := New(7, Config{PTransient: 0.2, PPermanent: 0.1, PPanic: 0.15, PHang: 0.1, PSlow: 0.15})
+	seen := map[Kind]int{}
+	for run := 0; run < 400; run++ {
+		seen[in.Plan(run, 0).Kind]++
+	}
+	for _, k := range []Kind{KindNone, KindTransient, KindPermanent, KindPanic, KindHang, KindSlow} {
+		if seen[k] == 0 {
+			t.Errorf("kind %v never drawn in 400 plans (%v)", k, seen)
+		}
+	}
+	// Roughly 30% of plans should be fault-free under a 0.7 total rate.
+	if seen[KindNone] < 40 || seen[KindNone] > 240 {
+		t.Errorf("fault-free rate implausible: %d/400", seen[KindNone])
+	}
+}
+
+// findPlanned locates a (run, attempt) whose plan has the wanted kind,
+// by construction of a single-kind config.
+func findPlanned(t *testing.T, in *Injector, want Kind) (int, Plan) {
+	t.Helper()
+	for run := 0; run < 4096; run++ {
+		if p := in.Plan(run, 0); p.Kind == want {
+			return run, p
+		}
+	}
+	t.Fatalf("no %v fault planned in 4096 runs", want)
+	return 0, Plan{}
+}
+
+func TestHookFiresAtPlannedCycle(t *testing.T) {
+	in := New(1, Config{PTransient: 0.5})
+	run, plan := findPlanned(t, in, KindTransient)
+	hook := in.Hook(run, 0)
+	if hook == nil {
+		t.Fatal("planned fault must yield a hook")
+	}
+	ctx := context.Background()
+	for cycle := int64(0); cycle < plan.Cycle; cycle++ {
+		if err := hook(ctx, cycle); err != nil {
+			t.Fatalf("hook fired early at cycle %d (planned %d): %v", cycle, plan.Cycle, err)
+		}
+	}
+	err := hook(ctx, plan.Cycle)
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("hook at planned cycle: %v", err)
+	}
+	// One-shot: the fault does not fire again.
+	if err := hook(ctx, plan.Cycle+1); err != nil {
+		t.Errorf("fault fired twice: %v", err)
+	}
+	fired := in.Fired()
+	if len(fired) != 1 || fired[0].Run != run || fired[0].Plan != plan {
+		t.Errorf("firing log: %+v", fired)
+	}
+}
+
+func TestHookFaultFreeAttemptIsNil(t *testing.T) {
+	in := New(1, Config{PTransient: 0.5})
+	for run := 0; run < 4096; run++ {
+		if in.Plan(run, 0).Kind == KindNone {
+			if in.Hook(run, 0) != nil {
+				t.Fatal("fault-free attempt must have a nil hook (zero-cost path)")
+			}
+			return
+		}
+	}
+	t.Fatal("no fault-free run found")
+}
+
+func TestHookPanics(t *testing.T) {
+	in := New(3, Config{PPanic: 1})
+	run, plan := findPlanned(t, in, KindPanic)
+	hook := in.Hook(run, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("panic fault did not panic")
+		}
+	}()
+	_ = hook(context.Background(), plan.Cycle)
+}
+
+func TestHookHangHonoursContext(t *testing.T) {
+	in := New(5, Config{PHang: 1, HangFor: time.Minute})
+	run, plan := findPlanned(t, in, KindHang)
+	hook := in.Hook(run, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := hook(ctx, plan.Cycle)
+	if err == nil || !IsTransient(err) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("hang abort: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("hang ignored cancellation for %v", d)
+	}
+}
+
+func TestHookHangBackstopExpires(t *testing.T) {
+	in := New(5, Config{PHang: 1, HangFor: 5 * time.Millisecond})
+	run, plan := findPlanned(t, in, KindHang)
+	err := in.Hook(run, 0)(context.Background(), plan.Cycle)
+	if err == nil || !IsTransient(err) || !strings.Contains(err.Error(), "hang expired") {
+		t.Fatalf("hang backstop: %v", err)
+	}
+}
+
+func TestHookSlowInjectsLatency(t *testing.T) {
+	in := New(9, Config{PSlow: 1, SlowFor: 20 * time.Millisecond})
+	run, plan := findPlanned(t, in, KindSlow)
+	hook := in.Hook(run, 0)
+	start := time.Now()
+	if err := hook(context.Background(), plan.Cycle); err != nil {
+		t.Fatalf("slow fault must not error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("slow fault injected only %v", d)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNone: "none", KindTransient: "transient", KindPermanent: "permanent",
+		KindPanic: "panic", KindHang: "hang", KindSlow: "slow", Kind(99): "Kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q want %q", k, got, want)
+		}
+	}
+}

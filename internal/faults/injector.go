@@ -1,0 +1,209 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the failure modes the injector models — the ones long
+// instrumentation campaigns actually see.
+type Kind uint8
+
+// Fault kinds.
+const (
+	KindNone      Kind = iota // fault-free attempt
+	KindTransient             // run error that a retry would clear
+	KindPermanent             // run error no retry can clear
+	KindPanic                 // panic mid-run (probe or workload bug)
+	KindHang                  // blocks until cancelled (stuck I/O, deadlock)
+	KindSlow                  // injected latency without an error
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindTransient:
+		return "transient"
+	case KindPermanent:
+		return "permanent"
+	case KindPanic:
+		return "panic"
+	case KindHang:
+		return "hang"
+	case KindSlow:
+		return "slow"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Config sets the per-attempt fault probabilities and shapes. The
+// probabilities are evaluated in field order against one uniform draw
+// per (run, attempt); their sum must not exceed 1 — the remainder is
+// the fault-free case.
+type Config struct {
+	PTransient float64 // probability of an injected transient run error
+	PPermanent float64 // probability of an injected permanent run error
+	PPanic     float64 // probability of an injected panic
+	PHang      float64 // probability of an injected hang
+	PSlow      float64 // probability of injected latency
+
+	// MaxCycle bounds the simulated cycle at which a fault fires; the
+	// cycle is drawn deterministically in [1, MaxCycle] (default 2048).
+	// Programs that exit earlier never reach the fault — exactly like a
+	// real crash window.
+	MaxCycle int64
+	// HangFor caps how long a hang blocks when the surrounding context
+	// is never cancelled (default 30s) — a backstop so an unwatched
+	// hang cannot outlive the test binary.
+	HangFor time.Duration
+	// SlowFor is the latency a Slow fault injects (default 10ms).
+	SlowFor time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCycle <= 0 {
+		c.MaxCycle = 2048
+	}
+	if c.HangFor <= 0 {
+		c.HangFor = 30 * time.Second
+	}
+	if c.SlowFor <= 0 {
+		c.SlowFor = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Plan is the fault scheduled for one run attempt.
+type Plan struct {
+	Kind Kind
+	// Cycle is the simulated cycle at which the fault fires (>= 1 for
+	// any Kind other than None).
+	Cycle int64
+}
+
+// Firing records one fault the injector actually delivered.
+type Firing struct {
+	Run, Attempt int
+	Plan         Plan
+}
+
+// Injector is a deterministic, seedable source of injected faults. The
+// schedule is a pure function of (seed, run, attempt): the same seed
+// replays the identical fault sequence, so a failing chaos seed
+// reproduces offline. Injectors are safe for concurrent use — parallel
+// run workers share one.
+type Injector struct {
+	seed uint64
+	cfg  Config
+
+	mu    sync.Mutex
+	fired []Firing
+}
+
+// New returns an injector for the given seed and fault mix.
+func New(seed uint64, cfg Config) *Injector {
+	return &Injector{seed: seed, cfg: cfg.withDefaults()}
+}
+
+// splitmix64 is the avalanche mixer behind the schedule: cheap, and
+// statistically solid enough that fault draws across (run, attempt)
+// pairs are independent for chaos-testing purposes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Plan returns the fault scheduled for the given run attempt — a pure
+// function of the injector's seed, never consuming shared state.
+func (in *Injector) Plan(run, attempt int) Plan {
+	h := splitmix64(in.seed ^ splitmix64(uint64(run)<<32|uint64(uint32(attempt))))
+	u := float64(h>>11) / (1 << 53) // uniform in [0,1)
+	kind := KindNone
+	for _, c := range []struct {
+		p float64
+		k Kind
+	}{
+		{in.cfg.PTransient, KindTransient},
+		{in.cfg.PPermanent, KindPermanent},
+		{in.cfg.PPanic, KindPanic},
+		{in.cfg.PHang, KindHang},
+		{in.cfg.PSlow, KindSlow},
+	} {
+		if u < c.p {
+			kind = c.k
+			break
+		}
+		u -= c.p
+	}
+	if kind == KindNone {
+		return Plan{}
+	}
+	cycle := 1 + int64(splitmix64(h)%uint64(in.cfg.MaxCycle))
+	return Plan{Kind: kind, Cycle: cycle}
+}
+
+// Hook returns the per-cycle fault hook for one run attempt, shaped for
+// sim.Machine.SetFaultHook and core.Options.FaultHook. A nil hook is
+// returned for fault-free attempts, so the simulator's zero-fault loop
+// stays hook-free. The hook fires its plan once, when simulation first
+// reaches the planned cycle: Transient/Permanent return classified
+// errors, Panic panics, Hang blocks until ctx is cancelled (bounded by
+// Config.HangFor), Slow sleeps Config.SlowFor and continues.
+func (in *Injector) Hook(run, attempt int) func(ctx context.Context, cycle int64) error {
+	plan := in.Plan(run, attempt)
+	if plan.Kind == KindNone {
+		return nil
+	}
+	fired := false
+	return func(ctx context.Context, cycle int64) error {
+		if fired || cycle < plan.Cycle {
+			return nil
+		}
+		fired = true
+		in.record(Firing{Run: run, Attempt: attempt, Plan: plan})
+		at := fmt.Sprintf("run %d attempt %d cycle %d", run, attempt, cycle)
+		switch plan.Kind {
+		case KindTransient:
+			return Transient(fmt.Errorf("faults: injected transient error (%s)", at))
+		case KindPermanent:
+			return Permanent(fmt.Errorf("faults: injected permanent error (%s)", at))
+		case KindPanic:
+			panic(fmt.Sprintf("faults: injected panic (%s)", at))
+		case KindHang:
+			t := time.NewTimer(in.cfg.HangFor)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return Transient(fmt.Errorf("faults: injected hang aborted (%s): %w", at, ctx.Err()))
+			case <-t.C:
+				return Transient(fmt.Errorf("faults: injected hang expired after %v (%s)", in.cfg.HangFor, at))
+			}
+		case KindSlow:
+			time.Sleep(in.cfg.SlowFor)
+		}
+		return nil
+	}
+}
+
+// record appends a delivered fault to the firing log.
+func (in *Injector) record(f Firing) {
+	in.mu.Lock()
+	in.fired = append(in.fired, f)
+	in.mu.Unlock()
+}
+
+// Fired returns a copy of every fault delivered so far, in delivery
+// order. Order across parallel runs is nondeterministic; the set is
+// not.
+func (in *Injector) Fired() []Firing {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Firing, len(in.fired))
+	copy(out, in.fired)
+	return out
+}

@@ -21,6 +21,11 @@ const (
 	StatusRunning JobStatus = "running"
 	StatusDone    JobStatus = "done"
 	StatusFailed  JobStatus = "failed"
+	// StatusInterrupted marks a job that was mid-run when the daemon
+	// process died, discovered by journal recovery at the next start.
+	// It is terminal unless Config.RequeueInterrupted re-enqueues the
+	// job for a fresh attempt.
+	StatusInterrupted JobStatus = "interrupted"
 )
 
 // JobRequest is the submit-endpoint payload. Exactly one of Workload

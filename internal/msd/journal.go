@@ -1,0 +1,226 @@
+package msd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// journalRecord is one line of the write-ahead job journal: an event in
+// a job's lifecycle, appended (and fsynced) before the corresponding
+// in-memory state change becomes externally visible. Replaying the
+// journal in order reconstructs the job table of a crashed daemon.
+type journalRecord struct {
+	// Event is one of submit, start, done, failed, interrupted, evict.
+	Event string    `json:"event"`
+	Time  time.Time `json:"time"`
+	ID    string    `json:"id"`
+
+	// Req is recorded on submit, so a recovered queued job can re-run.
+	Req *JobRequest `json:"req,omitempty"`
+	// Err is recorded on failed.
+	Err string `json:"err,omitempty"`
+
+	// Verdict summary, recorded on done. Artifacts live next to the
+	// journal under jobs/<id>/ and are not duplicated here.
+	Leaky      bool     `json:"leaky,omitempty"`
+	LeakyUnits []string `json:"leakyUnits,omitempty"`
+	Iterations int      `json:"iterations,omitempty"`
+	SimCycles  int64    `json:"simCycles,omitempty"`
+}
+
+// journal is the daemon's crash-safe persistence: an append-only JSONL
+// event log plus per-job artifact directories, all under one root.
+type journal struct {
+	dir string
+
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// openJournal opens (creating as needed) the journal under dir and
+// returns the records of any previous incarnation, in append order.
+func openJournal(dir string) (*journal, []journalRecord, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("msd: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+	var recs []journalRecord
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		recs = parseJournal(raw)
+	case !os.IsNotExist(err):
+		return nil, nil, fmt.Errorf("msd: read journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("msd: open journal: %w", err)
+	}
+	return &journal{dir: dir, f: f}, recs, nil
+}
+
+// parseJournal decodes journal lines tolerantly: a line torn by the
+// crash (or otherwise unparsable) is skipped rather than poisoning
+// recovery of every job recorded before it.
+func parseJournal(raw []byte) []journalRecord {
+	var recs []journalRecord
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// append writes one record and syncs it to stable storage before
+// returning, so an acknowledged event survives the process dying at any
+// later instant.
+func (j *journal) append(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("msd: encode journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("msd: journal closed")
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("msd: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("msd: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal file; further appends fail.
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// jobDir is where one job's artifacts live on disk.
+func (j *journal) jobDir(id string) string { return filepath.Join(j.dir, "jobs", id) }
+
+// artifactMeta is one entry of a job's on-disk artifact manifest.
+type artifactMeta struct {
+	File        string `json:"file"`
+	ContentType string `json:"contentType"`
+}
+
+// writeArtifacts flushes a finished job's artifacts to its directory.
+// Every file lands via write-to-temp, fsync, rename — the manifest
+// last — so a reader (including a recovering daemon) never observes a
+// partially written artifact: either the manifest names only complete
+// files, or there is no manifest and the job does not count as done.
+func (j *journal) writeArtifacts(id string, arts map[string]artifact) error {
+	dir := j.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("msd: job dir: %w", err)
+	}
+	manifest := make(map[string]artifactMeta, len(arts))
+	for name, art := range arts {
+		if strings.ContainsAny(name, "/\\") || strings.HasPrefix(name, ".") {
+			return fmt.Errorf("msd: unsafe artifact name %q", name)
+		}
+		if err := writeFileAtomic(filepath.Join(dir, name), art.data); err != nil {
+			return err
+		}
+		manifest[name] = artifactMeta{File: name, ContentType: art.contentType}
+	}
+	mdata, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("msd: encode manifest: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, "manifest.json"), mdata)
+}
+
+// loadArtifacts reads a job's artifacts back from its directory.
+func (j *journal) loadArtifacts(id string) (map[string]artifact, error) {
+	dir := j.jobDir(id)
+	mdata, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("msd: read manifest: %w", err)
+	}
+	var manifest map[string]artifactMeta
+	if err := json.Unmarshal(mdata, &manifest); err != nil {
+		return nil, fmt.Errorf("msd: decode manifest: %w", err)
+	}
+	arts := make(map[string]artifact, len(manifest))
+	for name, meta := range manifest {
+		data, err := os.ReadFile(filepath.Join(dir, meta.File))
+		if err != nil {
+			return nil, fmt.Errorf("msd: read artifact %s: %w", name, err)
+		}
+		arts[name] = artifact{contentType: meta.ContentType, data: data}
+	}
+	return arts, nil
+}
+
+// removeJob deletes a job's artifact directory (eviction).
+func (j *journal) removeJob(id string) error {
+	return os.RemoveAll(j.jobDir(id))
+}
+
+// writeFileAtomic writes data to path via a temp file, fsync and
+// rename, so path never holds a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("msd: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("msd: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("msd: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("msd: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("msd: rename %s: %w", tmp, err)
+	}
+	return nil
+}
+
+// idNum extracts the numeric suffix of a "job-N" identifier (0 if the
+// ID has another shape), so a recovered daemon resumes its ID sequence
+// past every journaled job.
+func idNum(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}

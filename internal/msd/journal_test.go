@@ -1,0 +1,377 @@
+package msd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"microsampler/internal/core"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	now := time.Now().UTC().Truncate(time.Millisecond)
+	want := []journalRecord{
+		{Event: "submit", Time: now, ID: "job-1", Req: &JobRequest{Source: "x"}},
+		{Event: "start", Time: now, ID: "job-1"},
+		{Event: "done", Time: now, ID: "job-1", Leaky: true, LeakyUnits: []string{"SQ_ADDR"}, Iterations: 8, SimCycles: 99},
+	}
+	for _, rec := range want {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalRecord{Event: "start", ID: "job-2"}); err == nil {
+		t.Error("append after Close must fail")
+	}
+
+	// A torn final line — the write the crash interrupted — is skipped.
+	path := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, `{"event":"done","id":"job-1","lea`)
+	f.Close()
+
+	j2, recs, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records want %d", len(recs), len(want))
+	}
+	for i, rec := range recs {
+		if rec.Event != want[i].Event || rec.ID != want[i].ID {
+			t.Errorf("record %d: %+v want %+v", i, rec, want[i])
+		}
+	}
+	if !recs[2].Leaky || recs[2].SimCycles != 99 || recs[2].LeakyUnits[0] != "SQ_ADDR" {
+		t.Errorf("done summary lost: %+v", recs[2])
+	}
+}
+
+func TestIDNum(t *testing.T) {
+	for id, want := range map[string]int{"job-7": 7, "job-123": 123, "weird": 0, "job--4": 0} {
+		if got := idNum(id); got != want {
+			t.Errorf("idNum(%q) = %d want %d", id, got, want)
+		}
+	}
+}
+
+// newJournaledServer builds a journaling server over dir whose verify
+// step is fn (nil: instant fakeReport).
+func newJournaledServer(t *testing.T, dir string, cfg Config, fn func(*Job) (*core.Report, error)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.JournalDir = dir
+	if fn == nil {
+		fn = func(*Job) (*core.Report, error) { return fakeReport(), nil }
+	}
+	cfg.verify = fn
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("msd.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getView(t *testing.T, base, id string) (jobView, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+// TestDaemonCrashRecovery models a daemon death mid-run: incarnation A
+// is abandoned (never drained) with one job blocked in a worker and two
+// more queued; incarnation B over the same journal dir must mark the
+// running job interrupted, re-enqueue the queued ones, finish them, and
+// continue the job-ID sequence.
+func TestDaemonCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	block := make(chan struct{})
+	sA, tsA := newJournaledServer(t, dir, Config{Workers: 1},
+		func(j *Job) (*core.Report, error) {
+			if j.ID == "job-1" {
+				<-block // stuck until the test ends, like a crashed process
+			}
+			return fakeReport(), nil
+		})
+	t.Cleanup(func() {
+		// Unstick the abandoned incarnation and wait it out, so its
+		// worker cannot write into the temp dir during removal.
+		close(block)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sA.Drain(ctx)
+	})
+
+	if _, code := submitJob(t, tsA.URL, JobRequest{Source: "a"}); code != http.StatusAccepted {
+		t.Fatalf("submit 1: %d", code)
+	}
+	// Wait until the worker owns job-1, so it is "running" at the crash.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := getView(t, tsA.URL, "job-1"); v.Status == string(StatusRunning) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job-1 never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, src := range []string{"b", "c"} {
+		if _, code := submitJob(t, tsA.URL, JobRequest{Source: src}); code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d", src, code)
+		}
+	}
+	// "Crash": incarnation A is simply abandoned, holding its worker.
+
+	sB, tsB := newJournaledServer(t, dir, Config{Workers: 1}, nil)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sB.Drain(ctx)
+	})
+
+	if v, code := getView(t, tsB.URL, "job-1"); code != http.StatusOK ||
+		v.Status != string(StatusInterrupted) || !strings.Contains(v.Error, "interrupted") {
+		t.Errorf("job-1 after restart: code=%d %+v", code, v)
+	}
+	for _, id := range []string{"job-2", "job-3"} {
+		if v := waitDone(t, tsB.URL, id); v.Status != string(StatusDone) {
+			t.Errorf("recovered %s: %+v", id, v)
+		}
+	}
+	// The ID sequence continues past every journaled job.
+	v, code := submitJob(t, tsB.URL, JobRequest{Source: "d"})
+	if code != http.StatusAccepted || v.ID != "job-4" {
+		t.Errorf("post-recovery submit: code=%d id=%s want job-4", code, v.ID)
+	}
+	waitDone(t, tsB.URL, "job-4")
+}
+
+// TestDaemonRecoveryRequeuesInterrupted covers the -recover path: a job
+// orphaned mid-run is re-enqueued and completes on the new incarnation.
+func TestDaemonRecoveryRequeuesInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	block := make(chan struct{})
+	sA, tsA := newJournaledServer(t, dir, Config{Workers: 1},
+		func(*Job) (*core.Report, error) { <-block; return fakeReport(), nil })
+	t.Cleanup(func() {
+		close(block)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sA.Drain(ctx)
+	})
+	if _, code := submitJob(t, tsA.URL, JobRequest{Source: "a"}); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := getView(t, tsA.URL, "job-1"); v.Status == string(StatusRunning) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job-1 never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sB, tsB := newJournaledServer(t, dir, Config{Workers: 1, RequeueInterrupted: true}, nil)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sB.Drain(ctx)
+	})
+	if v := waitDone(t, tsB.URL, "job-1"); v.Status != string(StatusDone) {
+		t.Errorf("requeued job-1: %+v", v)
+	}
+}
+
+// TestDaemonRecoveryReloadsArtifacts: a finished job survives a restart
+// with its verdict and downloadable artifacts intact.
+func TestDaemonRecoveryReloadsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	sA, tsA := newJournaledServer(t, dir, Config{Workers: 1}, nil)
+	v, _ := submitJob(t, tsA.URL, JobRequest{Source: "x"})
+	done := waitDone(t, tsA.URL, v.ID)
+	if done.Status != string(StatusDone) {
+		t.Fatalf("job: %+v", done)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = sA.Drain(ctx)
+
+	// The artifacts were flushed to disk before the job was marked done.
+	for _, name := range []string{"report", "trace", "heatmap", "heatmap.html", "manifest.json"} {
+		if _, err := os.Stat(filepath.Join(dir, "jobs", v.ID, name)); err != nil {
+			t.Errorf("artifact %s not on disk: %v", name, err)
+		}
+	}
+
+	sB, tsB := newJournaledServer(t, dir, Config{Workers: 1}, nil)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = sB.Drain(ctx)
+	})
+	got, code := getView(t, tsB.URL, v.ID)
+	if code != http.StatusOK || got.Status != string(StatusDone) {
+		t.Fatalf("recovered done job: code=%d %+v", code, got)
+	}
+	if got.Leaky == nil || !*got.Leaky || got.SimCycles != 1234 {
+		t.Errorf("verdict lost in recovery: %+v", got)
+	}
+	resp, err := http.Get(tsB.URL + "/api/v1/jobs/" + v.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("recovered artifact: %d ct=%q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+}
+
+// TestDaemonEvictionNeverTouchesRunningJob is the eviction regression
+// test: heavy churn past MaxJobs while one job is mid-write must not
+// evict the running job or its artifact directory.
+func TestDaemonEvictionNeverTouchesRunningJob(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	_, ts := newJournaledServer(t, dir, Config{Workers: 2, MaxJobs: 1},
+		func(j *Job) (*core.Report, error) {
+			if j.ID == "job-1" {
+				close(started)
+				<-release // job-1 is "still being written" while churn happens
+			}
+			return fakeReport(), nil
+		})
+
+	if _, code := submitJob(t, ts.URL, JobRequest{Source: "slow"}); code != http.StatusAccepted {
+		t.Fatal("submit job-1")
+	}
+	<-started
+	// Churn: finished jobs far beyond MaxJobs while job-1 runs.
+	for i := 0; i < 4; i++ {
+		v, code := submitJob(t, ts.URL, JobRequest{Source: "fast"})
+		if code != http.StatusAccepted {
+			t.Fatalf("churn submit %d: %d", i, code)
+		}
+		waitDone(t, ts.URL, v.ID)
+	}
+	if _, code := getView(t, ts.URL, "job-1"); code != http.StatusOK {
+		t.Fatal("running job-1 was evicted under churn")
+	}
+	close(release)
+	done := waitDone(t, ts.URL, "job-1")
+	if done.Status != string(StatusDone) {
+		t.Fatalf("job-1: %+v", done)
+	}
+	// Its artifacts are complete on disk despite the eviction pressure.
+	if _, err := os.Stat(filepath.Join(dir, "jobs", "job-1", "manifest.json")); err != nil {
+		t.Errorf("job-1 artifacts: %v", err)
+	}
+	// Evicted jobs' directories are gone, and a restart does not
+	// resurrect them.
+	evictedDirs := 0
+	for i := 2; i <= 5; i++ {
+		if _, err := os.Stat(filepath.Join(dir, "jobs", fmt.Sprintf("job-%d", i))); err == nil {
+			evictedDirs++
+		}
+	}
+	// MaxJobs=1 retains at most one finished job's directory alongside
+	// job-1's.
+	if evictedDirs > 1 {
+		t.Errorf("%d evicted job dirs persisted", evictedDirs)
+	}
+}
+
+func TestDaemonQueueFullRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	_, ts := newFakeServer(t, Config{Workers: 1, QueueSize: 1},
+		func(*Job) (*core.Report, error) { <-release; return fakeReport(), nil })
+
+	if _, code := submitJob(t, ts.URL, JobRequest{Source: "a"}); code != http.StatusAccepted {
+		t.Fatal("submit a")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := getView(t, ts.URL, "job-1"); v.Status == string(StatusRunning) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job-1 never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, code := submitJob(t, ts.URL, JobRequest{Source: "b"}); code != http.StatusAccepted {
+		t.Fatal("submit b")
+	}
+	body, _ := json.Marshal(JobRequest{Source: "c"})
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity: %d want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After %q: want a positive integer of seconds", ra)
+	}
+}
+
+// TestDaemonWorkerPanicContained: a panicking verification fails its own
+// job and the daemon keeps serving.
+func TestDaemonWorkerPanicContained(t *testing.T) {
+	_, ts := newFakeServer(t, Config{Workers: 1}, func(j *Job) (*core.Report, error) {
+		if j.ID == "job-1" {
+			panic("probe exploded")
+		}
+		return fakeReport(), nil
+	})
+	v, _ := submitJob(t, ts.URL, JobRequest{Source: "boom"})
+	done := waitDone(t, ts.URL, v.ID)
+	if done.Status != string(StatusFailed) || !strings.Contains(done.Error, "probe exploded") {
+		t.Fatalf("panicked job: %+v", done)
+	}
+	v2, _ := submitJob(t, ts.URL, JobRequest{Source: "fine"})
+	if after := waitDone(t, ts.URL, v2.ID); after.Status != string(StatusDone) {
+		t.Errorf("daemon wedged after panic: %+v", after)
+	}
+}

@@ -12,12 +12,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"microsampler/internal/core"
+	"microsampler/internal/faults"
 	"microsampler/internal/telemetry"
 	"microsampler/internal/telemetry/export"
 )
@@ -44,6 +48,22 @@ type Config struct {
 	// MaxCycles bounds each simulation run (0: core default).
 	MaxCycles int64
 
+	// JournalDir, when non-empty, enables crash-safe job persistence:
+	// every job transition is appended (and fsynced) to a JSONL
+	// write-ahead journal under this directory, and finished jobs'
+	// artifacts are flushed to jobs/<id>/ on disk before the job is
+	// marked done. A daemon restarted over the same directory rebuilds
+	// its job table from the journal: jobs queued at the crash are
+	// re-enqueued, jobs mid-run are marked interrupted (see
+	// RequeueInterrupted), finished jobs reload their artifacts. Empty
+	// disables persistence; the daemon is then purely in-memory.
+	JournalDir string
+	// RequeueInterrupted makes recovery re-enqueue jobs that were
+	// running when the previous process died, instead of leaving them
+	// terminally interrupted. Safe because verification is
+	// deterministic and side-effect free.
+	RequeueInterrupted bool
+
 	// verify, when non-nil, replaces the real verification step; the
 	// in-package tests use it to model slow or failing jobs without
 	// paying for a simulation.
@@ -60,11 +80,16 @@ type Server struct {
 	queue chan *Job
 	wg    sync.WaitGroup
 
+	jrn *journal // nil when persistence is disabled
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing and eviction
 	nextID   int
 	draining bool
+	// ewmaJobSec tracks typical job duration (exponentially weighted)
+	// to compute the Retry-After hint when the queue saturates.
+	ewmaJobSec float64
 
 	// verify runs one job's verification; tests swap it out to model
 	// slow or failing jobs without paying for a simulation.
@@ -76,12 +101,16 @@ type Server struct {
 	rejected    *telemetry.Counter
 	completed   *telemetry.Counter
 	failed      *telemetry.Counter
+	recovered   *telemetry.Counter
+	interrupted *telemetry.Counter
+	panics      *telemetry.Counter
 	jobSeconds  *telemetry.Histogram
 	waitSeconds *telemetry.Histogram
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, recovers any journaled jobs when
+// Config.JournalDir is set, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -110,6 +139,9 @@ func New(cfg Config) *Server {
 		rejected:    cfg.Metrics.Counter("msd_jobs_rejected_total"),
 		completed:   cfg.Metrics.Counter("msd_jobs_completed_total"),
 		failed:      cfg.Metrics.Counter("msd_jobs_failed_total"),
+		recovered:   cfg.Metrics.Counter("msd_jobs_recovered_total"),
+		interrupted: cfg.Metrics.Counter("msd_jobs_interrupted_total"),
+		panics:      cfg.Metrics.Counter("msd_job_panics_total"),
 		jobSeconds:  cfg.Metrics.Histogram("msd_job_seconds", telemetry.LatencyBuckets()),
 		waitSeconds: cfg.Metrics.Histogram("msd_job_queue_wait_seconds", telemetry.LatencyBuckets()),
 	}
@@ -117,12 +149,135 @@ func New(cfg Config) *Server {
 	if s.verify == nil {
 		s.verify = s.runVerification
 	}
+	if cfg.JournalDir != "" {
+		jrn, recs, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.jrn = jrn
+		s.recoverJobs(recs)
+	}
 	s.mux = s.buildMux()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker(w)
 	}
-	return s
+	return s, nil
+}
+
+// recoverJobs rebuilds the job table from a previous incarnation's
+// journal. It runs before the worker pool starts and before the HTTP
+// surface exists, so plain field access is race-free.
+func (s *Server) recoverJobs(recs []journalRecord) {
+	for _, r := range recs {
+		switch r.Event {
+		case "submit":
+			if r.Req == nil {
+				continue
+			}
+			if _, dup := s.jobs[r.ID]; !dup {
+				s.order = append(s.order, r.ID)
+			}
+			s.jobs[r.ID] = &Job{ID: r.ID, Req: *r.Req, Status: StatusQueued, Submitted: r.Time}
+			if n := idNum(r.ID); n > s.nextID {
+				s.nextID = n
+			}
+		case "start":
+			if j := s.jobs[r.ID]; j != nil {
+				j.Status = StatusRunning
+				j.Started = r.Time
+			}
+		case "done":
+			if j := s.jobs[r.ID]; j != nil {
+				j.Status = StatusDone
+				j.Finished = r.Time
+				j.Leaky = r.Leaky
+				j.LeakyUnits = r.LeakyUnits
+				j.Iterations = r.Iterations
+				j.SimCycles = r.SimCycles
+			}
+		case "failed":
+			if j := s.jobs[r.ID]; j != nil {
+				j.Status = StatusFailed
+				j.Finished = r.Time
+				j.Err = r.Err
+			}
+		case "interrupted":
+			if j := s.jobs[r.ID]; j != nil {
+				j.Status = StatusInterrupted
+				j.Finished = r.Time
+				j.Err = "interrupted by daemon restart"
+			}
+		case "evict":
+			if _, ok := s.jobs[r.ID]; ok {
+				delete(s.jobs, r.ID)
+				for i, id := range s.order {
+					if id == r.ID {
+						s.order = append(s.order[:i], s.order[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	requeue := func(j *Job) {
+		select {
+		case s.queue <- j:
+			j.Status = StatusQueued
+			j.Err = ""
+			j.Started, j.Finished = time.Time{}, time.Time{}
+			s.recovered.Inc()
+			s.log.Info("job recovered", "run_id", j.ID, "workload", j.workloadName())
+		default:
+			j.Status = StatusFailed
+			j.Finished = time.Now()
+			j.Err = "dropped at recovery: queue full"
+			s.journal(journalRecord{Event: "failed", Time: j.Finished, ID: j.ID, Err: j.Err})
+			s.log.Warn("recovered job dropped: queue full", "run_id", j.ID)
+		}
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		switch j.Status {
+		case StatusDone:
+			arts, err := s.jrn.loadArtifacts(id)
+			if err != nil {
+				j.Status = StatusFailed
+				j.Err = fmt.Sprintf("artifacts lost at recovery: %v", err)
+				s.log.Warn("done job lost artifacts", "run_id", id, "err", err)
+				continue
+			}
+			j.artifacts = arts
+		case StatusRunning:
+			// Orphaned mid-run by the crash: the journal has a start
+			// without a terminal event.
+			j.Status = StatusInterrupted
+			j.Finished = time.Now()
+			j.Err = "interrupted by daemon restart"
+			s.interrupted.Inc()
+			s.journal(journalRecord{Event: "interrupted", Time: j.Finished, ID: id})
+			s.log.Warn("job interrupted by restart", "run_id", id)
+			if s.cfg.RequeueInterrupted {
+				requeue(j)
+			}
+		case StatusQueued:
+			requeue(j)
+		}
+	}
+	s.queueDepth.Set(float64(len(s.queue)))
+}
+
+// journal appends rec when persistence is enabled. Append failures are
+// logged, not fatal: the daemon prefers serving with a degraded journal
+// over refusing work.
+func (s *Server) journal(rec journalRecord) {
+	if s.jrn == nil {
+		return
+	}
+	if err := s.jrn.append(rec); err != nil {
+		s.log.Error("journal append failed", "event", rec.Event, "run_id", rec.ID, "err", err)
+	}
 }
 
 // Handler returns the daemon's HTTP surface.
@@ -149,6 +304,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.jrn != nil {
+			_ = s.jrn.Close()
+		}
 		s.log.Info("msd drained")
 		return nil
 	case <-ctx.Done():
@@ -229,17 +387,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- job:
 	default:
+		retryAfter := s.retryAfterLocked()
 		s.mu.Unlock()
 		s.rejected.Inc()
+		// Shed load gracefully: tell the client when a slot should
+		// free up, from the queue depth and observed job durations.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 		writeError(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueSize)
 		return
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
-	s.evictLocked()
+	// Journal the submit before acknowledging, still under the lock so
+	// journal order matches submission order.
+	s.journal(journalRecord{Event: "submit", Time: job.Submitted, ID: job.ID, Req: &job.Req})
+	evicted := s.evictLocked()
 	view := job.view()
 	s.mu.Unlock()
 
+	s.dropEvicted(evicted)
 	s.submitted.Inc()
 	s.queueDepth.Set(float64(len(s.queue)))
 	s.log.Info("job submitted", "run_id", view.ID, "workload", view.Workload)
@@ -247,23 +413,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // evictLocked drops the oldest finished jobs beyond the retention
-// bound. Queued and running jobs are never evicted.
-func (s *Server) evictLocked() {
+// bound, returning the evicted IDs so the caller can clean up their
+// on-disk artifacts outside the lock. Queued and running jobs are never
+// evicted — a job's artifacts are flushed to disk before its status
+// turns terminal, so an evictable job is never still being written.
+func (s *Server) evictLocked() []string {
 	excess := len(s.order) - s.cfg.MaxJobs
 	if excess <= 0 {
-		return
+		return nil
 	}
+	var evicted []string
 	kept := s.order[:0]
 	for _, id := range s.order {
 		j := s.jobs[id]
-		if excess > 0 && (j.Status == StatusDone || j.Status == StatusFailed) {
+		if excess > 0 && (j.Status == StatusDone || j.Status == StatusFailed || j.Status == StatusInterrupted) {
 			delete(s.jobs, id)
+			evicted = append(evicted, id)
 			excess--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	return evicted
+}
+
+// dropEvicted journals evictions and removes the jobs' artifact
+// directories; called without the server lock held.
+func (s *Server) dropEvicted(ids []string) {
+	for _, id := range ids {
+		s.journal(journalRecord{Event: "evict", Time: time.Now(), ID: id})
+		if s.jrn != nil {
+			if err := s.jrn.removeJob(id); err != nil {
+				s.log.Warn("evicted job dir not removed", "run_id", id, "err", err)
+			}
+		}
+	}
+}
+
+// retryAfterLocked estimates, in whole seconds, when a queue slot
+// should free: queued work divided by worker throughput, using the
+// exponentially weighted average job duration (1s before any job has
+// finished).
+func (s *Server) retryAfterLocked() int {
+	avg := s.ewmaJobSec
+	if avg <= 0 {
+		avg = 1
+	}
+	secs := int(math.Ceil(avg * float64(len(s.queue)+1) / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -331,18 +532,44 @@ func (s *Server) runJob(job *Job) {
 	job.Status = StatusRunning
 	job.Started = time.Now()
 	s.mu.Unlock()
+	s.journal(journalRecord{Event: "start", Time: job.Started, ID: job.ID})
 	s.inflight.Add(1)
 	s.waitSeconds.Observe(job.Started.Sub(job.Submitted).Seconds())
 	s.log.Info("job started", "run_id", job.ID, "workload", job.workloadName())
 
-	rep, err := s.verify(job)
+	rep, err := s.safeVerify(job)
 	var arts map[string]artifact
 	if err == nil {
 		arts, err = renderArtifacts(rep, job.Req.HeatmapWindows)
 	}
+	// Flush the artifacts to stable storage BEFORE anything marks the
+	// job finished: eviction only touches terminal jobs, so a job whose
+	// artifacts are still being written can never be evicted, and a
+	// recovering daemon only sees a "done" journal record after its
+	// artifacts are durable.
+	if err == nil && s.jrn != nil {
+		if werr := s.jrn.writeArtifacts(job.ID, arts); werr != nil {
+			err = fmt.Errorf("persist artifacts: %w", werr)
+		}
+	}
+
+	finished := time.Now()
+	var leakyUnits []string
+	if err != nil {
+		s.journal(journalRecord{Event: "failed", Time: finished, ID: job.ID, Err: err.Error()})
+	} else {
+		for _, u := range rep.LeakyUnits() {
+			leakyUnits = append(leakyUnits, u.Unit.String())
+		}
+		s.journal(journalRecord{
+			Event: "done", Time: finished, ID: job.ID,
+			Leaky: rep.AnyLeak(), LeakyUnits: leakyUnits,
+			Iterations: len(rep.Iterations), SimCycles: rep.SimCycles,
+		})
+	}
 
 	s.mu.Lock()
-	job.Finished = time.Now()
+	job.Finished = finished
 	if err != nil {
 		job.Status = StatusFailed
 		job.Err = err.Error()
@@ -350,13 +577,17 @@ func (s *Server) runJob(job *Job) {
 		job.Status = StatusDone
 		job.artifacts = arts
 		job.Leaky = rep.AnyLeak()
-		for _, u := range rep.LeakyUnits() {
-			job.LeakyUnits = append(job.LeakyUnits, u.Unit.String())
-		}
+		job.LeakyUnits = leakyUnits
 		job.Iterations = len(rep.Iterations)
 		job.SimCycles = rep.SimCycles
 	}
 	dur := job.Finished.Sub(job.Started)
+	const alpha = 0.3 // favour recent jobs without whiplash
+	if s.ewmaJobSec == 0 {
+		s.ewmaJobSec = dur.Seconds()
+	} else {
+		s.ewmaJobSec = alpha*dur.Seconds() + (1-alpha)*s.ewmaJobSec
+	}
 	s.mu.Unlock()
 
 	s.inflight.Add(-1)
@@ -369,6 +600,20 @@ func (s *Server) runJob(job *Job) {
 	s.completed.Inc()
 	s.log.Info("job done", "run_id", job.ID, "leaky", job.Leaky,
 		"leaky_units", job.LeakyUnits, "dur", dur)
+}
+
+// safeVerify runs the verification step with panic containment: a
+// panicking job becomes a failed job carrying a faults.PanicError with
+// the stack, instead of killing the worker — and with it the daemon.
+func (s *Server) safeVerify(job *Job) (rep *core.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			err = &faults.PanicError{Value: r, Stack: debug.Stack()}
+			s.log.Error("job panicked", "run_id", job.ID, "panic", r)
+		}
+	}()
+	return s.verify(job)
 }
 
 // runVerification executes the real pipeline for one job.

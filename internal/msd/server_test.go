@@ -55,7 +55,10 @@ func newFakeServer(t *testing.T, cfg Config, fn func(*Job) (*core.Report, error)
 		fn = func(*Job) (*core.Report, error) { return fakeReport(), nil }
 	}
 	cfg.verify = fn
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("msd.New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	t.Cleanup(func() {
@@ -442,7 +445,10 @@ func TestDaemonRealPipeline(t *testing.T) {
 		t.Skip("real simulation in -short mode")
 	}
 	reg := telemetry.NewRegistry()
-	srv := New(Config{Workers: 1, Metrics: reg})
+	srv, err := New(Config{Workers: 1, Metrics: reg})
+	if err != nil {
+		t.Fatalf("msd.New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer func() {
@@ -475,7 +481,10 @@ func TestDaemonRealPipeline(t *testing.T) {
 // HTTP submit of real source through simulation, analysis, artifact
 // rendering, and the status poll observing completion.
 func BenchmarkMSDJobLatency(b *testing.B) {
-	s := New(Config{Workers: 1, MaxJobs: 4})
+	s, err := New(Config{Workers: 1, MaxJobs: 4})
+	if err != nil {
+		b.Fatalf("msd.New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer func() {

@@ -1,23 +1,43 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"microsampler/internal/asm"
 	"microsampler/internal/isa"
 )
 
+// FaultHook is a per-cycle hook consulted from the run loop before each
+// step; see Machine.SetFaultHook. Returning an error aborts the run
+// with that error. Hooks may panic or block to model crashes and hangs;
+// a blocking hook must honour ctx, which the run loop cancels when its
+// deadline expires or the stall watchdog fires. The alias (rather than
+// a defined type) lets any compatible function — e.g. one produced by
+// faults.Injector.Hook — be installed without conversion.
+type FaultHook = func(ctx context.Context, cycle int64) error
+
 // Machine couples a core with memory and a loaded program; it is the
 // top-level entry point of the simulator.
 type Machine struct {
-	cfg  Config
-	mem  *Memory
-	core *Core
+	cfg   Config
+	mem   *Memory
+	core  *Core
+	fault FaultHook
 }
 
 // ErrMaxCycles is returned when a run exceeds its cycle budget.
 var ErrMaxCycles = errors.New("sim: exceeded maximum cycle budget")
+
+// ErrStalled is returned by RunContext when the wall-clock watchdog
+// observes no cycle progress for the configured stall window — the run
+// loop is alive but stuck (a blocking tracer or fault hook), as opposed
+// to a program spinning without committing, which the in-core
+// no-progress detector catches in simulated cycles.
+var ErrStalled = errors.New("sim: watchdog: no cycle progress")
 
 // New creates a machine with the given configuration.
 func New(cfg Config) (*Machine, error) {
@@ -37,6 +57,11 @@ func (m *Machine) Memory() *Memory { return m.mem }
 
 // SetTracer attaches a per-cycle tracer (may be nil).
 func (m *Machine) SetTracer(t Tracer) { m.core.tracer = t }
+
+// SetFaultHook installs a per-cycle fault hook consulted from the run
+// loop (may be nil). The zero-fault path pays only a nil check per
+// cycle.
+func (m *Machine) SetFaultHook(h FaultHook) { m.fault = h }
 
 // LoadProgram installs an assembled program image and resets the PC and
 // stack pointer. Microarchitectural state (caches, predictors) is left
@@ -98,14 +123,103 @@ func (r Result) IPC() float64 {
 
 // Run executes until the program exits or maxCycles elapse.
 func (m *Machine) Run(maxCycles int64) (Result, error) {
+	return m.RunContext(context.Background(), maxCycles, 0)
+}
+
+// progressInterval is how often (in simulated cycles) the run loop
+// publishes progress and polls for cancellation: frequent enough that a
+// deadline lands within milliseconds of wall time, rare enough that the
+// zero-fault hot path pays nothing measurable per cycle.
+const progressInterval = 1024
+
+// RunContext executes until the program exits, maxCycles elapse, ctx is
+// cancelled (checked between cycles, so a deadline bounds the run in
+// wall time), an installed fault hook reports an error, or — when
+// stall > 0 — a wall-clock watchdog observes no cycle progress for
+// stall. A watchdog abort cancels the context handed to the fault hook,
+// so ctx-honouring hangs unblock, and surfaces as an ErrStalled-wrapped
+// error.
+func (m *Machine) RunContext(ctx context.Context, maxCycles int64, stall time.Duration) (Result, error) {
 	c := m.core
+
+	runCtx := ctx
+	var stalled atomic.Bool
+	var progress atomic.Int64
+	if stall > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go watchProgress(runCtx, cancel, watchDone, &progress, &stalled, stall)
+	}
+
 	for !c.halted {
 		if c.cycle >= maxCycles {
 			return m.result(), fmt.Errorf("%w (%d cycles)", ErrMaxCycles, maxCycles)
 		}
+		if c.cycle&(progressInterval-1) == 0 {
+			progress.Store(c.cycle)
+			if runCtx.Err() != nil {
+				return m.result(), m.abortErr(runCtx, &stalled, stall)
+			}
+		}
+		if m.fault != nil {
+			if err := m.fault(runCtx, c.cycle); err != nil {
+				if stalled.Load() {
+					err = fmt.Errorf("%w for %v at cycle %d: %v", ErrStalled, stall, c.cycle, err)
+				}
+				return m.result(), err
+			}
+		}
 		c.step()
 	}
 	return m.result(), c.runErr
+}
+
+// abortErr shapes the error of a context-observed abort: a watchdog
+// stall, an expired deadline, or plain cancellation.
+func (m *Machine) abortErr(runCtx context.Context, stalled *atomic.Bool, stall time.Duration) error {
+	c := m.core
+	if stalled.Load() {
+		return fmt.Errorf("%w for %v (cycle %d, pc≈%#x)", ErrStalled, stall, c.cycle, c.fetchPC)
+	}
+	return fmt.Errorf("sim: run aborted at cycle %d: %w", c.cycle, context.Cause(runCtx))
+}
+
+// watchProgress is the wall-clock stall watchdog: it samples the cycle
+// counter the run loop publishes and, when it stops advancing for the
+// stall window, flags the stall and cancels the run context so blocked
+// hooks unblock and the loop aborts.
+func watchProgress(ctx context.Context, cancel context.CancelFunc, done <-chan struct{},
+	progress *atomic.Int64, stalled *atomic.Bool, stall time.Duration) {
+	interval := stall / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	last := int64(-1)
+	lastChange := time.Now()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			cur := progress.Load()
+			if cur != last {
+				last, lastChange = cur, now
+				continue
+			}
+			if now.Sub(lastChange) >= stall {
+				stalled.Store(true)
+				cancel()
+				return
+			}
+		}
+	}
 }
 
 // Step advances the machine a single cycle; used by fine-grained tests.

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Hot-path benchmark baseline: runs the trace-collector benchmarks plus
-# the end-to-end sampling-throughput benchmark and records the results
-# as BENCH_trace.json in the repo root. Commit the refreshed artifact
-# when the hot path changes so regressions show up in review diffs.
+# the end-to-end sampling-throughput and zero-fault retry-overhead
+# benchmarks and records the results as BENCH_trace.json in the repo
+# root. Commit the refreshed artifact when the hot path changes so
+# regressions show up in review diffs.
 #
 # Usage: scripts/bench.sh [count]   (benchmark repetitions, default 3)
 set -eu
@@ -16,7 +17,7 @@ raw="${TMPDIR:-/tmp}/microsampler-bench.txt"
 echo "== go test -bench (count=$count) =="
 go test -run '^$' -bench 'OnCycle' -benchmem -count "$count" \
     ./internal/trace | tee "$raw"
-go test -run '^$' -bench 'SamplingThroughput' -benchmem -count "$count" \
+go test -run '^$' -bench 'SamplingThroughput|RetryOverhead' -benchmem -count "$count" \
     . | tee -a "$raw"
 # End-to-end daemon job latency: HTTP submit through simulation,
 # analysis, artifact rendering and the completion poll. Few iterations

@@ -22,12 +22,15 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (telemetry, export, core, msd) =="
+echo "== go test -race (telemetry, export, core, msd, faults, sim) =="
 go test -race ./internal/telemetry ./internal/telemetry/export \
-    ./internal/core ./internal/msd
+    ./internal/core ./internal/msd ./internal/faults ./internal/sim
 
 echo "== msd daemon smoke (full HTTP lifecycle) =="
 go test -race -count=1 -run '^TestSmoke$' ./cmd/msd
+
+echo "== msd kill/recover smoke (SIGKILL + journal recovery) =="
+go test -race -count=1 -run '^TestKillRecover$' ./cmd/msd
 
 echo "== oracle determinism (go test -count=2) =="
 go test -count=2 ./internal/oracle
