@@ -15,6 +15,8 @@
 //	microsampler -workload ME-V1-MV -progress -pprof localhost:6060
 //	microsampler -workload ME-NAIVE -perfetto-out trace.json -heatmap-out heatmap.json -heatmap-html heatmap.html
 //	microsampler -workload ME-V1-MV -run-timeout 30s -retries 2
+//	microsampler -workload AES-TTABLE -provenance-out prov.json -provenance-html prov.html
+//	microsampler -workload ME-V1-MV -flight-recorder 1024 -flight-recorder-out postmortem.json
 package main
 
 import (
@@ -64,6 +66,10 @@ func run(args []string) error {
 		heatmapOut  = fs.String("heatmap-out", "", "write the leakage heatmap as JSON to FILE")
 		heatmapHTML = fs.String("heatmap-html", "", "write the leakage heatmap as self-contained HTML to FILE")
 		heatmapWin  = fs.Int("heatmap-windows", 16, "iteration windows in the leakage heatmap")
+		provOut     = fs.String("provenance-out", "", "write the instruction-level leakage provenance as JSON to FILE")
+		provHTML    = fs.String("provenance-html", "", "write the leakage provenance as self-contained HTML (ranked table + disassembly) to FILE")
+		flightN     = fs.Int("flight-recorder", 0, "arm a per-run flight recorder of the last N cycles (0: off)")
+		flightOut   = fs.String("flight-recorder-out", "", "on failure, write the flight-recorder post-mortem as Perfetto JSON to FILE (implies -flight-recorder 1024 when unset)")
 		progress    = fs.Bool("progress", false, "print live per-run progress to stderr")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to FILE")
@@ -150,6 +156,10 @@ func run(args []string) error {
 	if *warmup == 0 {
 		opts.Warmup = microsampler.NoWarmup
 	}
+	opts.FlightRecorderFrames = *flightN
+	if *flightOut != "" && opts.FlightRecorderFrames == 0 {
+		opts.FlightRecorderFrames = 1024
+	}
 	var reg *microsampler.MetricsRegistry
 	if *metrics {
 		reg = microsampler.NewMetrics()
@@ -177,6 +187,22 @@ func run(args []string) error {
 
 	rep, err := microsampler.Verify(w, opts)
 	if err != nil {
+		// A failed run can still leave evidence: write the flight
+		// recorder's post-mortem before surfacing the error.
+		if *flightOut != "" {
+			if dump, ok := microsampler.FlightDumpFromError(err); ok {
+				data, jerr := microsampler.RenderFlightPerfetto(dump).JSON()
+				if jerr == nil {
+					jerr = os.WriteFile(*flightOut, append(data, '\n'), 0o644)
+				}
+				if jerr != nil {
+					fmt.Fprintln(os.Stderr, "microsampler: flight recorder:", jerr)
+				} else {
+					fmt.Fprintf(os.Stderr, "microsampler: post-mortem written to %s (last %d cycles)\n",
+						*flightOut, len(dump.Frames))
+				}
+			}
+		}
 		return err
 	}
 
@@ -204,6 +230,24 @@ func run(args []string) error {
 			return err
 		}
 		if err := os.WriteFile(*heatmapHTML, []byte(doc), 0o644); err != nil {
+			return err
+		}
+	}
+	if *provOut != "" {
+		data, err := microsampler.RenderProvenanceJSON(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*provOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *provHTML != "" {
+		doc, err := microsampler.RenderProvenanceHTML(rep)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*provHTML, []byte(doc), 0o644); err != nil {
 			return err
 		}
 	}

@@ -174,6 +174,92 @@ func TestRunExportFlags(t *testing.T) {
 	}
 }
 
+func TestRunProvenanceFlags(t *testing.T) {
+	dir := t.TempDir()
+	pvJSON := filepath.Join(dir, "prov.json")
+	pvHTML := filepath.Join(dir, "prov.html")
+	err := run([]string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "2",
+		"-config", "small", "-chart=false",
+		"-provenance-out", pvJSON, "-provenance-html", pvHTML})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pv struct {
+		Iterations int `json:"iterations"`
+		Entries    []struct {
+			Unit string `json:"unit"`
+			PC   uint64 `json:"pc"`
+			Via  string `json:"via"`
+		} `json:"entries"`
+	}
+	data, err := os.ReadFile(pvJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &pv); err != nil {
+		t.Fatal(err)
+	}
+	// ME-NAIVE is the paper's canonical leaky case study: the ranking
+	// must localize at least one instruction.
+	if pv.Iterations == 0 || len(pv.Entries) == 0 {
+		t.Errorf("provenance empty: iterations=%d entries=%d", pv.Iterations, len(pv.Entries))
+	}
+	html, err := os.ReadFile(pvHTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "Leakage provenance") ||
+		!strings.Contains(string(html), "</html>") {
+		t.Error("provenance HTML incomplete")
+	}
+}
+
+func TestRunFlightRecorderFlags(t *testing.T) {
+	// A run that exits nonzero must fail AND leave the post-mortem.
+	src := `
+_start:
+	li   t0, 50
+spin:
+	addi t0, t0, -1
+	bnez t0, spin
+	li a0, 9
+	li a7, 93
+	ecall
+`
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "fail.s")
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "postmortem.json")
+	err := run([]string{"-src", prog, "-runs", "1", "-config", "small",
+		"-chart=false", "-flight-recorder-out", out})
+	if err == nil {
+		t.Fatal("want verification failure")
+	}
+	var doc struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	data, readErr := os.ReadFile(out)
+	if readErr != nil {
+		t.Fatalf("post-mortem not written: %v", readErr)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Errorf("post-mortem invalid: err=%v events=%d", err, len(doc.TraceEvents))
+	}
+	if doc.OtherData["source"] != "microsampler flight recorder" {
+		t.Errorf("post-mortem otherData = %v", doc.OtherData)
+	}
+	// Explicit frame budget round-trips through the option layer:
+	// negative values are rejected by validation.
+	if err := run([]string{"-src", prog, "-runs", "1", "-config", "small",
+		"-chart=false", "-flight-recorder", "-1"}); err == nil ||
+		!strings.Contains(err.Error(), "FlightRecorderFrames") {
+		t.Errorf("negative -flight-recorder: %v", err)
+	}
+}
+
 func TestRunFaultToleranceFlags(t *testing.T) {
 	err := run([]string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "1",
 		"-config", "small", "-chart=false",

@@ -12,10 +12,14 @@
 //	POST /api/v1/jobs                    submit a job ({"workload":"ME-NAIVE"} or {"source":"..."})
 //	GET  /api/v1/jobs                    list tracked jobs
 //	GET  /api/v1/jobs/{id}               job status and verdict
+//	GET  /api/v1/jobs/{id}/progress      live progress (stage, simulated cycles, runs, retries)
 //	GET  /api/v1/jobs/{id}/report        JSON report artifact
 //	GET  /api/v1/jobs/{id}/trace         Perfetto trace (open in ui.perfetto.dev)
 //	GET  /api/v1/jobs/{id}/heatmap       leakage heatmap JSON
 //	GET  /api/v1/jobs/{id}/heatmap.html  leakage heatmap as self-contained HTML
+//	GET  /api/v1/jobs/{id}/provenance    instruction-level leakage provenance JSON
+//	GET  /api/v1/jobs/{id}/provenance.html  provenance as self-contained HTML
+//	GET  /api/v1/jobs/{id}/postmortem    flight-recorder Perfetto dump (failed jobs)
 //	GET  /metrics                        Prometheus text exposition
 //	GET  /healthz, /readyz               liveness / readiness
 //	GET  /debug/pprof/                   Go profiling
@@ -71,6 +75,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
 		journalDir   = fs.String("journal-dir", "", "directory for the crash-safe job journal and artifacts (default: disabled, jobs are in-memory only)")
 		recoverFlag  = fs.Bool("recover", false, "re-enqueue jobs interrupted by a crash instead of leaving them terminal (requires -journal-dir; queued jobs are always recovered)")
+		watchdog     = fs.Duration("watchdog", 0, "abort a simulation run that stops retiring for this wall-clock duration (0: disabled)")
+		flightFrames = fs.Int("flight-recorder", 1024, "cycles of per-unit occupancy kept per run; failed jobs expose the dump as a postmortem artifact (0: off)")
 		logFormat    = fs.String("log-format", "text", "log output format: text or json")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
 	)
@@ -93,6 +99,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Logger:             logger,
 		JournalDir:         *journalDir,
 		RequeueInterrupted: *recoverFlag,
+		Watchdog:           *watchdog,
+		FlightFrames:       *flightFrames,
 	})
 	if err != nil {
 		return err

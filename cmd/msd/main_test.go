@@ -28,6 +28,8 @@ func TestSmoke(t *testing.T) {
 			"-log-format", "json",
 			"-log-level", "error",
 			"-drain-timeout", "60s",
+			"-watchdog", "30s",
+			"-flight-recorder", "256",
 		}, ready)
 	}()
 
@@ -109,8 +111,39 @@ func TestSmoke(t *testing.T) {
 	if final.Leaky == nil || !*final.Leaky {
 		t.Error("ME-NAIVE should be flagged leaky")
 	}
-	if len(final.Artifacts) != 4 {
+	if len(final.Artifacts) != 6 {
 		t.Errorf("artifacts: %v", final.Artifacts)
+	}
+
+	// The progress endpoint reports the terminal state with the full
+	// cycle count.
+	resp, err = http.Get(base + "/api/v1/jobs/" + job.ID + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pg struct {
+		Stage  string `json:"stage"`
+		Cycles int64  `json:"cycles"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&pg)
+	resp.Body.Close()
+	if err != nil || pg.Stage != "done" || pg.Cycles == 0 {
+		t.Errorf("progress after completion: err=%v %+v", err, pg)
+	}
+
+	// The provenance artifact localizes ME-NAIVE's leak to at least one
+	// instruction.
+	resp, err = http.Get(base + "/api/v1/jobs/" + job.ID + "/provenance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pv struct {
+		Entries []map[string]any `json:"entries"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&pv)
+	resp.Body.Close()
+	if err != nil || len(pv.Entries) == 0 {
+		t.Errorf("provenance artifact: err=%v entries=%d", err, len(pv.Entries))
 	}
 
 	// The Perfetto artifact is a valid trace document.
@@ -176,5 +209,11 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-addr", "256.0.0.1:99999"}, nil); err == nil {
 		t.Error("bad listen address must error")
+	}
+	if err := run(ctx, []string{"-watchdog", "fast"}, nil); err == nil {
+		t.Error("malformed -watchdog must error")
+	}
+	if err := run(ctx, []string{"-flight-recorder", "many"}, nil); err == nil {
+		t.Error("malformed -flight-recorder must error")
 	}
 }

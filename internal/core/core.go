@@ -130,6 +130,17 @@ type Options struct {
 	// cost nothing). It exists for fault-injection campaigns:
 	// faults.Injector.Hook is the intended source.
 	FaultHook func(run, attempt int) sim.FaultHook
+	// FlightRecorderFrames, when positive, attaches a cycle-level flight
+	// recorder of that many frames to every run attempt's machine. A
+	// failing attempt — fault, stall, timeout, panic, nonzero exit —
+	// then surfaces as a *RunFailure carrying the post-mortem ring of
+	// the last N cycles (extract with FlightDumpFromError; render with
+	// telemetry/export.FlightPerfetto). Zero disables the recorder.
+	FlightRecorderFrames int
+	// Probe, when non-nil, receives the live progress of this
+	// verification: simulated cycles, current stage, completed runs and
+	// retries, all readable concurrently while Verify runs.
+	Probe *RunProbe
 
 	// Metrics, when non-nil, receives pipeline and simulator counters
 	// (cycles, IPC, cache and predictor events, per-unit sample volume,
@@ -216,6 +227,10 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Retry.Max < 0 || o.Retry.BaseDelay < 0 || o.Retry.MaxDelay < 0 {
 		return o, fmt.Errorf("core: Options.Retry fields must be non-negative, got %+v", o.Retry)
+	}
+	if o.FlightRecorderFrames < 0 {
+		return o, fmt.Errorf("core: Options.FlightRecorderFrames must be non-negative, got %d",
+			o.FlightRecorderFrames)
 	}
 	if o.Retry.Max > 0 {
 		if o.Retry.BaseDelay == 0 {
@@ -366,6 +381,14 @@ type Report struct {
 	// and per run); see telemetry.SpanStats for aggregation.
 	Spans []telemetry.Span
 
+	// Provenance is, per tracked unit, the per-key event-stream evidence
+	// for instruction-level leakage attribution, merged across runs with
+	// iteration indices into Iterations. Keys are PCs for direct units
+	// and observed values (addresses) for the rest; the report package's
+	// BuildProvenance computes per-key Cramér's V over these streams and
+	// resolves value keys to instructions.
+	Provenance []trace.UnitProvenance
+
 	// Program is the assembled image, kept for symbolising extracted
 	// features (PCs to functions, addresses to data symbols).
 	Program *asm.Program
@@ -418,6 +441,12 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		return nil, err
 	}
 	verifyStart := time.Now()
+	probe := opts.Probe
+	if probe == nil {
+		probe = NewRunProbe() // discarded: keeps the publish sites branch-free
+	}
+	probe.setTotal(opts.Runs)
+	probe.setStage(StageAssemble)
 	lg := opts.Logger
 	if lg == nil {
 		lg = slog.New(slog.DiscardHandler)
@@ -438,6 +467,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	asmDur := asmSpan.End()
 	if err != nil {
 		root.End()
+		probe.setStage(StageFailed)
 		lg.Error("assemble failed", "err", err)
 		return nil, fmt.Errorf("assemble %s: %w", w.Name, err)
 	}
@@ -462,6 +492,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		noT[u] = snapshot.NewStore()
 	}
 
+	probe.setStage(StageSimulate)
 	simSpan := tr.Start("simulate", root.ID(), -1)
 	type runOut struct {
 		col    *trace.Collector
@@ -495,7 +526,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	attemptOne := func(run, attempt int, parent uint64) (out runOut) {
 		if opts.MeasureStages {
 			s := tr.Start("simulate.untraced", parent, run)
-			_, err := execRun(runCtx, w, opts, prog, run, attempt, nil, nil, 0)
+			_, err := execRun(runCtx, w, opts, prog, probe, run, attempt, nil, nil, 0)
 			out.plain = s.End()
 			if err != nil {
 				out.err = fmt.Errorf("%s run %d (untraced): %w", w.Name, run, err)
@@ -507,7 +538,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 			trace.WithWarmupIterations(opts.Warmup),
 		)
 		tracedStart := time.Now()
-		res, err := execRun(runCtx, w, opts, prog, run, attempt, col, tr, parent)
+		res, err := execRun(runCtx, w, opts, prog, probe, run, attempt, col, tr, parent)
 		out.traced = time.Since(tracedStart)
 		if err != nil {
 			out.err = fmt.Errorf("%s run %d: %w", w.Name, run, err)
@@ -545,6 +576,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 				return out
 			}
 			retriesTotal.Add(1)
+			probe.retryObserved()
 			if opts.Metrics != nil {
 				opts.Metrics.Counter("verify_retries_total").Inc()
 			}
@@ -597,6 +629,8 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		out := runOne(run)
 		if out.err != nil {
 			fail(out.err)
+		} else {
+			probe.runComplete()
 		}
 		outs[run] = out
 	}
@@ -630,11 +664,13 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	rep.Retries = int(retriesTotal.Load())
 
 	// Merge in run order so results are identical to a sequential run.
+	probe.setStage(StageMerge)
 	mergeSpan := tr.Start("merge", root.ID(), -1)
 	var plainTime, parseTime time.Duration
 	runWall := make([]time.Duration, 0, opts.Runs)
 	runSim := make([]time.Duration, 0, opts.Runs)
 	runParse := make([]time.Duration, 0, opts.Runs)
+	prov := newProvMerger()
 	for run := 0; run < opts.Runs; run++ {
 		if err := outs[run].err; err != nil {
 			// End the enclosing spans so a TraceSink JSONL stream is
@@ -642,6 +678,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 			// caused the abort rather than a sibling's cancellation.
 			mergeSpan.End()
 			root.End()
+			probe.setStage(StageFailed)
 			if firstErr != nil {
 				err = firstErr
 			}
@@ -657,6 +694,10 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 		for u, n := range outs[run].col.SampleCounts() {
 			rep.Samples[u] += n
 		}
+		// Provenance iteration indices are per run; shift them by the
+		// kept iterations merged so far so they stay aligned with
+		// rep.Iterations.
+		prov.add(outs[run].col.Provenance(), len(rep.Iterations))
 		rep.Iterations = append(rep.Iterations, outs[run].col.Iterations()...)
 		writers, readers := outs[run].col.Attribution()
 		mergeAttribution(rep.StoreWriters, writers)
@@ -674,6 +715,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 			runParse = append(runParse, parse)
 		}
 	}
+	rep.Provenance = prov.flatten(opts.Units)
 	mergeSpan.End()
 	rep.SimCycles = rep.Sim.Cycles
 	rep.Stages.RunWall = telemetry.Stats(runWall)
@@ -688,11 +730,13 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 
 	if len(rep.Iterations) == 0 {
 		root.End()
+		probe.setStage(StageFailed)
 		lg.Error("verify failed", "err", ErrNoIterations)
 		return nil, fmt.Errorf("%s: %w", w.Name, ErrNoIterations)
 	}
 
 	// Stage 3: statistical correlation analysis.
+	probe.setStage(StageStats)
 	statsSpan := tr.Start("stats", root.ID(), -1)
 	for _, u := range opts.Units {
 		us := tr.StartDetail("stats.unit", statsSpan.ID(), -1, u.String())
@@ -711,6 +755,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 
 	// Stage 4: feature extraction for correlated units only (the paper
 	// runs uniqueness/ordering only where correlation is observed).
+	probe.setStage(StageExtract)
 	extractSpan := tr.Start("extract", root.ID(), -1)
 	for i := range rep.Units {
 		ur := &rep.Units[i]
@@ -725,6 +770,7 @@ func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, erro
 	rep.Stages.Extract = extractSpan.End()
 	root.End()
 	rep.Spans = tr.Spans()
+	probe.setStage(StageDone)
 
 	if opts.Metrics != nil {
 		recordMetrics(opts.Metrics, rep, runWall)
@@ -781,16 +827,22 @@ func recordMetrics(m *telemetry.Registry, rep *Report, runWall []time.Duration) 
 // spans of parent. A panic anywhere in the attempt — setup, probes, an
 // injected fault — is recovered into a transient faults.PanicError with
 // the stack captured, so one crashing attempt never takes down the
-// worker pool.
-func execRun(ctx context.Context, w Workload, opts Options, prog *asm.Program, run, attempt int,
-	col *trace.Collector, tr *telemetry.SpanTracer, parent uint64) (res sim.Result, err error) {
+// worker pool. When a flight recorder is armed, any failure (including
+// a recovered panic) is wrapped in a *RunFailure carrying the
+// post-mortem dump of the machine's final cycles.
+func execRun(ctx context.Context, w Workload, opts Options, prog *asm.Program, probe *RunProbe,
+	run, attempt int, col *trace.Collector, tr *telemetry.SpanTracer, parent uint64) (res sim.Result, err error) {
+	var m *sim.Machine
 	defer func() {
 		if r := recover(); r != nil {
 			err = faults.Transient(&faults.PanicError{Value: r, Stack: debug.Stack()})
 		}
+		if err != nil && opts.FlightRecorderFrames > 0 && m != nil {
+			err = &RunFailure{Run: run, Attempt: attempt, Dump: m.FlightDump(), Err: err}
+		}
 	}()
 	setupSpan := tr.Start("machine-setup", parent, run)
-	m, err := sim.New(opts.Config)
+	m, err = sim.New(opts.Config)
 	if err != nil {
 		setupSpan.End()
 		return sim.Result{}, err
@@ -811,6 +863,12 @@ func execRun(ctx context.Context, w Workload, opts Options, prog *asm.Program, r
 	}
 	if opts.FaultHook != nil {
 		m.SetFaultHook(opts.FaultHook(run, attempt))
+	}
+	if opts.FlightRecorderFrames > 0 {
+		m.SetFlightRecorder(sim.NewFlightRecorder(opts.FlightRecorderFrames))
+	}
+	if probe != nil {
+		m.SetCycleObserver(probe.AddCycles)
 	}
 	if opts.RunTimeout > 0 {
 		var cancel context.CancelFunc
@@ -877,6 +935,67 @@ func countFailure(m *telemetry.Registry, err error) {
 	default:
 		m.Counter("verify_run_errors_total").Inc()
 	}
+}
+
+// provMerger accumulates per-unit provenance streams across runs,
+// rebasing per-run iteration indices onto the merged iteration order.
+type provMerger struct {
+	byUnit map[trace.Unit]*provUnitAcc
+}
+
+type provUnitAcc struct {
+	direct  bool
+	streams map[uint64]*trace.ProvStream
+	keys    []uint64 // insertion-ordered; sorted at flatten time
+}
+
+func newProvMerger() *provMerger {
+	return &provMerger{byUnit: make(map[trace.Unit]*provUnitAcc)}
+}
+
+// add folds one run's provenance in, shifting iteration indices by
+// iterBase (the kept iterations merged before this run).
+func (pm *provMerger) add(prov []trace.UnitProvenance, iterBase int) {
+	for _, up := range prov {
+		acc := pm.byUnit[up.Unit]
+		if acc == nil {
+			acc = &provUnitAcc{direct: up.Direct, streams: make(map[uint64]*trace.ProvStream)}
+			pm.byUnit[up.Unit] = acc
+		}
+		for _, s := range up.Streams {
+			dst := acc.streams[s.Key]
+			if dst == nil {
+				dst = &trace.ProvStream{Key: s.Key}
+				acc.streams[s.Key] = dst
+				acc.keys = append(acc.keys, s.Key)
+			}
+			dst.Events += s.Events
+			for i, it := range s.Iters {
+				dst.Iters = append(dst.Iters, it+int32(iterBase))
+				dst.Hashes = append(dst.Hashes, s.Hashes[i])
+			}
+		}
+	}
+}
+
+// flatten emits the merged provenance in tracked-unit order with keys
+// ascending, matching the determinism of a single-run collection.
+func (pm *provMerger) flatten(units []trace.Unit) []trace.UnitProvenance {
+	out := make([]trace.UnitProvenance, 0, len(pm.byUnit))
+	for _, u := range units {
+		acc := pm.byUnit[u]
+		if acc == nil {
+			continue
+		}
+		sort.Slice(acc.keys, func(i, j int) bool { return acc.keys[i] < acc.keys[j] })
+		up := trace.UnitProvenance{Unit: u, Direct: acc.direct}
+		up.Streams = make([]trace.ProvStream, 0, len(acc.keys))
+		for _, k := range acc.keys {
+			up.Streams = append(up.Streams, *acc.streams[k])
+		}
+		out = append(out, up)
+	}
+	return out
 }
 
 // mergeAttribution unions sorted PC lists per address. Both sides hold

@@ -107,6 +107,12 @@ type Job struct {
 	SimCycles  int64
 
 	artifacts map[string]artifact
+
+	// probe is the live progress view of the running verification,
+	// installed by the worker just before the job starts and read by
+	// the /jobs/{id}/progress endpoint. Nil until the job first runs
+	// (and after recovery, where no live pipeline exists).
+	probe *core.RunProbe
 }
 
 // artifact is one downloadable result document.
@@ -153,10 +159,65 @@ func (j *Job) view() jobView {
 		v.LeakyUnits = j.LeakyUnits
 		v.Iterations = j.Iterations
 		v.SimCycles = j.SimCycles
+	}
+	// Failed jobs can carry artifacts too (the flight-recorder
+	// post-mortem), so list them for every terminal status.
+	if j.Status == StatusDone || j.Status == StatusFailed {
 		for name := range j.artifacts {
 			v.Artifacts = append(v.Artifacts, name)
 		}
 		sortStrings(v.Artifacts)
+	}
+	return v
+}
+
+// progressView is the wire form of /api/v1/jobs/{id}/progress: a live
+// reading of the run probe while the job executes, frozen to the final
+// report numbers once it is terminal.
+type progressView struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Stage     string `json:"stage"`
+	Cycles    int64  `json:"cycles"`
+	RunsDone  int    `json:"runsDone"`
+	TotalRuns int    `json:"totalRuns"`
+	Retries   int    `json:"retries"`
+	ElapsedMS int64  `json:"elapsedMillis"`
+}
+
+// progress snapshots the job's live state; callers hold the server
+// mutex (the probe itself is lock-free and safe to read concurrently
+// with the running pipeline).
+func (j *Job) progress() progressView {
+	v := progressView{ID: j.ID, Status: string(j.Status)}
+	switch j.Status {
+	case StatusQueued:
+		v.Stage = core.StageIdle.String()
+		v.ElapsedMS = time.Since(j.Submitted).Milliseconds()
+	case StatusRunning:
+		v.ElapsedMS = time.Since(j.Started).Milliseconds()
+	default:
+		v.ElapsedMS = j.Finished.Sub(j.Started).Milliseconds()
+	}
+	if j.probe != nil {
+		s := j.probe.Snapshot()
+		v.Stage = s.Stage.String()
+		v.Cycles = s.Cycles
+		v.RunsDone = s.RunsDone
+		v.TotalRuns = s.TotalRuns
+		v.Retries = s.Retries
+	}
+	// Terminal statuses pin the stage and cycle count to the recorded
+	// outcome, which also covers journal-recovered jobs with no live
+	// probe (and test doubles that never drive one).
+	switch j.Status {
+	case StatusDone:
+		v.Stage = core.StageDone.String()
+		if j.SimCycles > v.Cycles {
+			v.Cycles = j.SimCycles
+		}
+	case StatusFailed, StatusInterrupted:
+		v.Stage = core.StageFailed.String()
 	}
 	return v
 }
@@ -203,5 +264,35 @@ func renderArtifacts(rep *core.Report, heatmapWindows int) (map[string]artifact,
 	}
 	out["heatmap"] = artifact{"application/json", hmJSON}
 	out["heatmap.html"] = artifact{"text/html; charset=utf-8", []byte(hm.HTML())}
+
+	pv, err := report.BuildProvenance(rep)
+	if err != nil {
+		return nil, fmt.Errorf("build provenance: %w", err)
+	}
+	pvJSON, err := pv.JSON()
+	if err != nil {
+		return nil, fmt.Errorf("render provenance: %w", err)
+	}
+	out["provenance"] = artifact{"application/json", pvJSON}
+	out["provenance.html"] = artifact{"text/html; charset=utf-8",
+		[]byte(pv.HTMLWithDisasm(rep.Program, 5, 4))}
 	return out, nil
+}
+
+// postmortemArtifacts extracts the downloadable evidence of a failed
+// job: the flight-recorder dump rendered as a Perfetto counter trace,
+// when the verification error carries one. Failures without a dump
+// yield no artifacts.
+func postmortemArtifacts(err error) map[string]artifact {
+	dump, ok := core.FlightDumpFromError(err)
+	if !ok {
+		return nil
+	}
+	data, jerr := export.FlightPerfetto(dump).JSON()
+	if jerr != nil {
+		return nil
+	}
+	return map[string]artifact{
+		"postmortem": {"application/json", data},
+	}
 }

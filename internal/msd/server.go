@@ -47,6 +47,14 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// MaxCycles bounds each simulation run (0: core default).
 	MaxCycles int64
+	// Watchdog aborts a simulation run that stops retiring instructions
+	// for this wall-clock duration (0: disabled); aborted runs carry a
+	// flight-recorder post-mortem when FlightFrames is positive.
+	Watchdog time.Duration
+	// FlightFrames arms a per-run flight recorder of the last N cycles;
+	// failed jobs then expose a "postmortem" Perfetto artifact showing
+	// the final approach. Zero disables the recorder.
+	FlightFrames int
 
 	// JournalDir, when non-empty, enables crash-safe job persistence:
 	// every job transition is appended (and fsynced) to a JSONL
@@ -104,6 +112,8 @@ type Server struct {
 	recovered   *telemetry.Counter
 	interrupted *telemetry.Counter
 	panics      *telemetry.Counter
+	jobCycles   *telemetry.Counter
+	queueOldest *telemetry.Gauge
 	jobSeconds  *telemetry.Histogram
 	waitSeconds *telemetry.Histogram
 }
@@ -142,6 +152,8 @@ func New(cfg Config) (*Server, error) {
 		recovered:   cfg.Metrics.Counter("msd_jobs_recovered_total"),
 		interrupted: cfg.Metrics.Counter("msd_jobs_interrupted_total"),
 		panics:      cfg.Metrics.Counter("msd_job_panics_total"),
+		jobCycles:   cfg.Metrics.Counter("msd_job_cycles_total"),
+		queueOldest: cfg.Metrics.Gauge("msd_queue_oldest_age_seconds"),
 		jobSeconds:  cfg.Metrics.Histogram("msd_job_seconds", telemetry.LatencyBuckets()),
 		waitSeconds: cfg.Metrics.Histogram("msd_job_queue_wait_seconds", telemetry.LatencyBuckets()),
 	}
@@ -249,6 +261,12 @@ func (s *Server) recoverJobs(recs []journalRecord) {
 				continue
 			}
 			j.artifacts = arts
+		case StatusFailed:
+			// A failed job may have persisted a post-mortem; reload it
+			// tolerantly — most failures leave no artifacts at all.
+			if arts, err := s.jrn.loadArtifacts(id); err == nil && len(arts) > 0 {
+				j.artifacts = arts
+			}
 		case StatusRunning:
 			// Orphaned mid-run by the crash: the journal has a start
 			// without a terminal event.
@@ -319,8 +337,17 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	// The literal "progress" segment takes precedence over the
+	// {artifact} wildcard under Go 1.22 routing, so an artifact named
+	// "progress" can never shadow the live view (and vice versa).
+	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/{artifact}", s.handleArtifact)
-	mux.Handle("GET /metrics", export.MetricsHandler(s.reg))
+	metricsHandler := export.MetricsHandler(s.reg)
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Freshen the scrape-time gauges before rendering.
+		s.queueOldest.Set(s.oldestQueuedAge().Seconds())
+		metricsHandler.ServeHTTP(w, r)
+	}))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -492,6 +519,40 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+// oldestQueuedAge reports how long the longest-waiting queued job has
+// been waiting, or zero when the queue is empty. Exposed as the
+// msd_queue_oldest_age_seconds gauge, refreshed at scrape time.
+func (s *Server) oldestQueuedAge() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var oldest time.Time
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.Status == StatusQueued && (oldest.IsZero() || j.Submitted.Before(oldest)) {
+			oldest = j.Submitted
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var view progressView
+	if ok {
+		view = job.progress()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	id, name := r.PathValue("id"), r.PathValue("artifact")
 	s.mu.Lock()
@@ -531,6 +592,14 @@ func (s *Server) runJob(job *Job) {
 	s.mu.Lock()
 	job.Status = StatusRunning
 	job.Started = time.Now()
+	// Arm the live progress probe before the verification can start;
+	// its cycle deltas also feed the daemon-wide cycle counter.
+	job.probe = core.NewRunProbe()
+	job.probe.SetCycleSink(func(d int64) {
+		if d > 0 {
+			s.jobCycles.Add(uint64(d))
+		}
+	})
 	s.mu.Unlock()
 	s.journal(journalRecord{Event: "start", Time: job.Started, ID: job.ID})
 	s.inflight.Add(1)
@@ -550,6 +619,17 @@ func (s *Server) runJob(job *Job) {
 	if err == nil && s.jrn != nil {
 		if werr := s.jrn.writeArtifacts(job.ID, arts); werr != nil {
 			err = fmt.Errorf("persist artifacts: %w", werr)
+		}
+	}
+	if err != nil {
+		// A failed run may still leave evidence: the flight-recorder
+		// post-mortem rides along as a downloadable artifact, persisted
+		// before the failure is journaled so recovery can reload it.
+		arts = postmortemArtifacts(err)
+		if len(arts) > 0 && s.jrn != nil {
+			if werr := s.jrn.writeArtifacts(job.ID, arts); werr != nil {
+				s.log.Warn("postmortem not persisted", "run_id", job.ID, "err", werr)
+			}
 		}
 	}
 
@@ -573,6 +653,7 @@ func (s *Server) runJob(job *Job) {
 	if err != nil {
 		job.Status = StatusFailed
 		job.Err = err.Error()
+		job.artifacts = arts
 	} else {
 		job.Status = StatusDone
 		job.artifacts = arts
@@ -635,15 +716,18 @@ func (s *Server) runVerification(job *Job) (*core.Report, error) {
 		warmup = core.NoWarmup
 	}
 	return core.Verify(w, core.Options{
-		Config:        job.Req.config(),
-		Runs:          runs,
-		Warmup:        warmup,
-		Parallel:      parallel,
-		SeedOffset:    job.Req.SeedOffset,
-		MeasureStages: job.Req.MeasureStages,
-		MaxCycles:     s.cfg.MaxCycles,
-		Metrics:       s.reg,
-		Logger:        s.log,
-		RunID:         job.ID,
+		Config:               job.Req.config(),
+		Runs:                 runs,
+		Warmup:               warmup,
+		Parallel:             parallel,
+		SeedOffset:           job.Req.SeedOffset,
+		MeasureStages:        job.Req.MeasureStages,
+		MaxCycles:            s.cfg.MaxCycles,
+		Watchdog:             s.cfg.Watchdog,
+		FlightRecorderFrames: s.cfg.FlightFrames,
+		Probe:                job.probe,
+		Metrics:              s.reg,
+		Logger:               s.log,
+		RunID:                job.ID,
 	})
 }

@@ -128,7 +128,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if done.SimCycles != 1234 || done.Iterations != 8 {
 		t.Errorf("view stats: %+v", done)
 	}
-	wantArts := []string{"heatmap", "heatmap.html", "report", "trace"}
+	wantArts := []string{"heatmap", "heatmap.html", "provenance", "provenance.html", "report", "trace"}
 	if fmt.Sprint(done.Artifacts) != fmt.Sprint(wantArts) {
 		t.Errorf("artifacts %v want %v", done.Artifacts, wantArts)
 	}
@@ -150,6 +150,12 @@ func TestDaemonEndToEnd(t *testing.T) {
 		if art == "heatmap.html" {
 			if !strings.HasPrefix(ct, "text/html") || !strings.Contains(body.String(), "<svg") {
 				t.Errorf("heatmap.html: ct=%q", ct)
+			}
+			continue
+		}
+		if art == "provenance.html" {
+			if !strings.HasPrefix(ct, "text/html") || !strings.Contains(body.String(), "Leakage provenance") {
+				t.Errorf("provenance.html: ct=%q", ct)
 			}
 			continue
 		}

@@ -20,9 +20,10 @@ func Corpus() []Entry {
 		// conditional copy (Listing 6).
 		{
 			Name: "me-naive", Pair: "modexp-mul", Workload: "ME-NAIVE",
-			WantLeaky: true,
-			MustFlag:  []trace.Unit{trace.EUUMUL, trace.SQADDR},
-			Notes:     "Listing 1: secret-dependent multiply; EUU-MUL activity separates the key bits",
+			WantLeaky:   true,
+			MustFlag:    []trace.Unit{trace.EUUMUL, trace.SQADDR},
+			LeakRegions: [][2]string{{"mr_skip_begin", "mr_skip_end"}},
+			Notes:       "Listing 1: secret-dependent multiply; EUU-MUL activity separates the key bits",
 		},
 		{
 			Name: "me-v2-safe", Pair: "modexp-mul", Workload: "ME-V2-SAFE",
@@ -36,7 +37,11 @@ func Corpus() []Entry {
 			Name: "me-v1-cv", Pair: "condcopy-branch", Workload: "ME-V1-CV",
 			WantLeaky: true,
 			MustFlag:  []trace.Unit{trace.SQADDR, trace.SQPC, trace.ROBPC, trace.EUUALU},
-			Notes:     "Listing 4: compiled-in unbalanced branch leaks through control flow",
+			LeakRegions: [][2]string{
+				{"mr_skip_begin", "mr_skip_end"},
+				{"ccopy_cv", "do_exit"},
+			},
+			Notes: "Listing 4: compiled-in unbalanced branch leaks through control flow",
 		},
 		{
 			Name: "ct-select-64", Pair: "condcopy-branch", Workload: "constant_time_select_64",
@@ -58,6 +63,10 @@ func Corpus() []Entry {
 				trace.SQPC, trace.LQPC, trace.ROBPC,
 				trace.EUUALU, trace.EUUMUL, trace.EUUDIV,
 			},
+			LeakRegions: [][2]string{
+				{"mr_skip_begin", "mr_skip_end"},
+				{"ccopy_mv", "do_exit"},
+			},
 			Notes: "Listing 5: pointer select leaks only through address-observing units",
 		},
 		{
@@ -73,7 +82,11 @@ func Corpus() []Entry {
 			FastBypass: true,
 			WantLeaky:  true,
 			MustFlag:   []trace.Unit{trace.SQADDR, trace.EUUALU},
-			Notes:      "Section VII-B: rename-time AND folding makes the safe kernel leak",
+			LeakRegions: [][2]string{
+				{"mr_skip_begin", "mr_skip_end"},
+				{"ccopy_safe", "do_exit"},
+			},
+			Notes: "Section VII-B: rename-time AND folding makes the safe kernel leak",
 		},
 		{
 			Name: "me-v2-safe-small", Pair: "fast-bypass", Workload: "ME-V2-SAFE",
@@ -89,6 +102,7 @@ func Corpus() []Entry {
 			DataDepDivide: true,
 			WantLeaky:     true,
 			MustFlag:      []trace.Unit{trace.EUUDIV},
+			LeakRegions:   [][2]string{{"sw_loop", "do_exit"}},
 			Notes:         "third CT principle violated only when divide latency is operand-dependent",
 		},
 		{
@@ -105,7 +119,8 @@ func Corpus() []Entry {
 			MustFlag: []trace.Unit{
 				trace.LQADDR, trace.CACHEADDR, trace.MSHRADDR, trace.LFBADDR,
 			},
-			Notes: "key-distinguishing experiment: secret-indexed T-table loads",
+			LeakRegions: [][2]string{{"aes_encrypt", "do_exit"}},
+			Notes:       "key-distinguishing experiment: secret-indexed T-table loads",
 		},
 		{
 			Name: "chacha20", Pair: "table-cipher", Workload: "CHACHA20",
@@ -123,7 +138,8 @@ func Corpus() []Entry {
 				trace.MSHRADDR, trace.LFBADDR, trace.NLPADDR,
 				trace.SQADDR, trace.ROBPC, trace.EUUDIV,
 			},
-			Notes: "table preload: misses gone, secret-dependent load addresses remain",
+			LeakRegions: [][2]string{{"aes_encrypt", "do_exit"}},
+			Notes:       "table preload: misses gone, secret-dependent load addresses remain",
 		},
 		{
 			Name: "ct-cond-swap", Pair: "preload", Workload: "constant_time_cond_swap_buff",
@@ -135,9 +151,10 @@ func Corpus() []Entry {
 		// window lookup vs the scan-all-windows mitigation.
 		{
 			Name: "me-win4-lkup", Pair: "window", Workload: "ME-WIN4-LKUP",
-			WantLeaky: true,
-			MustFlag:  []trace.Unit{trace.LQADDR, trace.CACHEADDR},
-			Notes:     "4-bit window table indexed by the secret window value",
+			WantLeaky:   true,
+			MustFlag:    []trace.Unit{trace.LQADDR, trace.CACHEADDR},
+			LeakRegions: [][2]string{{"mw_skip_begin", "mw_skip_end"}},
+			Notes:       "4-bit window table indexed by the secret window value",
 		},
 		{
 			Name: "me-win4-safe", Pair: "window", Workload: "ME-WIN4-SAFE",
@@ -153,7 +170,11 @@ func Corpus() []Entry {
 			WantLeaky: true,
 			MustFlag:  []trace.Unit{trace.ROBPC},
 			MustClean: []trace.Unit{trace.SQADDR, trace.CACHEADDR, trace.EUUALU},
-			Notes:     "Listings 7/8: leak is confined to the reorder buffer's transient window",
+			LeakRegions: [][2]string{
+				{"sw_eq", "sw_join"},
+				{"crypto_memcmp", "do_exit"},
+			},
+			Notes: "Listings 7/8: leak is confined to the reorder buffer's transient window",
 		},
 		{
 			Name: "ct-eq", Pair: "memcmp", Workload: "constant_time_eq",
@@ -165,10 +186,11 @@ func Corpus() []Entry {
 		// branchless bignum compare.
 		{
 			Name: "spectre-pht", Pair: "transient", Workload: "SPECTRE-PHT",
-			WantLeaky: true,
-			MustFlag:  []trace.Unit{trace.LQADDR, trace.CACHEADDR},
-			MustClean: []trace.Unit{trace.SQADDR, trace.EUUALU},
-			Notes:     "architecturally invariant probe; transient loads separate the secret",
+			WantLeaky:   true,
+			MustFlag:    []trace.Unit{trace.LQADDR, trace.CACHEADDR},
+			MustClean:   []trace.Unit{trace.SQADDR, trace.EUUALU},
+			LeakRegions: [][2]string{{"victim", "do_exit"}},
+			Notes:       "architecturally invariant probe; transient loads separate the secret",
 		},
 		{
 			Name: "ct-lt-bn", Pair: "transient", Workload: "constant_time_lt_bn",
@@ -181,10 +203,11 @@ func Corpus() []Entry {
 		// nothing.
 		{
 			Name: "me-naive-padded", Pair: "padding", Workload: "ME-NAIVE",
-			PadIters:  24,
-			WantLeaky: true,
-			MustFlag:  []trace.Unit{trace.EUUMUL},
-			Notes:     "padding must not mask the secret-dependent multiply",
+			PadIters:    24,
+			WantLeaky:   true,
+			MustFlag:    []trace.Unit{trace.EUUMUL},
+			LeakRegions: [][2]string{{"mr_skip_begin", "mr_skip_end"}},
+			Notes:       "padding must not mask the secret-dependent multiply",
 		},
 		{
 			Name: "me-v2-safe-padded", Pair: "padding", Workload: "ME-V2-SAFE",

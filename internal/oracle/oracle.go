@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"microsampler/internal/asm"
 	"microsampler/internal/core"
 	"microsampler/internal/sim"
 	"microsampler/internal/stats"
@@ -83,6 +84,12 @@ type Entry struct {
 	// are unconstrained, keeping the labels robust to borderline units.
 	MustFlag  []trace.Unit
 	MustClean []trace.Unit
+	// LeakRegions are the known secret-dependent instruction ranges of
+	// a leaky entry, as [startSymbol, endSymbol) label pairs over the
+	// workload source. They are the ground truth for instruction-level
+	// provenance: the top-ranked provenance PC must fall inside one of
+	// them (see report.BuildProvenance). Safe entries leave this nil.
+	LeakRegions [][2]string
 	// Notes documents what the entry exercises.
 	Notes string
 }
@@ -127,6 +134,30 @@ func (e Entry) Build() (core.Workload, sim.Config, error) {
 	cfg.FastBypass = e.FastBypass
 	cfg.DataDepDivide = e.DataDepDivide
 	return w, cfg, nil
+}
+
+// ResolveLeakRegions maps the entry's LeakRegions label pairs to
+// [start, end) address ranges of the assembled program. Every label
+// must resolve and every range must be non-empty; a corpus entry whose
+// labels drift out of its workload source is a bug, not a skip.
+func (e Entry) ResolveLeakRegions(prog *asm.Program) ([][2]uint64, error) {
+	regions := make([][2]uint64, 0, len(e.LeakRegions))
+	for _, r := range e.LeakRegions {
+		lo, ok := prog.Symbol(r[0])
+		if !ok {
+			return nil, fmt.Errorf("oracle %s: leak region start %q not in program", e.Name, r[0])
+		}
+		hi, ok := prog.Symbol(r[1])
+		if !ok {
+			return nil, fmt.Errorf("oracle %s: leak region end %q not in program", e.Name, r[1])
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("oracle %s: leak region [%s, %s) is empty (%#x >= %#x)",
+				e.Name, r[0], r[1], lo, hi)
+		}
+		regions = append(regions, [2]uint64{lo, hi})
+	}
+	return regions, nil
 }
 
 // SeedResult is the outcome of one entry under one seed.

@@ -1,0 +1,111 @@
+package oracle
+
+import (
+	"testing"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/report"
+)
+
+// TestLeakRegionsShape pins the provenance ground truth's structural
+// invariants: every leaky entry names at least one secret-dependent
+// region, every region's labels resolve in the entry's assembled
+// workload, and safe entries carry none (there is no secret-dependent
+// instruction to point at).
+func TestLeakRegionsShape(t *testing.T) {
+	for _, e := range Corpus() {
+		if !e.WantLeaky {
+			if len(e.LeakRegions) != 0 {
+				t.Errorf("safe entry %s has leak regions %v", e.Name, e.LeakRegions)
+			}
+			continue
+		}
+		if len(e.LeakRegions) == 0 {
+			t.Errorf("leaky entry %s has no leak regions", e.Name)
+			continue
+		}
+		w, _, err := e.Build()
+		if err != nil {
+			t.Errorf("entry %s: %v", e.Name, err)
+			continue
+		}
+		prog, err := asm.Assemble(w.Source)
+		if err != nil {
+			t.Errorf("entry %s: %v", e.Name, err)
+			continue
+		}
+		regions, err := e.ResolveLeakRegions(prog)
+		if err != nil {
+			t.Error(err)
+			continue
+		}
+		if len(regions) != len(e.LeakRegions) {
+			t.Errorf("entry %s: resolved %d of %d regions", e.Name, len(regions), len(e.LeakRegions))
+		}
+	}
+}
+
+// TestProvenanceLocalizesCorpusLeaks is the provenance ground truth:
+// for every labeled leaky pair in the corpus, the top-ranked entry of
+// the instruction-level provenance must point into a known
+// secret-dependent region of the workload. A detector that flags the
+// right units but blames the wrong instruction fails this gate.
+func TestProvenanceLocalizesCorpusLeaks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every leaky corpus entry through a full verification")
+	}
+	for _, e := range Corpus() {
+		if !e.WantLeaky {
+			continue
+		}
+		e := e.withDefaults()
+		t.Run(e.Name, func(t *testing.T) {
+			w, cfg, err := e.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.Verify(w, core.Options{
+				Config:   cfg,
+				Runs:     e.Runs,
+				Warmup:   e.Warmup,
+				Parallel: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pv, err := report.BuildProvenance(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pv.Entries) == 0 {
+				t.Fatal("provenance ranked no instructions for a leaky workload")
+			}
+			regions, err := e.ResolveLeakRegions(rep.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			top := pv.Entries[0]
+			if !inRegions(top.PC, regions) {
+				for i, pe := range pv.Entries {
+					if i >= 5 {
+						break
+					}
+					t.Logf("rank %d: %s pc=%#x (%s) via %s V=%.3f events=%d",
+						i, pe.Unit, pe.PC, pe.Symbol, pe.Via, pe.V, pe.Events)
+				}
+				t.Errorf("top-ranked PC %#x (%s, unit %s via %s) outside leak regions %v",
+					top.PC, top.Symbol, top.Unit, top.Via, e.LeakRegions)
+			}
+		})
+	}
+}
+
+func inRegions(pc uint64, regions [][2]uint64) bool {
+	for _, r := range regions {
+		if pc >= r[0] && pc < r[1] {
+			return true
+		}
+	}
+	return false
+}

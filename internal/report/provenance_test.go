@@ -1,0 +1,257 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+	"microsampler/internal/trace"
+)
+
+// provReport verifies a workload whose only secret-dependent behaviour
+// is one store whose address is indexed by the class bit (64-byte
+// stride, so it lands on distinct cache lines). The store carries a
+// label so tests can ask the symbol table where the leak lives.
+func provReport(t *testing.T) *core.Report {
+	t.Helper()
+	rep, err := core.Verify(core.Workload{Name: "prov-sample", Source: `
+	.text
+_start:
+	la   s1, buf
+	li   s2, 24
+	roi.begin
+loop:
+	andi s3, s2, 1
+	iter.begin s3
+	slli t1, s3, 6
+	add  t2, s1, t1
+leak_st:
+	sd   s2, 0(t2)
+	ld   t3, 0(t2)
+	iter.end
+	addi s2, s2, -1
+	bnez s2, loop
+	roi.end
+	li a0, 0
+	li a7, 93
+	ecall
+
+	.data
+	.align 6
+buf:
+	.zero 256
+`}, core.Options{Runs: 2, Warmup: core.NoWarmup, Config: sim.SmallBoom()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// syntheticProvReport hand-writes provenance streams so the golden
+// rendering is independent of the simulator: a direct SQ-ADDR stream
+// that perfectly separates the classes, a value-keyed cache stream
+// resolving through StoreWriters, and an unattributable TLB page.
+func syntheticProvReport() *core.Report {
+	const iters = 40
+	rep := &core.Report{
+		Workload:     "synthetic",
+		Config:       "TestBoom",
+		Runs:         1,
+		StoreWriters: map[uint64][]uint64{0x2040: {0x1010}},
+		LoadReaders:  map[uint64][]uint64{},
+	}
+	for i := 0; i < iters; i++ {
+		rep.Iterations = append(rep.Iterations,
+			trace.IterSample{Class: uint64(i % 2), Cycles: 10})
+	}
+	classIters := func(class int) (is []int32, hs []uint64) {
+		for i := class; i < iters; i += 2 {
+			is = append(is, int32(i))
+			hs = append(hs, 0xabc0+uint64(class))
+		}
+		return
+	}
+	i1, h1 := classIters(1)
+	iAll := make([]int32, iters)
+	hAll := make([]uint64, iters)
+	for i := 0; i < iters; i++ {
+		iAll[i], hAll[i] = int32(i), 0x77
+	}
+	rep.Provenance = []trace.UnitProvenance{
+		{Unit: trace.SQADDR, Direct: true, Streams: []trace.ProvStream{
+			// Leaky: events only on class-1 iterations.
+			{Key: 0x1010, Events: 20, Iters: i1, Hashes: h1},
+			// Quiet: identical hash every iteration.
+			{Key: 0x1004, Events: 40, Iters: iAll, Hashes: hAll},
+		}},
+		{Unit: trace.CACHEADDR, Direct: false, Streams: []trace.ProvStream{
+			// Value key 0x2040 resolves to pc 0x1010 via StoreWriters.
+			{Key: 0x2040, Events: 20, Iters: i1, Hashes: h1},
+			// Significant but unattributable page number.
+			{Key: 0x9999, Events: 20, Iters: i1, Hashes: h1},
+		}},
+	}
+	return rep
+}
+
+func TestProvenanceGolden(t *testing.T) {
+	pv, err := BuildProvenance(syntheticProvReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pv.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "provenance_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("provenance JSON drifted from golden (rerun with -update if intended)\ngot:\n%s", got)
+	}
+}
+
+func TestProvenanceSynthetic(t *testing.T) {
+	pv, err := BuildProvenance(syntheticProvReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.Iterations != 40 || pv.Workload != "synthetic" {
+		t.Fatalf("header: %+v", pv)
+	}
+	// The quiet SQ-ADDR stream must be filtered; the two leaky streams
+	// (direct pc 0x1010 and the resolved cache value) must survive.
+	if len(pv.Entries) != 2 {
+		t.Fatalf("entries = %d want 2: %+v", len(pv.Entries), pv.Entries)
+	}
+	for _, e := range pv.Entries {
+		if e.PC != 0x1010 {
+			t.Errorf("entry pc = %#x want 0x1010", e.PC)
+		}
+		if !e.Significant || !e.Leaky {
+			t.Errorf("perfectly class-determined entry not flagged leaky: %+v", e)
+		}
+	}
+	if pv.Entries[0].Via != "direct" || pv.Entries[1].Via != "store-addr" {
+		t.Errorf("via order = %q, %q want direct, store-addr",
+			pv.Entries[0].Via, pv.Entries[1].Via)
+	}
+	if len(pv.Unattributed) != 1 || pv.Unattributed[0].Value != 0x9999 {
+		t.Errorf("unattributed = %+v want the dangling 0x9999 value", pv.Unattributed)
+	}
+}
+
+// TestProvenanceLocalizesStore runs the real pipeline and requires the
+// ranking to put the labelled secret-indexed store at the top.
+func TestProvenanceLocalizesStore(t *testing.T) {
+	rep := provReport(t)
+	pv, err := BuildProvenance(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv.Entries) == 0 {
+		t.Fatal("no provenance entries from a leaky run")
+	}
+	leakPC, ok := rep.Program.Symbol("leak_st")
+	if !ok {
+		t.Fatal("leak_st symbol missing")
+	}
+	top := pv.Entries[0]
+	if top.PC != leakPC {
+		t.Errorf("top entry pc = %#x (%s via %s), leak_st = %#x",
+			top.PC, top.Unit, top.Via, leakPC)
+	}
+	if !strings.HasPrefix(top.Symbol, "leak_st") {
+		t.Errorf("top entry symbol = %q want leak_st", top.Symbol)
+	}
+	if top.Disasm == "" || !strings.Contains(top.Disasm, "sd") {
+		t.Errorf("top entry disasm = %q want an sd instruction", top.Disasm)
+	}
+	// Every surviving entry must be statistically significant.
+	for _, e := range pv.Entries {
+		if !e.Significant {
+			t.Errorf("insignificant entry survived: %+v", e)
+		}
+	}
+}
+
+func TestProvenanceDeterministicJSON(t *testing.T) {
+	render := func() []byte {
+		t.Helper()
+		pv, err := BuildProvenance(provReport(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := pv.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := render(), render(); !bytes.Equal(a, b) {
+		t.Error("provenance JSON differs across identical seeded runs")
+	}
+}
+
+func TestProvenanceErrors(t *testing.T) {
+	if _, err := BuildProvenance(&core.Report{}); err == nil {
+		t.Error("report without iterations must error")
+	}
+	// A report with iterations but no provenance streams (e.g. loaded
+	// from an older artifact) builds an empty, valid ranking.
+	rep := syntheticProvReport()
+	rep.Provenance = nil
+	pv, err := BuildProvenance(rep)
+	if err != nil {
+		t.Fatalf("provenance-free report: %v", err)
+	}
+	if len(pv.Entries) != 0 || len(pv.Unattributed) != 0 {
+		t.Errorf("expected empty ranking, got %+v", pv)
+	}
+	if !strings.Contains(pv.HTML(), "No statistically significant") {
+		t.Error("empty ranking HTML missing placeholder text")
+	}
+}
+
+func TestProvenanceHTML(t *testing.T) {
+	rep := provReport(t)
+	pv, err := BuildProvenance(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := pv.HTMLWithDisasm(rep.Program, 3, 4)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>", "<table>", "prov-sample",
+		"leak_st", "Disassembly context", "&#8592; here",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	for _, banned := range []string{"http://", "https://", "src=", "href="} {
+		if strings.Contains(doc, banned) {
+			t.Errorf("HTML not self-contained: found %q", banned)
+		}
+	}
+	if doc != pv.HTMLWithDisasm(rep.Program, 3, 4) {
+		t.Error("HTML rendering not deterministic")
+	}
+	var jsonDoc map[string]any
+	data, _ := pv.JSON()
+	if err := json.Unmarshal(data, &jsonDoc); err != nil {
+		t.Fatalf("provenance JSON invalid: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+)
+
+// countingProgram retires a short counted loop and exits.
+const countingProgram = `
+_start:
+	li   t0, 200
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+	li a0, 0
+` + exitStub
+
+func TestFlightRecorderCapturesLastCycles(t *testing.T) {
+	m := newLoaded(t, SmallBoom(), countingProgram)
+	fr := NewFlightRecorder(32)
+	m.SetFlightRecorder(fr)
+	res, err := m.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	frames := fr.Frames()
+	if len(frames) != 32 {
+		t.Fatalf("frames = %d want 32 (run lasted %d cycles)", len(frames), res.Cycles)
+	}
+	for i, f := range frames {
+		if i > 0 && f.Cycle != frames[i-1].Cycle+1 {
+			t.Fatalf("frame %d cycle %d not contiguous after %d", i, f.Cycle, frames[i-1].Cycle)
+		}
+	}
+	if last := frames[len(frames)-1]; last.Cycle != res.Cycles {
+		t.Errorf("last frame cycle = %d want %d", last.Cycle, res.Cycles)
+	}
+	if frames[len(frames)-1].Retired != res.Instructions {
+		t.Errorf("last frame retired = %d want %d",
+			frames[len(frames)-1].Retired, res.Instructions)
+	}
+}
+
+func TestFlightRecorderShortRunNoWrap(t *testing.T) {
+	m := newLoaded(t, SmallBoom(), quickExit)
+	fr := NewFlightRecorder(1 << 16)
+	m.SetFlightRecorder(fr)
+	res, err := m.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	frames := fr.Frames()
+	if int64(len(frames)) != res.Cycles {
+		t.Fatalf("frames = %d want %d (one per cycle, no wrap)", len(frames), res.Cycles)
+	}
+	if frames[0].Cycle != 1 {
+		t.Errorf("first frame cycle = %d want 1", frames[0].Cycle)
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	m := newLoaded(t, SmallBoom(), quickExit)
+	if d := m.FlightDump(); d != nil {
+		t.Fatal("dump without recorder should be nil")
+	}
+	m.SetFlightRecorder(NewFlightRecorder(0)) // 0 selects the default size
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	d := m.FlightDump()
+	if d == nil {
+		t.Fatal("nil dump with recorder attached")
+	}
+	if d.Config != "SmallBoom" {
+		t.Errorf("dump config = %q want SmallBoom", d.Config)
+	}
+	if len(d.Frames) == 0 || d.Cycle == 0 {
+		t.Errorf("empty dump: %d frames at cycle %d", len(d.Frames), d.Cycle)
+	}
+}
+
+func TestFlightRecorderReset(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	m := newLoaded(t, SmallBoom(), quickExit)
+	m.SetFlightRecorder(fr)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fr.Reset()
+	if got := fr.Frames(); len(got) != 0 {
+		t.Errorf("frames after reset = %d want 0", len(got))
+	}
+}
+
+func TestCycleObserverSeesFullRun(t *testing.T) {
+	m := newLoaded(t, SmallBoom(), countingProgram)
+	var total int64
+	m.SetCycleObserver(func(d int64) {
+		if d <= 0 {
+			t.Errorf("non-positive delta %d", d)
+		}
+		total += d
+	})
+	res, err := m.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if total != res.Cycles {
+		t.Errorf("observed %d cycles, run took %d", total, res.Cycles)
+	}
+}

@@ -23,10 +23,12 @@ type FaultHook = func(ctx context.Context, cycle int64) error
 // Machine couples a core with memory and a loaded program; it is the
 // top-level entry point of the simulator.
 type Machine struct {
-	cfg   Config
-	mem   *Memory
-	core  *Core
-	fault FaultHook
+	cfg    Config
+	mem    *Memory
+	core   *Core
+	fault  FaultHook
+	flight *FlightRecorder
+	obs    func(delta int64)
 }
 
 // ErrMaxCycles is returned when a run exceeds its cycle budget.
@@ -62,6 +64,14 @@ func (m *Machine) SetTracer(t Tracer) { m.core.tracer = t }
 // loop (may be nil). The zero-fault path pays only a nil check per
 // cycle.
 func (m *Machine) SetFaultHook(h FaultHook) { m.fault = h }
+
+// SetCycleObserver installs a callback receiving batches of simulated
+// cycle progress (may be nil). RunContext flushes the delta since the
+// last flush every progressInterval cycles and once more on every exit
+// path, so an observer sees the complete cycle count of a run without
+// per-cycle overhead. The callback runs on the simulation goroutine and
+// must be cheap.
+func (m *Machine) SetCycleObserver(fn func(delta int64)) { m.obs = fn }
 
 // LoadProgram installs an assembled program image and resets the PC and
 // stack pointer. Microarchitectural state (caches, predictors) is left
@@ -142,6 +152,18 @@ const progressInterval = 1024
 func (m *Machine) RunContext(ctx context.Context, maxCycles int64, stall time.Duration) (Result, error) {
 	c := m.core
 
+	observed := c.cycle
+	flushObs := func() {
+		if m.obs == nil {
+			return
+		}
+		if d := c.cycle - observed; d > 0 {
+			observed = c.cycle
+			m.obs(d)
+		}
+	}
+	defer flushObs()
+
 	runCtx := ctx
 	var stalled atomic.Bool
 	var progress atomic.Int64
@@ -160,6 +182,7 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles int64, stall time.Du
 		}
 		if c.cycle&(progressInterval-1) == 0 {
 			progress.Store(c.cycle)
+			flushObs()
 			if runCtx.Err() != nil {
 				return m.result(), m.abortErr(runCtx, &stalled, stall)
 			}
@@ -173,6 +196,9 @@ func (m *Machine) RunContext(ctx context.Context, maxCycles int64, stall time.Du
 			}
 		}
 		c.step()
+		if m.flight != nil {
+			m.flight.record(c)
+		}
 	}
 	return m.result(), c.runErr
 }

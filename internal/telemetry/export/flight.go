@@ -1,0 +1,62 @@
+package export
+
+import (
+	"fmt"
+
+	"microsampler/internal/sim"
+)
+
+// flightSeries enumerates the occupancy series of a flight-recorder
+// frame in a fixed render order.
+var flightSeries = []struct {
+	name string
+	get  func(f sim.FlightFrame) int
+}{
+	{"rob", func(f sim.FlightFrame) int { return f.ROB }},
+	{"sq", func(f sim.FlightFrame) int { return f.SQ }},
+	{"lq", func(f sim.FlightFrame) int { return f.LQ }},
+	{"mshr", func(f sim.FlightFrame) int { return f.MSHR }},
+	{"lfb", func(f sim.FlightFrame) int { return f.LFB }},
+}
+
+// FlightPerfetto converts a flight-recorder post-mortem into a
+// trace-event document: one counter track per microarchitectural
+// occupancy series, timestamped in simulated cycles (1 cycle = 1 µs on
+// the Perfetto timeline), plus an instant event marking the cycle the
+// run died at. The rendering is deterministic for a given dump.
+func FlightPerfetto(d *sim.FlightDump) *PerfettoTrace {
+	tr := &PerfettoTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"source":  "microsampler flight recorder",
+			"config":  d.Config,
+			"cycle":   fmt.Sprintf("%d", d.Cycle),
+			"fetchPC": fmt.Sprintf("%#x", d.FetchPC),
+		},
+		TraceEvents: make([]TraceEvent, 0, len(d.Frames)*len(flightSeries)+3),
+	}
+	tr.TraceEvents = append(tr.TraceEvents,
+		TraceEvent{Name: "process_name", Ph: "M", Pid: perfettoPid, Tid: 0,
+			Args: map[string]any{"name": "microsampler flight recorder"}},
+		TraceEvent{Name: "thread_name", Ph: "M", Pid: perfettoPid, Tid: 0,
+			Args: map[string]any{"name": "occupancy"}})
+	for _, f := range d.Frames {
+		ts := float64(f.Cycle)
+		for _, s := range flightSeries {
+			tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+				Name: s.name, Cat: "occupancy", Ph: "C",
+				Ts: ts, Pid: perfettoPid, Tid: 0,
+				Args: map[string]any{"value": s.get(f)},
+			})
+		}
+	}
+	tr.TraceEvents = append(tr.TraceEvents, TraceEvent{
+		Name: "run ended", Cat: "postmortem", Ph: "i",
+		Ts: float64(d.Cycle), Pid: perfettoPid, Tid: 0,
+		Args: map[string]any{
+			"cycle":   d.Cycle,
+			"fetchPC": fmt.Sprintf("%#x", d.FetchPC),
+		},
+	})
+	return tr
+}

@@ -1,0 +1,116 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microsampler/internal/sim"
+)
+
+// fixedDump builds a deterministic little post-mortem: four frames of
+// draining occupancy leading up to a stall at cycle 1000.
+func fixedDump() *sim.FlightDump {
+	return &sim.FlightDump{
+		Config:  "SmallBoom",
+		Cycle:   1000,
+		FetchPC: 0x1148,
+		Frames: []sim.FlightFrame{
+			{Cycle: 997, FetchPC: 0x1140, Retired: 380, ROB: 12, SQ: 3, LQ: 2, MSHR: 1, LFB: 1},
+			{Cycle: 998, FetchPC: 0x1144, Retired: 381, ROB: 14, SQ: 4, LQ: 2, MSHR: 2, LFB: 1},
+			{Cycle: 999, FetchPC: 0x1148, Retired: 381, ROB: 16, SQ: 4, LQ: 3, MSHR: 2, LFB: 2},
+			{Cycle: 1000, FetchPC: 0x1148, Retired: 381, ROB: 16, SQ: 4, LQ: 3, MSHR: 2, LFB: 2},
+		},
+	}
+}
+
+func TestFlightPerfettoGolden(t *testing.T) {
+	got, err := FlightPerfetto(fixedDump()).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "flight_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("flight perfetto drifted from golden (rerun with -update if intended)\ngot:\n%s", got)
+	}
+	again, err := FlightPerfetto(fixedDump()).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append(again, '\n')) {
+		t.Error("flight perfetto conversion is not deterministic")
+	}
+}
+
+func TestFlightPerfettoStructure(t *testing.T) {
+	data, err := FlightPerfetto(fixedDump()).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	counters := map[string]int{}
+	var instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "C":
+			counters[ev.Name]++
+			if _, ok := ev.Args["value"]; !ok {
+				t.Errorf("counter %q at ts=%g has no value arg", ev.Name, ev.Ts)
+			}
+		case "i":
+			instants++
+			if ev.Ts != 1000 {
+				t.Errorf("instant at ts=%g want 1000 (the failure cycle)", ev.Ts)
+			}
+		case "M":
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	for _, name := range []string{"rob", "sq", "lq", "mshr", "lfb"} {
+		if counters[name] != 4 {
+			t.Errorf("series %q has %d samples want 4", name, counters[name])
+		}
+	}
+	if instants != 1 {
+		t.Errorf("%d instant events want 1", instants)
+	}
+	if doc.OtherData["config"] != "SmallBoom" || doc.OtherData["fetchPC"] != "0x1148" {
+		t.Errorf("otherData = %v", doc.OtherData)
+	}
+}
+
+func TestFlightPerfettoEmptyDump(t *testing.T) {
+	tr := FlightPerfetto(&sim.FlightDump{Config: "SmallBoom"})
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("empty dump renders invalid JSON: %v", err)
+	}
+}

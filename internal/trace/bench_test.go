@@ -93,4 +93,7 @@ func BenchmarkOnCycleSingleUnit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		iter(uint64(i & 1))
 	}
+	b.StopTimer()
+	ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N*cyclesPerIter)
+	b.ReportMetric(ns, "ns/cycle")
 }

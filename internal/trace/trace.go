@@ -19,6 +19,7 @@ import (
 
 	"microsampler/internal/isa"
 	"microsampler/internal/sim"
+	"microsampler/internal/siphash"
 	"microsampler/internal/snapshot"
 )
 
@@ -101,17 +102,200 @@ type UnitTrace struct {
 	IterHashes []uint64
 }
 
+// provKind classifies how a unit's events are attributed to code.
+type provKind int
+
+const (
+	// provNone: the unit's values carry no attributable key (pure
+	// occupancy counts, cache-line contents).
+	provNone provKind = iota
+	// provDirect: each event carries the program counter of the
+	// instruction responsible, either because the sampled value is a PC
+	// itself or because the probe exposes a slot-aligned PC row.
+	provDirect
+	// provValue: events are keyed by the observed value (an address at
+	// byte, line or page granularity) and resolved to PCs afterwards
+	// through the Attribution writer/reader maps.
+	provValue
+)
+
+// provKindOf returns the attribution mode of a unit.
+func provKindOf(u Unit) provKind {
+	switch u {
+	case ROBOCPNCY, LFBDATA:
+		return provNone
+	case SQADDR, LQADDR, SQPC, LQPC, ROBPC, EUUALU, EUUADDRGEN, EUUDIV, EUUMUL:
+		return provDirect
+	}
+	return provValue
+}
+
+// provTimedRuns reports whether a unit's streams must also encode how
+// long each value occupies its slot. The execution units leak through
+// residency, not arrival: an early-out divider holds the same PC for an
+// operand-dependent number of cycles while producing exactly one
+// arrival event per divide, so without run lengths both key classes
+// hash to identical streams and the leak cannot be localized.
+func provTimedRuns(u Unit) bool {
+	switch u {
+	case EUUALU, EUUADDRGEN, EUUDIV, EUUMUL:
+		return true
+	}
+	return false
+}
+
+// provStream accumulates the event evidence for one key (a PC for
+// direct units, an observed value otherwise) of one unit. The event
+// values of the current iteration stream into a running siphash; kept
+// iterations flush the digest into the unit's provenance log.
+type provStream struct {
+	h          siphash.Hasher
+	iterEvents uint64 // events seen this iteration
+	events     uint64 // events across kept iterations
+	touched    bool   // appeared this iteration (queued in provTouched)
+}
+
+// provRec is one kept-iteration observation of one key: all records of
+// a unit share a single append-only log so the per-iteration flush has
+// the same amortised allocation profile as iterHashes.
+type provRec struct {
+	key  uint64
+	hash uint64
+	iter int32 // index into Collector.iters
+}
+
 // unitState is the per-unit sampling state, held in a dense array
 // indexed by Unit so the per-cycle loop does no map lookups.
 type unitState struct {
 	rec        snapshot.Recorder // full (timed) snapshot of the iteration
 	evRec      snapshot.Recorder // timing-free event stream
 	row        []uint64          // per-unit row scratch, reused every cycle
+	pcRow      []uint64          // slot-aligned PC row scratch (SQADDR/LQADDR)
 	prev       u64set            // non-zero values of the previous cycle's row
 	samples    uint64            // state rows sampled (telemetry)
 	full       *snapshot.Store
 	noT        *snapshot.Store
 	iterHashes []uint64 // full-snapshot hash per kept iteration
+
+	kind        provKind
+	prov        map[uint64]*provStream // per-key event accumulators
+	provTouched []uint64               // keys touched this iteration
+	provLog     []provRec              // kept-iteration observations
+
+	timedRuns bool     // streams also encode per-slot occupancy runs
+	prevRow   []uint64 // previous cycle's row (timed units only)
+	runLen    []uint32 // consecutive cycles each slot held its value
+}
+
+// provEvent folds one event value into the stream of its key. Streams
+// are allocated on a key's first-ever sighting; afterwards the per-event
+// cost is one map lookup and one hash round.
+func (st *unitState) provEvent(key, v uint64) {
+	ps := st.prov[key]
+	if ps == nil {
+		ps = &provStream{}
+		ps.h.Reset(siphash.DefaultKey)
+		st.prov[key] = ps
+	}
+	if !ps.touched {
+		ps.touched = true
+		st.provTouched = append(st.provTouched, key)
+	}
+	ps.h.WriteUint64(v)
+	ps.iterEvents++
+}
+
+// provRun folds a completed occupancy run into its key's stream. The
+// high tag bit keeps run lengths from colliding with sampled values;
+// runs do not count as events (the arrival already did).
+func (st *unitState) provRun(key uint64, n uint32) {
+	ps := st.prov[key]
+	if ps == nil {
+		ps = &provStream{}
+		ps.h.Reset(siphash.DefaultKey)
+		st.prov[key] = ps
+	}
+	if !ps.touched {
+		ps.touched = true
+		st.provTouched = append(st.provTouched, key)
+	}
+	ps.h.WriteUint64(1<<63 | uint64(n))
+}
+
+// updateRuns advances per-slot occupancy runs for a timed unit: a slot
+// keeping its value extends the run, a slot changing or draining folds
+// the finished run's length into the departing key's stream.
+func (st *unitState) updateRuns(row []uint64) {
+	for len(st.prevRow) < len(row) {
+		st.prevRow = append(st.prevRow, 0)
+		st.runLen = append(st.runLen, 0)
+	}
+	for i := len(row); i < len(st.prevRow); i++ {
+		if st.prevRow[i] != 0 {
+			st.provRun(st.prevRow[i], st.runLen[i])
+			st.prevRow[i], st.runLen[i] = 0, 0
+		}
+	}
+	st.prevRow = st.prevRow[:len(row)]
+	st.runLen = st.runLen[:len(row)]
+	for i, v := range row {
+		switch {
+		case v == st.prevRow[i]:
+			if v != 0 {
+				st.runLen[i]++
+			}
+		default:
+			if st.prevRow[i] != 0 {
+				st.provRun(st.prevRow[i], st.runLen[i])
+			}
+			st.prevRow[i] = v
+			if v != 0 {
+				st.runLen[i] = 1
+			} else {
+				st.runLen[i] = 0
+			}
+		}
+	}
+}
+
+// foldRuns closes out the outstanding runs at an iteration boundary so
+// that a run in flight when iter.end commits still contributes its
+// length to this iteration's streams.
+func (st *unitState) foldRuns() {
+	for i, v := range st.prevRow {
+		if v != 0 {
+			st.provRun(v, st.runLen[i])
+		}
+		st.prevRow[i], st.runLen[i] = 0, 0
+	}
+}
+
+// resetProv discards the current iteration's stream state.
+func (st *unitState) resetProv() {
+	for _, key := range st.provTouched {
+		ps := st.prov[key]
+		ps.touched = false
+		ps.iterEvents = 0
+		ps.h.Reset(siphash.DefaultKey)
+	}
+	st.provTouched = st.provTouched[:0]
+	for i := range st.prevRow {
+		st.prevRow[i], st.runLen[i] = 0, 0
+	}
+}
+
+// flushProv commits the current iteration's streams to the provenance
+// log under kept-iteration index iter, then resets them.
+func (st *unitState) flushProv(iter int32) {
+	for _, key := range st.provTouched {
+		ps := st.prov[key]
+		st.provLog = append(st.provLog, provRec{key: key, hash: ps.h.Sum64(), iter: iter})
+		ps.events += ps.iterEvents
+		ps.touched = false
+		ps.iterEvents = 0
+		ps.h.Reset(siphash.DefaultKey)
+	}
+	st.provTouched = st.provTouched[:0]
 }
 
 // Collector implements sim.Tracer. It samples the tracked units every
@@ -181,6 +365,14 @@ func NewCollector(opts ...Option) *Collector {
 		st.row = make([]uint64, 0, 128)
 		st.full = snapshot.NewStore()
 		st.noT = snapshot.NewStore()
+		st.kind = provKindOf(u)
+		if st.kind != provNone {
+			st.prov = make(map[uint64]*provStream)
+		}
+		st.timedRuns = provTimedRuns(u)
+		if u == SQADDR || u == LQADDR {
+			st.pcRow = make([]uint64, 0, 128)
+		}
 	}
 	return c
 }
@@ -205,6 +397,7 @@ func (c *Collector) OnMark(cycle int64, kind isa.MarkKind, class uint64) {
 			st.rec.Reset()
 			st.evRec.Reset()
 			st.prev.clear()
+			st.resetProv()
 		}
 	case isa.MarkIterEnd:
 		if !c.roi || !c.inIter {
@@ -220,6 +413,7 @@ func (c *Collector) OnMark(cycle int64, kind isa.MarkKind, class uint64) {
 			Class:  c.class,
 			Cycles: cycle - c.iterStart,
 		})
+		keptIdx := int32(len(c.iters) - 1)
 		for _, u := range c.units {
 			st := &c.states[u]
 			fullH, _ := st.rec.Hashes()
@@ -227,6 +421,8 @@ func (c *Collector) OnMark(cycle int64, kind isa.MarkKind, class uint64) {
 			st.iterHashes = append(st.iterHashes, fullH)
 			evH, _ := st.evRec.Hashes()
 			st.noT.ObserveFrom(c.class, evH, &st.evRec)
+			st.foldRuns()
+			st.flushProv(keptIdx)
 		}
 	}
 }
@@ -245,10 +441,38 @@ func (c *Collector) OnCycle(p *sim.Probe) {
 		st := &c.states[u]
 		row := sampleInto(u, p, st.row[:0])
 		st.row = row
-		for _, v := range row {
+		// For the address-valued queue units the probe exposes a
+		// slot-aligned PC row, attributing each address to the memory
+		// instruction that produced it. For the PC-valued units the row
+		// is its own attribution; for the rest events are keyed by the
+		// observed value and resolved through Attribution() afterwards.
+		var pcRow []uint64
+		switch {
+		case u == SQADDR:
+			pcRow = p.AppendStorePCs(st.pcRow[:0])
+			st.pcRow = pcRow
+		case u == LQADDR:
+			pcRow = p.AppendLoadPCs(st.pcRow[:0])
+			st.pcRow = pcRow
+		case st.kind == provDirect:
+			pcRow = row
+		}
+		for i, v := range row {
 			if v != 0 && !st.prev.contains(v) {
 				st.evRec.AddValue(v)
+				if st.kind != provNone {
+					key := v
+					if pcRow != nil {
+						key = pcRow[i]
+					}
+					if key != 0 {
+						st.provEvent(key, v)
+					}
+				}
 			}
+		}
+		if st.timedRuns {
+			st.updateRuns(row)
 		}
 		st.rec.AddRow(row)
 		st.samples++
@@ -349,6 +573,70 @@ func (c *Collector) SampleCounts() map[Unit]uint64 {
 func (c *Collector) Iterations() []IterSample {
 	out := make([]IterSample, len(c.iters))
 	copy(out, c.iters)
+	return out
+}
+
+// ProvStream is the per-iteration event evidence attributed to one key
+// of one unit. For direct units the key is a program counter; for
+// value-keyed units it is the observed value (a byte, line or page
+// address) to be resolved through Attribution. Iters holds the kept
+// iterations (indices into Iterations) during which the key saw at
+// least one event, and Hashes the siphash digest of that iteration's
+// event-value stream; iterations not listed implicitly hashed to
+// EmptyStreamHash.
+type ProvStream struct {
+	Key    uint64
+	Events uint64
+	Iters  []int32
+	Hashes []uint64
+}
+
+// UnitProvenance is the per-key provenance evidence of one unit.
+type UnitProvenance struct {
+	Unit    Unit
+	Direct  bool // keys are PCs (no address resolution needed)
+	Streams []ProvStream
+}
+
+// EmptyStreamHash is the implicit stream digest of a kept iteration
+// during which a key saw no events.
+func EmptyStreamHash() uint64 {
+	var h siphash.Hasher
+	h.Reset(siphash.DefaultKey)
+	return h.Sum64()
+}
+
+// Provenance returns the per-unit, per-key event-stream evidence for
+// instruction-level leakage attribution, deterministically ordered
+// (units in tracked order, keys ascending). Units whose values carry no
+// attributable key (ROB occupancy, fill-buffer data) are omitted.
+func (c *Collector) Provenance() []UnitProvenance {
+	out := make([]UnitProvenance, 0, len(c.units))
+	for _, u := range c.units {
+		st := &c.states[u]
+		if st.kind == provNone {
+			continue
+		}
+		byKey := make(map[uint64]*ProvStream, len(st.prov))
+		keys := make([]uint64, 0, len(st.prov))
+		for _, rec := range st.provLog {
+			s := byKey[rec.key]
+			if s == nil {
+				s = &ProvStream{Key: rec.key, Events: st.prov[rec.key].events}
+				byKey[rec.key] = s
+				keys = append(keys, rec.key)
+			}
+			s.Iters = append(s.Iters, rec.iter)
+			s.Hashes = append(s.Hashes, rec.hash)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		up := UnitProvenance{Unit: u, Direct: st.kind == provDirect}
+		up.Streams = make([]ProvStream, 0, len(keys))
+		for _, k := range keys {
+			up.Streams = append(up.Streams, *byKey[k])
+		}
+		out = append(out, up)
+	}
 	return out
 }
 

@@ -269,6 +269,71 @@ func RenderHeatmapHTML(rep *Report, windows int) (string, error) {
 // trace-event document.
 func RenderPerfetto(rep *Report) *PerfettoTrace { return export.Perfetto(rep.Spans) }
 
+// Leakage provenance, flight recorder and live introspection.
+
+// Provenance is the instruction-level attribution of a verification:
+// the program counters whose event streams statistically separate the
+// secret classes, ranked by Cramér's V.
+type Provenance = report.Provenance
+
+// ProvEntry is one ranked provenance attribution.
+type ProvEntry = report.ProvEntry
+
+// BuildProvenance ranks a report's per-instruction leakage evidence.
+func BuildProvenance(rep *Report) (*Provenance, error) {
+	return report.BuildProvenance(rep)
+}
+
+// RenderProvenanceJSON returns the ranked provenance as deterministic
+// JSON.
+func RenderProvenanceJSON(rep *Report) ([]byte, error) {
+	pv, err := report.BuildProvenance(rep)
+	if err != nil {
+		return nil, err
+	}
+	return pv.JSON()
+}
+
+// RenderProvenanceHTML returns the ranked provenance as a
+// self-contained HTML document, with disassembly context around the
+// top entries.
+func RenderProvenanceHTML(rep *Report) (string, error) {
+	pv, err := report.BuildProvenance(rep)
+	if err != nil {
+		return "", err
+	}
+	return pv.HTMLWithDisasm(rep.Program, 5, 4), nil
+}
+
+// FlightDump is a flight-recorder post-mortem: the last N cycles of
+// per-unit occupancy before a run died (Options.FlightRecorderFrames).
+type FlightDump = sim.FlightDump
+
+// RunFailure wraps a failed run's error with its flight-recorder dump.
+type RunFailure = core.RunFailure
+
+// FlightDumpFromError extracts the flight-recorder post-mortem from a
+// Verify error, if one is attached.
+func FlightDumpFromError(err error) (*FlightDump, bool) {
+	return core.FlightDumpFromError(err)
+}
+
+// RenderFlightPerfetto converts a flight-recorder dump into a Perfetto
+// counter trace.
+func RenderFlightPerfetto(d *FlightDump) *PerfettoTrace {
+	return export.FlightPerfetto(d)
+}
+
+// RunProbe is a live progress view of one verification (Options.Probe):
+// read Snapshot from any goroutine while Verify runs.
+type RunProbe = core.RunProbe
+
+// ProbeSnapshot is one reading of a RunProbe.
+type ProbeSnapshot = core.ProbeSnapshot
+
+// NewRunProbe returns a fresh idle probe.
+func NewRunProbe() *RunProbe { return core.NewRunProbe() }
+
 // RenderPrometheus renders a metrics registry in the Prometheus text
 // exposition format (the document served at the msd daemon's /metrics).
 func RenderPrometheus(m *MetricsRegistry) string { return export.PrometheusText(m) }

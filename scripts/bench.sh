@@ -62,3 +62,17 @@ END {
 
 echo "wrote $out:"
 cat "$out"
+
+# Append a timestamped, compacted copy to the benchmark history log.
+# BENCH_trace.json is the latest snapshot (overwritten every run);
+# BENCH_history.jsonl accumulates one line per run so hot-path drift is
+# visible across commits, not just in the latest diff.
+hist="BENCH_history.jsonl"
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+{
+    printf '{"time": "%s", "commit": "%s", "result": ' "$stamp" "$rev"
+    tr -d '\n' < "$out" | sed 's/   */ /g'
+    printf '}\n'
+} >> "$hist"
+echo "appended to $hist"
