@@ -507,3 +507,38 @@ func BenchmarkRetryOverhead(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
 }
+
+// BenchmarkMatrixSweep measures configuration-grid sweep throughput:
+// the TAGE-HIST config-flip workload fanned across a 2×4 grid
+// (predictor × prefetcher, 8 cells), cells verified concurrently. The
+// custom cells/s metric is the capacity number for sizing larger
+// hardware-space sweeps.
+func BenchmarkMatrixSweep(b *testing.B) {
+	w, err := microsampler.WorkloadByName("TAGE-HIST")
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := microsampler.ParseGridSpec("prefetch=nlp,none,stride,both;predictor=gshare,tage")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cells int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := microsampler.MatrixOptions{Grid: grid, CellParallel: -1}
+		opts.Runs = 2
+		opts.Warmup = 2
+		m, err := microsampler.VerifyMatrix(w, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range m.Cells {
+			if c.Err != "" {
+				b.Fatalf("cell %s: %s", c.Name, c.Err)
+			}
+		}
+		cells += len(m.Cells)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/s")
+}

@@ -17,6 +17,7 @@
 //	microsampler -workload ME-V1-MV -run-timeout 30s -retries 2
 //	microsampler -workload AES-TTABLE -provenance-out prov.json -provenance-html prov.html
 //	microsampler -workload ME-V1-MV -flight-recorder 1024 -flight-recorder-out postmortem.json
+//	microsampler -workload TAGE-HIST -matrix "prefetch=none,stride;predictor=gshare,tage" -matrix-out matrix.json -matrix-html matrix.html
 package main
 
 import (
@@ -66,6 +67,10 @@ func run(args []string) error {
 		heatmapOut  = fs.String("heatmap-out", "", "write the leakage heatmap as JSON to FILE")
 		heatmapHTML = fs.String("heatmap-html", "", "write the leakage heatmap as self-contained HTML to FILE")
 		heatmapWin  = fs.Int("heatmap-windows", 16, "iteration windows in the leakage heatmap")
+		matrixSpec  = fs.String("matrix", "", "sweep a configuration grid instead of a single config: a spec like base=small,mega;predictor=gshare,tage, or \"default\"")
+		matrixOut   = fs.String("matrix-out", "", "write the matrix verdict artifact as JSON to FILE (with -matrix)")
+		matrixHTML  = fs.String("matrix-html", "", "write the matrix verdict heatmap as self-contained HTML to FILE (with -matrix)")
+		matrixPar   = fs.Int("matrix-parallel", 1, "concurrent grid cells (-1: one per CPU); composes with -parallel")
 		provOut     = fs.String("provenance-out", "", "write the instruction-level leakage provenance as JSON to FILE")
 		provHTML    = fs.String("provenance-html", "", "write the leakage provenance as self-contained HTML (ranked table + disassembly) to FILE")
 		flightN     = fs.Int("flight-recorder", 0, "arm a per-run flight recorder of the last N cycles (0: off)")
@@ -185,6 +190,10 @@ func run(args []string) error {
 		}
 	}
 
+	if *matrixSpec != "" {
+		return runMatrix(w, opts, *matrixSpec, *matrixOut, *matrixHTML, *matrixPar)
+	}
+
 	rep, err := microsampler.Verify(w, opts)
 	if err != nil {
 		// A failed run can still leave evidence: write the flight
@@ -293,6 +302,56 @@ func run(args []string) error {
 	}
 	if reg != nil {
 		fmt.Print(microsampler.RenderMetrics(reg))
+	}
+	return nil
+}
+
+// runMatrix sweeps the workload over a configuration grid, prints the
+// per-cell verdicts and writes the requested artifacts.
+func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut, htmlOut string, cellParallel int) error {
+	var (
+		grid microsampler.GridSpec
+		err  error
+	)
+	if strings.EqualFold(spec, "default") {
+		grid = microsampler.DefaultGrid()
+	} else if grid, err = microsampler.ParseGridSpec(spec); err != nil {
+		return err
+	}
+	mo := microsampler.MatrixOptions{Options: opts, Grid: grid, CellParallel: cellParallel}
+	m, err := microsampler.VerifyMatrix(w, mo)
+	if err != nil {
+		return err
+	}
+	leaky := m.LeakyCells()
+	fmt.Printf("matrix %s: %d cells, %d leaky\n", m.Workload, len(m.Cells), len(leaky))
+	for _, c := range m.Cells {
+		switch {
+		case c.Err != "":
+			fmt.Printf("  %-60s ERROR %s\n", c.Name, c.Err)
+		case c.Leaky:
+			units := make([]string, 0, len(c.Flagged))
+			for _, f := range c.Flagged {
+				units = append(units, fmt.Sprintf("%s V=%.3f", f.Unit, f.V))
+			}
+			fmt.Printf("  %-60s LEAKY  %s\n", c.Name, strings.Join(units, ", "))
+		default:
+			fmt.Printf("  %-60s clean\n", c.Name)
+		}
+	}
+	if jsonOut != "" {
+		data, err := microsampler.RenderMatrixJSON(m)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if htmlOut != "" {
+		if err := os.WriteFile(htmlOut, []byte(microsampler.RenderMatrixHTML(m)), 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -315,18 +315,21 @@ func (s StageTimes) Total() time.Duration {
 // microarchitectural behaviour behind the verdicts (and behind the
 // pipeline's own performance).
 type SimStats struct {
-	Cycles            int64
-	Instructions      uint64
-	Branches          uint64
-	BranchMispredicts uint64
-	DCacheHits        uint64
-	DCacheMisses      uint64
-	TLBMisses         uint64
-	Prefetches        uint64
-	PrefetchesUseful  uint64
-	PrefetchesUseless uint64
-	LSUReplays        uint64
-	MSHRHighWater     int
+	Cycles                  int64
+	Instructions            uint64
+	Branches                uint64
+	BranchMispredicts       uint64
+	DCacheHits              uint64
+	DCacheMisses            uint64
+	TLBMisses               uint64
+	Prefetches              uint64
+	PrefetchesUseful        uint64
+	PrefetchesUseless       uint64
+	StridePrefetches        uint64
+	StridePrefetchesUseful  uint64
+	StridePrefetchesUseless uint64
+	LSUReplays              uint64
+	MSHRHighWater           int
 }
 
 // IPC returns retired instructions per simulated cycle across all runs.
@@ -349,6 +352,9 @@ func (s *SimStats) accumulate(r sim.Result) {
 	s.Prefetches += r.Prefetches
 	s.PrefetchesUseful += r.PrefetchesUseful
 	s.PrefetchesUseless += r.PrefetchesUseless
+	s.StridePrefetches += r.StridePrefetches
+	s.StridePrefetchesUseful += r.StridePrefetchesUseful
+	s.StridePrefetchesUseless += r.StridePrefetchesUseless
 	s.LSUReplays += r.LSUReplays
 	if r.MSHRHighWater > s.MSHRHighWater {
 		s.MSHRHighWater = r.MSHRHighWater
@@ -804,6 +810,9 @@ func recordMetrics(m *telemetry.Registry, rep *Report, runWall []time.Duration) 
 	m.Counter("sim_nlp_prefetches_total").Add(rep.Sim.Prefetches)
 	m.Counter("sim_nlp_useful_total").Add(rep.Sim.PrefetchesUseful)
 	m.Counter("sim_nlp_mispredicts_total").Add(rep.Sim.PrefetchesUseless)
+	m.Counter("sim_spf_prefetches_total").Add(rep.Sim.StridePrefetches)
+	m.Counter("sim_spf_useful_total").Add(rep.Sim.StridePrefetchesUseful)
+	m.Counter("sim_spf_mispredicts_total").Add(rep.Sim.StridePrefetchesUseless)
 	m.Counter("sim_lsu_replays_total").Add(rep.Sim.LSUReplays)
 	m.Gauge("sim_ipc").Set(rep.Sim.IPC())
 	m.Gauge("sim_mshr_highwater").SetMax(float64(rep.Sim.MSHRHighWater))

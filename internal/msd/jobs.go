@@ -46,6 +46,19 @@ type JobRequest struct {
 	SeedOffset     int  `json:"seedOffset,omitempty"`
 	MeasureStages  bool `json:"measureStages,omitempty"`
 	HeatmapWindows int  `json:"heatmapWindows,omitempty"`
+
+	// Matrix turns the job into a configuration-grid sweep: the program
+	// is fanned out across every cell of the grid spec (or the default
+	// grid when the value is "default") and the per-cell verdicts are
+	// aggregated into single matrix/matrix.html artifacts. Config and
+	// FastBypass are ignored for matrix jobs — the grid defines each
+	// cell's configuration. POST /api/v1/matrix submits this shape
+	// directly.
+	Matrix string `json:"matrix,omitempty"`
+	// CellParallel bounds the concurrently verified cells of a matrix
+	// job (0/absent: sequential cells; each cell still parallelises its
+	// runs via Parallel).
+	CellParallel int `json:"cellParallel,omitempty"`
 }
 
 // validate normalises the request and reports user errors.
@@ -66,7 +79,24 @@ func (r *JobRequest) validate() error {
 	if r.Runs < 0 || r.Runs > 1024 {
 		return fmt.Errorf("runs must be in [0,1024], got %d", r.Runs)
 	}
+	if r.Matrix != "" && !strings.EqualFold(r.Matrix, "default") {
+		if _, err := core.ParseGridSpec(r.Matrix); err != nil {
+			return err
+		}
+	}
+	if r.CellParallel < core.ParallelAuto {
+		return fmt.Errorf("cellParallel must be >= %d, got %d", core.ParallelAuto, r.CellParallel)
+	}
 	return nil
+}
+
+// grid resolves the request's grid spec; only meaningful when Matrix is
+// non-empty (validate has already vetted the spec).
+func (r *JobRequest) grid() (core.GridSpec, error) {
+	if strings.EqualFold(r.Matrix, "default") {
+		return core.DefaultGrid(), nil
+	}
+	return core.ParseGridSpec(r.Matrix)
 }
 
 func (r *JobRequest) config() sim.Config {
@@ -105,6 +135,10 @@ type Job struct {
 	LeakyUnits []string
 	Iterations int
 	SimCycles  int64
+	// Cells and LeakyCells summarise a matrix job (Req.Matrix set):
+	// grid size and the names of the cells with a leaky verdict.
+	Cells      int
+	LeakyCells []string
 
 	artifacts map[string]artifact
 
@@ -135,6 +169,8 @@ type jobView struct {
 	LeakyUnits []string `json:"leakyUnits,omitempty"`
 	Iterations int      `json:"iterations,omitempty"`
 	SimCycles  int64    `json:"simCycles,omitempty"`
+	Cells      int      `json:"cells,omitempty"`
+	LeakyCells []string `json:"leakyCells,omitempty"`
 	Artifacts  []string `json:"artifacts,omitempty"`
 }
 
@@ -159,6 +195,8 @@ func (j *Job) view() jobView {
 		v.LeakyUnits = j.LeakyUnits
 		v.Iterations = j.Iterations
 		v.SimCycles = j.SimCycles
+		v.Cells = j.Cells
+		v.LeakyCells = j.LeakyCells
 	}
 	// Failed jobs can carry artifacts too (the flight-recorder
 	// post-mortem), so list them for every terminal status.
@@ -277,6 +315,21 @@ func renderArtifacts(rep *core.Report, heatmapWindows int) (map[string]artifact,
 	out["provenance.html"] = artifact{"text/html; charset=utf-8",
 		[]byte(pv.HTMLWithDisasm(rep.Program, 5, 4))}
 	return out, nil
+}
+
+// renderMatrixArtifacts aggregates a grid sweep's per-cell results into
+// the single downloadable matrix artifact pair: the deterministic JSON
+// verdict matrix and the self-contained HTML heatmap.
+func renderMatrixArtifacts(m *core.Matrix) (map[string]artifact, error) {
+	art := report.BuildMatrix(m, 0)
+	data, err := art.JSON()
+	if err != nil {
+		return nil, fmt.Errorf("render matrix: %w", err)
+	}
+	return map[string]artifact{
+		"matrix":      {"application/json", data},
+		"matrix.html": {"text/html; charset=utf-8", []byte(art.HTML())},
+	}, nil
 }
 
 // postmortemArtifacts extracts the downloadable evidence of a failed

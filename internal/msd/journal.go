@@ -34,6 +34,9 @@ type journalRecord struct {
 	LeakyUnits []string `json:"leakyUnits,omitempty"`
 	Iterations int      `json:"iterations,omitempty"`
 	SimCycles  int64    `json:"simCycles,omitempty"`
+	// Cells and LeakyCells summarise a matrix job's grid sweep.
+	Cells      int      `json:"cells,omitempty"`
+	LeakyCells []string `json:"leakyCells,omitempty"`
 }
 
 // journal is the daemon's crash-safe persistence: an append-only JSONL

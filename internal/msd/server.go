@@ -74,8 +74,10 @@ type Config struct {
 
 	// verify, when non-nil, replaces the real verification step; the
 	// in-package tests use it to model slow or failing jobs without
-	// paying for a simulation.
-	verify func(j *Job) (*core.Report, error)
+	// paying for a simulation. verifyMatrix is its grid-sweep
+	// counterpart, used for jobs with JobRequest.Matrix set.
+	verify       func(j *Job) (*core.Report, error)
+	verifyMatrix func(j *Job) (*core.Matrix, error)
 }
 
 // Server is the daemon: an http.Handler plus a worker pool.
@@ -99,9 +101,11 @@ type Server struct {
 	// to compute the Retry-After hint when the queue saturates.
 	ewmaJobSec float64
 
-	// verify runs one job's verification; tests swap it out to model
-	// slow or failing jobs without paying for a simulation.
-	verify func(j *Job) (*core.Report, error)
+	// verify runs one job's verification (verifyMatrix one matrix job's
+	// grid sweep); tests swap them out to model slow or failing jobs
+	// without paying for a simulation.
+	verify       func(j *Job) (*core.Report, error)
+	verifyMatrix func(j *Job) (*core.Matrix, error)
 
 	queueDepth  *telemetry.Gauge
 	inflight    *telemetry.Gauge
@@ -161,6 +165,10 @@ func New(cfg Config) (*Server, error) {
 	if s.verify == nil {
 		s.verify = s.runVerification
 	}
+	s.verifyMatrix = cfg.verifyMatrix
+	if s.verifyMatrix == nil {
+		s.verifyMatrix = s.runMatrixVerification
+	}
 	if cfg.JournalDir != "" {
 		jrn, recs, err := openJournal(cfg.JournalDir)
 		if err != nil {
@@ -207,6 +215,8 @@ func (s *Server) recoverJobs(recs []journalRecord) {
 				j.LeakyUnits = r.LeakyUnits
 				j.Iterations = r.Iterations
 				j.SimCycles = r.SimCycles
+				j.Cells = r.Cells
+				j.LeakyCells = r.LeakyCells
 			}
 		case "failed":
 			if j := s.jobs[r.ID]; j != nil {
@@ -335,6 +345,7 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /api/v1/matrix", s.handleSubmitMatrix)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
 	// The literal "progress" segment takes precedence over the
@@ -393,7 +404,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.enqueue(w, req)
+}
 
+// handleSubmitMatrix is the batch-submit endpoint: one program fanned
+// out across every cell of a configuration grid, aggregated into a
+// single job with matrix artifacts. The payload is a JobRequest whose
+// matrix field defaults to the default grid when absent.
+func (s *Server) handleSubmitMatrix(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Matrix == "" {
+		req.Matrix = "default"
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.enqueue(w, req)
+}
+
+// enqueue admits a validated request into the job queue and answers the
+// submission request.
+func (s *Server) enqueue(w http.ResponseWriter, req JobRequest) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -606,10 +642,29 @@ func (s *Server) runJob(job *Job) {
 	s.waitSeconds.Observe(job.Started.Sub(job.Submitted).Seconds())
 	s.log.Info("job started", "run_id", job.ID, "workload", job.workloadName())
 
-	rep, err := s.safeVerify(job)
-	var arts map[string]artifact
-	if err == nil {
-		arts, err = renderArtifacts(rep, job.Req.HeatmapWindows)
+	var (
+		arts map[string]artifact
+		err  error
+		sum  jobSummary
+	)
+	if job.Req.Matrix != "" {
+		var m *core.Matrix
+		m, err = s.safeVerifyMatrix(job)
+		if err == nil {
+			arts, err = renderMatrixArtifacts(m)
+		}
+		if err == nil {
+			sum = matrixSummary(m)
+		}
+	} else {
+		var rep *core.Report
+		rep, err = s.safeVerify(job)
+		if err == nil {
+			arts, err = renderArtifacts(rep, job.Req.HeatmapWindows)
+		}
+		if err == nil {
+			sum = reportSummary(rep)
+		}
 	}
 	// Flush the artifacts to stable storage BEFORE anything marks the
 	// job finished: eviction only touches terminal jobs, so a job whose
@@ -634,17 +689,14 @@ func (s *Server) runJob(job *Job) {
 	}
 
 	finished := time.Now()
-	var leakyUnits []string
 	if err != nil {
 		s.journal(journalRecord{Event: "failed", Time: finished, ID: job.ID, Err: err.Error()})
 	} else {
-		for _, u := range rep.LeakyUnits() {
-			leakyUnits = append(leakyUnits, u.Unit.String())
-		}
 		s.journal(journalRecord{
 			Event: "done", Time: finished, ID: job.ID,
-			Leaky: rep.AnyLeak(), LeakyUnits: leakyUnits,
-			Iterations: len(rep.Iterations), SimCycles: rep.SimCycles,
+			Leaky: sum.leaky, LeakyUnits: sum.leakyUnits,
+			Iterations: sum.iterations, SimCycles: sum.simCycles,
+			Cells: sum.cells, LeakyCells: sum.leakyCells,
 		})
 	}
 
@@ -657,10 +709,12 @@ func (s *Server) runJob(job *Job) {
 	} else {
 		job.Status = StatusDone
 		job.artifacts = arts
-		job.Leaky = rep.AnyLeak()
-		job.LeakyUnits = leakyUnits
-		job.Iterations = len(rep.Iterations)
-		job.SimCycles = rep.SimCycles
+		job.Leaky = sum.leaky
+		job.LeakyUnits = sum.leakyUnits
+		job.Iterations = sum.iterations
+		job.SimCycles = sum.simCycles
+		job.Cells = sum.cells
+		job.LeakyCells = sum.leakyCells
 	}
 	dur := job.Finished.Sub(job.Started)
 	const alpha = 0.3 // favour recent jobs without whiplash
@@ -681,6 +735,50 @@ func (s *Server) runJob(job *Job) {
 	s.completed.Inc()
 	s.log.Info("job done", "run_id", job.ID, "leaky", job.Leaky,
 		"leaky_units", job.LeakyUnits, "dur", dur)
+}
+
+// jobSummary is the verdict digest of a finished job, common to single
+// verifications and matrix sweeps.
+type jobSummary struct {
+	leaky      bool
+	leakyUnits []string
+	iterations int
+	simCycles  int64
+	cells      int
+	leakyCells []string
+}
+
+// reportSummary digests a single verification's report.
+func reportSummary(rep *core.Report) jobSummary {
+	var sum jobSummary
+	sum.leaky = rep.AnyLeak()
+	for _, u := range rep.LeakyUnits() {
+		sum.leakyUnits = append(sum.leakyUnits, u.Unit.String())
+	}
+	sum.iterations = len(rep.Iterations)
+	sum.simCycles = rep.SimCycles
+	return sum
+}
+
+// matrixSummary digests a grid sweep: the job is leaky when any cell
+// is, leaky units are the deduplicated union across cells, and the
+// iteration/cycle totals aggregate the whole grid.
+func matrixSummary(m *core.Matrix) jobSummary {
+	sum := jobSummary{cells: len(m.Cells), leakyCells: m.LeakyCells()}
+	sum.leaky = len(sum.leakyCells) > 0
+	seen := map[string]bool{}
+	for _, c := range m.Cells {
+		sum.iterations += c.Iterations
+		sum.simCycles += c.SimCycles
+		for _, f := range c.Flagged {
+			if !seen[f.Unit] {
+				seen[f.Unit] = true
+				sum.leakyUnits = append(sum.leakyUnits, f.Unit)
+			}
+		}
+	}
+	sortStrings(sum.leakyUnits)
+	return sum
 }
 
 // safeVerify runs the verification step with panic containment: a
@@ -730,4 +828,58 @@ func (s *Server) runVerification(job *Job) (*core.Report, error) {
 		Logger:               s.log,
 		RunID:                job.ID,
 	})
+}
+
+// safeVerifyMatrix is safeVerify's grid-sweep counterpart.
+func (s *Server) safeVerifyMatrix(job *Job) (m *core.Matrix, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Inc()
+			err = &faults.PanicError{Value: r, Stack: debug.Stack()}
+			s.log.Error("job panicked", "run_id", job.ID, "panic", r)
+		}
+	}()
+	return s.verifyMatrix(job)
+}
+
+// runMatrixVerification fans one job's program across every cell of its
+// grid. Cell-level failures stay per-cell inside the matrix; only
+// grid-level errors fail the job.
+func (s *Server) runMatrixVerification(job *Job) (*core.Matrix, error) {
+	w, err := job.Req.workload()
+	if err != nil {
+		return nil, err
+	}
+	grid, err := job.Req.grid()
+	if err != nil {
+		return nil, err
+	}
+	runs := job.Req.Runs
+	if runs == 0 {
+		runs = 4
+	}
+	parallel := job.Req.Parallel
+	if parallel == 0 {
+		parallel = core.ParallelAuto
+	}
+	warmup := job.Req.Warmup
+	if warmup < 0 {
+		warmup = core.NoWarmup
+	}
+	opts := core.MatrixOptions{Grid: grid, CellParallel: job.Req.CellParallel}
+	opts.Runs = runs
+	opts.Warmup = warmup
+	opts.Parallel = parallel
+	opts.SeedOffset = job.Req.SeedOffset
+	opts.MaxCycles = s.cfg.MaxCycles
+	opts.Watchdog = s.cfg.Watchdog
+	opts.Metrics = s.reg
+	opts.Logger = s.log
+	opts.RunID = job.ID
+	// The live probe is per-verification state; share it only when the
+	// cells run sequentially, where it reports the current cell's runs.
+	if job.Req.CellParallel <= 1 {
+		opts.Probe = job.probe
+	}
+	return core.VerifyMatrix(w, opts)
 }

@@ -2,11 +2,12 @@ package oracle
 
 import "microsampler/internal/trace"
 
-// Corpus returns the built-in ground-truth corpus: eleven leaky/safe
+// Corpus returns the built-in ground-truth corpus: thirteen leaky/safe
 // pairs spanning every case-study family in internal/workloads plus
 // adversarial pairs where the program is held fixed and a single core
-// optimisation (fast bypass, data-dependent divide) or a metamorphic
-// transform (dead constant-time padding) separates the twins.
+// optimisation (fast bypass, data-dependent divide, TAGE predictor,
+// stride prefetcher) or a metamorphic transform (dead constant-time
+// padding) separates the twins.
 //
 // Labels are deliberately conservative: MustFlag lists only units whose
 // flagging is a headline result of the paper (or of the case study's
@@ -214,6 +215,54 @@ func Corpus() []Entry {
 			PadIters:  24,
 			WantLeaky: false,
 			Notes:     "padding a safe kernel must not create an association",
+		},
+
+		// Pair 12 — predictor (adversarial): identical program, the
+		// predictor model flips the verdict. The secret influences only
+		// the deep branch history of a perfectly predicted probe branch:
+		// invisible to gshare's 12-bit window, observable as TAGE
+		// provider metadata.
+		{
+			Name: "tage-hist", Pair: "predictor", Workload: "TAGE-HIST",
+			TAGEPredictor: true,
+			WantLeaky:     true,
+			MustFlag:      []trace.Unit{trace.TAGEPRED},
+			MustClean: []trace.Unit{
+				trace.SQADDR, trace.LQADDR, trace.CACHEADDR,
+				trace.EUUALU, trace.EUUDIV,
+			},
+			LeakRegions: [][2]string{{"pad12", "pb_skip"}},
+			Notes:       "TAGE long-history tables expose a secret beyond gshare's window",
+		},
+		{
+			Name: "tage-hist-gshare", Pair: "predictor", Workload: "TAGE-HIST",
+			WantLeaky: false,
+			Notes:     "same program under gshare: the secret is scrubbed before the window",
+		},
+
+		// Pair 13 — prefetcher (adversarial): identical branchless walk,
+		// the stride prefetcher flips the verdict by chasing the stream
+		// one stride past its end — onto a guard line that encodes the
+		// walk direction. The next-line prefetcher is off in both twins
+		// (it would prefetch the high guard in either direction).
+		{
+			Name: "spf-stream", Pair: "prefetcher", Workload: "SPF-STREAM",
+			StridePrefetcher: true,
+			NoNLP:            true,
+			WantLeaky:        true,
+			MustFlag:         []trace.Unit{trace.SPFADDR},
+			MustClean: []trace.Unit{
+				trace.SQADDR, trace.LQADDR, trace.ROBPC,
+				trace.EUUALU, trace.TLBADDR,
+			},
+			LeakRegions: [][2]string{{"sw_loop", "do_exit"}},
+			Notes:       "stride prefetcher runahead reveals the walk direction via the guard lines",
+		},
+		{
+			Name: "spf-stream-none", Pair: "prefetcher", Workload: "SPF-STREAM",
+			NoNLP:     true,
+			WantLeaky: false,
+			Notes:     "same walk with no prefetcher: every observable is direction-independent",
 		},
 	}
 }

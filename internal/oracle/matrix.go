@@ -1,0 +1,154 @@
+package oracle
+
+import (
+	"fmt"
+
+	"microsampler/internal/core"
+	"microsampler/internal/trace"
+	"microsampler/internal/workloads"
+)
+
+// MatrixExpectation is a config-flip twin expressed as a grid: one
+// workload swept over a configuration grid in which every cell has a
+// labeled expected verdict. Where the corpus' adversarial pairs pin two
+// hand-picked configurations, a matrix expectation labels the whole
+// grid — the verdict must flip on exactly the leak-inducing axis value
+// and nowhere else (0 false positives, 0 false negatives per cell).
+type MatrixExpectation struct {
+	// Name identifies the expectation; Workload is the workloads.ByName
+	// key of the fixed program.
+	Name     string
+	Workload string
+	// Grid is the textual grid spec swept (core.ParseGridSpec).
+	Grid string
+	// LeakyAxis/LeakyValue define the expected verdict of every cell: a
+	// cell is expected leaky iff its value on LeakyAxis is LeakyValue.
+	LeakyAxis  string
+	LeakyValue string
+	// MustFlag units must be flagged in every leaky cell (the leak's
+	// signature must not wander to a different unit as the orthogonal
+	// axes vary).
+	MustFlag []trace.Unit
+	// Runs per cell and warmup iterations per run (defaults 4 and 4).
+	Runs   int
+	Warmup int
+	// Notes documents the flip.
+	Notes string
+}
+
+// MatrixTwins returns the ground-truth grid expectations: one per
+// adversarial config-flip pair of the corpus, each holding the program
+// fixed while the grid flips the leak-inducing hardware axis (and, for
+// the predictor flip, sweeps two orthogonal axes to assert the flip is
+// independent of them).
+func MatrixTwins() []MatrixExpectation {
+	return []MatrixExpectation{
+		{
+			Name: "fastbypass-flip", Workload: "ME-V2-SAFE",
+			Grid:      "fastbypass=off,on",
+			LeakyAxis: "fastbypass", LeakyValue: "on",
+			MustFlag: []trace.Unit{trace.SQADDR, trace.EUUALU},
+			Notes:    "Section VII-B: rename-time AND folding flips the safe kernel",
+		},
+		{
+			Name: "divider-flip", Workload: "CT-DIV",
+			Grid:      "divider=fixed,datadep",
+			LeakyAxis: "divider", LeakyValue: "datadep",
+			MustFlag: []trace.Unit{trace.EUUDIV},
+			Notes:    "early-terminating divider reveals the operand width",
+		},
+		{
+			Name: "predictor-flip", Workload: "TAGE-HIST",
+			Grid:      "divider=fixed,datadep;prefetch=none,nlp,stride;predictor=gshare,tage",
+			LeakyAxis: "predictor", LeakyValue: "tage",
+			MustFlag: []trace.Unit{trace.TAGEPRED},
+			Notes:    "TAGE long-history metadata leaks on every divider/prefetch combination, gshare never does",
+		},
+		{
+			Name: "prefetcher-flip", Workload: "SPF-STREAM",
+			Grid:      "prefetch=none,stride",
+			LeakyAxis: "prefetch", LeakyValue: "stride",
+			MustFlag: []trace.Unit{trace.SPFADDR},
+			Notes:    "stride-prefetcher runahead onto the guard lines reveals the walk direction",
+		},
+	}
+}
+
+func (x MatrixExpectation) withDefaults() MatrixExpectation {
+	if x.Runs == 0 {
+		x.Runs = 4
+	}
+	if x.Warmup == 0 {
+		x.Warmup = 4
+	}
+	return x
+}
+
+// ExpectLeaky returns the labeled verdict for one cell of the
+// expectation's grid.
+func (x MatrixExpectation) ExpectLeaky(c core.Cell) bool {
+	for i, a := range c.Axes {
+		if a == x.LeakyAxis {
+			return c.Values[i] == x.LeakyValue
+		}
+	}
+	return false
+}
+
+// RunMatrixExpectation sweeps the expectation's grid under one seed and
+// scores every cell against its label. Violations name the cell and the
+// disagreement; an empty slice means the whole grid reproduced.
+func RunMatrixExpectation(x MatrixExpectation, seed int, th Thresholds, cellParallel int) (*core.Matrix, []string, error) {
+	x = x.withDefaults()
+	th = th.withDefaults()
+	g, err := core.ParseGridSpec(x.Grid)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle %s: %w", x.Name, err)
+	}
+	w, err := workloads.ByName(x.Workload)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle %s: %w", x.Name, err)
+	}
+	opts := core.MatrixOptions{Grid: g, CellParallel: cellParallel}
+	opts.Runs = x.Runs
+	opts.Warmup = x.Warmup
+	opts.SeedOffset = seed * SeedStride
+	m, err := core.VerifyMatrix(w, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle %s seed %d: %w", x.Name, seed, err)
+	}
+	var violations []string
+	for _, c := range m.Cells {
+		if c.Err != "" {
+			violations = append(violations, fmt.Sprintf("cell %s: error: %s", c.Name, c.Err))
+			continue
+		}
+		want := x.ExpectLeaky(c.Cell)
+		// Re-score at the requested thresholds from the cell's report so
+		// custom thresholds behave like RunEntry's.
+		flagged := map[trace.Unit]bool{}
+		for _, u := range c.Report.Units {
+			if flaggedAt(u.Assoc, th) {
+				flagged[u.Unit] = true
+			}
+		}
+		leaky := len(flagged) > 0
+		switch {
+		case leaky && !want:
+			violations = append(violations,
+				fmt.Sprintf("cell %s: false positive: safe cell flagged", c.Name))
+		case !leaky && want:
+			violations = append(violations,
+				fmt.Sprintf("cell %s: false negative: leaky cell not flagged", c.Name))
+		}
+		if want && leaky {
+			for _, u := range x.MustFlag {
+				if !flagged[u] {
+					violations = append(violations,
+						fmt.Sprintf("cell %s: unit %s must be flagged but is clean", c.Name, u))
+				}
+			}
+		}
+	}
+	return m, violations, nil
+}

@@ -1,0 +1,215 @@
+package oracle
+
+import (
+	"testing"
+
+	"microsampler/internal/core"
+	"microsampler/internal/report"
+	"microsampler/internal/trace"
+	"microsampler/internal/workloads"
+)
+
+func TestMatrixTwinsShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, x := range MatrixTwins() {
+		if x.Name == "" || seen[x.Name] {
+			t.Fatalf("matrix twin with empty or duplicate name %q", x.Name)
+		}
+		seen[x.Name] = true
+		g, err := core.ParseGridSpec(x.Grid)
+		if err != nil {
+			t.Errorf("%s: bad grid: %v", x.Name, err)
+			continue
+		}
+		if _, err := workloads.ByName(x.Workload); err != nil {
+			t.Errorf("%s: %v", x.Name, err)
+		}
+		cells := g.Cells()
+		var leaky, safe int
+		axisSwept := false
+		for _, c := range cells {
+			for i, a := range c.Axes {
+				if a == x.LeakyAxis && c.Values[i] == x.LeakyValue {
+					axisSwept = true
+				}
+			}
+			if x.ExpectLeaky(c) {
+				leaky++
+			} else {
+				safe++
+			}
+		}
+		if !axisSwept {
+			t.Errorf("%s: grid never reaches %s=%s", x.Name, x.LeakyAxis, x.LeakyValue)
+		}
+		if leaky == 0 || safe == 0 {
+			t.Errorf("%s: grid has %d leaky / %d safe cells; a flip needs both", x.Name, leaky, safe)
+		}
+		if len(x.MustFlag) == 0 {
+			t.Errorf("%s: config-flip twin without a MustFlag signature", x.Name)
+		}
+	}
+	if len(seen) < 4 {
+		t.Errorf("MatrixTwins has %d expectations, want one per adversarial pair (4)", len(seen))
+	}
+}
+
+// TestMatrixTwins replays every config-flip pair as a grid sweep: each
+// expectation's grid must reproduce the flip exactly — leaky on the
+// leak-inducing axis value, clean everywhere else, signature unit
+// flagged — with zero per-cell false positives or negatives. The
+// predictor expectation's 12-cell grid additionally asserts the flip is
+// orthogonal to the divider and prefetcher axes.
+func TestMatrixTwins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid sweeps are not -short")
+	}
+	for _, x := range MatrixTwins() {
+		x := x
+		t.Run(x.Name, func(t *testing.T) {
+			t.Parallel()
+			m, violations, err := RunMatrixExpectation(x, 0, Thresholds{}, core.ParallelAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range violations {
+				t.Error(v)
+			}
+			if t.Failed() {
+				for _, c := range m.Cells {
+					t.Logf("cell %-50s leaky=%v maxV=%.3f flagged=%v err=%q",
+						c.Name, c.Leaky, c.MaxV, flaggedNames(c), c.Err)
+				}
+			}
+		})
+	}
+}
+
+func flaggedNames(c core.CellResult) []string {
+	names := make([]string, 0, len(c.Flagged))
+	for _, f := range c.Flagged {
+		names = append(names, f.Unit)
+	}
+	return names
+}
+
+// TestMatrixProvenanceLocalizes asserts the two new unit models produce
+// localized provenance through the matrix path: in the TAGE and
+// stride-prefetcher leaky cells, the matrix artifact's top attribution
+// must fall inside the corpus' labeled leak regions.
+func TestMatrixProvenanceLocalizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid sweeps are not -short")
+	}
+	cases := []struct {
+		twin   string
+		corpus string // corpus entry carrying the LeakRegions labels
+		unit   trace.Unit
+	}{
+		{"predictor-flip", "tage-hist", trace.TAGEPRED},
+		{"prefetcher-flip", "spf-stream", trace.SPFADDR},
+	}
+	entries := map[string]Entry{}
+	for _, e := range Corpus() {
+		entries[e.Name] = e
+	}
+	twins := map[string]MatrixExpectation{}
+	for _, x := range MatrixTwins() {
+		twins[x.Name] = x
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.twin, func(t *testing.T) {
+			t.Parallel()
+			x, ok := twins[c.twin]
+			if !ok {
+				t.Fatalf("no matrix twin %q", c.twin)
+			}
+			e, ok := entries[c.corpus]
+			if !ok {
+				t.Fatalf("no corpus entry %q", c.corpus)
+			}
+			m, _, err := RunMatrixExpectation(x, 0, Thresholds{}, core.ParallelAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art := report.BuildMatrix(m, 3)
+			checked := 0
+			for i, cell := range art.Cells {
+				if !x.ExpectLeaky(cell.Cell) || cell.Err != "" {
+					continue
+				}
+				if len(cell.TopProvenance) == 0 {
+					t.Errorf("cell %s: leaky but no provenance in artifact", cell.Name)
+					continue
+				}
+				rep := m.Cells[i].Report
+				regions, err := e.ResolveLeakRegions(rep.Program)
+				if err != nil {
+					t.Fatal(err)
+				}
+				top := cell.TopProvenance[0]
+				inside := false
+				for _, r := range regions {
+					if top.PC >= r[0] && top.PC < r[1] {
+						inside = true
+					}
+				}
+				if !inside {
+					t.Errorf("cell %s: top attribution %s pc=%#x (%s) outside leak regions %v",
+						cell.Name, top.Unit, top.PC, top.Symbol, regions)
+				}
+				if top.Unit != c.unit.String() {
+					t.Errorf("cell %s: top attribution unit %s, want %s", cell.Name, top.Unit, c.unit)
+				}
+				checked++
+			}
+			if checked == 0 {
+				t.Error("no leaky cells checked")
+			}
+		})
+	}
+}
+
+// TestMatrixDeterminism is the matrix metamorphic property: the
+// artifact JSON must be byte-identical across repeated sweeps and
+// across every parallelism setting — cell order, verdicts, statistics
+// and provenance are all functions of (workload, grid, seed) only.
+func TestMatrixDeterminism(t *testing.T) {
+	x := MatrixExpectation{
+		Name: "det", Workload: "TAGE-HIST",
+		Grid:      "prefetch=none,stride;predictor=gshare,tage",
+		LeakyAxis: "predictor", LeakyValue: "tage",
+	}
+	render := func(cellParallel, parallel int) string {
+		x := x.withDefaults()
+		g, err := core.ParseGridSpec(x.Grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workloads.ByName(x.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.MatrixOptions{Grid: g, CellParallel: cellParallel}
+		opts.Runs = x.Runs
+		opts.Warmup = x.Warmup
+		opts.Parallel = parallel
+		m, err := core.VerifyMatrix(w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := report.BuildMatrix(m, 3).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(j)
+	}
+	sequential := render(1, 1)
+	if again := render(1, 1); again != sequential {
+		t.Error("matrix JSON differs across two identical sequential sweeps")
+	}
+	if par := render(core.ParallelAuto, 2); par != sequential {
+		t.Error("matrix JSON differs between sequential and parallel sweeps")
+	}
+}

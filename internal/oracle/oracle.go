@@ -65,11 +65,16 @@ type Entry struct {
 	Workload string
 	// Small selects the SmallBoom configuration (default MegaBoom).
 	Small bool
-	// FastBypass and DataDepDivide toggle the leakage-inducing core
-	// optimisations; the adversarial pairs flip exactly one of these
-	// between the leaky and safe twin.
-	FastBypass    bool
-	DataDepDivide bool
+	// FastBypass, DataDepDivide, TAGEPredictor and StridePrefetcher
+	// toggle the leakage-inducing core optimisations; the adversarial
+	// pairs flip exactly one of these between the leaky and safe twin.
+	// NoNLP disables the next-line prefetcher, holding it constant when
+	// a pair flips the stride prefetcher.
+	FastBypass       bool
+	DataDepDivide    bool
+	TAGEPredictor    bool
+	StridePrefetcher bool
+	NoNLP            bool
 	// PadIters, when positive, injects that many dead constant-time
 	// instructions after each iter.begin marker (see PadDead) — the
 	// metamorphic padding transform materialised as a corpus entry.
@@ -133,6 +138,11 @@ func (e Entry) Build() (core.Workload, sim.Config, error) {
 	}
 	cfg.FastBypass = e.FastBypass
 	cfg.DataDepDivide = e.DataDepDivide
+	cfg.TAGEPredictor = e.TAGEPredictor
+	cfg.StridePrefetcher = e.StridePrefetcher
+	if e.NoNLP {
+		cfg.NextLinePrefetcher = false
+	}
 	return w, cfg, nil
 }
 

@@ -1,0 +1,157 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microsampler/internal/core"
+	"microsampler/internal/workloads"
+)
+
+// sampleMatrix sweeps the TAGE-HIST config-flip workload over a 4-cell
+// grid: the predictor axis flips the verdict, the prefetch axis must
+// not. Everything downstream of this sweep is deterministic.
+func sampleMatrix(t *testing.T) *core.Matrix {
+	t.Helper()
+	w, err := workloads.ByName("TAGE-HIST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := core.ParseGridSpec("prefetch=none,stride;predictor=gshare,tage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.MatrixOptions{Grid: g}
+	opts.Runs = 4
+	opts.Warmup = 4
+	m, err := core.VerifyMatrix(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMatrixGolden(t *testing.T) {
+	got, err := BuildMatrix(sampleMatrix(t), 3).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "matrix_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("matrix JSON drifted from golden (rerun with -update if intended)\ngot:\n%s", got)
+	}
+}
+
+func TestMatrixArtifactShape(t *testing.T) {
+	m := sampleMatrix(t)
+	art := BuildMatrix(m, 3)
+	if art.Workload != "TAGE-HIST" || len(art.Cells) != 4 {
+		t.Fatalf("shape: workload=%q cells=%d", art.Workload, len(art.Cells))
+	}
+	for i, c := range art.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %s failed: %s", c.Name, c.Err)
+		}
+		wantLeaky := strings.Contains(c.Name, "predictor=tage")
+		if c.Leaky != wantLeaky {
+			t.Errorf("cell %s: leaky=%v want %v", c.Name, c.Leaky, wantLeaky)
+		}
+		if c.Leaky {
+			if len(c.TopProvenance) == 0 {
+				t.Errorf("cell %s: leaky without provenance", c.Name)
+			} else if c.TopProvenance[0].Unit != "TAGE-PRED" {
+				t.Errorf("cell %s: top attribution %s, want TAGE-PRED", c.Name, c.TopProvenance[0].Unit)
+			}
+			if len(c.Flagged) == 0 {
+				t.Errorf("cell %s: leaky without flagged units", c.Name)
+			}
+		} else if len(c.TopProvenance) != 0 {
+			t.Errorf("cell %s: clean cell carries provenance", c.Name)
+		}
+		// The artifact must agree with the sweep's cells one-to-one.
+		if c.Name != m.Cells[i].Name || c.Leaky != m.Cells[i].Leaky {
+			t.Errorf("cell %d: artifact/sweep mismatch", i)
+		}
+	}
+	var decoded map[string]any
+	data, err := art.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("matrix JSON invalid: %v", err)
+	}
+	// Wall-clock quantities must never enter the artifact.
+	for _, banned := range []string{"elapsed", "seconds", "duration", "wall"} {
+		if strings.Contains(strings.ToLower(string(data)), banned) {
+			t.Errorf("matrix JSON contains wall-clock field %q", banned)
+		}
+	}
+}
+
+func TestMatrixHTML(t *testing.T) {
+	art := BuildMatrix(sampleMatrix(t), 3)
+	doc := art.HTML()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "<svg", "</svg>", "</html>", "<title>",
+		"TAGE-HIST", "predictor=tage", "prefetch=stride",
+		"#b2182b", // the leaky-cell ring
+		"TAGE-PRED",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	if got, want := strings.Count(doc, "<rect"), len(art.Cells); got != want {
+		t.Errorf("%d rects want %d", got, want)
+	}
+	for _, banned := range []string{"http://", "https://", "src=", "href="} {
+		if strings.Contains(doc, banned) {
+			t.Errorf("HTML not self-contained: found %q", banned)
+		}
+	}
+	if doc != art.HTML() {
+		t.Error("HTML rendering not deterministic")
+	}
+}
+
+func TestMatrixFailedCellContained(t *testing.T) {
+	// A cell whose verification fails keeps its error and must not take
+	// the artifact down with it.
+	m := &core.Matrix{
+		Workload: "x",
+		Grid:     []core.Axis{{Name: "predictor", Values: []string{"gshare", "tage"}}},
+		Cells: []core.CellResult{
+			{Cell: core.Cell{Name: "predictor=gshare", Axes: []string{"predictor"}, Values: []string{"gshare"}}},
+			{
+				Cell: core.Cell{Name: "predictor=tage", Axes: []string{"predictor"}, Values: []string{"tage"}},
+				Err:  "boom",
+			},
+		},
+	}
+	art := BuildMatrix(m, 3)
+	if art.Cells[1].Err != "boom" {
+		t.Errorf("cell error lost: %+v", art.Cells[1])
+	}
+	doc := art.HTML()
+	if !strings.Contains(doc, "ERROR boom") {
+		t.Error("HTML does not surface the failed cell")
+	}
+	if _, err := art.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

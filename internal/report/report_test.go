@@ -179,7 +179,7 @@ func TestJSONExport(t *testing.T) {
 		t.Errorf("metadata wrong: %v %v", decoded["workload"], decoded["leaky"])
 	}
 	units, ok := decoded["units"].([]interface{})
-	if !ok || len(units) != 16 {
+	if !ok || len(units) != 18 {
 		t.Fatalf("units = %v", decoded["units"])
 	}
 	u0, ok := units[0].(map[string]interface{})

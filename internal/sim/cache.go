@@ -1,11 +1,20 @@
 package sim
 
+// Prefetch source tags recorded on cache lines and fills, so the
+// accuracy counters can attribute useful and useless fills to the
+// prefetcher that issued them.
+const (
+	pfNone uint8 = iota // demand fill
+	pfNLP               // next-line prefetcher
+	pfSPF               // stride prefetcher
+)
+
 // cacheLine is one way of a set.
 type cacheLine struct {
 	tag        uint64
 	valid      bool
 	lastUse    int64
-	prefetched bool // filled by the prefetcher and not yet demanded
+	prefetched uint8 // prefetch source of the fill, until first demanded
 }
 
 // cache is a set-associative, LRU-replacement cache model. It tracks tags
@@ -58,12 +67,13 @@ func (c *cache) present(lineAddr uint64) bool {
 
 // insert fills a line, evicting the LRU way if needed.
 func (c *cache) insert(lineAddr uint64, now int64) {
-	c.fill(lineAddr, now, false)
+	c.fill(lineAddr, now, pfNone)
 }
 
-// fill installs a line (marking prefetcher fills) and returns the
-// evicted line so callers can account for never-used prefetches.
-func (c *cache) fill(lineAddr uint64, now int64, prefetched bool) (evicted cacheLine) {
+// fill installs a line (tagging prefetcher fills with their source) and
+// returns the evicted line so callers can account for never-used
+// prefetches.
+func (c *cache) fill(lineAddr uint64, now int64, prefetched uint8) (evicted cacheLine) {
 	set := c.setOf(lineAddr)
 	victim := 0
 	for i := range set {
@@ -81,20 +91,20 @@ func (c *cache) fill(lineAddr uint64, now int64, prefetched bool) (evicted cache
 }
 
 // demandLookup probes for a line on behalf of a demand access. On a hit
-// it refreshes the LRU stamp and clears (and reports) the prefetched
-// flag, so the prefetcher's accuracy counters can distinguish useful
+// it refreshes the LRU stamp and clears (and reports) the prefetch
+// source, so the prefetchers' accuracy counters can distinguish useful
 // fills from wasted ones.
-func (c *cache) demandLookup(lineAddr uint64, now int64) (hit, wasPrefetched bool) {
+func (c *cache) demandLookup(lineAddr uint64, now int64) (hit bool, wasPrefetched uint8) {
 	set := c.setOf(lineAddr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			set[i].lastUse = now
 			wasPrefetched = set[i].prefetched
-			set[i].prefetched = false
+			set[i].prefetched = pfNone
 			return true, wasPrefetched
 		}
 	}
-	return false, false
+	return false, pfNone
 }
 
 // invalidate removes a line if present.
@@ -179,6 +189,10 @@ type mshr struct {
 	lineAddr uint64
 	fillAt   int64
 	prefetch bool
+	// trainPC, set for stride-prefetch trackers only, is the PC of the
+	// load stream that trained the prefetch — the attribution target of
+	// the SPF-ADDR trace unit.
+	trainPC uint64
 }
 
 // lfbEntry is a load-fill-buffer slot holding an in-flight or freshly
@@ -191,9 +205,23 @@ type lfbEntry struct {
 	freeAt   int64
 }
 
+// spfTableEntries is the size of the stride prefetcher's per-PC table.
+const spfTableEntries = 16
+
+// strideEntry is one slot of the stride prefetcher's training table,
+// tracking the last address and observed stride of the load/store at a
+// given PC with a 2-bit confidence counter.
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8 // saturates at 3; prefetch once >= 2
+	valid    bool
+}
+
 // dcache bundles the L1D tag array, MSHRs, load-fill buffer, next-line
-// prefetcher and data TLB, and provides the timing interface used by the
-// load/store machinery.
+// and stride prefetchers and data TLB, and provides the timing interface
+// used by the load/store machinery.
 type dcache struct {
 	cfg   Config
 	cache *cache
@@ -206,6 +234,13 @@ type dcache struct {
 	// Outstanding next-line prefetches.
 	nlp []mshr
 
+	// Stride prefetcher: per-PC training table (direct-mapped by PC) and
+	// outstanding stride prefetches. The table is the SPF's RTL state —
+	// secret-dependent access patterns train secret-dependent strides,
+	// which the SPF-ADDR trace unit observes via the in-flight trackers.
+	stride []strideEntry
+	spf    []mshr
+
 	// Demand request addresses observed this cycle (Cache-ADDR feature).
 	reqThisCycle []reqEvent
 
@@ -214,6 +249,8 @@ type dcache struct {
 	// Prefetcher accuracy: fills later demanded vs fills evicted (or
 	// still unreferenced) without ever serving a demand access.
 	nlpUseful, nlpUseless uint64
+	// Stride-prefetcher issue and accuracy counters.
+	spfPrefetches, spfUseful, spfUseless uint64
 	// Demand-MSHR occupancy high-water mark across the run.
 	mshrHighWater int
 }
@@ -225,37 +262,61 @@ type reqEvent struct {
 
 func newDCache(cfg Config, mem *Memory) *dcache {
 	return &dcache{
-		cfg:   cfg,
-		cache: newCache(cfg.DCacheSets, cfg.DCacheWays, cfg.LineBytes),
-		tlb:   newTLB(cfg.TLBEntries),
-		mem:   mem,
-		mshrs: make([]mshr, cfg.MSHREntries),
-		lfb:   make([]lfbEntry, cfg.LFBEntries),
-		nlp:   make([]mshr, 2),
+		cfg:    cfg,
+		cache:  newCache(cfg.DCacheSets, cfg.DCacheWays, cfg.LineBytes),
+		tlb:    newTLB(cfg.TLBEntries),
+		mem:    mem,
+		mshrs:  make([]mshr, cfg.MSHREntries),
+		lfb:    make([]lfbEntry, cfg.LFBEntries),
+		nlp:    make([]mshr, 2),
+		stride: make([]strideEntry, spfTableEntries),
+		spf:    make([]mshr, 2),
 	}
 }
 
 func (d *dcache) lineOf(addr uint64) uint64 { return addr >> d.cache.lineShift }
+
+// accountEvicted charges a never-demanded prefetched line to the
+// prefetcher that fetched it.
+func (d *dcache) accountEvicted(evicted cacheLine) {
+	if !evicted.valid {
+		return
+	}
+	switch evicted.prefetched {
+	case pfNLP:
+		d.nlpUseless++
+	case pfSPF:
+		d.spfUseless++
+	}
+}
 
 // tick retires completed fills and expires fill-buffer entries.
 func (d *dcache) tick(now int64) {
 	d.reqThisCycle = d.reqThisCycle[:0]
 	for i := range d.mshrs {
 		if d.mshrs[i].valid && d.mshrs[i].fillAt <= now {
-			evicted := d.cache.fill(d.mshrs[i].lineAddr, now, false)
-			if evicted.valid && evicted.prefetched {
-				d.nlpUseless++
-			}
+			d.accountEvicted(d.cache.fill(d.mshrs[i].lineAddr, now, pfNone))
 			d.mshrs[i].valid = false
 		}
 	}
 	for i := range d.nlp {
 		if d.nlp[i].valid && d.nlp[i].fillAt <= now {
-			evicted := d.cache.fill(d.nlp[i].lineAddr, now, d.nlp[i].prefetch)
-			if evicted.valid && evicted.prefetched {
-				d.nlpUseless++
+			src := pfNone
+			if d.nlp[i].prefetch {
+				src = pfNLP
 			}
+			d.accountEvicted(d.cache.fill(d.nlp[i].lineAddr, now, src))
 			d.nlp[i].valid = false
+		}
+	}
+	for i := range d.spf {
+		if d.spf[i].valid && d.spf[i].fillAt <= now {
+			src := pfNone
+			if d.spf[i].prefetch {
+				src = pfSPF
+			}
+			d.accountEvicted(d.cache.fill(d.spf[i].lineAddr, now, src))
+			d.spf[i].valid = false
 		}
 	}
 	for i := range d.lfb {
@@ -320,11 +381,15 @@ func (d *dcache) access(now int64, addr, pc uint64) (done int64, ok bool) {
 
 	line := d.lineOf(addr)
 	d.maybePrefetch(now, line)
+	d.trainStride(now, addr, pc)
 
 	if hit, wasPrefetched := d.cache.demandLookup(line, now); hit {
 		d.hits++
-		if wasPrefetched {
+		switch wasPrefetched {
+		case pfNLP:
 			d.nlpUseful++
+		case pfSPF:
+			d.spfUseful++
 		}
 		return now + penalty + int64(d.cfg.DCacheHitLat), true
 	}
@@ -340,6 +405,15 @@ func (d *dcache) access(now int64, addr, pc uint64) (done int64, ok bool) {
 				d.nlpUseful++
 			}
 			return d.nlp[i].fillAt + 1 + penalty, true
+		}
+	}
+	for i := range d.spf {
+		if d.spf[i].valid && d.spf[i].lineAddr == line {
+			if d.spf[i].prefetch {
+				d.spf[i].prefetch = false // demanded while in flight: useful
+				d.spfUseful++
+			}
+			return d.spf[i].fillAt + 1 + penalty, true
 		}
 	}
 	m := d.freeMSHR()
@@ -381,6 +455,11 @@ func (d *dcache) maybePrefetch(now int64, line uint64) {
 			return
 		}
 	}
+	for i := range d.spf {
+		if d.spf[i].valid && d.spf[i].lineAddr == next {
+			return
+		}
+	}
 	f := d.freeLFB()
 	if f == nil {
 		return
@@ -394,6 +473,82 @@ func (d *dcache) maybePrefetch(now int64, line uint64) {
 			*f = lfbEntry{
 				valid:    true,
 				lineAddr: next,
+				data:     d.mem.Read(lineBase, 8),
+				fillAt:   fill,
+				freeAt:   fill + 3,
+			}
+			return
+		}
+	}
+}
+
+// trainStride updates the stride prefetcher's per-PC table for a demand
+// access. The table is direct-mapped by the accessing instruction's PC;
+// a slot learns the stride between consecutive addresses from its PC and
+// gains confidence on each repeat. Once confident, every access runs one
+// stride ahead of the stream.
+func (d *dcache) trainStride(now int64, addr, pc uint64) {
+	if !d.cfg.StridePrefetcher {
+		return
+	}
+	e := &d.stride[(pc>>2)&(spfTableEntries-1)]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if stride == 0 {
+		return
+	}
+	if stride != e.stride {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = stride
+		}
+		return
+	}
+	if e.conf < 3 {
+		e.conf++
+	}
+	if e.conf >= 2 {
+		d.spfPrefetch(now, uint64(int64(addr)+e.stride), pc)
+	}
+}
+
+// spfPrefetch issues a stride prefetch for the line containing addr. A
+// stride prefetch occupies a dedicated tracker slot and a fill-buffer
+// entry, like a next-line prefetch, and never delays demand traffic.
+// pc is the training load stream, recorded for attribution.
+func (d *dcache) spfPrefetch(now int64, addr uint64, pc uint64) {
+	line := d.lineOf(addr)
+	if d.cache.present(line) || d.mshrFor(line) != nil {
+		return
+	}
+	for i := range d.nlp {
+		if d.nlp[i].valid && d.nlp[i].lineAddr == line {
+			return
+		}
+	}
+	for i := range d.spf {
+		if d.spf[i].valid && d.spf[i].lineAddr == line {
+			return
+		}
+	}
+	f := d.freeLFB()
+	if f == nil {
+		return
+	}
+	for i := range d.spf {
+		if !d.spf[i].valid {
+			fill := now + int64(d.cfg.MissLat)
+			d.spfPrefetches++
+			d.spf[i] = mshr{valid: true, lineAddr: line, fillAt: fill, prefetch: true, trainPC: pc}
+			lineBase := line << d.cache.lineShift
+			*f = lfbEntry{
+				valid:    true,
+				lineAddr: line,
 				data:     d.mem.Read(lineBase, 8),
 				fillAt:   fill,
 				freeAt:   fill + 3,

@@ -58,8 +58,21 @@ type Config struct {
 	DivLat        int
 	DataDepDivide bool // if set, divide latency depends on operand widths
 
-	// Prefetcher.
+	// Prefetchers. NextLinePrefetcher probes line+1 on every demand
+	// access; StridePrefetcher trains a per-PC stride table and, once a
+	// stream is confident, runs ahead of it by one stride. Both occupy
+	// dedicated tracker slots plus a fill-buffer entry and never delay
+	// demand traffic.
 	NextLinePrefetcher bool
+	StridePrefetcher   bool
+
+	// TAGEPredictor replaces the gshare direction predictor with a TAGE
+	// predictor: a bimodal base table plus tagged tables indexed by
+	// geometrically increasing global history lengths. Long-history
+	// tables make branch predictions sensitive to outcomes far beyond
+	// gshare's 12-bit window — a wider leakage surface, observed through
+	// the TAGE-PRED trace unit.
+	TAGEPredictor bool
 
 	// FastBypass enables the paper's "fast bypass" optimisation
 	// (Section VII-B): an AND whose available operand is zero is folded
@@ -138,8 +151,8 @@ func (c Config) StateBits() int {
 	bits += (c.LDQEntries + c.STQEntries) * (64 + 64 + 8) // LSQ addr+data+meta
 	bits += c.LFBEntries * (c.LineBytes*8 + 64)           // fill buffer
 	bits += c.FetchBufferSize * 48                        // fetch buffer
-	bits += c.BranchPredEnts * 2                          // gshare counters
-	bits += c.BTBEntries * 96                             // BTB tags+targets
+	bits += c.predictorBits()
+	bits += c.BTBEntries * 96 // BTB tags+targets
 	bits += c.DCacheSets * c.DCacheWays * (c.LineBytes*8 + 64)
 	bits += c.ICacheSets * c.ICacheWays * (c.LineBytes*8 + 64)
 	bits += c.MSHREntries * 80
@@ -164,6 +177,25 @@ func (c Config) CoreStateBits() int {
 	return bits
 }
 
+// predictorBits sizes the direction-predictor state: gshare counters by
+// default, or the TAGE base + tagged tables (counter, tag, useful bits
+// per entry) when TAGEPredictor is set. The stride table rides along
+// because it is the other optional model with real state.
+func (c Config) predictorBits() int {
+	bits := 0
+	if c.TAGEPredictor {
+		bits += c.BranchPredEnts * 2 // bimodal base
+		perEntry := 3 + tageTagBits + 2
+		bits += tageNumTables * (c.BranchPredEnts / tageTableDivisor) * perEntry
+	} else {
+		bits += c.BranchPredEnts * 2 // gshare counters
+	}
+	if c.StridePrefetcher {
+		bits += spfTableEntries * (64 + 64 + 64 + 2) // pc, last addr, stride, conf
+	}
+	return bits
+}
+
 func (c Config) validate() error {
 	checks := []struct {
 		ok  bool
@@ -180,6 +212,8 @@ func (c Config) validate() error {
 		{c.DCacheSets > 0 && c.DCacheSets&(c.DCacheSets-1) == 0, "DCacheSets must be a power of two"},
 		{c.BranchPredEnts > 0 && c.BranchPredEnts&(c.BranchPredEnts-1) == 0, "BranchPredEnts must be a power of two"},
 		{c.NumALU > 0 && c.NumAGU > 0 && c.NumMul > 0 && c.NumDiv > 0, "FU counts must be positive"},
+		{!c.TAGEPredictor || c.BranchPredEnts >= 4*tageTableDivisor,
+			"TAGEPredictor needs BranchPredEnts large enough for the tagged tables"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {

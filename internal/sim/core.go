@@ -20,7 +20,10 @@ type Core struct {
 	mem *Memory
 	dc  *dcache
 	ic  *icache
-	bp  *gshare
+	bp  branchPredictor
+	// tg aliases bp when the TAGE predictor is configured, giving the
+	// probe access to the prediction-metadata ring; nil under gshare.
+	tg *tage
 
 	cycle int64
 	seq   uint64
@@ -91,7 +94,6 @@ func newCore(cfg Config, mem *Memory) *Core {
 		mem:        mem,
 		dc:         newDCache(cfg, mem),
 		ic:         newICache(cfg),
-		bp:         newGshare(cfg.BranchPredEnts, cfg.BTBEntries),
 		prfVal:     make([]uint64, cfg.IntPRF),
 		prfReady:   make([]int64, cfg.IntPRF),
 		alus:       make([]fuSlot, cfg.NumALU),
@@ -100,6 +102,12 @@ func newCore(cfg Config, mem *Memory) *Core {
 		agus:       make([]fuSlot, cfg.NumAGU),
 		brus:       make([]fuSlot, cfg.IssueWidth),
 		lastCommit: 0,
+	}
+	if cfg.TAGEPredictor {
+		c.tg = newTAGE(cfg.BranchPredEnts, cfg.BTBEntries)
+		c.bp = c.tg
+	} else {
+		c.bp = newGshare(cfg.BranchPredEnts, cfg.BTBEntries)
 	}
 	for i := 0; i < 32; i++ {
 		c.rat[i] = int16(i)
@@ -279,7 +287,7 @@ func (c *Core) resolveBranch(u *uop) bool {
 	u.resolved = true
 	c.branches++
 	if u.inst.IsCondBranch() {
-		c.bp.train(u.phtIdx, u.taken)
+		c.bp.train(u.phtIdx, u.pc, u.histChk, u.taken)
 	}
 	if u.inst.Op == isa.OpJALR {
 		c.bp.btbUpdate(u.pc, u.target)

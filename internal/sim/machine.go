@@ -115,6 +115,11 @@ type Result struct {
 	// without ever being demanded (the prefetcher's mispredictions).
 	PrefetchesUseful  uint64
 	PrefetchesUseless uint64
+	// Stride-prefetcher issue and accuracy counters, mirroring the
+	// next-line counters above. Zero unless Config.StridePrefetcher.
+	StridePrefetches        uint64
+	StridePrefetchesUseful  uint64
+	StridePrefetchesUseless uint64
 	// LSUReplays counts load/store issue attempts bounced because every
 	// MSHR or fill-buffer slot was busy.
 	LSUReplays uint64
@@ -262,19 +267,22 @@ func (m *Machine) ArchReg(r isa.Reg) uint64 { return m.core.archRegs[r] }
 
 func (m *Machine) result() Result {
 	return Result{
-		Cycles:            m.core.cycle,
-		Instructions:      m.core.retired,
-		ExitCode:          m.core.exitCode,
-		Output:            m.core.output,
-		Branches:          m.core.branches,
-		Mispredicts:       m.core.mispredicts,
-		DCacheHits:        m.core.dc.hits,
-		DCacheMisses:      m.core.dc.misses,
-		TLBMisses:         m.core.dc.tlbMisses,
-		Prefetches:        m.core.dc.prefetches,
-		PrefetchesUseful:  m.core.dc.nlpUseful,
-		PrefetchesUseless: m.core.dc.nlpUseless,
-		LSUReplays:        m.core.lsuReplays,
-		MSHRHighWater:     m.core.dc.mshrHighWater,
+		Cycles:                  m.core.cycle,
+		Instructions:            m.core.retired,
+		ExitCode:                m.core.exitCode,
+		Output:                  m.core.output,
+		Branches:                m.core.branches,
+		Mispredicts:             m.core.mispredicts,
+		DCacheHits:              m.core.dc.hits,
+		DCacheMisses:            m.core.dc.misses,
+		TLBMisses:               m.core.dc.tlbMisses,
+		Prefetches:              m.core.dc.prefetches,
+		PrefetchesUseful:        m.core.dc.nlpUseful,
+		PrefetchesUseless:       m.core.dc.nlpUseless,
+		StridePrefetches:        m.core.dc.spfPrefetches,
+		StridePrefetchesUseful:  m.core.dc.spfUseful,
+		StridePrefetchesUseless: m.core.dc.spfUseless,
+		LSUReplays:              m.core.lsuReplays,
+		MSHRHighWater:           m.core.dc.mshrHighWater,
 	}
 }

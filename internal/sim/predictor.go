@@ -83,8 +83,10 @@ func (g *gshare) restoreHistory(checkpoint uint64, actual bool) {
 	g.shiftHistory(actual)
 }
 
-// train updates the 2-bit counter that produced a prediction.
-func (g *gshare) train(idx uint64, taken bool) {
+// train updates the 2-bit counter that produced a prediction. The pc and
+// checkpointed history carried for TAGE's sake are unused: gshare already
+// folded them into idx at predict time.
+func (g *gshare) train(idx, _, _ uint64, taken bool) {
 	c := g.pht[idx]
 	if taken {
 		if c < 3 {

@@ -301,8 +301,76 @@ func (p *Probe) TLBPages() []uint64 {
 	return out
 }
 
+// AppendSPFAddrs appends the SPF-ADDR feature row: the line addresses of
+// outstanding stride prefetches. Empty when the stride prefetcher is
+// disabled (the trackers never become valid).
+func (p *Probe) AppendSPFAddrs(dst []uint64) []uint64 {
+	for _, m := range p.c.dc.spf {
+		if m.valid {
+			dst = append(dst, m.lineAddr<<p.c.dc.cache.lineShift)
+		}
+	}
+	return dst
+}
+
+// SPFAddrs returns the line addresses of outstanding stride prefetches.
+// SPF-ADDR feature. The slice is valid until the next
+// PrefetchAddrs/ALUBusy-family call (shared scratch).
+func (p *Probe) SPFAddrs() []uint64 {
+	out := p.AppendSPFAddrs(p.pcs[:0])
+	p.pcs = out
+	return out
+}
+
+// AppendSPFPCs appends the slot-aligned training-load PCs of the
+// outstanding stride prefetches, attributing each SPF-ADDR value to the
+// load stream whose stride pattern triggered it. A prefetched line is
+// often one the program never demand-accesses (the stream's runahead),
+// so unlike the demand-miss units SPF-ADDR cannot be attributed through
+// load/store address maps.
+func (p *Probe) AppendSPFPCs(dst []uint64) []uint64 {
+	for _, m := range p.c.dc.spf {
+		if m.valid {
+			dst = append(dst, m.trainPC)
+		}
+	}
+	return dst
+}
+
+// AppendBPredMeta appends the TAGE-PRED feature row: the packed TAGE
+// prediction metadata (provider table, provider entry index, predicted
+// direction) of every conditional branch in flight, in ROB age order —
+// the payload a BOOM-style fetch target queue keeps alive from fetch to
+// commit. Empty under the gshare predictor.
+func (p *Probe) AppendBPredMeta(dst []uint64) []uint64 {
+	if p.c.tg == nil {
+		return dst
+	}
+	for _, u := range p.c.rob {
+		if !u.folded && u.inst.IsCondBranch() {
+			dst = append(dst, u.phtIdx)
+		}
+	}
+	return dst
+}
+
+// AppendBPredPCs appends the slot-aligned branch PCs of the in-flight
+// prediction metadata, for attributing TAGE-PRED events to the
+// predicted branches. Empty under the gshare predictor.
+func (p *Probe) AppendBPredPCs(dst []uint64) []uint64 {
+	if p.c.tg == nil {
+		return dst
+	}
+	for _, u := range p.c.rob {
+		if !u.folded && u.inst.IsCondBranch() {
+			dst = append(dst, u.pc)
+		}
+	}
+	return dst
+}
+
 // AppendMSHRAddrs appends the MSHR-ADDR feature row: the line addresses
-// of outstanding misses — demand MSHRs plus the prefetcher's dedicated
+// of outstanding misses — demand MSHRs plus the prefetchers' dedicated
 // miss trackers.
 func (p *Probe) AppendMSHRAddrs(dst []uint64) []uint64 {
 	for _, m := range p.c.dc.mshrs {
@@ -311,6 +379,11 @@ func (p *Probe) AppendMSHRAddrs(dst []uint64) []uint64 {
 		}
 	}
 	for _, m := range p.c.dc.nlp {
+		if m.valid {
+			dst = append(dst, m.lineAddr<<p.c.dc.cache.lineShift)
+		}
+	}
+	for _, m := range p.c.dc.spf {
 		if m.valid {
 			dst = append(dst, m.lineAddr<<p.c.dc.cache.lineShift)
 		}

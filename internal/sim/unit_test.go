@@ -18,7 +18,7 @@ func TestGsharePredictorTrains(t *testing.T) {
 	// Two taken outcomes saturate toward taken.
 	for i := 0; i < 2; i++ {
 		_, idx := g.predict(pc)
-		g.train(idx, true)
+		g.train(idx, 0, 0, true)
 	}
 	if taken, _ := g.predict(pc); !taken {
 		t.Error("trained predictor should predict taken")
@@ -27,14 +27,14 @@ func TestGsharePredictorTrains(t *testing.T) {
 	// flips it back.
 	for i := 0; i < 10; i++ {
 		_, idx := g.predict(pc)
-		g.train(idx, true)
+		g.train(idx, 0, 0, true)
 	}
 	_, idx := g.predict(pc)
-	g.train(idx, false)
+	g.train(idx, 0, 0, false)
 	if taken, _ := g.predict(pc); !taken {
 		t.Error("single not-taken must not flip a saturated counter")
 	}
-	g.train(idx, false)
+	g.train(idx, 0, 0, false)
 	if taken, _ := g.predict(pc); taken {
 		t.Error("two not-taken outcomes should flip the counter")
 	}

@@ -44,6 +44,8 @@ const (
 	CACHEADDR                  // D-cache request addresses
 	TLBADDR                    // TLB entries
 	MSHRADDR                   // cache miss (MSHR) addresses
+	TAGEPRED                   // TAGE predictor: in-flight prediction metadata
+	SPFADDR                    // stride prefetcher addresses
 
 	numUnits = iota
 )
@@ -56,6 +58,7 @@ var unitNames = map[Unit]string{
 	EUUDIV: "EUU-DIV", EUUMUL: "EUU-MUL",
 	NLPADDR: "NLP-ADDR", CACHEADDR: "Cache-ADDR",
 	TLBADDR: "TLB-ADDR", MSHRADDR: "MSHR-ADDR",
+	TAGEPRED: "TAGE-PRED", SPFADDR: "SPF-ADDR",
 }
 
 // String returns the paper's feature identifier.
@@ -69,12 +72,13 @@ func (u Unit) String() string {
 // valid reports whether u indexes a Table IV unit.
 func (u Unit) valid() bool { return u >= 1 && u <= numUnits }
 
-// AllUnits returns every tracked unit in Table IV order.
+// AllUnits returns every tracked unit: Table IV order, followed by the
+// extended hardware-space units (TAGE predictor, stride prefetcher).
 func AllUnits() []Unit {
 	return []Unit{
 		SQADDR, SQPC, LQADDR, LQPC, ROBOCPNCY, ROBPC, LFBDATA, LFBADDR,
 		EUUALU, EUUADDRGEN, EUUDIV, EUUMUL, NLPADDR, CACHEADDR, TLBADDR,
-		MSHRADDR,
+		MSHRADDR, TAGEPRED, SPFADDR,
 	}
 }
 
@@ -124,7 +128,7 @@ func provKindOf(u Unit) provKind {
 	switch u {
 	case ROBOCPNCY, LFBDATA:
 		return provNone
-	case SQADDR, LQADDR, SQPC, LQPC, ROBPC, EUUALU, EUUADDRGEN, EUUDIV, EUUMUL:
+	case SQADDR, LQADDR, SQPC, LQPC, ROBPC, EUUALU, EUUADDRGEN, EUUDIV, EUUMUL, TAGEPRED, SPFADDR:
 		return provDirect
 	}
 	return provValue
@@ -370,7 +374,7 @@ func NewCollector(opts ...Option) *Collector {
 			st.prov = make(map[uint64]*provStream)
 		}
 		st.timedRuns = provTimedRuns(u)
-		if u == SQADDR || u == LQADDR {
+		if u == SQADDR || u == LQADDR || u == TAGEPRED || u == SPFADDR {
 			st.pcRow = make([]uint64, 0, 128)
 		}
 	}
@@ -441,10 +445,11 @@ func (c *Collector) OnCycle(p *sim.Probe) {
 		st := &c.states[u]
 		row := sampleInto(u, p, st.row[:0])
 		st.row = row
-		// For the address-valued queue units the probe exposes a
-		// slot-aligned PC row, attributing each address to the memory
-		// instruction that produced it. For the PC-valued units the row
-		// is its own attribution; for the rest events are keyed by the
+		// For the address-valued queue units, the TAGE prediction metadata
+		// and the stride prefetch trackers the probe exposes a slot-aligned
+		// PC row attributing each value to the instruction that produced
+		// it. For the PC-valued units the
+		// row is its own attribution; for the rest events are keyed by the
 		// observed value and resolved through Attribution() afterwards.
 		var pcRow []uint64
 		switch {
@@ -453,6 +458,12 @@ func (c *Collector) OnCycle(p *sim.Probe) {
 			st.pcRow = pcRow
 		case u == LQADDR:
 			pcRow = p.AppendLoadPCs(st.pcRow[:0])
+			st.pcRow = pcRow
+		case u == TAGEPRED:
+			pcRow = p.AppendBPredPCs(st.pcRow[:0])
+			st.pcRow = pcRow
+		case u == SPFADDR:
+			pcRow = p.AppendSPFPCs(st.pcRow[:0])
 			st.pcRow = pcRow
 		case st.kind == provDirect:
 			pcRow = row
@@ -540,6 +551,10 @@ func sampleInto(u Unit, p *sim.Probe, dst []uint64) []uint64 {
 		return p.AppendTLBPages(dst)
 	case MSHRADDR:
 		return p.AppendMSHRAddrs(dst)
+	case TAGEPRED:
+		return p.AppendBPredMeta(dst)
+	case SPFADDR:
+		return p.AppendSPFAddrs(dst)
 	}
 	return dst
 }

@@ -68,8 +68,8 @@ func TestUnitNames(t *testing.T) {
 
 func TestAllUnitsComplete(t *testing.T) {
 	units := AllUnits()
-	if len(units) != 16 {
-		t.Fatalf("AllUnits has %d entries, Table IV lists 16", len(units))
+	if len(units) != 18 {
+		t.Fatalf("AllUnits has %d entries, want Table IV's 16 plus TAGE-PRED and SPF-ADDR", len(units))
 	}
 	seen := make(map[Unit]bool)
 	for _, u := range units {

@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+const (
+	strideIters = 32
+	strideLines = 8 // cache lines per walk
+)
+
+// strideLeakSource is the stride-prefetcher case study. Each iteration
+// walks the same eight cache lines with a single load instruction, but
+// the secret bit chooses the direction: forward from R with stride +64,
+// or backward from R+448 with stride -64. The set of lines touched, the
+// bytes summed, the page, and the timing are identical either way — the
+// checksum is a commutative sum, and a branchless select computes the
+// start pointer and stride, so no instruction stream depends on the
+// secret.
+//
+// A stride prefetcher, however, runs one stride *ahead* of the walk: a
+// forward pass trains it onto R+512 (the high guard line) and a
+// backward pass onto R-64 (the low guard line). Both guard lines are
+// flushed every gap, so exactly one prefetch is in flight when the
+// sampled window opens — and its address is the secret. The leak lives
+// only in the SPF/LFB/MSHR trackers of the stride cell; with the
+// prefetcher off the same code is completely clean.
+//
+// The two cbo.flush ops double as the gap rendezvous: they serialize
+// dispatch, so no next-iteration load enters the machine while a window
+// is still open, keeping the LQ and ROB class-independent. The walk
+// region is aligned to 1024 bytes at runtime so lines R-64..R+512 never
+// straddle a page and the TLB footprint is one entry in both classes.
+const strideLeakSource = `
+	.equ N, 32
+	.text
+_start:
+	la   s2, bits
+	la   s3, buf          # align the walk region: R0 = roundup(buf, 1024)
+	addi s3, s3, 1023
+	srli s3, s3, 10
+	slli s3, s3, 10
+	addi s3, s3, 64       # R: walk lines R..R+448, guards at R-64, R+512
+	call sweep            # warmup
+	roi.begin
+	call sweep
+	roi.end
+	la   t0, expected
+	ld   t0, 0(t0)
+	sub  a0, a0, t0
+	snez a0, a0
+	j    do_exit
+
+sweep:                    # returns checksum in a0
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   s5, 0            # iteration index
+	li   s6, 0            # checksum
+sw_loop:
+	addi t0, s3, -64      # flush both guard lines every gap: serializing
+	cbo.flush (t0)        # rendezvous, and keeps the guards prefetchable
+	addi t0, s3, 512
+	cbo.flush (t0)
+	add  t0, s2, s5
+	lbu  s10, 0(t0)       # secret bit: walk direction
+	neg  t1, s10          # branchless select — no secret branches
+	li   t2, 448
+	and  t2, t2, t1
+	add  t3, s3, t2       # start = R (fwd) or R+448 (back)
+	li   t4, 128
+	and  t4, t4, t1
+	li   t5, 64
+	sub  t5, t5, t4       # stride = +64 (fwd) or -64 (back)
+	li   t6, 8
+wk_loop:
+	ld   t0, 0(t3)        # single load PC: one stream in the stride table
+	add  s6, s6, t0       # commutative sum: class-independent checksum
+	add  t3, t3, t5
+	addi t6, t6, -1
+	bnez t6, wk_loop
+	iter.begin s10
+	slli t0, s6, 1        # constant-time window body
+	srli t1, s6, 63
+	or   t2, t0, t1
+	xor  t2, t2, s5
+	add  t4, t2, t0
+	xor  t4, t4, t1
+	iter.end
+	addi s5, s5, 1
+	li   t0, N
+	bltu s5, t0, sw_loop
+	mv   a0, s6
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+` + exitSequence + `
+	.data
+expected: .dword 0
+bits:     .zero 32
+buf:      .zero 2048
+`
+
+// strideLeakSetup seeds the walk lines with random dwords, writes the
+// balanced secret direction bits, and precomputes the checksum using the
+// same runtime alignment the assembly performs.
+func strideLeakSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0x5F_0000 + int64(run)))
+	mem := m.Memory()
+	bufAddr, ok := prog.Symbol("buf")
+	if !ok {
+		return fmt.Errorf("strideleak: symbol buf missing")
+	}
+	r := (bufAddr+1023)&^uint64(1023) + 64
+	linesum := uint64(0)
+	for k := 0; k < strideLines; k++ {
+		v := rng.Uint64()
+		mem.Write(r+uint64(k)*64, 8, v)
+		linesum += v
+	}
+	bitsAddr := prog.MustSymbol("bits")
+	for i := 0; i < strideIters; i++ {
+		mem.Write(bitsAddr+uint64(i), 1, uint64(rng.Intn(2)))
+	}
+	mem.Write(prog.MustSymbol("expected"), 8, linesum*strideIters)
+	return nil
+}
+
+// StrideLeak is the stride-prefetcher case study: a direction-dependent
+// but otherwise perfectly balanced walk whose only observable secret
+// dependence is which guard line the prefetcher chases.
+func StrideLeak() (core.Workload, error) {
+	w := core.Workload{
+		Name:   "SPF-STREAM",
+		Source: strideLeakSource,
+		Setup:  strideLeakSetup,
+	}
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("SPF-STREAM: %w", err)
+	}
+	return w, nil
+}

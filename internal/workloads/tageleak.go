@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microsampler/internal/asm"
+	"microsampler/internal/core"
+	"microsampler/internal/sim"
+)
+
+const tageIters = 32
+
+// tageLeakSource is the deep-history branch-predictor case study. Each
+// iteration resolves one secret-direction branch *before* the sampled
+// window, then scrubs it out of gshare's 12-bit global history with
+// twelve always-taken pad branches. The probe branch inside the window
+// has a perfectly predictable outcome (the iteration parity), so on a
+// gshare core nothing in the window depends on the secret: the probe's
+// PHT index sees only pad outcomes, and the secret branch's squashes
+// are confined to the gap.
+//
+// A TAGE predictor is a different machine: its long-history tables index
+// the probe branch with the secret sitting at depth 13 of the global
+// history, well past gshare's window. The provider-entry metadata that
+// prediction carries through the pipeline — the fetch-target-queue
+// payload the TAGE-PRED unit samples for in-flight branches — therefore
+// takes secret-dependent values inside the window, while the probe still
+// predicts correctly and the timing stays flat. The leak exists only on
+// the TAGE cell, and only in predictor metadata.
+//
+// The fence at the top of each gap is a rendezvous: it stalls dispatch
+// until the previous iteration drains, so no next-iteration branch
+// enters the ROB while a window is open and the in-flight branch set a
+// window samples is exactly this iteration's probe (plus the constant
+// loop-back branch).
+const tageLeakSource = `
+	.equ N, 32
+	.text
+_start:
+	la   s2, bits
+	call sweep            # warmup
+	roi.begin
+	call sweep
+	roi.end
+	la   t0, expected
+	ld   t0, 0(t0)
+	sub  a0, a0, t0
+	snez a0, a0
+	j    do_exit
+
+sweep:                    # returns checksum in a0
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	li   s5, 0            # iteration index
+	li   s6, 0            # checksum
+	li   s4, 0            # parity (probe-branch direction)
+sw_loop:
+	fence                 # rendezvous: drain before the secret resolves
+	add  t0, s2, s5
+	lbu  s10, 0(t0)       # secret bit for this iteration
+	beqz s10, sb_skip     # SECRET branch: direction is the bit itself
+	nop
+sb_skip:
+	beq  zero, zero, pad1 # 12 always-taken pads scrub the secret out of
+pad1:
+	beq  zero, zero, pad2 # gshare's 12-bit history window before the
+pad2:
+	beq  zero, zero, pad3 # probe branch is predicted
+pad3:
+	beq  zero, zero, pad4
+pad4:
+	beq  zero, zero, pad5
+pad5:
+	beq  zero, zero, pad6
+pad6:
+	beq  zero, zero, pad7
+pad7:
+	beq  zero, zero, pad8
+pad8:
+	beq  zero, zero, pad9
+pad9:
+	beq  zero, zero, pad10
+pad10:
+	beq  zero, zero, pad11
+pad11:
+	beq  zero, zero, pad12
+pad12:
+	iter.begin s10
+	slli t0, s6, 1        # rotate the checksum; these ops also pad the
+	srli t1, s6, 63       # commit bundle so the probe branch is still in
+	or   s6, t0, t1       # flight on the window's first sampled cycle
+	beqz s4, pb_skip      # PROBE branch: outcome = iteration parity,
+	nop                   # predictable by both predictors
+pb_skip:
+	slli t2, s10, 1       # xor the bit and parity into the checksum
+	xor  t2, t2, s4
+	xor  s6, s6, t2
+	addi t3, s6, 7
+	xor  t4, t3, t2
+	add  t5, t4, t1
+	iter.end
+	xori s4, s4, 1
+	addi s5, s5, 1
+	li   t0, N
+	bltu s5, t0, sw_loop
+	mv   a0, s6
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+` + exitSequence + `
+	.data
+expected: .dword 0
+bits:     .zero 32
+`
+
+// tageLeakSetup writes a random-but-balanced bit sequence and the
+// checksum reference.
+func tageLeakSetup(run int, m *sim.Machine, prog *asm.Program) error {
+	rng := rand.New(rand.NewSource(0x7A_0000 + int64(run)))
+	mem := m.Memory()
+	bitsAddr, ok := prog.Symbol("bits")
+	if !ok {
+		return fmt.Errorf("tageleak: symbol bits missing")
+	}
+	checksum := uint64(0)
+	parity := uint64(0)
+	for i := 0; i < tageIters; i++ {
+		bit := uint64(rng.Intn(2))
+		mem.Write(bitsAddr+uint64(i), 1, bit)
+		checksum = checksum<<1 | checksum>>63
+		checksum ^= bit<<1 ^ parity
+		parity ^= 1
+	}
+	mem.Write(prog.MustSymbol("expected"), 8, checksum)
+	return nil
+}
+
+// TAGELeak is the deep-history predictor case study: code whose only
+// secret dependence inside the window is the global-history context of
+// a perfectly predicted branch — invisible to gshare, observable as
+// TAGE provider metadata.
+func TAGELeak() (core.Workload, error) {
+	w := core.Workload{
+		Name:   "TAGE-HIST",
+		Source: tageLeakSource,
+		Setup:  tageLeakSetup,
+	}
+	if _, err := asm.Assemble(w.Source); err != nil {
+		return core.Workload{}, fmt.Errorf("TAGE-HIST: %w", err)
+	}
+	return w, nil
+}

@@ -71,6 +71,8 @@ func registry() map[string]func() (core.Workload, error) {
 		"ME-WIN4-SAFE":  func() (core.Workload, error) { return WindowSafe() },
 		"CHACHA20":      func() (core.Workload, error) { return ChaCha20() },
 		"SPECTRE-PHT":   func() (core.Workload, error) { return SpectrePHT() },
+		"TAGE-HIST":     func() (core.Workload, error) { return TAGELeak() },
+		"SPF-STREAM":    func() (core.Workload, error) { return StrideLeak() },
 	}
 	for _, name := range OpenSSLPrimitiveNames() {
 		r[name] = func() (core.Workload, error) { return OpenSSLPrimitive(name) }

@@ -91,6 +91,8 @@ const (
 	CACHEADDR  = trace.CACHEADDR
 	TLBADDR    = trace.TLBADDR
 	MSHRADDR   = trace.MSHRADDR
+	TAGEPRED   = trace.TAGEPRED
+	SPFADDR    = trace.SPFADDR
 )
 
 // AllUnits returns every tracked unit.
@@ -304,6 +306,62 @@ func RenderProvenanceHTML(rep *Report) (string, error) {
 	}
 	return pv.HTMLWithDisasm(rep.Program, 5, 4), nil
 }
+
+// GridSpec is a declarative microarchitecture grid: the configuration
+// axes a matrix verification sweeps (base core, fast bypass, divider,
+// prefetcher, branch predictor).
+type GridSpec = core.GridSpec
+
+// GridAxis is one swept axis of a grid.
+type GridAxis = core.Axis
+
+// MatrixOptions configures a grid sweep; the embedded Options apply to
+// every cell.
+type MatrixOptions = core.MatrixOptions
+
+// Matrix is the outcome of a grid sweep: one verdict per configuration
+// cell.
+type Matrix = core.Matrix
+
+// MatrixCellResult is one grid cell's verdict.
+type MatrixCellResult = core.CellResult
+
+// MatrixArtifact is the serialisable matrix artifact: per-cell verdicts
+// plus leak provenance for the leaky cells.
+type MatrixArtifact = report.MatrixArtifact
+
+// ParseGridSpec parses a textual grid spec, e.g.
+// "base=small,mega;prefetch=none,stride;predictor=gshare,tage".
+func ParseGridSpec(s string) (GridSpec, error) { return core.ParseGridSpec(s) }
+
+// DefaultGrid is the default sweep: both base cores against the
+// prefetcher and predictor models.
+func DefaultGrid() GridSpec { return core.DefaultGrid() }
+
+// VerifyMatrix verifies the workload on every cell of a configuration
+// grid — the full pipeline per cell, with per-cell failure containment
+// and a deterministic cell order.
+func VerifyMatrix(w Workload, opts MatrixOptions) (*Matrix, error) {
+	return core.VerifyMatrix(w, opts)
+}
+
+// VerifyMatrixContext is VerifyMatrix with cancellation.
+func VerifyMatrixContext(ctx context.Context, w Workload, opts MatrixOptions) (*Matrix, error) {
+	return core.VerifyMatrixContext(ctx, w, opts)
+}
+
+// BuildMatrix distils a sweep into its artifact, attaching the top
+// provenance entries to every leaky cell.
+func BuildMatrix(m *Matrix) *MatrixArtifact { return report.BuildMatrix(m, 0) }
+
+// RenderMatrixJSON returns the matrix artifact as deterministic JSON —
+// byte-identical across repeated sweeps of the same seed, whatever the
+// parallelism.
+func RenderMatrixJSON(m *Matrix) ([]byte, error) { return report.BuildMatrix(m, 0).JSON() }
+
+// RenderMatrixHTML returns the matrix artifact as a self-contained HTML
+// verdict heatmap.
+func RenderMatrixHTML(m *Matrix) string { return report.BuildMatrix(m, 0).HTML() }
 
 // FlightDump is a flight-recorder post-mortem: the last N cycles of
 // per-unit occupancy before a run died (Options.FlightRecorderFrames).

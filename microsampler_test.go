@@ -301,7 +301,7 @@ func TestConfigPresets(t *testing.T) {
 	if mega.BranchPredEnts != 2048 || small.BranchPredEnts != 2048 {
 		t.Error("Table III gshare sizes wrong")
 	}
-	if len(microsampler.AllUnits()) != 16 {
-		t.Error("Table IV must track 16 units")
+	if len(microsampler.AllUnits()) != 18 {
+		t.Error("must track Table IV's 16 units plus TAGE-PRED and SPF-ADDR")
 	}
 }

@@ -1,8 +1,8 @@
 #!/bin/sh
 # Hot-path benchmark baseline: runs the trace-collector benchmarks plus
-# the end-to-end sampling-throughput and zero-fault retry-overhead
-# benchmarks and records the results as BENCH_trace.json in the repo
-# root. Commit the refreshed artifact when the hot path changes so
+# the end-to-end sampling-throughput, zero-fault retry-overhead and
+# matrix-sweep benchmarks and records the results as BENCH_trace.json
+# in the repo root. Commit the refreshed artifact when the hot path changes so
 # regressions show up in review diffs.
 #
 # Usage: scripts/bench.sh [count]   (benchmark repetitions, default 3)
@@ -18,6 +18,11 @@ echo "== go test -bench (count=$count) =="
 go test -run '^$' -bench 'OnCycle' -benchmem -count "$count" \
     ./internal/trace | tee "$raw"
 go test -run '^$' -bench 'SamplingThroughput|RetryOverhead' -benchmem -count "$count" \
+    . | tee -a "$raw"
+# Configuration-grid sweep throughput: a 2×4 matrix (8 cells) per
+# iteration, reported as cells/s — the capacity number for sizing
+# hardware-space sweeps.
+go test -run '^$' -bench 'MatrixSweep' -benchtime 3x -count "$count" \
     . | tee -a "$raw"
 # End-to-end daemon job latency: HTTP submit through simulation,
 # analysis, artifact rendering and the completion poll. Few iterations

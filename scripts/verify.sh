@@ -22,9 +22,20 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (telemetry, export, core, msd, faults, sim) =="
+echo "== go test -race (telemetry, export, core, msd, faults, sim, report) =="
 go test -race ./internal/telemetry ./internal/telemetry/export \
-    ./internal/core ./internal/msd ./internal/faults ./internal/sim
+    ./internal/core ./internal/msd ./internal/faults ./internal/sim \
+    ./internal/report
+
+echo "== matrix sweep smoke (2x2 grid through the CLI) =="
+matrixdir="${TMPDIR:-/tmp}/microsampler-matrix-smoke"
+mkdir -p "$matrixdir"
+go run ./cmd/microsampler -workload TAGE-HIST \
+    -matrix 'prefetch=none,stride;predictor=gshare,tage' \
+    -runs 2 -warmup 2 -matrix-parallel -1 \
+    -matrix-out "$matrixdir/matrix.json" -matrix-html "$matrixdir/matrix.html"
+test -s "$matrixdir/matrix.json"
+test -s "$matrixdir/matrix.html"
 
 echo "== msd daemon smoke (full HTTP lifecycle) =="
 go test -race -count=1 -run '^TestSmoke$' ./cmd/msd
@@ -40,6 +51,7 @@ go test -run='^$' -fuzz='^FuzzAssemble$' -fuzztime=5s ./internal/asm
 go test -run='^$' -fuzz='^FuzzSipHashChunks$' -fuzztime=5s ./internal/siphash
 go test -run='^$' -fuzz='^FuzzHashMatrix$' -fuzztime=5s ./internal/snapshot
 go test -run='^$' -fuzz='^FuzzPipeline$' -fuzztime=5s ./internal/oracle
+go test -run='^$' -fuzz='^FuzzMatrixConfig$' -fuzztime=5s ./internal/core
 
 echo "== bench smoke (hot-path collector) =="
 go test -run '^$' -bench 'OnCycle' -benchtime 100x -benchmem ./internal/trace
