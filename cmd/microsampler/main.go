@@ -18,9 +18,11 @@
 //	microsampler -workload AES-TTABLE -provenance-out prov.json -provenance-html prov.html
 //	microsampler -workload ME-V1-MV -flight-recorder 1024 -flight-recorder-out postmortem.json
 //	microsampler -workload TAGE-HIST -matrix "prefetch=none,stride;predictor=gshare,tage" -matrix-out matrix.json -matrix-html matrix.html
+//	microsampler -workload AES-TTABLE -json -cache-dir ~/.cache/microsampler
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -75,6 +77,7 @@ func run(args []string) error {
 		provHTML    = fs.String("provenance-html", "", "write the leakage provenance as self-contained HTML (ranked table + disassembly) to FILE")
 		flightN     = fs.Int("flight-recorder", 0, "arm a per-run flight recorder of the last N cycles (0: off)")
 		flightOut   = fs.String("flight-recorder-out", "", "on failure, write the flight-recorder post-mortem as Perfetto JSON to FILE (implies -flight-recorder 1024 when unset)")
+		cacheDir    = fs.String("cache-dir", "", "content-addressed disk cache: -json reports and -matrix artifacts from identical earlier runs are replayed byte-for-byte without simulating")
 		progress    = fs.Bool("progress", false, "print live per-run progress to stderr")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to FILE")
@@ -190,8 +193,35 @@ func run(args []string) error {
 		}
 	}
 
+	var diskCache *microsampler.DiskCache
+	if *cacheDir != "" {
+		var err error
+		diskCache, err = microsampler.OpenDiskCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+	}
+
 	if *matrixSpec != "" {
-		return runMatrix(w, opts, *matrixSpec, *matrixOut, *matrixHTML, *matrixPar)
+		return runMatrix(w, opts, *matrixSpec, *matrixOut, *matrixHTML, *matrixPar, diskCache)
+	}
+
+	// The cached fast path replays the rendered report bytes, so it only
+	// applies when the run's sole output is the -json report.
+	var cacheKey string
+	if diskCache != nil && *jsonOut && !*metrics &&
+		*traceOut == "" && *perfettoOut == "" && *heatmapOut == "" &&
+		*heatmapHTML == "" && *provOut == "" && *provHTML == "" {
+		key, err := microsampler.CacheKey(w, opts)
+		if err != nil {
+			return err
+		}
+		cacheKey = key
+		if data, ok, err := diskCache.Get(key); err == nil && ok {
+			fmt.Fprintln(os.Stderr, "microsampler: report replayed from cache")
+			fmt.Println(string(data))
+			return nil
+		}
 	}
 
 	rep, err := microsampler.Verify(w, opts)
@@ -266,6 +296,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if cacheKey != "" {
+			if err := diskCache.Put(cacheKey, data); err != nil {
+				fmt.Fprintln(os.Stderr, "microsampler: cache write:", err)
+			}
+		}
 		fmt.Println(string(data))
 		if reg != nil {
 			fmt.Print(microsampler.RenderMetrics(reg))
@@ -306,9 +341,19 @@ func run(args []string) error {
 	return nil
 }
 
+// matrixCacheEntry is the cached form of one full matrix invocation:
+// the verdict text plus both rendered artifacts, so a replay is
+// byte-identical to the original run whatever outputs are requested.
+type matrixCacheEntry struct {
+	Text string `json:"text"`
+	JSON []byte `json:"json"` // rendered artifact, base64 so it round-trips verbatim
+	HTML string `json:"html"`
+}
+
 // runMatrix sweeps the workload over a configuration grid, prints the
-// per-cell verdicts and writes the requested artifacts.
-func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut, htmlOut string, cellParallel int) error {
+// per-cell verdicts and writes the requested artifacts. With a disk
+// cache, an identical earlier sweep is replayed without simulating.
+func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut, htmlOut string, cellParallel int, disk *microsampler.DiskCache) error {
 	var (
 		grid microsampler.GridSpec
 		err  error
@@ -319,37 +364,79 @@ func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut
 		return err
 	}
 	mo := microsampler.MatrixOptions{Options: opts, Grid: grid, CellParallel: cellParallel}
+
+	var cacheKey string
+	if disk != nil {
+		key, err := microsampler.MatrixCacheKey(w, mo)
+		if err != nil {
+			return err
+		}
+		cacheKey = key
+		if data, ok, err := disk.Get(key); err == nil && ok {
+			var ent matrixCacheEntry
+			if err := json.Unmarshal(data, &ent); err == nil {
+				fmt.Fprintln(os.Stderr, "microsampler: matrix replayed from cache")
+				fmt.Print(ent.Text)
+				return writeMatrixArtifacts(jsonOut, htmlOut, ent.JSON, ent.HTML)
+			}
+			fmt.Fprintln(os.Stderr, "microsampler: cache entry corrupt, re-verifying:", err)
+		}
+	}
+
 	m, err := microsampler.VerifyMatrix(w, mo)
 	if err != nil {
 		return err
 	}
+	var sb strings.Builder
 	leaky := m.LeakyCells()
-	fmt.Printf("matrix %s: %d cells, %d leaky\n", m.Workload, len(m.Cells), len(leaky))
+	fmt.Fprintf(&sb, "matrix %s: %d cells, %d leaky\n", m.Workload, len(m.Cells), len(leaky))
 	for _, c := range m.Cells {
 		switch {
 		case c.Err != "":
-			fmt.Printf("  %-60s ERROR %s\n", c.Name, c.Err)
+			fmt.Fprintf(&sb, "  %-60s ERROR %s\n", c.Name, c.Err)
 		case c.Leaky:
 			units := make([]string, 0, len(c.Flagged))
 			for _, f := range c.Flagged {
 				units = append(units, fmt.Sprintf("%s V=%.3f", f.Unit, f.V))
 			}
-			fmt.Printf("  %-60s LEAKY  %s\n", c.Name, strings.Join(units, ", "))
+			fmt.Fprintf(&sb, "  %-60s LEAKY  %s\n", c.Name, strings.Join(units, ", "))
 		default:
-			fmt.Printf("  %-60s clean\n", c.Name)
+			fmt.Fprintf(&sb, "  %-60s clean\n", c.Name)
 		}
 	}
-	if jsonOut != "" {
-		data, err := microsampler.RenderMatrixJSON(m)
-		if err != nil {
+	fmt.Print(sb.String())
+
+	var artJSON []byte
+	if cacheKey != "" || jsonOut != "" {
+		if artJSON, err = microsampler.RenderMatrixJSON(m); err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+	}
+	var artHTML string
+	if cacheKey != "" || htmlOut != "" {
+		artHTML = microsampler.RenderMatrixHTML(m)
+	}
+	if cacheKey != "" {
+		ent := matrixCacheEntry{Text: sb.String(), JSON: artJSON, HTML: artHTML}
+		data, err := json.Marshal(ent)
+		if err == nil {
+			err = disk.Put(cacheKey, data)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microsampler: cache write:", err)
+		}
+	}
+	return writeMatrixArtifacts(jsonOut, htmlOut, artJSON, artHTML)
+}
+
+func writeMatrixArtifacts(jsonOut, htmlOut string, artJSON []byte, artHTML string) error {
+	if jsonOut != "" {
+		if err := os.WriteFile(jsonOut, append(artJSON, '\n'), 0o644); err != nil {
 			return err
 		}
 	}
 	if htmlOut != "" {
-		if err := os.WriteFile(htmlOut, []byte(microsampler.RenderMatrixHTML(m)), 0o644); err != nil {
+		if err := os.WriteFile(htmlOut, []byte(artHTML), 0o644); err != nil {
 			return err
 		}
 	}

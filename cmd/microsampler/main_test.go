@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -278,6 +280,109 @@ func TestRunFaultToleranceFlags(t *testing.T) {
 		"-config", "small", "-chart=false", "-run-timeout", "-1s"}); err == nil ||
 		!strings.Contains(err.Error(), "RunTimeout") {
 		t.Errorf("negative -run-timeout: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything it printed, failing the test if fn errors.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return string(data)
+}
+
+// countCacheBlobs walks the cache dir and counts stored blobs; a cache
+// hit adds none, a miss adds one.
+func countCacheBlobs(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".bin") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRunJSONCacheReplay(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	args := func(extra ...string) []string {
+		return append([]string{"-workload", "ME-NAIVE", "-runs", "2",
+			"-warmup", "2", "-config", "small", "-json",
+			"-cache-dir", cacheDir}, extra...)
+	}
+	first := captureStdout(t, func() error { return run(args()) })
+	if n := countCacheBlobs(t, cacheDir); n != 1 {
+		t.Fatalf("blobs after first run = %d, want 1", n)
+	}
+	second := captureStdout(t, func() error { return run(args()) })
+	if second != first {
+		t.Error("cached replay not byte-identical to the original report")
+	}
+	if n := countCacheBlobs(t, cacheDir); n != 1 {
+		t.Errorf("blobs after replay = %d, want 1 (replay must not re-verify)", n)
+	}
+	// A detection-relevant change (seed range) misses and re-verifies.
+	third := captureStdout(t, func() error { return run(args("-runs", "3")) })
+	if third == first {
+		t.Error("different run count served the same cached report")
+	}
+	if n := countCacheBlobs(t, cacheDir); n != 2 {
+		t.Errorf("blobs after changed run = %d, want 2", n)
+	}
+}
+
+func TestRunMatrixCacheReplay(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	out1 := filepath.Join(dir, "m1.json")
+	out2 := filepath.Join(dir, "m2.json")
+	args := func(out string) []string {
+		return []string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "2",
+			"-matrix", "base=small;prefetch=none,stride",
+			"-cache-dir", cacheDir, "-matrix-out", out}
+	}
+	first := captureStdout(t, func() error { return run(args(out1)) })
+	second := captureStdout(t, func() error { return run(args(out2)) })
+	if second != first {
+		t.Error("matrix replay text differs from the original sweep")
+	}
+	if n := countCacheBlobs(t, cacheDir); n != 1 {
+		t.Errorf("blobs after matrix replay = %d, want 1", n)
+	}
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("matrix artifact bytes differ across replay")
 	}
 }
 

@@ -34,6 +34,16 @@
 // interrupted (-recover re-enqueues those too):
 //
 //	msd -journal-dir /var/lib/msd -recover
+//
+// With -cache set, finished jobs' verdicts are retained in a
+// content-addressed cache and identical resubmissions are served the
+// same bytes without simulating (add -cache-dir for a disk layer that
+// survives restarts). Journaled daemons additionally chain terminal
+// journal records into Merkle roots (GET /api/v1/audit); the journal
+// can be checked offline:
+//
+//	msd -journal-dir /var/lib/msd -audit-verify
+//	msd -journal-dir /var/lib/msd -audit-verify -audit-head <chain-hex>
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -77,6 +88,11 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		recoverFlag  = fs.Bool("recover", false, "re-enqueue jobs interrupted by a crash instead of leaving them terminal (requires -journal-dir; queued jobs are always recovered)")
 		watchdog     = fs.Duration("watchdog", 0, "abort a simulation run that stops retiring for this wall-clock duration (0: disabled)")
 		flightFrames = fs.Int("flight-recorder", 1024, "cycles of per-unit occupancy kept per run; failed jobs expose the dump as a postmortem artifact (0: off)")
+		cacheEntries = fs.Int("cache", 256, "verdicts retained in the content-addressed cache; identical resubmissions are served without simulating (0: off)")
+		cacheDir     = fs.String("cache-dir", "", "disk layer for the verdict cache, surviving restarts (default: <journal-dir>/cache when journaled, else memory-only)")
+		auditBatch   = fs.Int("audit-batch", 0, "terminal journal records per Merkle audit root (0: default)")
+		auditVerify  = fs.Bool("audit-verify", false, "verify the journal's Merkle audit chain under -journal-dir and exit")
+		auditHead    = fs.String("audit-head", "", "with -audit-verify: externally recorded chain head the journal must end at (detects tail truncation)")
 		logFormat    = fs.String("log-format", "text", "log output format: text or json")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
 	)
@@ -85,6 +101,15 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	if *recoverFlag && *journalDir == "" {
 		return fmt.Errorf("-recover requires -journal-dir")
+	}
+	if *auditVerify {
+		if *journalDir == "" {
+			return fmt.Errorf("-audit-verify requires -journal-dir")
+		}
+		return runAuditVerify(*journalDir, *auditHead)
+	}
+	if *cacheDir == "" && *cacheEntries > 0 && *journalDir != "" {
+		*cacheDir = filepath.Join(*journalDir, "cache")
 	}
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -101,6 +126,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		RequeueInterrupted: *recoverFlag,
 		Watchdog:           *watchdog,
 		FlightFrames:       *flightFrames,
+		CacheEntries:       *cacheEntries,
+		CacheDir:           *cacheDir,
+		AuditBatch:         *auditBatch,
 	})
 	if err != nil {
 		return err
@@ -142,6 +170,24 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		drainErr = err
 	}
 	return drainErr
+}
+
+// runAuditVerify recomputes the journal's Merkle audit chain and
+// reports the outcome on stdout; a tampered journal (or a head mismatch
+// against an externally recorded anchor) is a non-nil error, which
+// main turns into exit status 1.
+func runAuditVerify(dir, head string) error {
+	sum, err := msd.VerifyAuditLog(dir)
+	if err != nil {
+		return err
+	}
+	if head != "" && !strings.EqualFold(head, sum.Chain) {
+		return fmt.Errorf("audit chain head is %s, expected %s (journal tail truncated or anchor stale)",
+			sum.Chain, head)
+	}
+	fmt.Printf("audit OK: %d records, %d terminal, %d roots, %d pending, chain %s\n",
+		sum.Records, sum.Terminal, sum.Batches, sum.Pending, sum.Chain)
+	return nil
 }
 
 func buildLogger(format, level string) (*slog.Logger, error) {

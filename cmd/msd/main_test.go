@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -215,5 +217,37 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run(ctx, []string{"-flight-recorder", "many"}, nil); err == nil {
 		t.Error("malformed -flight-recorder must error")
+	}
+}
+
+// TestAuditVerifyFlag exercises the offline audit mode: a journal
+// without audit records passes (everything is pending), a forged audit
+// record fails, and the flag demands a journal directory.
+func TestAuditVerifyFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-audit-verify"}, nil); err == nil {
+		t.Error("-audit-verify without -journal-dir must error")
+	}
+
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "journal.jsonl")
+	clean := `{"event":"submit","id":"job-1","req":{"source":"nop"}}
+{"event":"start","id":"job-1"}
+{"event":"done","id":"job-1","leaky":true}
+`
+	if err := os.WriteFile(journal, []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"-audit-verify", "-journal-dir", dir}, nil); err != nil {
+		t.Errorf("clean journal failed -audit-verify: %v", err)
+	}
+
+	forged := clean + `{"event":"audit","root":"deadbeef","prev":"` + strings.Repeat("0", 64) + `","first":1,"count":1}` + "\n"
+	if err := os.WriteFile(journal, []byte(forged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"-audit-verify", "-journal-dir", dir}, nil); err == nil {
+		t.Error("forged audit root passed -audit-verify")
 	}
 }

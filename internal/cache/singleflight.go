@@ -1,0 +1,51 @@
+package cache
+
+import "sync"
+
+// Group deduplicates identical in-flight work: concurrent Do calls with
+// the same key share one execution of fn, so N simultaneous identical
+// submissions pay for a single simulation. Unlike a cache, a Group
+// retains nothing once the call returns — it only collapses the
+// in-flight window; pair it with an LRU for the at-rest window.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do executes fn under key, or — when an identical call is already in
+// flight — waits for it and shares its result. shared reports whether
+// this caller received another call's result rather than running fn
+// itself. A panic in fn is not contained here; callers recover at their
+// own boundary.
+func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		// Unregister before releasing waiters, so a post-completion Do
+		// starts fresh work (the at-rest cache, not the Group, serves
+		// finished results).
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}

@@ -407,8 +407,14 @@ func VerifyMatrixContext(ctx context.Context, w Workload, opts MatrixOptions) (*
 		cr.ConfigName = cfg.Name
 		o := opts.Options
 		o.Config = cfg
+		// Every cell gets its own run ID: with a caller-supplied ID the
+		// cell name is suffixed; without one the cell name itself is the
+		// ID. An empty per-cell ID would make cells indistinguishable in
+		// logs and flight-recorder dumps.
 		if o.RunID != "" {
 			o.RunID = o.RunID + "/" + cells[i].Name
+		} else {
+			o.RunID = cells[i].Name
 		}
 		rep, err := VerifyContext(ctx, w, o)
 		if err != nil {

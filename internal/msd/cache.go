@@ -1,0 +1,172 @@
+package msd
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"microsampler/internal/cache"
+	"microsampler/internal/core"
+)
+
+// Content-addressed job cache. Verification is deterministic, so a
+// job's full artifact set is a pure function of (program, config, seed
+// range, detection-relevant options, artifact parameters); two
+// submissions with the same key are served the same rendered bytes.
+// The in-memory LRU holds recent verdicts; Config.CacheDir adds an
+// fsync'd disk layer colocated with the journal that survives
+// restarts.
+
+// jobCacheKey returns the content-addressed key of a job request's
+// artifact set, or "" when the request cannot be keyed (an invalid
+// request never reaches the cache — enqueue validates first — so ""
+// only means "do not cache"). maxCycles is the daemon's per-run bound,
+// part of the key because it can truncate simulations.
+func jobCacheKey(req JobRequest, maxCycles int64) string {
+	w, err := req.workload()
+	if err != nil {
+		return ""
+	}
+	runs := req.Runs
+	if runs == 0 {
+		runs = 4
+	}
+	warmup := req.Warmup
+	if warmup < 0 {
+		warmup = core.NoWarmup
+	}
+	opts := core.Options{
+		Runs:          runs,
+		Warmup:        warmup,
+		SeedOffset:    req.SeedOffset,
+		MeasureStages: req.MeasureStages,
+		MaxCycles:     maxCycles,
+	}
+	var base string
+	if req.Matrix != "" {
+		// Matrix jobs ignore Config/FastBypass — the grid defines each
+		// cell's configuration — so the key must too, or equivalent
+		// sweeps would needlessly split.
+		grid, err := req.grid()
+		if err != nil {
+			return ""
+		}
+		base, err = core.MatrixCacheKey(w, core.MatrixOptions{Options: opts, Grid: grid})
+		if err != nil {
+			return ""
+		}
+	} else {
+		opts.Config = req.config()
+		base, err = core.CacheKey(w, opts)
+		if err != nil {
+			return ""
+		}
+	}
+	// The rendered artifacts depend on the heatmap windowing on top of
+	// the verification tuple.
+	h := cache.NewHasher()
+	h.Str("schema", "msd-job-v1")
+	h.Str("base", base)
+	h.Int("heatmapWindows", int64(req.HeatmapWindows))
+	return h.Sum()
+}
+
+// cachedJob is one cache entry: the full artifact set plus the verdict
+// summary, everything a hit needs to finish a job without simulating.
+type cachedJob struct {
+	arts map[string]artifact
+	sum  jobSummary
+}
+
+// cachedJobWire is cachedJob's disk encoding. Artifact data rides as
+// base64 via encoding/json's []byte handling.
+type cachedJobWire struct {
+	Leaky      bool                    `json:"leaky"`
+	LeakyUnits []string                `json:"leakyUnits,omitempty"`
+	Iterations int                     `json:"iterations,omitempty"`
+	SimCycles  int64                   `json:"simCycles,omitempty"`
+	Cells      int                     `json:"cells,omitempty"`
+	LeakyCells []string                `json:"leakyCells,omitempty"`
+	Artifacts  map[string]wireArtifact `json:"artifacts"`
+}
+
+type wireArtifact struct {
+	ContentType string `json:"contentType"`
+	Data        []byte `json:"data"`
+}
+
+func encodeCachedJob(cj *cachedJob) ([]byte, error) {
+	w := cachedJobWire{
+		Leaky:      cj.sum.leaky,
+		LeakyUnits: cj.sum.leakyUnits,
+		Iterations: cj.sum.iterations,
+		SimCycles:  cj.sum.simCycles,
+		Cells:      cj.sum.cells,
+		LeakyCells: cj.sum.leakyCells,
+		Artifacts:  make(map[string]wireArtifact, len(cj.arts)),
+	}
+	for name, art := range cj.arts {
+		w.Artifacts[name] = wireArtifact{ContentType: art.contentType, Data: art.data}
+	}
+	return json.Marshal(w)
+}
+
+func decodeCachedJob(data []byte) (*cachedJob, error) {
+	var w cachedJobWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("msd: decode cached job: %w", err)
+	}
+	cj := &cachedJob{
+		arts: make(map[string]artifact, len(w.Artifacts)),
+		sum: jobSummary{
+			leaky: w.Leaky, leakyUnits: w.LeakyUnits,
+			iterations: w.Iterations, simCycles: w.SimCycles,
+			cells: w.Cells, leakyCells: w.LeakyCells,
+		},
+	}
+	for name, art := range w.Artifacts {
+		cj.arts[name] = artifact{contentType: art.ContentType, data: art.Data}
+	}
+	return cj, nil
+}
+
+// cacheGet looks a key up in the memory layer, then the disk layer
+// (promoting a disk hit into memory). A corrupt disk blob is treated as
+// a miss — the job simply re-verifies and overwrites it.
+func (s *Server) cacheGet(key string) (*cachedJob, bool) {
+	if v, ok := s.cache.Get(key); ok {
+		return v.(*cachedJob), true
+	}
+	if s.cacheDisk == nil {
+		return nil, false
+	}
+	data, ok, err := s.cacheDisk.Get(key)
+	if err != nil || !ok {
+		if err != nil {
+			s.log.Warn("cache disk read failed", "key", key[:12], "err", err)
+		}
+		return nil, false
+	}
+	cj, err := decodeCachedJob(data)
+	if err != nil {
+		s.log.Warn("cache disk blob corrupt", "key", key[:12], "err", err)
+		return nil, false
+	}
+	s.cache.Put(key, cj)
+	return cj, true
+}
+
+// cachePut stores a freshly computed verdict in both layers. Disk
+// failures degrade to memory-only caching.
+func (s *Server) cachePut(key string, cj *cachedJob) {
+	s.cache.Put(key, cj)
+	if s.cacheDisk == nil {
+		return
+	}
+	data, err := encodeCachedJob(cj)
+	if err == nil {
+		err = s.cacheDisk.Put(key, data)
+	}
+	if err != nil {
+		s.log.Warn("cache disk write failed", "key", key[:12], "err", err)
+	}
+}

@@ -139,6 +139,10 @@ type Job struct {
 	// grid size and the names of the cells with a leaky verdict.
 	Cells      int
 	LeakyCells []string
+	// Cached marks a done job whose verdict came from the
+	// content-addressed cache (or was deduplicated onto an identical
+	// in-flight job) instead of a fresh simulation.
+	Cached bool
 
 	artifacts map[string]artifact
 
@@ -171,6 +175,7 @@ type jobView struct {
 	SimCycles  int64    `json:"simCycles,omitempty"`
 	Cells      int      `json:"cells,omitempty"`
 	LeakyCells []string `json:"leakyCells,omitempty"`
+	Cached     bool     `json:"cached,omitempty"`
 	Artifacts  []string `json:"artifacts,omitempty"`
 }
 
@@ -197,6 +202,7 @@ func (j *Job) view() jobView {
 		v.SimCycles = j.SimCycles
 		v.Cells = j.Cells
 		v.LeakyCells = j.LeakyCells
+		v.Cached = j.Cached
 	}
 	// Failed jobs can carry artifacts too (the flight-recorder
 	// post-mortem), so list them for every terminal status.

@@ -37,6 +37,18 @@ type journalRecord struct {
 	// Cells and LeakyCells summarise a matrix job's grid sweep.
 	Cells      int      `json:"cells,omitempty"`
 	LeakyCells []string `json:"leakyCells,omitempty"`
+	// Cached marks a done job whose verdict was served from the
+	// content-addressed cache instead of a fresh simulation.
+	Cached bool `json:"cached,omitempty"`
+
+	// Audit fields, recorded on event "audit" (which carries no job ID):
+	// Root is the Merkle root over the Count terminal records starting at
+	// terminal ordinal First, and Prev is the chain value before this
+	// batch — the chain after it is H(Prev || Root). See merkle.go.
+	Root  string `json:"root,omitempty"`
+	Prev  string `json:"prev,omitempty"`
+	First int    `json:"first,omitempty"`
+	Count int    `json:"count,omitempty"`
 }
 
 // journal is the daemon's crash-safe persistence: an append-only JSONL
@@ -50,10 +62,12 @@ type journal struct {
 }
 
 // openJournal opens (creating as needed) the journal under dir and
-// returns the records of any previous incarnation, in append order.
-func openJournal(dir string) (*journal, []journalRecord, error) {
+// returns the records of any previous incarnation, in append order,
+// plus the raw journal bytes so the audit chain can be rebuilt from the
+// exact line bytes its leaves hash.
+func openJournal(dir string) (*journal, []journalRecord, []byte, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
-		return nil, nil, fmt.Errorf("msd: journal dir: %w", err)
+		return nil, nil, nil, fmt.Errorf("msd: journal dir: %w", err)
 	}
 	path := filepath.Join(dir, "journal.jsonl")
 	var recs []journalRecord
@@ -62,13 +76,13 @@ func openJournal(dir string) (*journal, []journalRecord, error) {
 	case err == nil:
 		recs = parseJournal(raw)
 	case !os.IsNotExist(err):
-		return nil, nil, fmt.Errorf("msd: read journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("msd: read journal: %w", err)
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("msd: open journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("msd: open journal: %w", err)
 	}
-	return &journal{dir: dir, f: f}, recs, nil
+	return &journal{dir: dir, f: f}, recs, raw, nil
 }
 
 // parseJournal decodes journal lines tolerantly: a line torn by the
@@ -94,24 +108,26 @@ func parseJournal(raw []byte) []journalRecord {
 
 // append writes one record and syncs it to stable storage before
 // returning, so an acknowledged event survives the process dying at any
-// later instant.
-func (j *journal) append(rec journalRecord) error {
+// later instant. It returns the exact line bytes written (without the
+// trailing newline): the audit chain hashes those bytes as Merkle
+// leaves, so any later mutation of the line is detectable.
+func (j *journal) append(rec journalRecord) ([]byte, error) {
 	data, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("msd: encode journal record: %w", err)
+		return nil, fmt.Errorf("msd: encode journal record: %w", err)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
-		return fmt.Errorf("msd: journal closed")
+		return nil, fmt.Errorf("msd: journal closed")
 	}
 	if _, err := j.f.Write(append(data, '\n')); err != nil {
-		return fmt.Errorf("msd: append journal: %w", err)
+		return nil, fmt.Errorf("msd: append journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("msd: sync journal: %w", err)
+		return nil, fmt.Errorf("msd: sync journal: %w", err)
 	}
-	return nil
+	return data, nil
 }
 
 // Close releases the journal file; further appends fail.

@@ -18,7 +18,7 @@ import (
 
 func TestJournalRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	j, recs, err := openJournal(dir)
+	j, recs, _, err := openJournal(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,14 +32,14 @@ func TestJournalRoundTrip(t *testing.T) {
 		{Event: "done", Time: now, ID: "job-1", Leaky: true, LeakyUnits: []string{"SQ_ADDR"}, Iterations: 8, SimCycles: 99},
 	}
 	for _, rec := range want {
-		if err := j.append(rec); err != nil {
+		if _, err := j.append(rec); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.append(journalRecord{Event: "start", ID: "job-2"}); err == nil {
+	if _, err := j.append(journalRecord{Event: "start", ID: "job-2"}); err == nil {
 		t.Error("append after Close must fail")
 	}
 
@@ -52,7 +52,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	fmt.Fprint(f, `{"event":"done","id":"job-1","lea`)
 	f.Close()
 
-	j2, recs, err := openJournal(dir)
+	j2, recs, _, err := openJournal(dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"microsampler/internal/cache"
 	"microsampler/internal/core"
 	"microsampler/internal/faults"
 	"microsampler/internal/telemetry"
@@ -56,6 +57,24 @@ type Config struct {
 	// the final approach. Zero disables the recorder.
 	FlightFrames int
 
+	// CacheEntries enables the content-addressed verdict cache: up to
+	// this many finished jobs' artifact sets are retained (LRU) keyed by
+	// the canonical hash of (program, config, seed range,
+	// detection-relevant options), and a resubmission with the same key
+	// is served the identical bytes without simulating. Identical
+	// requests already in flight are deduplicated onto one computation.
+	// Zero disables caching.
+	CacheEntries int
+	// CacheDir, when non-empty (and CacheEntries is positive), adds an
+	// fsync'd disk layer under this directory: cached verdicts survive a
+	// daemon restart. Typically a subdirectory of JournalDir.
+	CacheDir string
+
+	// AuditBatch is how many terminal journal records one Merkle root of
+	// the tamper-evident audit chain covers (0: a small default; see
+	// merkle.go). Auditing is active whenever JournalDir is set.
+	AuditBatch int
+
 	// JournalDir, when non-empty, enables crash-safe job persistence:
 	// every job transition is appended (and fsynced) to a JSONL
 	// write-ahead journal under this directory, and finished jobs'
@@ -91,6 +110,14 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	jrn *journal // nil when persistence is disabled
+	aud *auditor // nil when persistence is disabled
+
+	// cache is the content-addressed verdict store (nil when disabled);
+	// cacheDisk its optional persistent layer; flight deduplicates
+	// identical in-flight jobs onto one computation.
+	cache     *cache.LRU
+	cacheDisk *cache.Disk
+	flight    cache.Group
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -120,6 +147,9 @@ type Server struct {
 	queueOldest *telemetry.Gauge
 	jobSeconds  *telemetry.Histogram
 	waitSeconds *telemetry.Histogram
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	deduped     *telemetry.Counter
 }
 
 // New builds a Server, recovers any journaled jobs when
@@ -160,6 +190,9 @@ func New(cfg Config) (*Server, error) {
 		queueOldest: cfg.Metrics.Gauge("msd_queue_oldest_age_seconds"),
 		jobSeconds:  cfg.Metrics.Histogram("msd_job_seconds", telemetry.LatencyBuckets()),
 		waitSeconds: cfg.Metrics.Histogram("msd_job_queue_wait_seconds", telemetry.LatencyBuckets()),
+		cacheHits:   cfg.Metrics.Counter("msd_cache_hits_total"),
+		cacheMisses: cfg.Metrics.Counter("msd_cache_misses_total"),
+		deduped:     cfg.Metrics.Counter("msd_jobs_deduped_total"),
 	}
 	s.verify = cfg.verify
 	if s.verify == nil {
@@ -169,12 +202,27 @@ func New(cfg Config) (*Server, error) {
 	if s.verifyMatrix == nil {
 		s.verifyMatrix = s.runMatrixVerification
 	}
+	if cfg.CacheEntries > 0 {
+		s.cache = cache.NewLRU(cfg.CacheEntries)
+		if cfg.CacheDir != "" {
+			disk, err := cache.NewDisk(cfg.CacheDir)
+			if err != nil {
+				return nil, fmt.Errorf("msd: cache dir: %w", err)
+			}
+			s.cacheDisk = disk
+		}
+	}
 	if cfg.JournalDir != "" {
-		jrn, recs, err := openJournal(cfg.JournalDir)
+		jrn, recs, raw, err := openJournal(cfg.JournalDir)
 		if err != nil {
 			return nil, err
 		}
 		s.jrn = jrn
+		// Rebuild the audit chain from the raw journal before recovery
+		// appends anything, so recovery's own terminal records (dropped
+		// or interrupted jobs) land in the chain too.
+		s.aud = newAuditor(cfg.AuditBatch)
+		s.aud.replay(raw)
 		s.recoverJobs(recs)
 	}
 	s.mux = s.buildMux()
@@ -217,6 +265,7 @@ func (s *Server) recoverJobs(recs []journalRecord) {
 				j.SimCycles = r.SimCycles
 				j.Cells = r.Cells
 				j.LeakyCells = r.LeakyCells
+				j.Cached = r.Cached
 			}
 		case "failed":
 			if j := s.jobs[r.ID]; j != nil {
@@ -293,18 +342,31 @@ func (s *Server) recoverJobs(recs []journalRecord) {
 			requeue(j)
 		}
 	}
-	s.queueDepth.Set(float64(len(s.queue)))
 }
 
-// journal appends rec when persistence is enabled. Append failures are
-// logged, not fatal: the daemon prefers serving with a degraded journal
-// over refusing work.
+// journal appends rec when persistence is enabled and feeds terminal
+// records into the audit chain, persisting the Merkle root record when
+// a batch fills. Append failures are logged, not fatal: the daemon
+// prefers serving with a degraded journal over refusing work.
 func (s *Server) journal(rec journalRecord) {
 	if s.jrn == nil {
 		return
 	}
-	if err := s.jrn.append(rec); err != nil {
+	line, err := s.jrn.append(rec)
+	if err != nil {
 		s.log.Error("journal append failed", "event", rec.Event, "run_id", rec.ID, "err", err)
+		return
+	}
+	if s.aud == nil || !terminalEvent(rec.Event) {
+		return
+	}
+	if audRec, sealed := s.aud.observe(rec.ID, line); sealed {
+		if _, err := s.jrn.append(audRec); err != nil {
+			s.log.Error("audit record append failed", "root", audRec.Root[:12], "err", err)
+		} else {
+			s.log.Info("audit root sealed", "root", audRec.Root[:12],
+				"first", audRec.First, "count", audRec.Count)
+		}
 	}
 }
 
@@ -333,6 +395,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		if s.jrn != nil {
+			// Seal the partial audit batch so every terminal record of a
+			// cleanly drained daemon is covered by a persisted root.
+			if s.aud != nil {
+				if audRec, sealed := s.aud.flush(); sealed {
+					if _, err := s.jrn.append(audRec); err != nil {
+						s.log.Error("audit flush failed", "err", err)
+					}
+				}
+			}
 			_ = s.jrn.Close()
 		}
 		s.log.Info("msd drained")
@@ -355,10 +426,18 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/{artifact}", s.handleArtifact)
 	metricsHandler := export.MetricsHandler(s.reg)
 	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Freshen the scrape-time gauges before rendering.
+		// Freshen the scrape-time gauges before rendering. Queue depth
+		// is read under the server lock — where queue slots are
+		// reserved — so a scrape sees a consistent point-in-time value
+		// instead of racing the unlocked Set calls submit and dequeue
+		// used to make.
+		s.mu.Lock()
+		s.queueDepth.Set(float64(len(s.queue)))
+		s.mu.Unlock()
 		s.queueOldest.Set(s.oldestQueuedAge().Seconds())
 		metricsHandler.ServeHTTP(w, r)
 	}))
+	mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -464,13 +543,12 @@ func (s *Server) enqueue(w http.ResponseWriter, req JobRequest) {
 	// Journal the submit before acknowledging, still under the lock so
 	// journal order matches submission order.
 	s.journal(journalRecord{Event: "submit", Time: job.Submitted, ID: job.ID, Req: &job.Req})
-	evicted := s.evictLocked()
+	evicted := s.evictLocked("")
 	view := job.view()
 	s.mu.Unlock()
 
 	s.dropEvicted(evicted)
 	s.submitted.Inc()
-	s.queueDepth.Set(float64(len(s.queue)))
 	s.log.Info("job submitted", "run_id", view.ID, "workload", view.Workload)
 	writeJSON(w, http.StatusAccepted, view)
 }
@@ -480,7 +558,10 @@ func (s *Server) enqueue(w http.ResponseWriter, req JobRequest) {
 // on-disk artifacts outside the lock. Queued and running jobs are never
 // evicted — a job's artifacts are flushed to disk before its status
 // turns terminal, so an evictable job is never still being written.
-func (s *Server) evictLocked() []string {
+// keepID (completion-time eviction passes the job that just finished)
+// is also spared: a fresh verdict must stay fetchable at least until
+// the next submission or completion, not vanish the instant it lands.
+func (s *Server) evictLocked(keepID string) []string {
 	excess := len(s.order) - s.cfg.MaxJobs
 	if excess <= 0 {
 		return nil
@@ -489,7 +570,8 @@ func (s *Server) evictLocked() []string {
 	kept := s.order[:0]
 	for _, id := range s.order {
 		j := s.jobs[id]
-		if excess > 0 && (j.Status == StatusDone || j.Status == StatusFailed || j.Status == StatusInterrupted) {
+		if excess > 0 && id != keepID &&
+			(j.Status == StatusDone || j.Status == StatusFailed || j.Status == StatusInterrupted) {
 			delete(s.jobs, id)
 			evicted = append(evicted, id)
 			excess--
@@ -550,6 +632,25 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleAudit serves the tamper-evidence surface: the chained Merkle
+// roots over the journal's terminal records, and — with ?job=<id> —
+// the inclusion proof of that job's audited verdict. Clients that
+// record the chain value externally can later hand it to
+// `msd -audit-verify -audit-head` to detect tail truncation.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if s.aud == nil {
+		writeError(w, http.StatusNotFound, "auditing disabled: daemon runs without a journal")
+		return
+	}
+	jobID := r.URL.Query().Get("job")
+	view, ok := s.aud.view(jobID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q has no audited terminal record", jobID)
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -618,7 +719,6 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 func (s *Server) worker(n int) {
 	defer s.wg.Done()
 	for job := range s.queue {
-		s.queueDepth.Set(float64(len(s.queue)))
 		s.runJob(job)
 	}
 	s.log.Debug("msd worker exiting", "worker", n)
@@ -643,28 +743,52 @@ func (s *Server) runJob(job *Job) {
 	s.log.Info("job started", "run_id", job.ID, "workload", job.workloadName())
 
 	var (
-		arts map[string]artifact
-		err  error
-		sum  jobSummary
+		arts   map[string]artifact
+		err    error
+		sum    jobSummary
+		cached bool
 	)
-	if job.Req.Matrix != "" {
-		var m *core.Matrix
-		m, err = s.safeVerifyMatrix(job)
-		if err == nil {
-			arts, err = renderMatrixArtifacts(m)
+	var key string
+	if s.cache != nil {
+		key = jobCacheKey(job.Req, s.cfg.MaxCycles)
+	}
+	if key != "" {
+		if cj, ok := s.cacheGet(key); ok {
+			arts, sum, cached = cj.arts, cj.sum, true
+			s.cacheHits.Inc()
+			s.log.Info("job served from cache", "run_id", job.ID, "cache_key", key[:12])
+		} else {
+			s.cacheMisses.Inc()
 		}
+	}
+	switch {
+	case cached:
+	case key != "":
+		// Deduplicate identical in-flight jobs: followers block on the
+		// leader's computation and share its artifact set instead of
+		// simulating the same tuple twice.
+		v, ferr, shared := s.flight.Do(key, func() (any, error) {
+			a, su, cerr := s.computeJob(job)
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &cachedJob{arts: a, sum: su}, nil
+		})
+		err = ferr
 		if err == nil {
-			sum = matrixSummary(m)
+			cj := v.(*cachedJob)
+			arts, sum = cj.arts, cj.sum
+			if shared {
+				cached = true
+				s.deduped.Inc()
+				s.log.Info("job deduplicated onto identical in-flight job",
+					"run_id", job.ID, "cache_key", key[:12])
+			} else {
+				s.cachePut(key, cj)
+			}
 		}
-	} else {
-		var rep *core.Report
-		rep, err = s.safeVerify(job)
-		if err == nil {
-			arts, err = renderArtifacts(rep, job.Req.HeatmapWindows)
-		}
-		if err == nil {
-			sum = reportSummary(rep)
-		}
+	default:
+		arts, sum, err = s.computeJob(job)
 	}
 	// Flush the artifacts to stable storage BEFORE anything marks the
 	// job finished: eviction only touches terminal jobs, so a job whose
@@ -697,6 +821,7 @@ func (s *Server) runJob(job *Job) {
 			Leaky: sum.leaky, LeakyUnits: sum.leakyUnits,
 			Iterations: sum.iterations, SimCycles: sum.simCycles,
 			Cells: sum.cells, LeakyCells: sum.leakyCells,
+			Cached: cached,
 		})
 	}
 
@@ -715,6 +840,7 @@ func (s *Server) runJob(job *Job) {
 		job.SimCycles = sum.simCycles
 		job.Cells = sum.cells
 		job.LeakyCells = sum.leakyCells
+		job.Cached = cached
 	}
 	dur := job.Finished.Sub(job.Started)
 	const alpha = 0.3 // favour recent jobs without whiplash
@@ -723,7 +849,14 @@ func (s *Server) runJob(job *Job) {
 	} else {
 		s.ewmaJobSec = alpha*dur.Seconds() + (1-alpha)*s.ewmaJobSec
 	}
+	// Other terminal jobs may now be past the retention bound: evicting
+	// here (not only on submit) lets a quiesced daemon converge to
+	// MaxJobs instead of holding excess finished jobs until the next
+	// submission. The just-finished job itself is spared so its verdict
+	// stays fetchable.
+	evicted := s.evictLocked(job.ID)
 	s.mu.Unlock()
+	s.dropEvicted(evicted)
 
 	s.inflight.Add(-1)
 	s.jobSeconds.Observe(dur.Seconds())
@@ -779,6 +912,31 @@ func matrixSummary(m *core.Matrix) jobSummary {
 	}
 	sortStrings(sum.leakyUnits)
 	return sum
+}
+
+// computeJob runs the job's verification (single or grid sweep) and
+// renders its artifact set — the cacheable unit of work.
+func (s *Server) computeJob(job *Job) (map[string]artifact, jobSummary, error) {
+	if job.Req.Matrix != "" {
+		m, err := s.safeVerifyMatrix(job)
+		if err != nil {
+			return nil, jobSummary{}, err
+		}
+		arts, err := renderMatrixArtifacts(m)
+		if err != nil {
+			return nil, jobSummary{}, err
+		}
+		return arts, matrixSummary(m), nil
+	}
+	rep, err := s.safeVerify(job)
+	if err != nil {
+		return nil, jobSummary{}, err
+	}
+	arts, err := renderArtifacts(rep, job.Req.HeatmapWindows)
+	if err != nil {
+		return nil, jobSummary{}, err
+	}
+	return arts, reportSummary(rep), nil
 }
 
 // safeVerify runs the verification step with panic containment: a

@@ -43,6 +43,7 @@ import (
 	"context"
 
 	"microsampler/internal/asm"
+	"microsampler/internal/cache"
 	"microsampler/internal/core"
 	"microsampler/internal/ctc"
 	"microsampler/internal/formal"
@@ -163,6 +164,52 @@ func Verify(w Workload, opts Options) (*Report, error) {
 // between simulation runs.
 func VerifyContext(ctx context.Context, w Workload, opts Options) (*Report, error) {
 	return core.VerifyContext(ctx, w, opts)
+}
+
+// Content-addressed verdict cache.
+//
+// Verification is deterministic — the calibration gate proves
+// byte-identical output across runs — so a report is a pure function of
+// (program bytes, machine configuration, seed range, detection-relevant
+// options). VerifyCache memoises that function: set Options.Cache and
+// repeat verifications of the same tuple return the cached *Report in
+// microseconds instead of simulating.
+
+// VerifyCache is a bounded in-memory LRU of verification reports, safe
+// for concurrent use. Cached reports are shared, not copied — treat
+// them as immutable.
+type VerifyCache = cache.LRU
+
+// CacheStats is a point-in-time reading of a cache's effectiveness.
+type CacheStats = cache.Stats
+
+// NewVerifyCache returns an empty cache holding at most max reports.
+func NewVerifyCache(max int) *VerifyCache { return cache.NewLRU(max) }
+
+// DiskCache is a content-addressed blob store: opaque byte values
+// filed under their canonical key, written atomically (temp file,
+// fsync, rename). It is the persistence layer under a VerifyCache; the
+// CLI and the msd daemon use one to serve repeat runs across process
+// restarts.
+type DiskCache = cache.Disk
+
+// OpenDiskCache opens (creating as needed) a blob store rooted at dir.
+func OpenDiskCache(dir string) (*DiskCache, error) { return cache.NewDisk(dir) }
+
+// CacheKey returns the canonical content-addressed key of a
+// verification: the SHA-256 of the assembled program, the machine
+// configuration and every detection-relevant option, with defaults
+// applied first so spelled-out defaults and omitted ones key
+// identically. Execution strategy (parallelism, retries, probes,
+// sinks) is excluded — it cannot change the verdict.
+func CacheKey(w Workload, opts Options) (string, error) {
+	return core.CacheKey(w, opts)
+}
+
+// MatrixCacheKey is CacheKey for a grid sweep: the base tuple plus the
+// grid's cell names.
+func MatrixCacheKey(w Workload, opts MatrixOptions) (string, error) {
+	return core.MatrixCacheKey(w, opts)
 }
 
 // WorkloadByName returns one of the built-in case-study workloads:

@@ -24,6 +24,11 @@ go test -run '^$' -bench 'SamplingThroughput|RetryOverhead' -benchmem -count "$c
 # hardware-space sweeps.
 go test -run '^$' -bench 'MatrixSweep' -benchtime 3x -count "$count" \
     . | tee -a "$raw"
+# Content-addressed cache hit latency against the simulation it
+# replaces; the speedup-x metric must stay >= 100 (the benchmark
+# itself enforces the floor).
+go test -run '^$' -bench 'CacheHit' -benchtime 100x -count "$count" \
+    . | tee -a "$raw"
 # End-to-end daemon job latency: HTTP submit through simulation,
 # analysis, artifact rendering and the completion poll. Few iterations
 # — each one is a whole verification.

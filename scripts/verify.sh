@@ -22,10 +22,10 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (telemetry, export, core, msd, faults, sim, report) =="
+echo "== go test -race (telemetry, export, core, msd, cache, faults, sim, report) =="
 go test -race ./internal/telemetry ./internal/telemetry/export \
-    ./internal/core ./internal/msd ./internal/faults ./internal/sim \
-    ./internal/report
+    ./internal/core ./internal/msd ./internal/cache ./internal/faults \
+    ./internal/sim ./internal/report
 
 echo "== matrix sweep smoke (2x2 grid through the CLI) =="
 matrixdir="${TMPDIR:-/tmp}/microsampler-matrix-smoke"
@@ -43,6 +43,22 @@ go test -race -count=1 -run '^TestSmoke$' ./cmd/msd
 echo "== msd kill/recover smoke (SIGKILL + journal recovery) =="
 go test -race -count=1 -run '^TestKillRecover$' ./cmd/msd
 
+echo "== msd cache-hit + audit smoke =="
+go test -race -count=1 \
+    -run '^TestCacheHitServesJob$|^TestCacheDiskLayerSurvivesRestart$|^TestAuditLogVerifiesClean$|^TestAuditLogDetectsTampering$' \
+    ./internal/msd
+go test -race -count=1 -run '^TestAuditVerifyFlag$' ./cmd/msd
+
+echo "== CLI cache replay smoke (byte-identical -json) =="
+cachedir="${TMPDIR:-/tmp}/microsampler-cache-smoke"
+rm -rf "$cachedir"
+mkdir -p "$cachedir"
+go run ./cmd/microsampler -workload ME-NAIVE -runs 2 -warmup 2 \
+    -config small -json -cache-dir "$cachedir/store" > "$cachedir/first.json"
+go run ./cmd/microsampler -workload ME-NAIVE -runs 2 -warmup 2 \
+    -config small -json -cache-dir "$cachedir/store" > "$cachedir/second.json"
+cmp "$cachedir/first.json" "$cachedir/second.json"
+
 echo "== oracle determinism (go test -count=2) =="
 go test -count=2 ./internal/oracle
 
@@ -52,6 +68,7 @@ go test -run='^$' -fuzz='^FuzzSipHashChunks$' -fuzztime=5s ./internal/siphash
 go test -run='^$' -fuzz='^FuzzHashMatrix$' -fuzztime=5s ./internal/snapshot
 go test -run='^$' -fuzz='^FuzzPipeline$' -fuzztime=5s ./internal/oracle
 go test -run='^$' -fuzz='^FuzzMatrixConfig$' -fuzztime=5s ./internal/core
+go test -run='^$' -fuzz='^FuzzCacheKey$' -fuzztime=5s ./internal/msd
 
 echo "== bench smoke (hot-path collector) =="
 go test -run '^$' -bench 'OnCycle' -benchtime 100x -benchmem ./internal/trace
