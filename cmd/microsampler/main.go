@@ -19,6 +19,10 @@
 //	microsampler -workload ME-V1-MV -flight-recorder 1024 -flight-recorder-out postmortem.json
 //	microsampler -workload TAGE-HIST -matrix "prefetch=none,stride;predictor=gshare,tage" -matrix-out matrix.json -matrix-html matrix.html
 //	microsampler -workload AES-TTABLE -json -cache-dir ~/.cache/microsampler
+//	microsampler -workload CT-MEM-CMP -history-dir .ms-history -label "$(git rev-parse --short HEAD)"
+//	microsampler -workload CT-MEM-CMP -history-dir .ms-history -diff-against baseline -diff-out diff.json -diff-html diff.html
+//	microsampler -workload TAGE-HIST -matrix default -diff-baseline baselines/tage.json
+//	microsampler -version
 package main
 
 import (
@@ -78,6 +82,15 @@ func run(args []string) error {
 		flightN     = fs.Int("flight-recorder", 0, "arm a per-run flight recorder of the last N cycles (0: off)")
 		flightOut   = fs.String("flight-recorder-out", "", "on failure, write the flight-recorder post-mortem as Perfetto JSON to FILE (implies -flight-recorder 1024 when unset)")
 		cacheDir    = fs.String("cache-dir", "", "content-addressed disk cache: -json reports and -matrix artifacts from identical earlier runs are replayed byte-for-byte without simulating")
+		historyDir  = fs.String("history-dir", "", "append this run's verdict and diffable artifact to the run-history store at DIR")
+		runLabel    = fs.String("label", "", "history label for this run (default: the VCS commit stamped into the binary, else \"unlabeled\")")
+		diffAgainst = fs.String("diff-against", "", "diff this run against the latest history record with LABEL (requires -history-dir); exits nonzero on a verdict regression")
+		diffBase    = fs.String("diff-baseline", "", "diff this run against the baseline artifact in FILE (a report digest or matrix artifact JSON); exits nonzero on a verdict regression")
+		diffOut     = fs.String("diff-out", "", "write the diff artifact as JSON to FILE (with -diff-against or -diff-baseline)")
+		diffHTML    = fs.String("diff-html", "", "write the diff as a self-contained side-by-side HTML document to FILE")
+		diffVDelta  = fs.Float64("diff-vdelta", 0, "minimum |ΔV| reported as drift in diffs (0: the default 0.05)")
+		digestOut   = fs.String("digest-out", "", "write the report digest — the diffable baseline artifact — as JSON to FILE")
+		showVersion = fs.Bool("version", false, "print the version and build provenance, then exit")
 		progress    = fs.Bool("progress", false, "print live per-run progress to stderr")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on ADDR (e.g. localhost:6060)")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to FILE")
@@ -85,6 +98,17 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *showVersion {
+		fmt.Println(microsampler.VersionLine("microsampler"))
+		return nil
+	}
+	if *diffAgainst != "" && *historyDir == "" {
+		return fmt.Errorf("-diff-against requires -history-dir")
+	}
+	if *diffAgainst != "" && *diffBase != "" {
+		return fmt.Errorf("-diff-against and -diff-baseline are mutually exclusive")
 	}
 
 	if *pprofAddr != "" {
@@ -171,6 +195,7 @@ func run(args []string) error {
 	var reg *microsampler.MetricsRegistry
 	if *metrics {
 		reg = microsampler.NewMetrics()
+		microsampler.BuildInfoGauge(reg, "microsampler_build_info")
 		opts.Metrics = reg
 	}
 	var traceFile *os.File
@@ -202,16 +227,41 @@ func run(args []string) error {
 		}
 	}
 
+	hd := &histDiff{
+		label:        *runLabel,
+		diffAgainst:  *diffAgainst,
+		baselineFile: *diffBase,
+		diffOut:      *diffOut,
+		diffHTML:     *diffHTML,
+		vdelta:       *diffVDelta,
+	}
+	if hd.label == "" {
+		hd.label = microsampler.DefaultHistoryLabel()
+	}
+	if *historyDir != "" {
+		store, err := microsampler.OpenHistory(*historyDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		hd.store = store
+	}
+
 	if *matrixSpec != "" {
-		return runMatrix(w, opts, *matrixSpec, *matrixOut, *matrixHTML, *matrixPar, diskCache)
+		if *digestOut != "" {
+			return fmt.Errorf("-digest-out applies to single-config runs; with -matrix the diffable artifact is -matrix-out")
+		}
+		return runMatrix(w, opts, *matrixSpec, *matrixOut, *matrixHTML, *matrixPar, diskCache, hd)
 	}
 
 	// The cached fast path replays the rendered report bytes, so it only
-	// applies when the run's sole output is the -json report.
+	// applies when the run's sole output is the -json report. History and
+	// diff wiring needs the full report for its digest, so it disables
+	// the fast path too.
 	var cacheKey string
-	if diskCache != nil && *jsonOut && !*metrics &&
+	if diskCache != nil && *jsonOut && !*metrics && !hd.active() &&
 		*traceOut == "" && *perfettoOut == "" && *heatmapOut == "" &&
-		*heatmapHTML == "" && *provOut == "" && *provHTML == "" {
+		*heatmapHTML == "" && *provOut == "" && *provHTML == "" && *digestOut == "" {
 		key, err := microsampler.CacheKey(w, opts)
 		if err != nil {
 			return err
@@ -224,7 +274,9 @@ func run(args []string) error {
 		}
 	}
 
+	verifyStart := time.Now()
 	rep, err := microsampler.Verify(w, opts)
+	verifyElapsed := time.Since(verifyStart)
 	if err != nil {
 		// A failed run can still leave evidence: write the flight
 		// recorder's post-mortem before surfacing the error.
@@ -291,6 +343,28 @@ func run(args []string) error {
 		}
 	}
 
+	// History recording and baseline diffing: the digest is the diffable
+	// artifact of a single verification. A verdict regression surfaces
+	// as diffErr after the requested outputs are written, so the process
+	// exits nonzero (the CI gate) without swallowing the report.
+	var diffErr error
+	if hd.active() || *digestOut != "" {
+		digest, err := microsampler.BuildDigest(rep)
+		if err != nil {
+			return err
+		}
+		digestJSON, err := digest.JSON()
+		if err != nil {
+			return err
+		}
+		if *digestOut != "" {
+			if err := os.WriteFile(*digestOut, append(digestJSON, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		diffErr = hd.finishReport(rep, digest, digestJSON, verifyElapsed)
+	}
+
 	if *jsonOut {
 		data, err := microsampler.RenderJSON(rep)
 		if err != nil {
@@ -305,7 +379,7 @@ func run(args []string) error {
 		if reg != nil {
 			fmt.Print(microsampler.RenderMetrics(reg))
 		}
-		return nil
+		return diffErr
 	}
 
 	fmt.Print(microsampler.RenderSummary(rep))
@@ -338,7 +412,7 @@ func run(args []string) error {
 	if reg != nil {
 		fmt.Print(microsampler.RenderMetrics(reg))
 	}
-	return nil
+	return diffErr
 }
 
 // matrixCacheEntry is the cached form of one full matrix invocation:
@@ -352,8 +426,10 @@ type matrixCacheEntry struct {
 
 // runMatrix sweeps the workload over a configuration grid, prints the
 // per-cell verdicts and writes the requested artifacts. With a disk
-// cache, an identical earlier sweep is replayed without simulating.
-func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut, htmlOut string, cellParallel int, disk *microsampler.DiskCache) error {
+// cache, an identical earlier sweep is replayed without simulating —
+// history recording and baseline diffing still run off the replayed
+// artifact, so the CI gate costs microseconds on an unchanged tree.
+func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut, htmlOut string, cellParallel int, disk *microsampler.DiskCache, hd *histDiff) error {
 	var (
 		grid microsampler.GridSpec
 		err  error
@@ -377,13 +453,25 @@ func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut
 			if err := json.Unmarshal(data, &ent); err == nil {
 				fmt.Fprintln(os.Stderr, "microsampler: matrix replayed from cache")
 				fmt.Print(ent.Text)
-				return writeMatrixArtifacts(jsonOut, htmlOut, ent.JSON, ent.HTML)
+				if err := writeMatrixArtifacts(jsonOut, htmlOut, ent.JSON, ent.HTML); err != nil {
+					return err
+				}
+				if hd.active() {
+					var art microsampler.MatrixArtifact
+					if err := json.Unmarshal(ent.JSON, &art); err != nil {
+						return fmt.Errorf("cached matrix artifact: %w", err)
+					}
+					return hd.finishMatrix(&art, ent.JSON, 0)
+				}
+				return nil
 			}
 			fmt.Fprintln(os.Stderr, "microsampler: cache entry corrupt, re-verifying:", err)
 		}
 	}
 
+	sweepStart := time.Now()
 	m, err := microsampler.VerifyMatrix(w, mo)
+	sweepElapsed := time.Since(sweepStart)
 	if err != nil {
 		return err
 	}
@@ -406,15 +494,16 @@ func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut
 	}
 	fmt.Print(sb.String())
 
+	art := microsampler.BuildMatrix(m)
 	var artJSON []byte
-	if cacheKey != "" || jsonOut != "" {
-		if artJSON, err = microsampler.RenderMatrixJSON(m); err != nil {
+	if cacheKey != "" || jsonOut != "" || hd.active() {
+		if artJSON, err = art.JSON(); err != nil {
 			return err
 		}
 	}
 	var artHTML string
 	if cacheKey != "" || htmlOut != "" {
-		artHTML = microsampler.RenderMatrixHTML(m)
+		artHTML = art.HTML()
 	}
 	if cacheKey != "" {
 		ent := matrixCacheEntry{Text: sb.String(), JSON: artJSON, HTML: artHTML}
@@ -426,7 +515,10 @@ func runMatrix(w microsampler.Workload, opts microsampler.Options, spec, jsonOut
 			fmt.Fprintln(os.Stderr, "microsampler: cache write:", err)
 		}
 	}
-	return writeMatrixArtifacts(jsonOut, htmlOut, artJSON, artHTML)
+	if err := writeMatrixArtifacts(jsonOut, htmlOut, artJSON, artHTML); err != nil {
+		return err
+	}
+	return hd.finishMatrix(art, artJSON, sweepElapsed)
 }
 
 func writeMatrixArtifacts(jsonOut, htmlOut string, artJSON []byte, artHTML string) error {

@@ -405,3 +405,239 @@ func TestRunProfiles(t *testing.T) {
 		}
 	}
 }
+
+func TestRunVersionFlag(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-version"}) })
+	if !strings.Contains(out, "microsampler") || !strings.Contains(out, "commit") {
+		t.Errorf("-version output: %q", out)
+	}
+}
+
+func TestRunDiffFlagValidation(t *testing.T) {
+	if err := run([]string{"-workload", "ME-NAIVE", "-diff-against", "x"}); err == nil ||
+		!strings.Contains(err.Error(), "-history-dir") {
+		t.Errorf("-diff-against without -history-dir: %v", err)
+	}
+	if err := run([]string{"-workload", "ME-NAIVE", "-history-dir", t.TempDir(),
+		"-diff-against", "x", "-diff-baseline", "y"}); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("both diff sources: %v", err)
+	}
+	if err := run([]string{"-workload", "ME-NAIVE", "-matrix", "base=small",
+		"-digest-out", "x.json"}); err == nil ||
+		!strings.Contains(err.Error(), "-digest-out") {
+		t.Errorf("-digest-out with -matrix: %v", err)
+	}
+}
+
+// TestRunHistoryAndDiffGate is the CI-gate contract end to end: a clean
+// baseline recorded in the history store, a self-diff that passes, and
+// a leak (a different workload under the same probes) that flips units
+// clean→leaky and makes the process exit nonzero.
+func TestRunHistoryAndDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "history")
+	base := []string{"-runs", "2", "-warmup", "2", "-config", "small", "-chart=false",
+		"-history-dir", hist}
+
+	// Record the clean baseline.
+	if err := run(append(base, "-workload", "ME-V2-SAFE", "-label", "base")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unchanged re-run diffs quiet and exits zero.
+	diffOut := filepath.Join(dir, "self.json")
+	if err := run(append(base, "-workload", "ME-V2-SAFE", "-label", "head",
+		"-diff-against", "base", "-diff-out", diffOut)); err != nil {
+		t.Fatalf("self-diff must pass: %v", err)
+	}
+	var self struct {
+		Regressions int           `json:"regressions"`
+		Flips       []interface{} `json:"flips"`
+	}
+	data, err := os.ReadFile(diffOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &self); err != nil {
+		t.Fatal(err)
+	}
+	if self.Regressions != 0 || len(self.Flips) != 0 {
+		t.Fatalf("self-diff not quiet: %s", data)
+	}
+
+	// The leaky workload under the same label regresses: nonzero exit,
+	// diff artifacts written with the flips highlighted.
+	regOut := filepath.Join(dir, "reg.json")
+	regHTML := filepath.Join(dir, "reg.html")
+	err = run(append(base, "-workload", "ME-NAIVE", "-label", "leaky",
+		"-diff-against", "base", "-diff-out", regOut, "-diff-html", regHTML))
+	if err == nil || !strings.Contains(err.Error(), "verdict regression") {
+		t.Fatalf("regression must fail the run: %v", err)
+	}
+	var reg struct {
+		Regressions int `json:"regressions"`
+	}
+	data, err = os.ReadFile(regOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &reg); err != nil || reg.Regressions == 0 {
+		t.Fatalf("regression diff artifact: %v, %s", err, data)
+	}
+	html, err := os.ReadFile(regHTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "VERDICT FLIP") {
+		t.Error("diff HTML does not highlight the flips")
+	}
+
+	// All three runs are in the store, artifacts included.
+	store, err := microsampler.OpenHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != 3 {
+		t.Fatalf("history has %d records, want 3", store.Len())
+	}
+	rec, ok := store.Latest("leaky", "", microsampler.HistoryKindReport)
+	if !ok || !rec.Leaky || len(rec.LeakyUnits) == 0 {
+		t.Fatalf("leaky record: %+v ok=%v", rec, ok)
+	}
+	if _, err := store.Artifact(rec, "digest"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDigestOutAndBaselineFile(t *testing.T) {
+	dir := t.TempDir()
+	digest := filepath.Join(dir, "digest.json")
+	args := []string{"-workload", "ME-NAIVE", "-runs", "2", "-warmup", "2",
+		"-config", "small", "-chart=false"}
+	if err := run(append(args, "-digest-out", digest)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Self-diff against the digest file: quiet.
+	if err := run(append(args, "-diff-baseline", digest)); err != nil {
+		t.Fatalf("self-diff against digest file: %v", err)
+	}
+
+	// Flip injection: rewrite the baseline with every unit clean, so the
+	// fresh (leaky) run must trip the gate.
+	data, err := os.ReadFile(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d microsampler.ReportDigest
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatal(err)
+	}
+	d.Leaky = false
+	for i := range d.Units {
+		d.Units[i].Leaky = false
+	}
+	mutated, err := json.Marshal(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBase := filepath.Join(dir, "clean.json")
+	if err := os.WriteFile(cleanBase, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-diff-baseline", cleanBase)); err == nil ||
+		!strings.Contains(err.Error(), "verdict regression") {
+		t.Fatalf("injected flip not detected: %v", err)
+	}
+}
+
+// TestRunMatrixDiffGate exercises the sweep-level gate, including the
+// cache-replay path: an unchanged re-sweep diffs quiet off the cached
+// artifact, and an injected flip in the baseline trips the gate.
+func TestRunMatrixDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	hist := filepath.Join(dir, "history")
+	art := filepath.Join(dir, "matrix.json")
+	args := func(extra ...string) []string {
+		return append([]string{"-workload", "TAGE-HIST", "-runs", "4", "-warmup", "4",
+			"-matrix", "predictor=gshare,tage", "-cache-dir", cacheDir,
+			"-history-dir", hist}, extra...)
+	}
+	if err := run(args("-label", "base", "-matrix-out", art)); err != nil {
+		t.Fatal(err)
+	}
+	if n := countCacheBlobs(t, cacheDir); n != 1 {
+		t.Fatalf("blobs after sweep = %d, want 1", n)
+	}
+
+	// Unchanged re-sweep: served from cache, self-diff quiet, recorded.
+	if err := run(args("-label", "head", "-diff-against", "base")); err != nil {
+		t.Fatalf("cached self-diff must pass: %v", err)
+	}
+	if n := countCacheBlobs(t, cacheDir); n != 1 {
+		t.Errorf("diffing re-sweep re-verified: %d blobs", n)
+	}
+
+	// Inject a flip: a baseline claiming every cell clean.
+	data, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m microsampler.MatrixArtifact
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Cells {
+		m.Cells[i].Leaky = false
+	}
+	mutated, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBase := filepath.Join(dir, "clean.json")
+	if err := os.WriteFile(cleanBase, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diffOut := filepath.Join(dir, "diff.json")
+	diffHTML := filepath.Join(dir, "diff.html")
+	err = run(args("-label", "head2", "-diff-baseline", cleanBase,
+		"-diff-out", diffOut, "-diff-html", diffHTML))
+	if err == nil || !strings.Contains(err.Error(), "verdict regression") {
+		t.Fatalf("injected matrix flip not detected: %v", err)
+	}
+	var d struct {
+		Regressions int `json:"regressions"`
+	}
+	data, err = os.ReadFile(diffOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &d); err != nil || d.Regressions != 1 {
+		t.Fatalf("matrix diff artifact: %v, %s", err, data)
+	}
+	html, err := os.ReadFile(diffHTML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "VERDICT FLIP") ||
+		strings.Count(string(html), "<svg") != 2 {
+		t.Error("matrix diff HTML incomplete")
+	}
+
+	// The history store saw all three sweeps.
+	store, err := microsampler.OpenHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != 3 {
+		t.Fatalf("history has %d records, want 3", store.Len())
+	}
+	rec, ok := store.Latest("", "TAGE-HIST", microsampler.HistoryKindMatrix)
+	if !ok || rec.Cells != 2 || len(rec.LeakyCells) != 1 {
+		t.Fatalf("matrix record: %+v ok=%v", rec, ok)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"microsampler/internal/asm"
+	"microsampler/internal/version"
 )
 
 func main() {
@@ -27,8 +28,13 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("msasm", flag.ContinueOnError)
 	disasm := fs.Bool("d", false, "disassemble the text segment")
 	hex := fs.Bool("hex", false, "hex-dump the text segment")
+	showVersion := fs.Bool("version", false, "print the version and build provenance, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println(version.Get().Line("msasm"))
+		return nil
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: msasm [-d] [-hex] program.s")

@@ -20,6 +20,8 @@
 //	GET  /api/v1/jobs/{id}/provenance    instruction-level leakage provenance JSON
 //	GET  /api/v1/jobs/{id}/provenance.html  provenance as self-contained HTML
 //	GET  /api/v1/jobs/{id}/postmortem    flight-recorder Perfetto dump (failed jobs)
+//	GET  /api/v1/history                 labeled run-history records (?label=, ?workload=)
+//	POST /api/v1/diff                    verdict diff between two labels ({"from":"A","to":"B"})
 //	GET  /metrics                        Prometheus text exposition
 //	GET  /healthz, /readyz               liveness / readiness
 //	GET  /debug/pprof/                   Go profiling
@@ -44,6 +46,12 @@
 //
 //	msd -journal-dir /var/lib/msd -audit-verify
 //	msd -journal-dir /var/lib/msd -audit-verify -audit-head <chain-hex>
+//
+// With -history-dir set (journaled daemons default it to
+// <journal-dir>/history), every finished job's verdict is filed in the
+// labeled run-history store and the daemon serves verdict diffs between
+// labels; clean↔leaky flips surface in the msd_verdict_flips_total
+// counter.
 package main
 
 import (
@@ -62,6 +70,7 @@ import (
 	"time"
 
 	"microsampler/internal/msd"
+	"microsampler/internal/version"
 )
 
 func main() {
@@ -90,14 +99,20 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		flightFrames = fs.Int("flight-recorder", 1024, "cycles of per-unit occupancy kept per run; failed jobs expose the dump as a postmortem artifact (0: off)")
 		cacheEntries = fs.Int("cache", 256, "verdicts retained in the content-addressed cache; identical resubmissions are served without simulating (0: off)")
 		cacheDir     = fs.String("cache-dir", "", "disk layer for the verdict cache, surviving restarts (default: <journal-dir>/cache when journaled, else memory-only)")
+		historyDir   = fs.String("history-dir", "", "directory for the labeled run-history store behind /api/v1/history and /api/v1/diff (default: <journal-dir>/history when journaled, else disabled)")
 		auditBatch   = fs.Int("audit-batch", 0, "terminal journal records per Merkle audit root (0: default)")
 		auditVerify  = fs.Bool("audit-verify", false, "verify the journal's Merkle audit chain under -journal-dir and exit")
 		auditHead    = fs.String("audit-head", "", "with -audit-verify: externally recorded chain head the journal must end at (detects tail truncation)")
 		logFormat    = fs.String("log-format", "text", "log output format: text or json")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		showVersion  = fs.Bool("version", false, "print the version and build provenance, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println(version.Get().Line("msd"))
+		return nil
 	}
 	if *recoverFlag && *journalDir == "" {
 		return fmt.Errorf("-recover requires -journal-dir")
@@ -110,6 +125,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	if *cacheDir == "" && *cacheEntries > 0 && *journalDir != "" {
 		*cacheDir = filepath.Join(*journalDir, "cache")
+	}
+	if *historyDir == "" && *journalDir != "" {
+		*historyDir = filepath.Join(*journalDir, "history")
 	}
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -128,6 +146,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		FlightFrames:       *flightFrames,
 		CacheEntries:       *cacheEntries,
 		CacheDir:           *cacheDir,
+		HistoryDir:         *historyDir,
 		AuditBatch:         *auditBatch,
 	})
 	if err != nil {

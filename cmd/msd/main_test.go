@@ -32,6 +32,7 @@ func TestSmoke(t *testing.T) {
 			"-drain-timeout", "60s",
 			"-watchdog", "30s",
 			"-flight-recorder", "256",
+			"-history-dir", t.TempDir(),
 		}, ready)
 	}()
 
@@ -64,6 +65,7 @@ func TestSmoke(t *testing.T) {
 		"config":   "small",
 		"runs":     2,
 		"warmup":   2,
+		"label":    "smoke",
 	})
 	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -113,8 +115,24 @@ func TestSmoke(t *testing.T) {
 	if final.Leaky == nil || !*final.Leaky {
 		t.Error("ME-NAIVE should be flagged leaky")
 	}
-	if len(final.Artifacts) != 6 {
+	if len(final.Artifacts) != 7 {
 		t.Errorf("artifacts: %v", final.Artifacts)
+	}
+
+	// The labeled run landed in the history store.
+	resp, err = http.Get(base + "/api/v1/history?label=smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist struct {
+		Records []map[string]any `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hist)
+	resp.Body.Close()
+	if err != nil || len(hist.Records) != 1 {
+		t.Errorf("history: err=%v records=%+v", err, hist.Records)
+	} else if hist.Records[0]["leaky"] != true || hist.Records[0]["kind"] != "report" {
+		t.Errorf("history record: %+v", hist.Records[0])
 	}
 
 	// The progress endpoint reports the terminal state with the full
@@ -197,6 +215,16 @@ func TestSmoke(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestVersionFlag: -version prints and exits cleanly without binding a
+// listener.
+func TestVersionFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-version", "-addr", "256.0.0.1:99999"}, nil); err != nil {
+		t.Errorf("-version: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"microsampler/internal/asm"
 	"microsampler/internal/sim"
+	"microsampler/internal/version"
 )
 
 func main() {
@@ -29,8 +30,13 @@ func run(args []string) error {
 	config := fs.String("config", "mega", "core configuration: mega or small")
 	maxCycles := fs.Int64("max-cycles", 50_000_000, "cycle budget")
 	fastBypass := fs.Bool("fast-bypass", false, "enable the fast-bypass optimisation")
+	showVersion := fs.Bool("version", false, "print the version and build provenance, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println(version.Get().Line("mssim"))
+		return nil
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: mssim [-config mega|small] program.s")

@@ -10,6 +10,7 @@
 //	mstest run [-seeds 5] [-match RE] [-out quality.json] [-baseline quality.json]
 //	mstest calibrate [-seeds 5] [-out quality.json]
 //	mstest diff baseline.json current.json [-vtol 0.05]
+//	mstest version
 //
 // `run` evaluates the corpus and exits nonzero on any ground-truth
 // violation (and, with -baseline, on any regression against a stored
@@ -25,6 +26,7 @@ import (
 	"regexp"
 
 	"microsampler/internal/oracle"
+	"microsampler/internal/version"
 )
 
 func main() {
@@ -47,8 +49,11 @@ func run(args []string) error {
 		return runDiff(args[1:])
 	case "list":
 		return runList(args[1:])
+	case "version", "-version", "--version":
+		fmt.Println(version.Get().Line("mstest"))
+		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (want run, calibrate, diff, or list)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want run, calibrate, diff, list, or version)", args[0])
 	}
 }
 

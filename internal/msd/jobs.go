@@ -59,6 +59,13 @@ type JobRequest struct {
 	// job (0/absent: sequential cells; each cell still parallelises its
 	// runs via Parallel).
 	CellParallel int `json:"cellParallel,omitempty"`
+
+	// Label names the code state this run should be filed under in the
+	// daemon's run-history store (Config.HistoryDir) — a commit SHA,
+	// typically. Execution metadata only: it never enters the
+	// content-addressed cache key, so relabeled resubmissions still hit
+	// the cache. Empty defaults to the daemon binary's own VCS stamp.
+	Label string `json:"label,omitempty"`
 }
 
 // validate normalises the request and reports user errors.
@@ -163,6 +170,7 @@ type artifact struct {
 type jobView struct {
 	ID         string   `json:"id"`
 	Workload   string   `json:"workload"`
+	Label      string   `json:"label,omitempty"`
 	Status     string   `json:"status"`
 	Error      string   `json:"error,omitempty"`
 	Submitted  string   `json:"submitted"`
@@ -183,6 +191,7 @@ func (j *Job) view() jobView {
 	v := jobView{
 		ID:        j.ID,
 		Workload:  j.workloadName(),
+		Label:     j.Req.Label,
 		Status:    string(j.Status),
 		Error:     j.Err,
 		Submitted: j.Submitted.UTC().Format(time.RFC3339Nano),
@@ -283,7 +292,8 @@ func sortStrings(s []string) {
 
 // renderArtifacts produces every downloadable document of a finished
 // verification: the stable JSON report, the Perfetto trace of the span
-// tree, and the leakage heatmap in JSON and self-contained HTML.
+// tree, the leakage heatmap and provenance in JSON and self-contained
+// HTML, and the diffable report digest the history/diff layer consumes.
 func renderArtifacts(rep *core.Report, heatmapWindows int) (map[string]artifact, error) {
 	out := make(map[string]artifact, 4)
 	repJSON, err := report.JSON(rep)
@@ -320,6 +330,16 @@ func renderArtifacts(rep *core.Report, heatmapWindows int) (map[string]artifact,
 	out["provenance"] = artifact{"application/json", pvJSON}
 	out["provenance.html"] = artifact{"text/html; charset=utf-8",
 		[]byte(pv.HTMLWithDisasm(rep.Program, 5, 4))}
+
+	dg, err := report.BuildDigest(rep)
+	if err != nil {
+		return nil, fmt.Errorf("build digest: %w", err)
+	}
+	dgJSON, err := dg.JSON()
+	if err != nil {
+		return nil, fmt.Errorf("render digest: %w", err)
+	}
+	out["digest"] = artifact{"application/json", dgJSON}
 	return out, nil
 }
 

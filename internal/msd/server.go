@@ -23,8 +23,10 @@ import (
 	"microsampler/internal/cache"
 	"microsampler/internal/core"
 	"microsampler/internal/faults"
+	"microsampler/internal/history"
 	"microsampler/internal/telemetry"
 	"microsampler/internal/telemetry/export"
+	"microsampler/internal/version"
 )
 
 // Config parameterises a Server.
@@ -69,6 +71,13 @@ type Config struct {
 	// fsync'd disk layer under this directory: cached verdicts survive a
 	// daemon restart. Typically a subdirectory of JournalDir.
 	CacheDir string
+
+	// HistoryDir, when non-empty, enables the run-history store: every
+	// finished job's verdict is appended to an append-only labeled index
+	// under this directory with its diffable artifact (report digest or
+	// matrix) filed content-addressed, feeding GET /api/v1/history and
+	// POST /api/v1/diff. Typically a subdirectory of JournalDir.
+	HistoryDir string
 
 	// AuditBatch is how many terminal journal records one Merkle root of
 	// the tamper-evident audit chain covers (0: a small default; see
@@ -119,6 +128,10 @@ type Server struct {
 	cacheDisk *cache.Disk
 	flight    cache.Group
 
+	// hist is the labeled run-history store behind /api/v1/history and
+	// /api/v1/diff (nil when disabled). It carries its own lock.
+	hist *history.Store
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing and eviction
@@ -150,6 +163,9 @@ type Server struct {
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
 	deduped     *telemetry.Counter
+	// verdictFlips counts clean↔leaky verdict flips surfaced by the
+	// diff endpoint — the scrapeable regression signal.
+	verdictFlips *telemetry.Counter
 }
 
 // New builds a Server, recovers any journaled jobs when
@@ -177,23 +193,27 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan *Job, cfg.QueueSize),
 		jobs:  make(map[string]*Job),
 
-		queueDepth:  cfg.Metrics.Gauge("msd_queue_depth"),
-		inflight:    cfg.Metrics.Gauge("msd_jobs_inflight"),
-		submitted:   cfg.Metrics.Counter("msd_jobs_submitted_total"),
-		rejected:    cfg.Metrics.Counter("msd_jobs_rejected_total"),
-		completed:   cfg.Metrics.Counter("msd_jobs_completed_total"),
-		failed:      cfg.Metrics.Counter("msd_jobs_failed_total"),
-		recovered:   cfg.Metrics.Counter("msd_jobs_recovered_total"),
-		interrupted: cfg.Metrics.Counter("msd_jobs_interrupted_total"),
-		panics:      cfg.Metrics.Counter("msd_job_panics_total"),
-		jobCycles:   cfg.Metrics.Counter("msd_job_cycles_total"),
-		queueOldest: cfg.Metrics.Gauge("msd_queue_oldest_age_seconds"),
-		jobSeconds:  cfg.Metrics.Histogram("msd_job_seconds", telemetry.LatencyBuckets()),
-		waitSeconds: cfg.Metrics.Histogram("msd_job_queue_wait_seconds", telemetry.LatencyBuckets()),
-		cacheHits:   cfg.Metrics.Counter("msd_cache_hits_total"),
-		cacheMisses: cfg.Metrics.Counter("msd_cache_misses_total"),
-		deduped:     cfg.Metrics.Counter("msd_jobs_deduped_total"),
+		queueDepth:   cfg.Metrics.Gauge("msd_queue_depth"),
+		inflight:     cfg.Metrics.Gauge("msd_jobs_inflight"),
+		submitted:    cfg.Metrics.Counter("msd_jobs_submitted_total"),
+		rejected:     cfg.Metrics.Counter("msd_jobs_rejected_total"),
+		completed:    cfg.Metrics.Counter("msd_jobs_completed_total"),
+		failed:       cfg.Metrics.Counter("msd_jobs_failed_total"),
+		recovered:    cfg.Metrics.Counter("msd_jobs_recovered_total"),
+		interrupted:  cfg.Metrics.Counter("msd_jobs_interrupted_total"),
+		panics:       cfg.Metrics.Counter("msd_job_panics_total"),
+		jobCycles:    cfg.Metrics.Counter("msd_job_cycles_total"),
+		queueOldest:  cfg.Metrics.Gauge("msd_queue_oldest_age_seconds"),
+		jobSeconds:   cfg.Metrics.Histogram("msd_job_seconds", telemetry.LatencyBuckets()),
+		waitSeconds:  cfg.Metrics.Histogram("msd_job_queue_wait_seconds", telemetry.LatencyBuckets()),
+		cacheHits:    cfg.Metrics.Counter("msd_cache_hits_total"),
+		cacheMisses:  cfg.Metrics.Counter("msd_cache_misses_total"),
+		deduped:      cfg.Metrics.Counter("msd_jobs_deduped_total"),
+		verdictFlips: cfg.Metrics.Counter("msd_verdict_flips_total"),
 	}
+	// The constant build-info gauge ties every scrape to the exact
+	// binary that produced it.
+	version.Gauge(cfg.Metrics, "msd_build_info")
 	s.verify = cfg.verify
 	if s.verify == nil {
 		s.verify = s.runVerification
@@ -211,6 +231,13 @@ func New(cfg Config) (*Server, error) {
 			}
 			s.cacheDisk = disk
 		}
+	}
+	if cfg.HistoryDir != "" {
+		h, err := history.Open(cfg.HistoryDir)
+		if err != nil {
+			return nil, fmt.Errorf("msd: history: %w", err)
+		}
+		s.hist = h
 	}
 	if cfg.JournalDir != "" {
 		jrn, recs, raw, err := openJournal(cfg.JournalDir)
@@ -406,6 +433,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			}
 			_ = s.jrn.Close()
 		}
+		if s.hist != nil {
+			_ = s.hist.Close()
+		}
 		s.log.Info("msd drained")
 		return nil
 	case <-ctx.Done():
@@ -438,6 +468,8 @@ func (s *Server) buildMux() *http.ServeMux {
 		metricsHandler.ServeHTTP(w, r)
 	}))
 	mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
+	mux.HandleFunc("GET /api/v1/history", s.handleHistory)
+	mux.HandleFunc("POST /api/v1/diff", s.handleDiff)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -612,11 +644,18 @@ func (s *Server) retryAfterLocked() int {
 	return secs
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	// ?label= narrows the listing to one code state's jobs — the
+	// per-label view the diff workflow reads.
+	label := r.URL.Query().Get("label")
 	s.mu.Lock()
 	views := make([]jobView, 0, len(s.order))
 	for _, id := range s.order {
-		views = append(views, s.jobs[id].view())
+		j := s.jobs[id]
+		if label != "" && j.Req.Label != label {
+			continue
+		}
+		views = append(views, j.view())
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
@@ -823,6 +862,7 @@ func (s *Server) runJob(job *Job) {
 			Cells: sum.cells, LeakyCells: sum.leakyCells,
 			Cached: cached,
 		})
+		s.recordHistory(job, sum, arts, finished)
 	}
 
 	s.mu.Lock()

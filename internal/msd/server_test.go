@@ -128,7 +128,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if done.SimCycles != 1234 || done.Iterations != 8 {
 		t.Errorf("view stats: %+v", done)
 	}
-	wantArts := []string{"heatmap", "heatmap.html", "provenance", "provenance.html", "report", "trace"}
+	wantArts := []string{"digest", "heatmap", "heatmap.html", "provenance", "provenance.html", "report", "trace"}
 	if fmt.Sprint(done.Artifacts) != fmt.Sprint(wantArts) {
 		t.Errorf("artifacts %v want %v", done.Artifacts, wantArts)
 	}

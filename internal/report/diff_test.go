@@ -1,0 +1,344 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microsampler/internal/core"
+)
+
+// fromDigest/toDigest are a synthetic baseline/current pair exercising
+// every diff feature: a clean→leaky flip (BTB-TGT), a leaky→clean flip
+// (LQ-PC), V drift without a flip (SQ-ADDR), a stable unit (ROB-OCC),
+// an added unit (NEW-UNIT), a removed one (OLD-UNIT), and a provenance
+// move on TAGE-PRED.
+func fromDigest() *ReportDigest {
+	return &ReportDigest{
+		Workload: "SYN-WL", Config: "SmallBoom", Leaky: true,
+		Units: []DigestUnit{
+			{Unit: "TAGE-PRED", Leaky: true, V: 0.90, P: 0.001},
+			{Unit: "BTB-TGT", Leaky: false, V: 0.10, P: 0.40},
+			{Unit: "LQ-PC", Leaky: true, V: 0.55, P: 0.01},
+			{Unit: "SQ-ADDR", Leaky: false, V: 0.05, P: 0.70},
+			{Unit: "ROB-OCC", Leaky: false, V: 0.02, P: 0.90},
+			{Unit: "OLD-UNIT", Leaky: false, V: 0.01, P: 0.95},
+		},
+		TopProvenance: []MatrixProv{
+			{Unit: "TAGE-PRED", PC: 0x1004, Symbol: "loop", Via: "timing", V: 0.90},
+			{Unit: "LQ-PC", PC: 0x1010, Symbol: "load", Via: "value", V: 0.55},
+		},
+	}
+}
+
+func toDigest() *ReportDigest {
+	return &ReportDigest{
+		Workload: "SYN-WL", Config: "SmallBoom", Leaky: true,
+		Units: []DigestUnit{
+			{Unit: "TAGE-PRED", Leaky: true, V: 0.91, P: 0.001},
+			{Unit: "BTB-TGT", Leaky: true, V: 0.60, P: 0.002},
+			{Unit: "LQ-PC", Leaky: false, V: 0.08, P: 0.60},
+			{Unit: "SQ-ADDR", Leaky: false, V: 0.25, P: 0.30},
+			{Unit: "ROB-OCC", Leaky: false, V: 0.02, P: 0.90},
+			{Unit: "NEW-UNIT", Leaky: false, V: 0.03, P: 0.80},
+		},
+		TopProvenance: []MatrixProv{
+			{Unit: "TAGE-PRED", PC: 0x1020, Symbol: "tail", Via: "timing", V: 0.91},
+			{Unit: "BTB-TGT", PC: 0x1008, Symbol: "branch", Via: "timing", V: 0.60},
+		},
+	}
+}
+
+func TestBuildDiffFeatures(t *testing.T) {
+	d := BuildDiff(fromDigest(), toDigest(), DiffOptions{FromLabel: "base", ToLabel: "head"})
+	if !d.Regression() || d.Regressions != 1 || d.Improvements != 1 {
+		t.Fatalf("counts: regressions=%d improvements=%d", d.Regressions, d.Improvements)
+	}
+	if len(d.Flips) != 2 || d.Flips[0].Name != "BTB-TGT" || !d.Flips[0].ToLeaky ||
+		d.Flips[1].Name != "LQ-PC" || d.Flips[1].ToLeaky {
+		t.Fatalf("flips: %+v", d.Flips)
+	}
+	if len(d.VDrifts) != 1 || d.VDrifts[0].Name != "SQ-ADDR" {
+		t.Fatalf("vdrifts: %+v", d.VDrifts)
+	}
+	if len(d.Added) != 1 || d.Added[0] != "NEW-UNIT" ||
+		len(d.Removed) != 1 || d.Removed[0] != "OLD-UNIT" {
+		t.Fatalf("added/removed: %v / %v", d.Added, d.Removed)
+	}
+	if len(d.ProvDrifts) != 1 || d.ProvDrifts[0].Name != "TAGE-PRED" ||
+		d.ProvDrifts[0].FromPC != 0x1004 || d.ProvDrifts[0].ToPC != 0x1020 {
+		t.Fatalf("provenance drift: %+v", d.ProvDrifts)
+	}
+}
+
+func TestBuildDiffSelfIsQuiet(t *testing.T) {
+	d := BuildDiff(fromDigest(), fromDigest(), DiffOptions{})
+	if d.Regression() || len(d.Flips)+len(d.VDrifts)+len(d.ProvDrifts)+len(d.Added)+len(d.Removed) != 0 {
+		t.Fatalf("self-diff not quiet: %+v", d)
+	}
+}
+
+// An added unit that is already leaky counts as a regression — a grown
+// probe set must not smuggle leaks past the gate.
+func TestBuildDiffAddedLeakyIsRegression(t *testing.T) {
+	from := &ReportDigest{Workload: "w"}
+	to := &ReportDigest{Workload: "w", Leaky: true,
+		Units: []DigestUnit{{Unit: "X", Leaky: true, V: 0.8, P: 0.001}}}
+	d := BuildDiff(from, to, DiffOptions{})
+	if !d.Regression() || len(d.Added) != 1 {
+		t.Fatalf("added leaky unit not a regression: %+v", d)
+	}
+}
+
+func TestDiffGolden(t *testing.T) {
+	d := BuildDiff(fromDigest(), toDigest(), DiffOptions{FromLabel: "base", ToLabel: "head"})
+	got, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "diff_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("diff JSON drifted from golden (rerun with -update if intended)\ngot:\n%s", got)
+	}
+	for _, banned := range []string{"elapsed", "seconds", "duration", "wall", "time"} {
+		if strings.Contains(strings.ToLower(string(got)), banned) {
+			t.Errorf("diff JSON contains wall-clock field %q", banned)
+		}
+	}
+}
+
+func TestBuildDigestRoundTrip(t *testing.T) {
+	rep := sampleReport(t)
+	d, err := BuildDigest(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Workload != "sample" || !d.Leaky || len(d.Units) == 0 {
+		t.Fatalf("digest shape: %+v", d)
+	}
+	if len(d.TopProvenance) == 0 {
+		t.Fatal("leaky digest missing provenance")
+	}
+	if d.MaxV() <= 0 {
+		t.Fatal("MaxV not populated")
+	}
+	data, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ReportDigest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// The round-tripped digest must self-diff quiet: the history store
+	// keeps digests as JSON blobs and diffs them against live runs.
+	if dd := BuildDiff(&back, d, DiffOptions{}); dd.Regression() || len(dd.Flips) != 0 {
+		t.Fatalf("round-trip digest self-diff not quiet: %+v", dd)
+	}
+	for _, banned := range []string{"elapsed", "seconds", "duration", "wall"} {
+		if strings.Contains(strings.ToLower(string(data)), banned) {
+			t.Errorf("digest JSON contains wall-clock field %q", banned)
+		}
+	}
+}
+
+// mutateMatrix deep-copies the artifact and flips predictor=tage cells
+// clean — simulating the "fix landed" (or, reversed, "leak introduced")
+// sweep.
+func mutateMatrix(a *MatrixArtifact) *MatrixArtifact {
+	data, err := json.Marshal(a)
+	if err != nil {
+		panic(err)
+	}
+	var out MatrixArtifact
+	if err := json.Unmarshal(data, &out); err != nil {
+		panic(err)
+	}
+	for i := range out.Cells {
+		c := &out.Cells[i]
+		if strings.Contains(c.Name, "predictor=tage") {
+			c.Leaky = false
+			c.Flagged = nil
+			c.MaxV = 0.01
+			c.MaxVUnit = ""
+			c.TopProvenance = nil
+		}
+	}
+	return &out
+}
+
+func TestBuildMatrixDiffRealSweep(t *testing.T) {
+	art := BuildMatrix(sampleMatrix(t), 3)
+
+	// Self-diff: every common cell unchanged, nothing reported.
+	self := BuildMatrixDiff(art, art, DiffOptions{})
+	if self.Regression() || len(self.Flips) != 0 || self.Cells != 4 || self.Unchanged != 4 {
+		t.Fatalf("self-diff: %+v", self)
+	}
+
+	// fixed (tage cells clean) → art: the tage cells regress.
+	fixed := mutateMatrix(art)
+	d := BuildMatrixDiff(fixed, art, DiffOptions{FromLabel: "fixed", ToLabel: "regressed"})
+	if !d.Regression() || d.Regressions != 2 || len(d.Flips) != 2 {
+		t.Fatalf("regression diff: %+v", d)
+	}
+	for _, f := range d.Flips {
+		if !strings.Contains(f.Name, "predictor=tage") || f.FromLeaky || !f.ToLeaky {
+			t.Errorf("flip %+v", f)
+		}
+		if len(f.ToFlagged) == 0 {
+			t.Errorf("flip %s lost flagged units", f.Name)
+		}
+	}
+	// Reversed: an improvement, not a regression.
+	rev := BuildMatrixDiff(art, fixed, DiffOptions{})
+	if rev.Regression() || rev.Improvements != 2 {
+		t.Fatalf("improvement diff: %+v", rev)
+	}
+}
+
+func TestBuildMatrixDiffGridChanges(t *testing.T) {
+	art := BuildMatrix(sampleMatrix(t), 3)
+	grown := mutateMatrix(art)
+	grown.Cells = append(grown.Cells, MatrixCell{CellResult: core.CellResult{
+		Cell:  core.Cell{Name: "predictor=perceptron"},
+		Leaky: true, MaxV: 0.7,
+	}})
+	d := BuildMatrixDiff(art, grown, DiffOptions{})
+	if len(d.Added) != 1 || d.Added[0].Name != "predictor=perceptron" {
+		t.Fatalf("added: %+v", d.Added)
+	}
+	// The added cell is leaky: that is a regression even without a flip.
+	if d.Regressions < 1 {
+		t.Fatalf("added leaky cell not counted: %+v", d)
+	}
+	back := BuildMatrixDiff(grown, art, DiffOptions{})
+	if len(back.Removed) != 1 || back.Removed[0].Name != "predictor=perceptron" {
+		t.Fatalf("removed: %+v", back.Removed)
+	}
+}
+
+func TestBuildMatrixDiffErrorCellsExcluded(t *testing.T) {
+	art := BuildMatrix(sampleMatrix(t), 3)
+	broken := mutateMatrix(art)
+	broken.Cells[0].Err = "sim exploded"
+	d := BuildMatrixDiff(art, broken, DiffOptions{})
+	if len(d.Errors) != 1 || !strings.Contains(d.Errors[0], broken.Cells[0].Name) {
+		t.Fatalf("errors: %+v", d.Errors)
+	}
+	for _, f := range d.Flips {
+		if f.Name == broken.Cells[0].Name {
+			t.Fatal("errored cell verdict compared")
+		}
+	}
+}
+
+func TestMatrixDiffGolden(t *testing.T) {
+	art := BuildMatrix(sampleMatrix(t), 3)
+	d := BuildMatrixDiff(mutateMatrix(art), art, DiffOptions{FromLabel: "base", ToLabel: "head"})
+	got, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "matrix_diff_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("matrix diff JSON drifted from golden (rerun with -update if intended)\ngot:\n%s", got)
+	}
+	for _, banned := range []string{"elapsed", "seconds", "duration", "wall", "time"} {
+		if strings.Contains(strings.ToLower(string(got)), banned) {
+			t.Errorf("matrix diff JSON contains wall-clock field %q", banned)
+		}
+	}
+}
+
+func TestMatrixDiffHTML(t *testing.T) {
+	art := BuildMatrix(sampleMatrix(t), 3)
+	fixed := mutateMatrix(art)
+	d := BuildMatrixDiff(fixed, art, DiffOptions{FromLabel: "v1", ToLabel: "v2"})
+	doc := d.HTML(fixed, art)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>", "v1", "v2", "TAGE-HIST",
+		"#b35806", "VERDICT FLIP", "Verdict flips",
+		`class="side"`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("diff HTML missing %q", want)
+		}
+	}
+	// Side-by-side: two svgs, each with all four cells.
+	if got := strings.Count(doc, "<svg"); got != 2 {
+		t.Errorf("%d svgs, want 2", got)
+	}
+	if got, want := strings.Count(doc, "<rect"), 2*len(art.Cells); got != want {
+		t.Errorf("%d rects, want %d", got, want)
+	}
+	for _, banned := range []string{"http://", "https://", "src=", "href="} {
+		if strings.Contains(doc, banned) {
+			t.Errorf("diff HTML not self-contained: found %q", banned)
+		}
+	}
+	if doc != d.HTML(fixed, art) {
+		t.Error("diff HTML not deterministic")
+	}
+}
+
+func TestReportDiffHTML(t *testing.T) {
+	from, to := fromDigest(), toDigest()
+	d := BuildDiff(from, to, DiffOptions{FromLabel: "base", ToLabel: "head"})
+	doc := d.HTML(from, to)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>", "base", "head",
+		"#b35806", "VERDICT FLIP", "BTB-TGT", "LQ-PC",
+		"Verdict flips", "not analysed",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report diff HTML missing %q", want)
+		}
+	}
+	// Two rows over union(new units, removed units) = 7 columns.
+	if got, want := strings.Count(doc, "<rect"), 2*7; got != want {
+		t.Errorf("%d rects, want %d", got, want)
+	}
+	for _, banned := range []string{"http://", "https://", "src=", "href="} {
+		if strings.Contains(doc, banned) {
+			t.Errorf("report diff HTML not self-contained: found %q", banned)
+		}
+	}
+	if doc != d.HTML(from, to) {
+		t.Error("report diff HTML not deterministic")
+	}
+}
+
+// Workloads with different names diff normally — the "introduce a
+// leak, diff it" walkthrough compares differently named programs.
+func TestDiffAcrossWorkloadNames(t *testing.T) {
+	from := &ReportDigest{Workload: "safe-v1"}
+	to := &ReportDigest{Workload: "leaky-v2"}
+	d := BuildDiff(from, to, DiffOptions{})
+	if d.Workload != "leaky-v2" || d.FromWorkload != "safe-v1" {
+		t.Fatalf("workload names: %+v", d)
+	}
+}

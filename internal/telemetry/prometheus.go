@@ -36,6 +36,22 @@ func SanitizeMetricName(name string) string {
 	return b.String()
 }
 
+// splitLabels separates a trailing Prometheus label block from a
+// metric name: `x{a="b"}` becomes ("x", `{a="b"}`). Producers that
+// need labels (the version package's build_info gauges) embed the
+// block in the free-form registry name; only the base name is
+// sanitised at render time and the block is emitted verbatim, so the
+// producer owns its quoting. Names without a well-formed trailing
+// block are returned unchanged with no labels.
+func splitLabels(name string) (base, labels string) {
+	if strings.HasSuffix(name, "}") {
+		if i := strings.IndexByte(name, '{'); i > 0 {
+			return name[:i], name[i:]
+		}
+	}
+	return name, ""
+}
+
 // formatFloat renders a sample value the way Prometheus expects:
 // shortest round-trip decimal, with the special values spelled +Inf,
 // -Inf and NaN.
@@ -57,7 +73,10 @@ func formatFloat(v float64) string {
 // _bucket series plus _sum and _count. Metric names are sanitised with
 // SanitizeMetricName; when two names collapse onto the same sanitised
 // family the headers are emitted once. Families appear in sorted
-// (sanitised) name order, so the rendering is deterministic.
+// (sanitised) name order, so the rendering is deterministic. A counter
+// or gauge name carrying a trailing {...} block (see splitLabels) keeps
+// it verbatim as its label set; histograms do not support embedded
+// labels (they would collide with the synthesised le labels).
 func (s Snapshot) Prometheus() string {
 	var b strings.Builder
 	seen := make(map[string]bool)
@@ -84,17 +103,21 @@ func (s Snapshot) Prometheus() string {
 	}
 
 	for _, orig := range sortedBySanitized(s.Counters) {
-		name := SanitizeMetricName(orig)
-		header(name, orig, "counter")
+		base, labels := splitLabels(orig)
+		name := SanitizeMetricName(base)
+		header(name, base, "counter")
 		b.WriteString(name)
+		b.WriteString(labels)
 		b.WriteString(" ")
 		b.WriteString(strconv.FormatUint(s.Counters[orig], 10))
 		b.WriteString("\n")
 	}
 	for _, orig := range sortedBySanitized(s.Gauges) {
-		name := SanitizeMetricName(orig)
-		header(name, orig, "gauge")
+		base, labels := splitLabels(orig)
+		name := SanitizeMetricName(base)
+		header(name, base, "gauge")
 		b.WriteString(name)
+		b.WriteString(labels)
 		b.WriteString(" ")
 		b.WriteString(formatFloat(s.Gauges[orig]))
 		b.WriteString("\n")

@@ -146,6 +146,45 @@ func TestPrometheusSpecialValues(t *testing.T) {
 	}
 }
 
+// TestPrometheusLabelPassthrough: a counter or gauge name carrying a
+// trailing {...} block keeps it verbatim as its label set — only the
+// base name is sanitised, headers name the bare family, and the sample
+// line still parses against the exposition grammar.
+func TestPrometheusLabelPassthrough(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge(`msd_build_info{version="(devel)",revision="abc123",dirty="false"}`).Set(1)
+	r.Counter(`flips_total{kind="matrix"}`).Add(2)
+	out := r.RenderText()
+	for _, want := range []string{
+		`msd_build_info{version="(devel)",revision="abc123",dirty="false"} 1`,
+		`flips_total{kind="matrix"} 2`,
+		"# TYPE msd_build_info gauge",
+		"# TYPE flips_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# TYPE msd_build_info{") {
+		t.Errorf("header leaked the label block:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Errorf("sample line does not parse: %q", line)
+		}
+	}
+	// A name that merely contains braces mid-string is not a label
+	// block and must sanitise wholesale.
+	r2 := NewRegistry()
+	r2.Gauge(`odd{name`).Set(1)
+	if out := r2.RenderText(); !strings.Contains(out, "odd_name 1") {
+		t.Errorf("non-block braces not sanitised:\n%s", out)
+	}
+}
+
 func TestPrometheusDeterministic(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b_total").Add(1)

@@ -1,0 +1,116 @@
+// Package version exposes the build identity the go toolchain bakes
+// into every binary — module version, VCS revision, dirty flag — as one
+// shared surface: the cmds' -version flags, the Prometheus
+// *_build_info gauges, and the default label under which runs are filed
+// in the history store all read from here, so a verdict recorded today
+// can be correlated with the exact commit that produced it.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+
+	"microsampler/internal/telemetry"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module version; source builds report
+	// "(devel)".
+	Version string
+	// GoVersion is the toolchain that built (or is running) the binary.
+	GoVersion string
+	// Revision is the full VCS commit hash. Empty when the binary
+	// carries no VCS stamp: `go run`, or a build outside a checkout.
+	Revision string
+	// Dirty marks a build from a checkout with uncommitted changes.
+	Dirty bool
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get reads the build identity once and caches it for the process.
+func Get() Info {
+	once.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			cached = Info{Version: "(devel)", GoVersion: runtime.Version()}
+			return
+		}
+		cached = fromBuildInfo(bi)
+	})
+	return cached
+}
+
+// fromBuildInfo distils a runtime build-info dump; split out so tests
+// can exercise the parsing without controlling how the test binary was
+// built.
+func fromBuildInfo(bi *debug.BuildInfo) Info {
+	i := Info{Version: bi.Main.Version, GoVersion: runtime.Version()}
+	if i.Version == "" {
+		i.Version = "(devel)"
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			i.Revision = s.Value
+		case "vcs.modified":
+			i.Dirty = s.Value == "true"
+		}
+	}
+	return i
+}
+
+// ShortRevision is the 12-character commit prefix, or "unknown" for
+// builds without a VCS stamp.
+func (i Info) ShortRevision() string {
+	if i.Revision == "" {
+		return "unknown"
+	}
+	if len(i.Revision) > 12 {
+		return i.Revision[:12]
+	}
+	return i.Revision
+}
+
+// Line renders the identity the way the cmds' -version flags print it.
+func (i Info) Line(cmd string) string {
+	s := fmt.Sprintf("%s %s %s commit %s", cmd, i.Version, i.GoVersion, i.ShortRevision())
+	if i.Dirty {
+		s += " (dirty)"
+	}
+	return s
+}
+
+// DefaultLabel is the history label used when the caller provides
+// none: the short VCS revision, "-dirty" suffixed for modified trees.
+// Binaries without a VCS stamp (`go run`) fall back to "unlabeled" —
+// CI gates that care should pass an explicit -label.
+func DefaultLabel() string {
+	i := Get()
+	if i.Revision == "" {
+		return "unlabeled"
+	}
+	label := i.ShortRevision()
+	if i.Dirty {
+		label += "-dirty"
+	}
+	return label
+}
+
+// Gauge registers the constant build-info gauge (value 1) under name,
+// carrying the identity as Prometheus labels. The telemetry registry
+// keys metrics by free-form name and its renderer passes a trailing
+// {...} label block through verbatim, so the label set rides inside the
+// metric name.
+func Gauge(reg *telemetry.Registry, name string) {
+	i := Get()
+	reg.Gauge(fmt.Sprintf(`%s{version=%q,goversion=%q,revision=%q,dirty=%q}`,
+		name, i.Version, i.GoVersion, i.Revision, strconv.FormatBool(i.Dirty))).Set(1)
+}

@@ -1,0 +1,85 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"microsampler/internal/telemetry"
+)
+
+func stamped(rev, modified string) *debug.BuildInfo {
+	bi := &debug.BuildInfo{}
+	bi.Main.Version = "v1.2.3"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: rev},
+		{Key: "vcs.modified", Value: modified},
+	}
+	return bi
+}
+
+func TestFromBuildInfo(t *testing.T) {
+	i := fromBuildInfo(stamped("0123456789abcdef0123", "true"))
+	if i.Version != "v1.2.3" || i.Revision != "0123456789abcdef0123" || !i.Dirty {
+		t.Fatalf("parsed %+v", i)
+	}
+	if i.ShortRevision() != "0123456789ab" {
+		t.Fatalf("short revision %q", i.ShortRevision())
+	}
+	if i.GoVersion == "" {
+		t.Fatal("go version missing")
+	}
+
+	empty := fromBuildInfo(&debug.BuildInfo{})
+	if empty.Version != "(devel)" || empty.Revision != "" || empty.Dirty {
+		t.Fatalf("empty build info parsed as %+v", empty)
+	}
+	if empty.ShortRevision() != "unknown" {
+		t.Fatalf("unstamped short revision %q", empty.ShortRevision())
+	}
+}
+
+func TestLine(t *testing.T) {
+	i := fromBuildInfo(stamped("0123456789abcdef0123", "true"))
+	line := i.Line("msd")
+	for _, want := range []string{"msd ", "v1.2.3", "commit 0123456789ab", "(dirty)"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Line() = %q, missing %q", line, want)
+		}
+	}
+	clean := fromBuildInfo(stamped("0123456789abcdef0123", "false"))
+	if strings.Contains(clean.Line("msd"), "dirty") {
+		t.Errorf("clean build renders dirty: %q", clean.Line("msd"))
+	}
+}
+
+func TestGetAndDefaultLabelStable(t *testing.T) {
+	// The test binary may or may not carry a VCS stamp; assert the
+	// invariants that hold either way.
+	a, b := Get(), Get()
+	if a != b {
+		t.Fatalf("Get not stable: %+v vs %+v", a, b)
+	}
+	label := DefaultLabel()
+	if label == "" {
+		t.Fatal("empty default label")
+	}
+	if a.Revision == "" && label != "unlabeled" {
+		t.Fatalf("unstamped binary labeled %q", label)
+	}
+}
+
+func TestGaugeRendersLabels(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	Gauge(reg, "msd_build_info")
+	text := reg.Snapshot().Prometheus()
+	if !strings.Contains(text, "msd_build_info{version=") {
+		t.Fatalf("build info gauge missing labels:\n%s", text)
+	}
+	if !strings.Contains(text, `dirty="`) || !strings.Contains(text, `revision="`) {
+		t.Fatalf("label set incomplete:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE msd_build_info gauge") {
+		t.Fatalf("family header carries labels or is missing:\n%s", text)
+	}
+}

@@ -47,11 +47,13 @@ import (
 	"microsampler/internal/core"
 	"microsampler/internal/ctc"
 	"microsampler/internal/formal"
+	"microsampler/internal/history"
 	"microsampler/internal/report"
 	"microsampler/internal/sim"
 	"microsampler/internal/telemetry"
 	"microsampler/internal/telemetry/export"
 	"microsampler/internal/trace"
+	"microsampler/internal/version"
 	"microsampler/internal/workloads"
 )
 
@@ -442,6 +444,77 @@ func NewRunProbe() *RunProbe { return core.NewRunProbe() }
 // RenderPrometheus renders a metrics registry in the Prometheus text
 // exposition format (the document served at the msd daemon's /metrics).
 func RenderPrometheus(m *MetricsRegistry) string { return export.PrometheusText(m) }
+
+// Differential observability: run history and verdict diffing.
+
+// HistoryStore is the append-only, crash-safe run-history store: one
+// fsync'd JSONL index line per labeled run, artifacts filed
+// content-addressed in a DiskCache blob store next to the index.
+type HistoryStore = history.Store
+
+// HistoryRecord is one line of the history index.
+type HistoryRecord = history.Record
+
+// History record kinds.
+const (
+	HistoryKindReport = history.KindReport
+	HistoryKindMatrix = history.KindMatrix
+)
+
+// OpenHistory opens (creating as needed) the history store at dir.
+func OpenHistory(dir string) (*HistoryStore, error) { return history.Open(dir) }
+
+// ReportDigest is the diffable distillation of one verification:
+// per-unit verdicts plus top provenance, JSON-round-trippable so it can
+// seed BuildDiff from the history store or a committed baseline file.
+type ReportDigest = report.ReportDigest
+
+// BuildDigest distils a report into its diffable digest.
+func BuildDigest(rep *Report) (*ReportDigest, error) { return report.BuildDigest(rep) }
+
+// DiffOptions tunes the diff engine (labels, V-drift threshold).
+type DiffOptions = report.DiffOptions
+
+// ReportDiff is the deterministic delta between two report digests.
+type ReportDiff = report.Diff
+
+// MatrixDiff is the deterministic delta between two matrix sweeps:
+// which cells changed verdict between commit A and commit B.
+type MatrixDiff = report.MatrixDiff
+
+// VerdictFlip is one unit or grid cell whose leaky verdict changed.
+type VerdictFlip = report.VerdictFlip
+
+// BuildDiff computes the delta between two report digests.
+func BuildDiff(from, to *ReportDigest, opts DiffOptions) *ReportDiff {
+	return report.BuildDiff(from, to, opts)
+}
+
+// BuildMatrixDiff computes the delta between two matrix artifacts.
+func BuildMatrixDiff(from, to *MatrixArtifact, opts DiffOptions) *MatrixDiff {
+	return report.BuildMatrixDiff(from, to, opts)
+}
+
+// Build provenance and version stamping.
+
+// BuildVersion describes the running binary: module version, Go
+// toolchain, and the VCS commit baked in by `go build`.
+type BuildVersion = version.Info
+
+// GetBuildVersion returns the binary's build provenance.
+func GetBuildVersion() BuildVersion { return version.Get() }
+
+// VersionLine formats the standard `-version` output line for cmd.
+func VersionLine(cmd string) string { return version.Get().Line(cmd) }
+
+// DefaultHistoryLabel is the label stamped on history records when the
+// user supplies none: the short VCS commit (plus "-dirty"), or
+// "unlabeled" when the binary carries no VCS info.
+func DefaultHistoryLabel() string { return version.DefaultLabel() }
+
+// BuildInfoGauge registers the conventional build_info gauge (value 1,
+// version/goversion/revision/dirty labels) on a metrics registry.
+func BuildInfoGauge(reg *MetricsRegistry, name string) { version.Gauge(reg, name) }
 
 // Constant-time compiler (compiler-vulnerability substrate).
 

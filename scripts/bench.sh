@@ -76,13 +76,19 @@ cat "$out"
 # Append a timestamped, compacted copy to the benchmark history log.
 # BENCH_trace.json is the latest snapshot (overwritten every run);
 # BENCH_history.jsonl accumulates one line per run so hot-path drift is
-# visible across commits, not just in the latest diff.
+# visible across commits, not just in the latest diff. Each line carries
+# the commit SHA and whether the tree was dirty, so a record can be tied
+# to (or disqualified from representing) an exact code state.
 hist="BENCH_history.jsonl"
 stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+dirty=false
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    dirty=true
+fi
 {
-    printf '{"time": "%s", "commit": "%s", "result": ' "$stamp" "$rev"
+    printf '{"time": "%s", "commit": "%s", "dirty": %s, "result": ' "$stamp" "$rev" "$dirty"
     tr -d '\n' < "$out" | sed 's/   */ /g'
     printf '}\n'
 } >> "$hist"
-echo "appended to $hist"
+echo "appended to $hist (commit $rev, dirty=$dirty)"

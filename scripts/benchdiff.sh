@@ -1,0 +1,99 @@
+#!/bin/sh
+# Bench-regression check: compares the fresh BENCH_trace.json snapshot
+# against the previous BENCH_history.jsonl entry and warns when a
+# throughput metric regresses beyond tolerance. Advisory, never fatal —
+# benchmark noise on shared CI runners must not block merges — but the
+# warnings render as GitHub annotations when run under Actions.
+#
+# Watched metrics (higher-is-better ones invert the comparison):
+#   ns/op, ns/cycle   lower is better
+#   rows/s, cells/s   higher is better
+#
+# Usage: scripts/benchdiff.sh [tolerance-percent]   (default 10)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tol="${1:-10}"
+cur="BENCH_trace.json"
+hist="BENCH_history.jsonl"
+
+if [ ! -s "$cur" ]; then
+    echo "benchdiff: no $cur (run scripts/bench.sh first)" >&2
+    exit 0
+fi
+if [ ! -s "$hist" ]; then
+    echo "benchdiff: no $hist to compare against; nothing to do"
+    exit 0
+fi
+
+# The baseline is the last *committed* history entry when inside a git
+# checkout — a fresh bench.sh run appends its own record to the
+# working-tree log before this check runs, and a snapshot must not be
+# compared against itself. Outside git, fall back to the last line.
+# Either way its "result" object has the same shape as BENCH_trace.json,
+# so one parser serves both.
+base="$(git show HEAD:"$hist" 2>/dev/null | tail -n 1 || true)"
+if [ -z "$base" ]; then
+    base="$(tail -n 1 "$hist")"
+fi
+
+# Flatten one benchmarks array into "name metric value" triples. Plain
+# awk, no dependencies: relies on bench.sh's stable one-object-per-line
+# emission, with the history line compacted to a single line.
+flatten() {
+    tr '}' '\n' < /dev/stdin | awk '
+    /"name":/ {
+        line = $0
+        sub(/^.*"name": *"/, "", line)
+        name = line
+        sub(/".*$/, "", name)
+        sub(/^[^,]*,/, "", line)
+        n = split(line, parts, ",")
+        for (i = 1; i <= n; i++) {
+            kv = parts[i]
+            gsub(/[" ]/, "", kv)
+            if (split(kv, f, ":") == 2 && f[2] != "")
+                print name, f[1], f[2]
+        }
+    }'
+}
+
+curflat="${TMPDIR:-/tmp}/microsampler-benchdiff-cur.txt"
+baseflat="${TMPDIR:-/tmp}/microsampler-benchdiff-base.txt"
+flatten < "$cur" > "$curflat"
+printf '%s\n' "$base" | flatten > "$baseflat"
+
+warned=0
+while read -r name metric value; do
+    case "$metric" in
+    ns/op|ns/cycle) higher_better=0 ;;
+    rows/s|cells/s) higher_better=1 ;;
+    *) continue ;;
+    esac
+    baseval="$(awk -v n="$name" -v m="$metric" '$1 == n && $2 == m { print $3; exit }' "$baseflat")"
+    [ -n "$baseval" ] || continue
+    verdict="$(awk -v cur="$value" -v base="$baseval" -v tol="$tol" -v hb="$higher_better" '
+    BEGIN {
+        if (base + 0 == 0) { print "ok"; exit }
+        if (hb) delta = (base - cur) / base * 100
+        else    delta = (cur - base) / base * 100
+        if (delta > tol) printf "regressed %.1f%%", delta
+        else print "ok"
+    }')"
+    if [ "$verdict" != "ok" ]; then
+        warned=1
+        msg="bench regression: $name $metric $verdict (was $baseval, now $value, tolerance ${tol}%)"
+        if [ -n "${GITHUB_ACTIONS:-}" ]; then
+            echo "::warning title=Benchmark regression::$msg"
+        fi
+        echo "WARN: $msg" >&2
+    fi
+done < "$curflat"
+
+if [ "$warned" = 0 ]; then
+    echo "benchdiff: no regressions beyond ${tol}% vs last history entry"
+else
+    echo "benchdiff: regressions above are advisory (noise-prone); investigate before committing the refreshed baseline" >&2
+fi
+exit 0

@@ -22,10 +22,10 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (telemetry, export, core, msd, cache, faults, sim, report) =="
+echo "== go test -race (telemetry, export, core, msd, cache, faults, sim, report, history) =="
 go test -race ./internal/telemetry ./internal/telemetry/export \
     ./internal/core ./internal/msd ./internal/cache ./internal/faults \
-    ./internal/sim ./internal/report
+    ./internal/sim ./internal/report ./internal/history
 
 echo "== matrix sweep smoke (2x2 grid through the CLI) =="
 matrixdir="${TMPDIR:-/tmp}/microsampler-matrix-smoke"
@@ -36,6 +36,35 @@ go run ./cmd/microsampler -workload TAGE-HIST \
     -matrix-out "$matrixdir/matrix.json" -matrix-html "$matrixdir/matrix.html"
 test -s "$matrixdir/matrix.json"
 test -s "$matrixdir/matrix.html"
+
+echo "== diff regression gate smoke (history store + verdict flips) =="
+diffdir="${TMPDIR:-/tmp}/microsampler-diff-smoke"
+rm -rf "$diffdir"
+mkdir -p "$diffdir"
+# Baseline sweep, recorded into the history store under label "base".
+go run ./cmd/microsampler -workload TAGE-HIST \
+    -matrix 'predictor=gshare,tage' -runs 4 -warmup 4 -matrix-parallel -1 \
+    -cache-dir "$diffdir/cache" -history-dir "$diffdir/history" -label base \
+    -matrix-out "$diffdir/base.json"
+# Unchanged re-sweep: replayed from the cache, self-diffs to zero flips
+# and exits zero — no false alarms on identical code states.
+go run ./cmd/microsampler -workload TAGE-HIST \
+    -matrix 'predictor=gshare,tage' -runs 4 -warmup 4 -matrix-parallel -1 \
+    -cache-dir "$diffdir/cache" -history-dir "$diffdir/history" -label current \
+    -diff-against base -diff-out "$diffdir/diff.json"
+grep -q '"regressions": 0' "$diffdir/diff.json"
+# Inject a verdict flip by rewriting the baseline artifact all-clean;
+# the gate must now exit nonzero and highlight the flip in the HTML.
+sed 's/"leaky": true/"leaky": false/g' "$diffdir/base.json" > "$diffdir/all-clean.json"
+if go run ./cmd/microsampler -workload TAGE-HIST \
+    -matrix 'predictor=gshare,tage' -runs 4 -warmup 4 -matrix-parallel -1 \
+    -cache-dir "$diffdir/cache" \
+    -diff-baseline "$diffdir/all-clean.json" \
+    -diff-out "$diffdir/regress.json" -diff-html "$diffdir/regress.html"; then
+    echo "diff gate did not flag the injected verdict flip" >&2
+    exit 1
+fi
+grep -q 'VERDICT FLIP' "$diffdir/regress.html"
 
 echo "== msd daemon smoke (full HTTP lifecycle) =="
 go test -race -count=1 -run '^TestSmoke$' ./cmd/msd
