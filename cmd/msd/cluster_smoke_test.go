@@ -1,0 +1,421 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// reservePort grabs an ephemeral localhost port and releases it for the
+// daemon to bind.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// lockedBuffer is a concurrency-safe bytes.Buffer for capturing a child
+// process's stderr while the test also reads it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSecondSignalForcesExit: the first SIGTERM starts a graceful drain;
+// an operator sending a second one mid-drain means "now" — the daemon
+// must exit immediately with status 1 instead of waiting out
+// -drain-timeout.
+func TestSecondSignalForcesExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("signal test spawns a real daemon process")
+	}
+	addr := reservePort(t)
+	base := "http://" + addr
+
+	var stderr lockedBuffer
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), helperEnv+"="+strings.Join([]string{
+		"-addr", addr, "-workers", "1", "-log-level", "error",
+		"-drain-timeout", "2m",
+	}, "\x1f"))
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := false
+	defer func() {
+		if !exited {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A slow in-flight job keeps the drain from finishing between the
+	// two signals.
+	id, _, code := postJob(t, base, map[string]any{
+		"source": slowLeakySource, "config": "small", "runs": 1024, "warmup": 2,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if st, _ := jobStatus(t, base, id); st == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The drain has demonstrably begun once readiness flips to 503; only
+	// then does the second signal mean "force exit" rather than racing
+	// the first.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // HTTP already down: the drain is past readiness
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never started after SIGTERM")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		exited = true
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 1 {
+			t.Errorf("exit error = %v, want status 1", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not force-exit on the second signal (still draining)")
+	}
+	if out := stderr.String(); !strings.Contains(out, "second signal") {
+		t.Errorf("stderr missing the force-exit notice:\n%s", out)
+	}
+}
+
+// gridBaseline mirrors .github/baselines/*.json: the committed
+// single-node verdicts the cluster run must reproduce byte-for-byte at
+// the verdict level.
+type gridBaseline struct {
+	Workload string `json:"workload"`
+	Cells    []struct {
+		Name         string `json:"name"`
+		Leaky        bool   `json:"leaky"`
+		FlaggedUnits []struct {
+			Unit string `json:"unit"`
+		} `json:"flaggedUnits"`
+		Iterations int   `json:"iterations"`
+		SimCycles  int64 `json:"simCycles"`
+	} `json:"cells"`
+}
+
+// batchSmokeView is the slice of the batch wire format the smoke test
+// reads.
+type batchSmokeView struct {
+	ID         string `json:"id"`
+	Status     string `json:"status"`
+	Points     int    `json:"points"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Degraded   bool   `json:"degraded"`
+	Reassigned int    `json:"reassigned"`
+	Results    []struct {
+		Cell   string `json:"cell"`
+		Result *struct {
+			Leaky      bool     `json:"leaky"`
+			LeakyUnits []string `json:"leakyUnits"`
+			Iterations int      `json:"iterations"`
+			SimCycles  int64    `json:"simCycles"`
+			Err        string   `json:"error"`
+			Worker     string   `json:"worker"`
+			Degraded   bool     `json:"degraded"`
+		} `json:"result"`
+	} `json:"results"`
+}
+
+func getBatchSmoke(t *testing.T, base, id string) batchSmokeView {
+	t.Helper()
+	resp, err := http.Get(base + "/api/v1/batch/" + id)
+	if err != nil {
+		t.Fatalf("batch status: %v", err)
+	}
+	defer resp.Body.Close()
+	var v batchSmokeView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode batch: %v", err)
+	}
+	return v
+}
+
+// TestClusterSmoke is the robustness acceptance test: a real 3-process
+// cluster (coordinator + 2 workers) verifies the 12-cell TAGE-HIST
+// default grid as one batch, one worker is SIGKILLed mid-run, and the
+// surviving cluster must finish with at least one reassigned shard,
+// zero failures, and per-cell verdicts identical to the committed
+// single-node baseline — then the coordinator's journal must pass
+// -audit-verify.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster smoke spawns real daemon processes")
+	}
+	dir := t.TempDir()
+	addrC := reservePort(t)
+	baseC := "http://" + addrC
+
+	coord := startDaemon(t, baseC,
+		"-addr", addrC, "-coordinator", "-journal-dir", dir,
+		"-worker-ttl", "1s", "-log-level", "error")
+	coordUp := true
+	defer func() {
+		if coordUp {
+			_ = coord.Process.Kill()
+			_, _ = coord.Process.Wait()
+		}
+	}()
+
+	var workers []*exec.Cmd
+	workerDead := make([]bool, 2)
+	for i := 0; i < 2; i++ {
+		addrW := reservePort(t)
+		w := startDaemon(t, "http://"+addrW,
+			"-addr", addrW, "-worker-of", baseC,
+			"-heartbeat", "100ms", "-log-level", "error")
+		workers = append(workers, w)
+		defer func(i int, w *exec.Cmd) {
+			if !workerDead[i] {
+				_ = w.Process.Kill()
+				_, _ = w.Process.Wait()
+			}
+		}(i, w)
+	}
+
+	// Both workers registered and healthy before the batch goes in, so
+	// no point degrades to coordinator-local execution for want of a
+	// worker that was still booting.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(baseC + "/api/v1/cluster/workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Workers []struct {
+				Healthy bool `json:"healthy"`
+			} `json:"workers"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		healthy := 0
+		for _, w := range v.Workers {
+			if w.Healthy {
+				healthy++
+			}
+		}
+		if healthy == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/2 workers healthy", healthy)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The same sweep the committed baseline was generated from:
+	// TAGE-HIST across the default grid at -runs 4 -warmup 4.
+	body, _ := json.Marshal(map[string]any{
+		"points": []map[string]any{
+			{"workload": "TAGE-HIST", "matrix": "default", "runs": 4, "warmup": 4},
+		},
+	})
+	resp, err := http.Post(baseC+"/api/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted batchSmokeView
+	err = json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch submit: code=%d err=%v", resp.StatusCode, err)
+	}
+	if submitted.Points != 12 {
+		t.Fatalf("batch exploded to %d points, want the 12-cell default grid", submitted.Points)
+	}
+
+	// SIGKILL worker 2 as soon as the batch is demonstrably in flight:
+	// its unfinished shards turn into transport errors (and, once its
+	// heartbeats stale out, a dead membership entry) and must be
+	// reassigned to the survivor.
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		v := getBatchSmoke(t, baseC, submitted.ID)
+		if v.Done >= 1 && v.Done < v.Points {
+			break
+		}
+		if v.Status == "done" {
+			t.Skip("batch finished before the kill window; cannot exercise reassignment on this machine")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never made progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := workers[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = workers[1].Process.Wait()
+	workerDead[1] = true
+
+	var final batchSmokeView
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		final = getBatchSmoke(t, baseC, submitted.ID)
+		if final.Status == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch stuck after worker kill: %+v", final)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.Done != 12 || final.Failed != 0 {
+		t.Fatalf("batch = done %d / failed %d, want 12/0", final.Done, final.Failed)
+	}
+	if final.Reassigned < 1 {
+		t.Errorf("reassigned = %d, want >= 1 after SIGKILLing a worker mid-batch", final.Reassigned)
+	}
+
+	// Verdict diff against the committed single-node baseline: zero
+	// divergence allowed, whatever path each point took.
+	raw, err := os.ReadFile(filepath.Join("..", "..", ".github", "baselines", "tage-hist-default-grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline gridBaseline
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	for i, c := range baseline.Cells {
+		want[c.Name] = i
+	}
+	if len(final.Results) != len(baseline.Cells) {
+		t.Fatalf("results = %d cells, baseline has %d", len(final.Results), len(baseline.Cells))
+	}
+	for _, pv := range final.Results {
+		i, ok := want[pv.Cell]
+		if !ok {
+			t.Errorf("cell %q not in the baseline grid", pv.Cell)
+			continue
+		}
+		cell := baseline.Cells[i]
+		res := pv.Result
+		if res == nil || res.Err != "" {
+			t.Errorf("cell %q: no healthy result: %+v", pv.Cell, res)
+			continue
+		}
+		if res.Leaky != cell.Leaky {
+			t.Errorf("cell %q: leaky=%v, baseline says %v", pv.Cell, res.Leaky, cell.Leaky)
+		}
+		if res.Iterations != cell.Iterations || res.SimCycles != cell.SimCycles {
+			t.Errorf("cell %q: iterations/simCycles = %d/%d, baseline %d/%d",
+				pv.Cell, res.Iterations, res.SimCycles, cell.Iterations, cell.SimCycles)
+		}
+		var wantUnits []string
+		for _, u := range cell.FlaggedUnits {
+			wantUnits = append(wantUnits, u.Unit)
+		}
+		gotUnits := append([]string(nil), res.LeakyUnits...)
+		sort.Strings(wantUnits)
+		sort.Strings(gotUnits)
+		if fmt.Sprint(gotUnits) != fmt.Sprint(wantUnits) {
+			t.Errorf("cell %q: leaky units %v, baseline %v", pv.Cell, gotUnits, wantUnits)
+		}
+	}
+	t.Logf("cluster smoke: done=%d failed=%d reassigned=%d degraded=%v",
+		final.Done, final.Failed, final.Reassigned, final.Degraded)
+
+	// Graceful coordinator shutdown, then the journal's audit chain must
+	// verify offline — the batch survived a worker kill without
+	// corrupting the WAL.
+	if err := coord.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitExit := make(chan error, 1)
+	go func() { waitExit <- coord.Wait() }()
+	select {
+	case <-waitExit:
+		coordUp = false
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator did not shut down")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := run(ctx, []string{"-audit-verify", "-journal-dir", dir}, nil); err != nil {
+		t.Errorf("-audit-verify failed after the cluster run: %v", err)
+	}
+}

@@ -22,12 +22,39 @@
 //	GET  /api/v1/jobs/{id}/postmortem    flight-recorder Perfetto dump (failed jobs)
 //	GET  /api/v1/history                 labeled run-history records (?label=, ?workload=)
 //	POST /api/v1/diff                    verdict diff between two labels ({"from":"A","to":"B"})
+//	POST /api/v1/cluster/execute         run one point on this daemon (any msd is a capable worker)
 //	GET  /metrics                        Prometheus text exposition
 //	GET  /healthz, /readyz               liveness / readiness
 //	GET  /debug/pprof/                   Go profiling
 //
+// Coordinator-only endpoints (-coordinator):
+//
+//	POST /api/v1/cluster/register        worker self-registration
+//	POST /api/v1/cluster/heartbeat       worker liveness
+//	GET  /api/v1/cluster/workers         registered worker set
+//	POST /api/v1/batch                   submit a point batch ({"points":[{"workload":"ME-NAIVE","matrix":"default"}]})
+//	GET  /api/v1/batch                   list batches
+//	GET  /api/v1/batch/{id}              batch status and per-point results
+//	GET  /api/v1/cache/{key}             shared verdict store (cross-node cache fill)
+//	PUT  /api/v1/cache/{key}             worker verdict upload
+//
+// A verification cluster is one coordinator plus any number of workers:
+//
+//	msd -coordinator -addr :8844 -journal-dir /var/lib/msd
+//	msd -addr :8845 -worker-of http://coordinator:8844
+//	msd -addr :8846 -worker-of http://coordinator:8844
+//
+// The coordinator shards batch points across healthy workers by
+// rendezvous-hashing their canonical cache keys; a worker that misses
+// -heartbeat beats for -worker-ttl is marked dead and its in-flight
+// shards are reassigned (a point the dying worker already uploaded is a
+// cache hit, not a re-simulation); stragglers past -hedge-after (or 3×
+// the observed latency EWMA) get a hedged duplicate, first result wins;
+// with zero healthy workers the coordinator degrades to local execution
+// and flags the batch rather than failing it.
+//
 // SIGINT/SIGTERM drains in-flight jobs (bounded by -drain-timeout)
-// before exiting.
+// before exiting; a second SIGINT/SIGTERM forces immediate exit.
 //
 // With -journal-dir set, every job transition is appended to a fsynced
 // write-ahead journal and finished jobs' artifacts are persisted under
@@ -69,16 +96,39 @@ import (
 	"syscall"
 	"time"
 
+	"microsampler/internal/cluster"
 	"microsampler/internal/msd"
 	"microsampler/internal/version"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	ctx, stop := signalContext(context.Background())
 	defer stop()
 	if err := run(ctx, os.Args[1:], nil); err != nil {
 		fmt.Fprintln(os.Stderr, "msd:", err)
 		os.Exit(1)
+	}
+}
+
+// signalContext cancels the returned context on the first SIGINT or
+// SIGTERM and force-exits the process on the second. signal.NotifyContext
+// would swallow the repeat while Drain waits out -drain-timeout; an
+// operator mashing Ctrl-C during a long drain means "now", not "in two
+// minutes".
+func signalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-ch
+		cancel()
+		sig := <-ch
+		fmt.Fprintf(os.Stderr, "msd: second signal (%v), forcing exit\n", sig)
+		os.Exit(1)
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		cancel()
 	}
 }
 
@@ -88,24 +138,32 @@ func main() {
 func run(ctx context.Context, args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("msd", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", ":8844", "HTTP listen address")
-		workers      = fs.Int("workers", 1, "concurrent verification jobs")
-		queue        = fs.Int("queue", 16, "queued-job capacity (submissions beyond it get 503)")
-		maxJobs      = fs.Int("max-jobs", 64, "finished jobs retained in memory")
-		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
-		journalDir   = fs.String("journal-dir", "", "directory for the crash-safe job journal and artifacts (default: disabled, jobs are in-memory only)")
-		recoverFlag  = fs.Bool("recover", false, "re-enqueue jobs interrupted by a crash instead of leaving them terminal (requires -journal-dir; queued jobs are always recovered)")
-		watchdog     = fs.Duration("watchdog", 0, "abort a simulation run that stops retiring for this wall-clock duration (0: disabled)")
-		flightFrames = fs.Int("flight-recorder", 1024, "cycles of per-unit occupancy kept per run; failed jobs expose the dump as a postmortem artifact (0: off)")
-		cacheEntries = fs.Int("cache", 256, "verdicts retained in the content-addressed cache; identical resubmissions are served without simulating (0: off)")
-		cacheDir     = fs.String("cache-dir", "", "disk layer for the verdict cache, surviving restarts (default: <journal-dir>/cache when journaled, else memory-only)")
-		historyDir   = fs.String("history-dir", "", "directory for the labeled run-history store behind /api/v1/history and /api/v1/diff (default: <journal-dir>/history when journaled, else disabled)")
-		auditBatch   = fs.Int("audit-batch", 0, "terminal journal records per Merkle audit root (0: default)")
-		auditVerify  = fs.Bool("audit-verify", false, "verify the journal's Merkle audit chain under -journal-dir and exit")
-		auditHead    = fs.String("audit-head", "", "with -audit-verify: externally recorded chain head the journal must end at (detects tail truncation)")
-		logFormat    = fs.String("log-format", "text", "log output format: text or json")
-		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
-		showVersion  = fs.Bool("version", false, "print the version and build provenance, then exit")
+		addr          = fs.String("addr", ":8844", "HTTP listen address")
+		workers       = fs.Int("workers", 1, "concurrent verification jobs")
+		queue         = fs.Int("queue", 16, "queued-job capacity (submissions beyond it get 503)")
+		maxJobs       = fs.Int("max-jobs", 64, "finished jobs retained in memory")
+		drainTimeout  = fs.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+		journalDir    = fs.String("journal-dir", "", "directory for the crash-safe job journal and artifacts (default: disabled, jobs are in-memory only)")
+		recoverFlag   = fs.Bool("recover", false, "re-enqueue jobs interrupted by a crash instead of leaving them terminal (requires -journal-dir; queued jobs are always recovered)")
+		watchdog      = fs.Duration("watchdog", 0, "abort a simulation run that stops retiring for this wall-clock duration (0: disabled)")
+		flightFrames  = fs.Int("flight-recorder", 1024, "cycles of per-unit occupancy kept per run; failed jobs expose the dump as a postmortem artifact (0: off)")
+		cacheEntries  = fs.Int("cache", 256, "verdicts retained in the content-addressed cache; identical resubmissions are served without simulating (0: off)")
+		cacheDir      = fs.String("cache-dir", "", "disk layer for the verdict cache, surviving restarts (default: <journal-dir>/cache when journaled, else memory-only)")
+		historyDir    = fs.String("history-dir", "", "directory for the labeled run-history store behind /api/v1/history and /api/v1/diff (default: <journal-dir>/history when journaled, else disabled)")
+		auditBatch    = fs.Int("audit-batch", 0, "terminal journal records per Merkle audit root (0: default)")
+		coordinator   = fs.Bool("coordinator", false, "serve the cluster-coordinator surface: worker registration, batch sharding, the shared verdict store")
+		workerOf      = fs.String("worker-of", "", "coordinator base URL this daemon registers with as a worker (e.g. http://host:8844)")
+		heartbeat     = fs.Duration("heartbeat", time.Second, "worker heartbeat period (with -worker-of)")
+		workerTTL     = fs.Duration("worker-ttl", 5*time.Second, "heartbeat staleness after which the coordinator marks a worker dead and reassigns its shards")
+		hedgeAfter    = fs.Duration("hedge-after", 30*time.Second, "straggler threshold floor: a dispatch outliving max(this, 3x latency EWMA) gets a hedged duplicate (negative: off)")
+		shardTimeout  = fs.Duration("shard-timeout", 2*time.Minute, "bound on one dispatch attempt to one worker")
+		maxRetryAfter = fs.Duration("max-retry-after", 5*time.Minute, "cap on the 503 Retry-After hint (negative: uncapped)")
+		advertise     = fs.String("advertise", "", "URL workers/coordinators reach this daemon at (default: http://<bound addr>)")
+		auditVerify   = fs.Bool("audit-verify", false, "verify the journal's Merkle audit chain under -journal-dir and exit")
+		auditHead     = fs.String("audit-head", "", "with -audit-verify: externally recorded chain head the journal must end at (detects tail truncation)")
+		logFormat     = fs.String("log-format", "text", "log output format: text or json")
+		logLevel      = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		showVersion   = fs.Bool("version", false, "print the version and build provenance, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,6 +206,12 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		CacheDir:           *cacheDir,
 		HistoryDir:         *historyDir,
 		AuditBatch:         *auditBatch,
+		Coordinator:        *coordinator,
+		CoordinatorURL:     *workerOf,
+		WorkerTTL:          *workerTTL,
+		HedgeAfter:         *hedgeAfter,
+		ShardTimeout:       *shardTimeout,
+		MaxRetryAfter:      *maxRetryAfter,
 	})
 	if err != nil {
 		return err
@@ -169,6 +233,24 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpServer.Serve(ln) }()
+
+	// Worker mode: register with the coordinator and keep the
+	// registration alive. The agent stops with the serve context; a
+	// draining worker simply vanishes from the healthy set when its
+	// heartbeats stop.
+	if *workerOf != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		agent := &cluster.Agent{
+			Coordinator: *workerOf,
+			Self:        self,
+			Interval:    *heartbeat,
+			Logger:      logger,
+		}
+		go agent.Run(ctx)
+	}
 
 	select {
 	case err := <-serveErr:

@@ -9,7 +9,6 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
-	"os/signal"
 	"strings"
 	"syscall"
 	"testing"
@@ -24,7 +23,9 @@ const helperEnv = "MSD_HELPER_ARGS"
 
 func TestMain(m *testing.M) {
 	if args := os.Getenv(helperEnv); args != "" {
-		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		// The helper uses the same signal wiring as the real binary, so
+		// the second-signal force-exit path is what the tests exercise.
+		ctx, stop := signalContext(context.Background())
 		defer stop()
 		if err := run(ctx, strings.Split(args, "\x1f"), nil); err != nil {
 			fmt.Fprintln(os.Stderr, "msd helper:", err)

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// clockedMembership returns a membership whose clock the test advances
+// by hand, so TTL expiry is exact instead of sleep-based.
+func clockedMembership(ttl time.Duration) (*Membership, func(d time.Duration)) {
+	m := NewMembership(ttl)
+	cur := time.Unix(1000, 0)
+	m.now = func() time.Time { return cur }
+	return m, func(d time.Duration) { cur = cur.Add(d) }
+}
+
+func TestMembershipLifecycle(t *testing.T) {
+	m, advance := clockedMembership(time.Second)
+
+	if m.Heartbeat("w1") {
+		t.Fatal("heartbeat for an unregistered worker must be rejected")
+	}
+	m.Register("w1", "http://w1")
+	if !m.Alive("w1") {
+		t.Fatal("freshly registered worker not alive")
+	}
+	if h := m.Healthy(); len(h) != 1 || h[0].ID != "w1" || !h[0].Healthy {
+		t.Fatalf("Healthy = %+v, want [w1]", h)
+	}
+
+	// Past the TTL the worker is dead: gone from Healthy, still visible
+	// (unhealthy) in the full snapshot.
+	advance(1500 * time.Millisecond)
+	if m.Alive("w1") {
+		t.Fatal("worker alive past its TTL")
+	}
+	if h := m.Healthy(); len(h) != 0 {
+		t.Fatalf("Healthy past TTL = %+v, want empty", h)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].Healthy || snap[0].HeartbeatAgeSeconds < 1.4 {
+		t.Fatalf("Snapshot past TTL = %+v", snap)
+	}
+
+	// A heartbeat revives a dead-but-not-reaped worker.
+	if !m.Heartbeat("w1") {
+		t.Fatal("heartbeat for a registered worker rejected")
+	}
+	if !m.Alive("w1") {
+		t.Fatal("worker not revived by heartbeat")
+	}
+
+	// MarkDead forces immediate death ahead of the TTL.
+	m.MarkDead("w1")
+	if m.Alive("w1") {
+		t.Fatal("worker alive after MarkDead")
+	}
+	m.Register("w1", "http://w1")
+	if !m.Alive("w1") {
+		t.Fatal("re-registration did not revive the worker")
+	}
+}
+
+func TestMembershipReapsLongDead(t *testing.T) {
+	m, advance := clockedMembership(time.Second)
+	m.Register("w1", "http://w1")
+	advance(time.Duration(reapAfterTTLs)*time.Second + time.Second)
+	if snap := m.Snapshot(); len(snap) != 0 {
+		t.Fatalf("long-dead worker not reaped: %+v", snap)
+	}
+	// After the reap the worker is unknown: its agent's next heartbeat
+	// is rejected, which is what triggers re-registration.
+	if m.Heartbeat("w1") {
+		t.Fatal("heartbeat accepted for a reaped worker")
+	}
+}
+
+func TestMembershipMaxHeartbeatAge(t *testing.T) {
+	m, advance := clockedMembership(time.Second)
+	if m.MaxHeartbeatAge() != 0 {
+		t.Fatal("empty table must report zero heartbeat age")
+	}
+	m.Register("w1", "http://w1")
+	advance(300 * time.Millisecond)
+	m.Register("w2", "http://w2")
+	advance(200 * time.Millisecond)
+	if got := m.MaxHeartbeatAge(); got != 500*time.Millisecond {
+		t.Fatalf("MaxHeartbeatAge = %v, want 500ms", got)
+	}
+}

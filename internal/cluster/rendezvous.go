@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing assigns every cache key a
+// deterministic preference order over the worker set. Unlike modulo
+// sharding, removing one worker only remaps the keys it owned — every
+// other key keeps its assignment — which is exactly the stability the
+// reassignment path wants: a worker death moves its in-flight points to
+// their next-preferred worker and nothing else.
+
+// rendezvousScore is the weight of (key, node): FNV-1a over the key, a
+// separator byte no hex key contains, and the node ID. Cache keys are
+// canonical SHA-256 hex, so the inputs are already well mixed.
+func rendezvousScore(key, node string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{0xff})
+	_, _ = h.Write([]byte(node))
+	return h.Sum64()
+}
+
+// Rank orders node IDs by descending rendezvous weight for key, ties
+// broken by ID so the order is total and deterministic. The first
+// element is the key's owner.
+func Rank(key string, nodes []string) []string {
+	out := append([]string(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := rendezvousScore(key, out[i]), rendezvousScore(key, out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

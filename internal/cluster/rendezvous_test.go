@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRankDeterministicAndTotal(t *testing.T) {
+	nodes := []string{"w3", "w1", "w5", "w2", "w4"}
+	key := "0123456789abcdef"
+
+	a := Rank(key, nodes)
+	b := Rank(key, nodes)
+	if len(a) != len(nodes) {
+		t.Fatalf("Rank dropped nodes: got %d want %d", len(a), len(nodes))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Rank not deterministic: %v vs %v", a, b)
+		}
+	}
+
+	// Input order must not matter: the ranking is a pure function of
+	// (key, node set).
+	shuffled := []string{"w5", "w4", "w3", "w2", "w1"}
+	c := Rank(key, shuffled)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("Rank depends on input order: %v vs %v", a, c)
+		}
+	}
+
+	// Every node appears exactly once.
+	seen := map[string]bool{}
+	for _, id := range a {
+		if seen[id] {
+			t.Fatalf("node %s ranked twice in %v", id, a)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRankSpreadsKeys(t *testing.T) {
+	nodes := []string{"w1", "w2", "w3", "w4", "w5"}
+	owned := map[string]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%064x", i)
+		owned[Rank(key, nodes)[0]]++
+	}
+	// With 200 keys over 5 nodes, a node owning nothing (or nearly
+	// everything) means the hash is not mixing.
+	for _, id := range nodes {
+		if owned[id] == 0 {
+			t.Errorf("node %s owns no keys: %v", id, owned)
+		}
+		if owned[id] > 120 {
+			t.Errorf("node %s owns %d/200 keys — hash not spreading: %v", id, owned[id], owned)
+		}
+	}
+}
+
+// TestRankMinimalRemap is the property rendezvous hashing buys over
+// modulo sharding: removing one node only remaps the keys it owned.
+func TestRankMinimalRemap(t *testing.T) {
+	nodes := []string{"w1", "w2", "w3", "w4", "w5"}
+	const removed = "w3"
+	var without []string
+	for _, id := range nodes {
+		if id != removed {
+			without = append(without, id)
+		}
+	}
+	remapped := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%064x", i)
+		before := Rank(key, nodes)[0]
+		after := Rank(key, without)[0]
+		if before == removed {
+			remapped++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %d moved from %s to %s though %s was not its owner",
+				i, before, after, removed)
+		}
+	}
+	if remapped == 0 {
+		t.Fatal("removed node owned no keys; the remap property was not exercised")
+	}
+}

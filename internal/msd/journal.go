@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"microsampler/internal/cluster"
 )
 
 // journalRecord is one line of the write-ahead job journal: an event in
@@ -40,6 +42,19 @@ type journalRecord struct {
 	// Cached marks a done job whose verdict was served from the
 	// content-addressed cache instead of a fresh simulation.
 	Cached bool `json:"cached,omitempty"`
+
+	// Batch fields: BatchReq is recorded on batch-submit (recovery
+	// re-explodes it deterministically), PointIdx/PointRes on
+	// batch-point — one point's terminal result, the WAL unit of the
+	// cluster path — and the tallies on batch-done.
+	BatchReq    *BatchRequest        `json:"batchReq,omitempty"`
+	PointIdx    int                  `json:"pointIdx,omitempty"`
+	PointRes    *cluster.PointResult `json:"pointRes,omitempty"`
+	Done        int                  `json:"done,omitempty"`
+	FailedPts   int                  `json:"failedPoints,omitempty"`
+	DegradedPts int                  `json:"degradedPoints,omitempty"`
+	Reassigned  int                  `json:"reassigned,omitempty"`
+	Hedged      int                  `json:"hedged,omitempty"`
 
 	// Audit fields, recorded on event "audit" (which carries no job ID):
 	// Root is the Merkle root over the Count terminal records starting at
@@ -238,6 +253,15 @@ func writeFileAtomic(path string, data []byte) error {
 // past every journaled job.
 func idNum(id string) int {
 	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// batchIDNum is idNum for "batch-N" identifiers.
+func batchIDNum(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "batch-"))
 	if err != nil || n < 0 {
 		return 0
 	}

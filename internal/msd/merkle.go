@@ -40,10 +40,16 @@ import (
 // journal is not dominated by audit records.
 const defaultAuditBatch = 8
 
-// terminalEvent reports whether a journal event ends a job's lifecycle
-// and therefore becomes an audit leaf.
+// terminalEvent reports whether a journal event records a terminal
+// verdict and therefore becomes an audit leaf: a job's lifecycle end,
+// or — on the cluster path — a batch point's terminal result and the
+// batch's own seal.
 func terminalEvent(event string) bool {
-	return event == "done" || event == "failed" || event == "interrupted"
+	switch event {
+	case "done", "failed", "interrupted", "batch-point", "batch-done":
+		return true
+	}
+	return false
 }
 
 // merkleLeaf hashes one journal line into a leaf. Line bytes exclude

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"microsampler/internal/cache"
+	"microsampler/internal/cluster"
 	"microsampler/internal/core"
 	"microsampler/internal/faults"
 	"microsampler/internal/history"
@@ -84,6 +85,42 @@ type Config struct {
 	// merkle.go). Auditing is active whenever JournalDir is set.
 	AuditBatch int
 
+	// Coordinator enables the cluster-coordinator surface: worker
+	// registration and heartbeats, the batch endpoint that shards
+	// program×config points across the healthy worker set, and the
+	// shared verdict store behind GET/PUT /api/v1/cache/{key}. A
+	// coordinator without CacheEntries still gets a small in-memory
+	// verdict cache — cross-node fill and reassignment dedup depend on
+	// one existing.
+	Coordinator bool
+	// WorkerTTL is how stale a worker's heartbeat may be before the
+	// coordinator marks it dead and reassigns its in-flight shards
+	// (default 5s).
+	WorkerTTL time.Duration
+	// HedgeAfter floors the straggler threshold: a dispatch outliving
+	// max(HedgeAfter, 3×latency-EWMA) gets a hedged duplicate on the
+	// next-ranked worker, first result wins (default 30s; negative
+	// disables hedging).
+	HedgeAfter time.Duration
+	// ShardTimeout bounds one dispatch attempt to one worker
+	// (default 2m).
+	ShardTimeout time.Duration
+	// ClusterRetry bounds remote attempts per point beyond the first,
+	// with full-jitter backoff between them (zero value: 3 retries,
+	// 100ms base, 2s cap — the core.RetryPolicy shape).
+	ClusterRetry core.RetryPolicy
+	// CoordinatorURL, when non-empty, makes this daemon a cluster
+	// worker: a point cache miss consults the coordinator's store
+	// before simulating, and fresh verdicts are uploaded back —
+	// cross-node cache fill.
+	CoordinatorURL string
+
+	// MaxRetryAfter caps the 503 Retry-After hint computed from queue
+	// depth × average job duration (default 5m; negative disables the
+	// cap). An uncapped hint during a long stall tells clients to go
+	// away for hours.
+	MaxRetryAfter time.Duration
+
 	// JournalDir, when non-empty, enables crash-safe job persistence:
 	// every job transition is appended (and fsynced) to a JSONL
 	// write-ahead journal under this directory, and finished jobs'
@@ -104,8 +141,11 @@ type Config struct {
 	// in-package tests use it to model slow or failing jobs without
 	// paying for a simulation. verifyMatrix is its grid-sweep
 	// counterpart, used for jobs with JobRequest.Matrix set.
+	// executePoint replaces the per-point verification of the cluster
+	// path the same way.
 	verify       func(j *Job) (*core.Report, error)
 	verifyMatrix func(j *Job) (*core.Matrix, error)
+	executePoint func(p cluster.Point, key string) cluster.PointResult
 }
 
 // Server is the daemon: an http.Handler plus a worker pool.
@@ -132,11 +172,24 @@ type Server struct {
 	// /api/v1/diff (nil when disabled). It carries its own lock.
 	hist *history.Store
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for listing and eviction
-	nextID   int
-	draining bool
+	// Cluster state: the worker failure detector, the shared dispatch
+	// latency estimate feeding the hedge threshold, the HTTP client
+	// batches dispatch (and workers upload) through, and the tracked
+	// batches. batchWG counts running batch dispatchers so Drain can
+	// wait them out.
+	members     *cluster.Membership
+	dispatchLat *cluster.LatencyEWMA
+	clusterHTTP *http.Client
+	batchWG     sync.WaitGroup
+
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string // submission order, for listing and eviction
+	nextID      int
+	batches     map[string]*Batch
+	batchOrder  []string
+	nextBatchID int
+	draining    bool
 	// ewmaJobSec tracks typical job duration (exponentially weighted)
 	// to compute the Retry-After hint when the queue saturates.
 	ewmaJobSec float64
@@ -166,6 +219,17 @@ type Server struct {
 	// verdictFlips counts clean↔leaky verdict flips surfaced by the
 	// diff endpoint — the scrapeable regression signal.
 	verdictFlips *telemetry.Counter
+	// Cluster telemetry: the health of the worker set (refreshed at
+	// scrape time) and the dispatch pathologies — reassignments after a
+	// worker death, hedged straggler duplicates, and the per-point
+	// terminal counters including local-degraded execution.
+	workersHealthy *telemetry.Gauge
+	heartbeatAge   *telemetry.Gauge
+	shardReassign  *telemetry.Counter
+	hedgedDispatch *telemetry.Counter
+	pointsDone     *telemetry.Counter
+	pointsFailed   *telemetry.Counter
+	pointsDegraded *telemetry.Counter
 }
 
 // New builds a Server, recovers any journaled jobs when
@@ -186,12 +250,34 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
+	if cfg.WorkerTTL <= 0 {
+		cfg.WorkerTTL = 5 * time.Second
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 30 * time.Second
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 2 * time.Minute
+	}
+	if cfg.MaxRetryAfter == 0 {
+		cfg.MaxRetryAfter = 5 * time.Minute
+	}
+	if cfg.Coordinator && cfg.CacheEntries <= 0 {
+		// The cluster's exactly-once-per-verdict dedup and cross-node
+		// fill live in the coordinator's store; give it one even when job
+		// caching was not asked for.
+		cfg.CacheEntries = 512
+	}
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		reg:   cfg.Metrics,
-		queue: make(chan *Job, cfg.QueueSize),
-		jobs:  make(map[string]*Job),
+		cfg:         cfg,
+		log:         cfg.Logger,
+		reg:         cfg.Metrics,
+		queue:       make(chan *Job, cfg.QueueSize),
+		jobs:        make(map[string]*Job),
+		batches:     make(map[string]*Batch),
+		members:     cluster.NewMembership(cfg.WorkerTTL),
+		dispatchLat: &cluster.LatencyEWMA{},
+		clusterHTTP: &http.Client{},
 
 		queueDepth:   cfg.Metrics.Gauge("msd_queue_depth"),
 		inflight:     cfg.Metrics.Gauge("msd_jobs_inflight"),
@@ -210,6 +296,14 @@ func New(cfg Config) (*Server, error) {
 		cacheMisses:  cfg.Metrics.Counter("msd_cache_misses_total"),
 		deduped:      cfg.Metrics.Counter("msd_jobs_deduped_total"),
 		verdictFlips: cfg.Metrics.Counter("msd_verdict_flips_total"),
+
+		workersHealthy: cfg.Metrics.Gauge("msd_workers_healthy"),
+		heartbeatAge:   cfg.Metrics.Gauge("msd_worker_heartbeat_age_seconds"),
+		shardReassign:  cfg.Metrics.Counter("msd_shard_reassignments_total"),
+		hedgedDispatch: cfg.Metrics.Counter("msd_hedged_dispatches_total"),
+		pointsDone:     cfg.Metrics.Counter("msd_batch_points_done_total"),
+		pointsFailed:   cfg.Metrics.Counter("msd_batch_points_failed_total"),
+		pointsDegraded: cfg.Metrics.Counter("msd_batch_points_degraded_total"),
 	}
 	// The constant build-info gauge ties every scrape to the exact
 	// binary that produced it.
@@ -251,12 +345,14 @@ func New(cfg Config) (*Server, error) {
 		s.aud = newAuditor(cfg.AuditBatch)
 		s.aud.replay(raw)
 		s.recoverJobs(recs)
+		s.recoverBatches(recs)
 	}
 	s.mux = s.buildMux()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker(w)
 	}
+	s.resumeBatches()
 	return s, nil
 }
 
@@ -417,6 +513,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Batch dispatchers finish their in-flight points too: partial
+		// batch results are journaled per point, so even a drain that
+		// times out here leaves every completed point recoverable.
+		s.batchWG.Wait()
 		close(done)
 	}()
 	select {
@@ -465,11 +565,27 @@ func (s *Server) buildMux() *http.ServeMux {
 		s.queueDepth.Set(float64(len(s.queue)))
 		s.mu.Unlock()
 		s.queueOldest.Set(s.oldestQueuedAge().Seconds())
+		s.workersHealthy.Set(float64(len(s.members.Healthy())))
+		s.heartbeatAge.Set(s.members.MaxHeartbeatAge().Seconds())
 		metricsHandler.ServeHTTP(w, r)
 	}))
 	mux.HandleFunc("GET /api/v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /api/v1/history", s.handleHistory)
 	mux.HandleFunc("POST /api/v1/diff", s.handleDiff)
+	// Any daemon can execute a shard on behalf of a coordinator; the
+	// coordination surfaces themselves (registration, batches, the
+	// shared verdict store) are gated on Config.Coordinator.
+	mux.HandleFunc("POST /api/v1/cluster/execute", s.handleClusterExecute)
+	if s.cfg.Coordinator {
+		mux.HandleFunc("POST /api/v1/cluster/register", s.handleClusterRegister)
+		mux.HandleFunc("POST /api/v1/cluster/heartbeat", s.handleClusterHeartbeat)
+		mux.HandleFunc("GET /api/v1/cluster/workers", s.handleClusterWorkers)
+		mux.HandleFunc("POST /api/v1/batch", s.handleBatchSubmit)
+		mux.HandleFunc("GET /api/v1/batch", s.handleBatchList)
+		mux.HandleFunc("GET /api/v1/batch/{id}", s.handleBatchStatus)
+		mux.HandleFunc("GET /api/v1/cache/{key}", s.handleCacheGet)
+		mux.HandleFunc("PUT /api/v1/cache/{key}", s.handleCachePut)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -631,7 +747,10 @@ func (s *Server) dropEvicted(ids []string) {
 // retryAfterLocked estimates, in whole seconds, when a queue slot
 // should free: queued work divided by worker throughput, using the
 // exponentially weighted average job duration (1s before any job has
-// finished).
+// finished). The estimate is capped at Config.MaxRetryAfter — during a
+// long stall (a deep queue of slow jobs) an uncapped hint would tell
+// clients to go away for hours, when what they should do is probe
+// again within bounded time.
 func (s *Server) retryAfterLocked() int {
 	avg := s.ewmaJobSec
 	if avg <= 0 {
@@ -640,6 +759,11 @@ func (s *Server) retryAfterLocked() int {
 	secs := int(math.Ceil(avg * float64(len(s.queue)+1) / float64(s.cfg.Workers)))
 	if secs < 1 {
 		secs = 1
+	}
+	if cap := s.cfg.MaxRetryAfter; cap > 0 {
+		if max := int(cap / time.Second); max >= 1 && secs > max {
+			secs = max
+		}
 	}
 	return secs
 }

@@ -44,6 +44,7 @@ import (
 
 	"microsampler/internal/asm"
 	"microsampler/internal/cache"
+	"microsampler/internal/cluster"
 	"microsampler/internal/core"
 	"microsampler/internal/ctc"
 	"microsampler/internal/formal"
@@ -515,6 +516,28 @@ func DefaultHistoryLabel() string { return version.DefaultLabel() }
 // BuildInfoGauge registers the conventional build_info gauge (value 1,
 // version/goversion/revision/dirty labels) on a metrics registry.
 func BuildInfoGauge(reg *MetricsRegistry, name string) { version.Gauge(reg, name) }
+
+// Distributed verification (the msd coordinator/worker cluster).
+
+// ClusterPoint is one program×configuration verification point of a
+// batch — the unit of work the coordinator shards across workers. It
+// is self-contained on the wire: any daemon can resolve it to a
+// verification without batch context.
+type ClusterPoint = cluster.Point
+
+// ClusterPointResult is one point's terminal outcome: the
+// deterministic verdict fields plus execution metadata (which worker
+// answered, whether it was cached or degraded to local execution).
+type ClusterPointResult = cluster.PointResult
+
+// ClusterPointKey returns the point's canonical content-addressed
+// cache key — the same core CacheKey a single-node verification of
+// the identical tuple would use, which is what makes cross-node cache
+// fill and reassignment dedup sound. maxCycles is the executing
+// daemon's per-run bound.
+func ClusterPointKey(p ClusterPoint, maxCycles int64) (string, error) {
+	return p.Key(maxCycles)
+}
 
 // Constant-time compiler (compiler-vulnerability substrate).
 

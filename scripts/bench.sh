@@ -34,6 +34,11 @@ go test -run '^$' -bench 'CacheHit' -benchtime 100x -count "$count" \
 # — each one is a whole verification.
 go test -run '^$' -bench 'MSDJobLatency' -benchtime 5x -count 1 \
     ./internal/msd | tee -a "$raw"
+# Cluster batch throughput: a coordinator sharding 32-point batches
+# across 2 in-process workers, reported as points/s — the sizing number
+# for distributed sweeps.
+go test -run '^$' -bench 'ClusterThroughput' -benchtime 3x -count "$count" \
+    ./internal/msd | tee -a "$raw"
 
 # Fold the standard benchmark output into JSON: one object per
 # benchmark name, each metric averaged over the repetitions. Plain awk,

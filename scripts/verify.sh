@@ -22,10 +22,10 @@ go vet ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (telemetry, export, core, msd, cache, faults, sim, report, history) =="
+echo "== go test -race (telemetry, export, core, msd, cache, faults, sim, report, history, cluster) =="
 go test -race ./internal/telemetry ./internal/telemetry/export \
     ./internal/core ./internal/msd ./internal/cache ./internal/faults \
-    ./internal/sim ./internal/report ./internal/history
+    ./internal/sim ./internal/report ./internal/history ./internal/cluster
 
 echo "== matrix sweep smoke (2x2 grid through the CLI) =="
 matrixdir="${TMPDIR:-/tmp}/microsampler-matrix-smoke"
@@ -71,6 +71,15 @@ go test -race -count=1 -run '^TestSmoke$' ./cmd/msd
 
 echo "== msd kill/recover smoke (SIGKILL + journal recovery) =="
 go test -race -count=1 -run '^TestKillRecover$' ./cmd/msd
+
+echo "== cluster smoke (3 processes, SIGKILL a worker mid-batch, baseline verdict diff) =="
+go test -race -count=1 -run '^TestClusterSmoke$' ./cmd/msd
+
+echo "== second-signal force-exit smoke =="
+go test -race -count=1 -run '^TestSecondSignalForcesExit$' ./cmd/msd
+
+echo "== cluster chaos determinism (seeded worker kills/hangs vs single-node verdicts) =="
+go test -race -count=1 -run '^TestChaosClusterMatchesSingleNode$' ./internal/cluster
 
 echo "== msd cache-hit + audit smoke =="
 go test -race -count=1 \
